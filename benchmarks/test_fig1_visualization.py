@@ -1,0 +1,72 @@
+"""Figure 1: visualization of the learned hash code.
+
+The paper's Figure 1 shows (a) the synthetic element groups, (b) the prefix
+frequencies, (c) the learned hash code for seen elements, and (d) the hash
+code the classifier predicts for unseen elements.  This benchmark regenerates
+the underlying data and reports, per learned bucket, the number of elements
+and the dominant element group — the textual equivalent of the scatter plots.
+"""
+
+import numpy as np
+
+from conftest import save_result
+from repro.evaluation.synthetic_experiments import run_visualization_experiment
+
+
+def _render(result) -> str:
+    lines = ["=== Figure 1: learned hash code for seen and unseen elements ==="]
+    lines.append(
+        f"seen elements: {len(result.seen_buckets)}, "
+        f"unseen elements: {len(result.unseen_buckets)}, "
+        f"buckets: {result.num_buckets}"
+    )
+    header = f"{'bucket':>6}  {'#seen':>6}  {'#unseen':>8}  {'mean prefix freq':>17}  {'dominant group':>15}"
+    lines.append(header)
+    for bucket in range(result.num_buckets):
+        seen_mask = result.seen_buckets == bucket
+        unseen_mask = result.unseen_buckets == bucket
+        if seen_mask.any():
+            mean_freq = result.seen_frequencies[seen_mask].mean()
+            groups = result.seen_groups[seen_mask]
+            dominant = int(np.bincount(groups).argmax())
+        else:
+            mean_freq, dominant = 0.0, -1
+        lines.append(
+            f"{bucket:>6}  {int(seen_mask.sum()):>6}  {int(unseen_mask.sum()):>8}  "
+            f"{mean_freq:>17.2f}  {dominant:>15}"
+        )
+    return "\n".join(lines)
+
+
+def test_fig1_visualization(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_visualization_experiment(
+            num_groups=10,
+            fraction_seen=0.33,
+            prefix_length=1000,
+            num_buckets=10,
+            lam=0.5,
+            classifier="cart",
+            seed=0,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    save_result("fig1_visualization", _render(result))
+
+    # Every bucket index stays within range and the seen/unseen split covers
+    # the whole universe (G=10, G0=2 -> 2^3 + ... + 2^12 elements).
+    assert result.seen_buckets.max() < 10
+    assert result.unseen_buckets.max() < 10
+    universe_size = sum(2 ** (2 + g) for g in range(1, 11))
+    assert len(result.seen_buckets) + len(result.unseen_buckets) == universe_size
+
+    # The learned code separates frequency scales: the bucket holding the most
+    # frequent elements has a much higher mean prefix frequency than the one
+    # holding the least frequent ones (Figure 1c's colour gradient).
+    bucket_means = [
+        result.seen_frequencies[result.seen_buckets == bucket].mean()
+        for bucket in range(10)
+        if (result.seen_buckets == bucket).any()
+    ]
+    assert max(bucket_means) > 3 * min(bucket_means)

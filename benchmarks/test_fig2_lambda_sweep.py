@@ -1,0 +1,65 @@
+"""Figure 2 (Experiment 1): impact of the hyperparameter λ.
+
+The paper compares milp / bcd / dp on the prefix estimation, similarity and
+overall errors (absolute scale) and their running times as λ varies, for a
+G = 6 synthetic problem.  Because the exact MILP here is solved by a pure-
+Python branch-and-bound (instead of Gurobi), the instance is subsampled to a
+few dozen stored elements — small enough for the MILP to certify optimality,
+large enough for the bcd-vs-milp gap to be visible.
+
+Expected shape (paper Figure 2): milp attains the smallest overall error,
+bcd is close behind, dp attains the smallest estimation error regardless of
+λ but a worse overall error for small λ; milp is orders of magnitude slower.
+"""
+
+from conftest import save_result
+from repro.evaluation.synthetic_experiments import run_lambda_sweep
+
+
+def test_fig2_lambda_sweep(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_lambda_sweep(
+            lambdas=(0.0, 0.25, 0.5, 0.75, 1.0),
+            solvers=("bcd", "dp", "milp"),
+            num_groups=6,
+            fraction_seen=0.5,
+            num_buckets=3,
+            prefix_length=300,
+            max_stored_elements=15,
+            num_repetitions=2,
+            milp_options={"time_limit": 15.0, "node_limit": 500},
+            seed=0,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    save_result("fig2_lambda_sweep", result.render())
+
+    overall = result.metrics["prefix_overall_error"]
+    estimation = result.metrics["prefix_estimation_error"]
+    elapsed = result.metrics["elapsed_time"]
+
+    lambdas = (0.0, 0.25, 0.5, 0.75, 1.0)
+    for index, lam in enumerate(lambdas):
+        milp_overall = overall["milp"][index].mean
+        bcd_overall = overall["bcd"][index].mean
+        dp_overall = overall["dp"][index].mean
+        # milp warm-starts from bcd and only ever improves on it.
+        assert milp_overall <= bcd_overall + 1e-6
+        if lam < 1.0:
+            # dp ignores the similarity term, so away from lambda=1 its overall
+            # error is worse than the solvers that optimize the full objective.
+            assert milp_overall <= dp_overall + 1e-6
+        # dp optimizes only the estimation error, so it is never beaten on it.
+        assert estimation["dp"][index].mean <= estimation["bcd"][index].mean + 1e-6
+        assert estimation["dp"][index].mean <= estimation["milp"][index].mean + 1e-6
+
+    # dp's overall error at lambda=0 is dominated by the similarity term it
+    # never optimized (the paper's key observation).
+    assert overall["dp"][0].mean >= overall["milp"][0].mean
+    # milp pays for exactness with runtime; dp stays sub-second.
+    mean_milp_time = sum(p.mean for p in elapsed["milp"]) / len(elapsed["milp"])
+    mean_bcd_time = sum(p.mean for p in elapsed["bcd"]) / len(elapsed["bcd"])
+    mean_dp_time = sum(p.mean for p in elapsed["dp"]) / len(elapsed["dp"])
+    assert mean_milp_time > mean_bcd_time
+    assert mean_dp_time < 1.0

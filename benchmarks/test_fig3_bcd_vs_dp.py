@@ -1,0 +1,39 @@
+"""Figure 3 (Experiment 2): bcd vs dp in the λ = 1 case.
+
+For λ = 1 the dynamic program is exact, so it lower-bounds bcd's per-element
+estimation error at every problem size; the paper observes bcd stays near-
+optimal up to G ≈ 10 and then starts to degrade, while dp remains fast.
+"""
+
+from conftest import save_result
+from repro.evaluation.synthetic_experiments import run_bcd_vs_dp
+
+
+def test_fig3_bcd_vs_dp(benchmark):
+    group_range = (4, 6, 8, 10)
+    result = benchmark.pedantic(
+        lambda: run_bcd_vs_dp(
+            group_range=group_range,
+            fraction_seen=0.5,
+            num_buckets=10,
+            num_repetitions=2,
+            seed=0,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    save_result("fig3_bcd_vs_dp", result.render())
+
+    estimation = result.metrics["prefix_estimation_error"]
+    elapsed = result.metrics["elapsed_time"]
+    for index in range(len(group_range)):
+        # dp is provably optimal for the lambda=1 estimation error.
+        assert estimation["dp"][index].mean <= estimation["bcd"][index].mean + 1e-6
+        # bcd remains close to optimal at these problem sizes (within 2x).
+        assert estimation["bcd"][index].mean <= 2.0 * estimation["dp"][index].mean + 0.5
+
+    # The per-element estimation error grows with the problem size for both
+    # methods (larger groups squeeze more elements into the same 10 buckets).
+    assert estimation["dp"][-1].mean > estimation["dp"][0].mean
+    # dp stays fast even at the largest size.
+    assert elapsed["dp"][-1].mean < 5.0

@@ -1,0 +1,50 @@
+"""Figure 5 (Experiment 4): impact of the fraction of elements seen in the prefix.
+
+The paper varies ``g0`` (the fraction of each group eligible to appear in the
+prefix) for G = 10 and reports estimation / similarity errors on the prefix
+elements and on unseen elements after 10·|S0| further arrivals, for bcd
+(λ = 0.5) and dp (λ = 1).  Seeing more of the universe in the prefix lowers
+the estimation error on unseen elements at the cost of a higher similarity
+error.
+"""
+
+from conftest import save_result
+from repro.evaluation.synthetic_experiments import run_fraction_seen
+
+
+def test_fig5_fraction_seen(benchmark):
+    fractions = (0.1, 0.3, 0.5, 0.7, 0.9)
+    result = benchmark.pedantic(
+        lambda: run_fraction_seen(
+            fractions=fractions,
+            num_groups=8,
+            num_buckets=10,
+            stream_multiplier=10,
+            classifier="cart",
+            num_repetitions=2,
+            seed=0,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    save_result("fig5_fraction_seen", result.render())
+
+    unseen_estimation = result.metrics["unseen_estimation_error"]
+    prefix_similarity = result.metrics["prefix_similarity_error"]
+
+    for solver in ("bcd", "dp"):
+        series = unseen_estimation[solver]
+        # Observing most of the universe in the prefix yields a lower unseen
+        # estimation error than observing almost none of it (Figure 5c).
+        assert series[-1].mean <= series[0].mean + 1e-6
+        # All error series stay non-negative and finite.
+        assert all(point.mean >= 0 for point in series)
+
+    # bcd (lambda=0.5) trades some estimation error for feature-coherent
+    # buckets, so its prefix similarity error is at most dp's (which ignores
+    # features entirely).
+    for index in range(len(fractions)):
+        assert (
+            prefix_similarity["bcd"][index].mean
+            <= prefix_similarity["dp"][index].mean + 1e-6
+        )

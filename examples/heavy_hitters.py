@@ -1,0 +1,86 @@
+"""Heavy-hitter detection on a query stream.
+
+The paper motivates frequency estimation through pattern detection such as
+finding "heavy hitters" — elements appearing far more often than the rest
+(e.g. candidate denial-of-service sources in network monitoring).  This
+example compares three classic single-pass summaries on a Zipfian query
+stream, all implemented in :mod:`repro.sketches`:
+
+* Misra–Gries (deterministic, under-estimates),
+* Space-Saving (deterministic, over-estimates),
+* Count-Min Sketch + threshold (randomized),
+
+and reports precision/recall against the exact heavy-hitter set, plus the
+AMS sketch's estimate of the stream's second frequency moment (its "skew").
+
+Run with::
+
+    python examples/heavy_hitters.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sketches import AmsSketch, CountMinSketch, MisraGries, SpaceSaving
+from repro.streams.querylog import QueryLogConfig, QueryLogGenerator
+from repro.streams.stream import Element
+
+THRESHOLD = 0.01  # an element is "heavy" if it exceeds 1% of all arrivals
+NUM_COUNTERS = 200
+
+
+def main() -> None:
+    dataset = QueryLogGenerator(
+        QueryLogConfig(num_unique_queries=5000, num_days=1, arrivals_per_day=40_000, seed=3)
+    ).generate_dataset()
+    stream = dataset.days[0]
+    truth = stream.frequencies()
+    total = truth.total
+    true_heavy = {key for key, count in truth.items() if count > THRESHOLD * total}
+    print(
+        f"stream: {total} arrivals, {len(truth)} unique queries, "
+        f"{len(true_heavy)} true heavy hitters (> {THRESHOLD:.1%} of arrivals)\n"
+    )
+
+    misra_gries = MisraGries(num_counters=NUM_COUNTERS)
+    space_saving = SpaceSaving(num_counters=NUM_COUNTERS)
+    count_min = CountMinSketch.from_total_buckets(10 * NUM_COUNTERS, depth=4, seed=3)
+    ams = AmsSketch(num_estimators=128, means_groups=8, seed=3)
+    for element in stream:
+        misra_gries.update(element)
+        space_saving.update(element)
+        count_min.update(element)
+        ams.update(element)
+
+    def report(name, candidates):
+        candidates = set(candidates)
+        true_positives = len(candidates & true_heavy)
+        precision = true_positives / len(candidates) if candidates else 1.0
+        recall = true_positives / len(true_heavy) if true_heavy else 1.0
+        print(f"{name:>14}: reported {len(candidates):>3}  precision={precision:.2f}  recall={recall:.2f}")
+
+    report("misra-gries", [key for key, _ in misra_gries.heavy_hitters(THRESHOLD)])
+    report("space-saving", [key for key, _ in space_saving.heavy_hitters(THRESHOLD)])
+    cms_candidates = [
+        key for key in truth.keys()
+        if count_min.estimate(Element(key=key)) > THRESHOLD * total
+    ]
+    report("count-min", cms_candidates)
+
+    exact_f2 = float(np.sum(np.array(list(truth.values()), dtype=float) ** 2))
+    estimate_f2 = ams.estimate_second_moment()
+    print(
+        f"\nsecond frequency moment (skew): exact = {exact_f2:.3e}, "
+        f"AMS estimate = {estimate_f2:.3e} "
+        f"(relative error {abs(estimate_f2 - exact_f2) / exact_f2:.1%})"
+    )
+    print(
+        f"\nmemory: misra-gries = {misra_gries.size_kb:.2f} KB, "
+        f"space-saving = {space_saving.size_kb:.2f} KB, "
+        f"count-min = {count_min.size_kb:.2f} KB"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,145 @@
+"""Search-query frequency estimation (the paper's Section 7 case study).
+
+This example mirrors the real-world experiment at laptop scale:
+
+* a synthetic AOL-like query log (Zipfian popularity, realistic query text,
+  day-over-day persistence) plays the role of the proprietary AOL dataset;
+* day 0 is the observed prefix used to learn the hashing scheme, with the
+  bucket budget split between stored query IDs and buckets via the ratio
+  ``c`` of Section 7.3;
+* a bag-of-words + counts featurizer and a random forest route queries that
+  never appeared on day 0;
+* the remaining days are streamed through opt-hash, the Learned CMS with an
+  ideal heavy-hitter oracle, and the Count-Min Sketch, all using the same
+  4 KB of memory.
+
+Run with::
+
+    python examples/search_query_estimation.py
+"""
+
+from __future__ import annotations
+
+from repro import CountMinSketch, LearnedCountMinSketch, OptHashConfig, train_opt_hash
+from repro.core.pipeline import split_bucket_budget
+from repro.evaluation.metrics import average_absolute_error, expected_magnitude_error
+from repro.ml.text import QueryFeaturizer
+from repro.sketches.learned_cms import IdealHeavyHitterOracle
+from repro.streams.querylog import QueryLogConfig, QueryLogGenerator
+from repro.streams.stream import Element
+
+MEMORY_KB = 4.0
+NUM_DAYS = 10
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # Workload: a scaled-down 10-day query log.
+    # ------------------------------------------------------------------
+    dataset = QueryLogGenerator(
+        QueryLogConfig(
+            num_unique_queries=4000,
+            num_days=NUM_DAYS,
+            arrivals_per_day=3000,
+            zipf_exponent=0.8,
+            seed=1,
+        )
+    ).generate_dataset()
+    prefix = dataset.prefix()
+    print(f"day 0 (prefix): {len(prefix)} arrivals, {len(prefix.distinct_elements())} unique queries")
+
+    # ------------------------------------------------------------------
+    # opt-hash: split the 4 KB budget between stored IDs and buckets,
+    # featurize query text, learn the scheme on day 0.
+    # ------------------------------------------------------------------
+    total_buckets = int(MEMORY_KB * 1000 / 4)
+    num_stored, num_buckets = split_bucket_budget(total_buckets, ratio=0.3)
+    featurizer = QueryFeaturizer(vocabulary_size=200)
+    featurizer.fit([element.key for element in prefix.distinct_elements()])
+
+    training = train_opt_hash(
+        prefix,
+        OptHashConfig(
+            num_buckets=num_buckets,
+            lam=1.0,
+            solver="dp",
+            solver_options={"center": "median"},
+            classifier="rf",
+            classifier_options={"n_estimators": 10, "max_depth": 12},
+            max_stored_elements=num_stored,
+            seed=1,
+        ),
+        featurizer=lambda element: featurizer.transform_one(str(element.key)),
+    )
+    opt_hash = training.estimator
+    print(
+        f"opt-hash: {num_stored} stored IDs + {num_buckets} buckets "
+        f"({opt_hash.size_kb:.2f} KB), classifier = random forest"
+    )
+
+    # ------------------------------------------------------------------
+    # Baselines with the same memory budget.  The heavy-hitter oracle of the
+    # Learned CMS is ideal: it knows the top queries of the whole period.
+    # ------------------------------------------------------------------
+    final_day = NUM_DAYS - 1
+    truth = dataset.cumulative_frequencies(final_day)
+    oracle = IdealHeavyHitterOracle.from_frequencies(dict(truth.items()), num_heavy=200)
+    learned_cms = LearnedCountMinSketch(
+        total_buckets=total_buckets, num_heavy_buckets=200, oracle=oracle, depth=1, seed=1
+    )
+    count_min = CountMinSketch.from_total_buckets(total_buckets, depth=2, seed=1)
+
+    # ------------------------------------------------------------------
+    # Stream the remaining days (the baselines also see day 0).
+    # ------------------------------------------------------------------
+    count_min.update_many(dataset.days[0])
+    learned_cms.update_many(dataset.days[0])
+    for element in dataset.arrivals_after_prefix(final_day):
+        opt_hash.update(element)
+        learned_cms.update(element)
+        count_min.update(element)
+
+    # ------------------------------------------------------------------
+    # Report both error metrics over every query seen during the period,
+    # plus a few example queries across the popularity spectrum.
+    # ------------------------------------------------------------------
+    keys = list(truth.keys())
+    opt_hash.scheme.precompute([Element(key=key) for key in keys])
+
+    print(f"\nafter day {final_day} ({truth.total} arrivals, {len(truth)} unique queries):")
+    header = f"{'method':>14} | {'avg |error|':>12} | {'expected |error|':>16}"
+    print(header)
+    print("-" * len(header))
+    for name, estimator in (
+        ("opt-hash", opt_hash),
+        ("heavy-hitter", learned_cms),
+        ("count-min", count_min),
+    ):
+        avg = average_absolute_error(estimator, truth)
+        exp = expected_magnitude_error(estimator, truth)
+        print(f"{name:>14} | {avg:12.2f} | {exp:16.2f}")
+
+    print("\nper-query estimates (rank, true frequency, opt-hash estimate):")
+    ranked = truth.most_common()
+    for rank in (1, 10, 100, 1000):
+        if rank <= len(ranked):
+            key, frequency = ranked[rank - 1]
+            estimate = opt_hash.estimate(Element(key=key))
+            print(f"  #{rank:<5} {key[:40]:<42} true={frequency:<7} est={estimate:.1f}")
+
+    # ------------------------------------------------------------------
+    # Interpretability (paper Section 7.4): the random forest's most
+    # important features should be the four text counts plus navigational
+    # tokens such as "www"/"com"/"google".
+    # ------------------------------------------------------------------
+    if training.classifier is not None and hasattr(training.classifier, "feature_importances_"):
+        names = featurizer.feature_names()
+        importances = training.classifier.feature_importances_
+        top = sorted(zip(importances, names), reverse=True)[:8]
+        print("\nmost important classifier features:")
+        for importance, name in top:
+            print(f"  {name:<20} {importance:.3f}")
+
+
+if __name__ == "__main__":
+    main()

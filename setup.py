@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The project is fully described by ``pyproject.toml``; this file exists so
+that legacy (non-PEP 517) editable installs — ``pip install -e .
+--no-use-pep517`` — work in offline environments where the ``wheel`` package
+is unavailable.
+"""
+
+from setuptools import setup
+
+setup()

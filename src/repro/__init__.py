@@ -1,0 +1,81 @@
+"""repro — Learning the Optimal Hashing Scheme for streaming frequency estimation.
+
+A from-scratch reproduction of Bertsimas & Digalakis Jr., *"Frequency
+Estimation in Data Streams: Learning the Optimal Hashing Scheme"* (ICDE 2022
+extended abstract / IEEE TKDE full version).
+
+The library is organized as:
+
+* :mod:`repro.streams` — stream model and workload generators (synthetic
+  group-structured streams, an AOL-like query log);
+* :mod:`repro.sketches` — conventional random-hashing baselines (Count-Min
+  Sketch, Count Sketch, Learned CMS) and the Bloom filter substrate;
+* :mod:`repro.ml` — classifiers (logistic regression, CART, random forest),
+  model selection, and query-text featurization;
+* :mod:`repro.optimize` — the hashing-scheme optimizers (MILP, block
+  coordinate descent, dynamic programming);
+* :mod:`repro.core` — the opt-hash estimator assembled from the above;
+* :mod:`repro.evaluation` — error metrics and the runners regenerating every
+  figure and table of the paper's evaluation.
+
+Quickstart::
+
+    from repro import OptHashConfig, train_opt_hash
+    from repro.streams import SyntheticConfig, SyntheticGenerator
+
+    generator = SyntheticGenerator(SyntheticConfig(num_groups=6, seed=0))
+    prefix, stream = generator.generate_prefix_and_stream()
+    training = train_opt_hash(prefix, OptHashConfig(num_buckets=10, lam=0.5, seed=0))
+    estimator = training.estimator
+    estimator.update_many(stream)
+    print(estimator.estimate(stream[0]))
+"""
+
+from repro.core import (
+    AdaptiveOptHashEstimator,
+    OptHashConfig,
+    OptHashEstimator,
+    OptHashScheme,
+    TrainingResult,
+    train_opt_hash,
+)
+from repro.optimize import (
+    BucketAssignment,
+    block_coordinate_descent,
+    dynamic_programming,
+    learn_hashing_scheme,
+    solve_milp,
+)
+from repro.sketches import (
+    BloomFilter,
+    CountMinSketch,
+    CountSketch,
+    FrequencyEstimator,
+    LearnedCountMinSketch,
+)
+from repro.streams import Element, Stream, StreamPrefix
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "AdaptiveOptHashEstimator",
+    "OptHashConfig",
+    "OptHashEstimator",
+    "OptHashScheme",
+    "TrainingResult",
+    "train_opt_hash",
+    "BucketAssignment",
+    "block_coordinate_descent",
+    "dynamic_programming",
+    "learn_hashing_scheme",
+    "solve_milp",
+    "BloomFilter",
+    "CountMinSketch",
+    "CountSketch",
+    "FrequencyEstimator",
+    "LearnedCountMinSketch",
+    "Element",
+    "Stream",
+    "StreamPrefix",
+]

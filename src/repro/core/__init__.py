@@ -1,0 +1,38 @@
+"""The proposed learning-based frequency estimator (``opt-hash``).
+
+This subpackage assembles the paper's primary contribution from the
+substrates:
+
+1. :func:`~repro.core.pipeline.train_opt_hash` runs the learning phase on an
+   observed stream prefix: it computes the empirical frequencies, learns a
+   (near-)optimal assignment of the prefix elements to buckets with one of
+   the :mod:`repro.optimize` solvers, and trains a :mod:`repro.ml` classifier
+   that maps *unseen* elements to buckets from their features.
+2. The resulting :class:`~repro.core.scheme.OptHashScheme` (hash table +
+   classifier) is wrapped into a streaming estimator:
+   :class:`~repro.core.estimator.OptHashEstimator` (the static variant that
+   only tracks prefix elements) or
+   :class:`~repro.core.estimator.AdaptiveOptHashEstimator` (the Bloom-filter
+   extension of Section 5.3 that also counts unseen elements).
+"""
+
+from repro.core.scheme import OptHashScheme
+from repro.core.estimator import OptHashEstimator, AdaptiveOptHashEstimator
+from repro.core.pipeline import (
+    OptHashConfig,
+    TrainingResult,
+    train_opt_hash,
+    sample_prefix_elements,
+    split_bucket_budget,
+)
+
+__all__ = [
+    "OptHashScheme",
+    "OptHashEstimator",
+    "AdaptiveOptHashEstimator",
+    "OptHashConfig",
+    "TrainingResult",
+    "train_opt_hash",
+    "sample_prefix_elements",
+    "split_bucket_budget",
+]

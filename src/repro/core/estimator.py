@@ -1,0 +1,206 @@
+"""Streaming estimators built on a learned hashing scheme (paper Sections 3 & 5).
+
+Both estimators keep, per bucket, an aggregate frequency ``φ_j`` and an
+element count ``c_j``; a point query answers the bucket's *average*
+frequency ``φ_j / c_j``.  They differ in how arrivals after the prefix are
+handled:
+
+* :class:`OptHashEstimator` — the static approach: only elements that
+  appeared in the prefix update their bucket's counter; unseen elements are
+  estimated from the prefix statistics of the bucket the classifier puts
+  them in.
+* :class:`AdaptiveOptHashEstimator` — the Section 5.3 extension: a Bloom
+  filter tracks which elements have been seen, every arrival increments its
+  bucket's frequency, and first-time arrivals also increment the bucket's
+  element count.  Bloom false positives can only depress ``c_j``, so the
+  extension overestimates, never underestimates, relative to exact bucket
+  averages.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Optional
+
+import numpy as np
+
+from repro.core.scheme import OptHashScheme
+from repro.sketches.base import BYTES_PER_BUCKET, FrequencyEstimator
+from repro.sketches.bloom import BloomFilter
+from repro.streams.stream import Element
+
+__all__ = ["OptHashEstimator", "AdaptiveOptHashEstimator"]
+
+
+class OptHashEstimator(FrequencyEstimator):
+    """The static opt-hash estimator.
+
+    Parameters
+    ----------
+    scheme:
+        The learned hashing scheme (hash table + classifier).
+    initial_frequencies:
+        Mapping from prefix element keys to their prefix frequencies; used to
+        seed the per-bucket aggregates so the estimator already reflects the
+        prefix at the start of stream processing.  Pass ``None`` (or an empty
+        mapping) to start from zero counters.
+    count_stored_ids:
+        Whether the stored IDs are charged against the memory footprint
+        (one bucket-equivalent each, following Section 7.3).  On by default.
+    """
+
+    def __init__(
+        self,
+        scheme: OptHashScheme,
+        initial_frequencies: Optional[Dict[Hashable, float]] = None,
+        count_stored_ids: bool = True,
+    ) -> None:
+        self.scheme = scheme
+        self._count_stored_ids = count_stored_ids
+        self._bucket_totals = np.zeros(scheme.num_buckets)
+        self._bucket_counts = np.zeros(scheme.num_buckets)
+        if initial_frequencies:
+            for key, frequency in initial_frequencies.items():
+                bucket = scheme.key_to_bucket.get(key)
+                if bucket is None:
+                    raise ValueError(
+                        f"initial frequency given for key {key!r} that is not in the scheme"
+                    )
+                self._bucket_totals[bucket] += float(frequency)
+                self._bucket_counts[bucket] += 1.0
+        else:
+            # Even without initial frequencies the per-bucket element counts
+            # reflect the scheme so queries average over the right population.
+            for bucket in scheme.key_to_bucket.values():
+                self._bucket_counts[bucket] += 1.0
+
+    # ------------------------------------------------------------------
+    # FrequencyEstimator interface
+    # ------------------------------------------------------------------
+    def update(self, element: Element) -> None:
+        """Process one arrival: only prefix elements update their bucket."""
+        bucket = self.scheme.key_to_bucket.get(element.key)
+        if bucket is not None:
+            self._bucket_totals[bucket] += 1.0
+
+    def estimate(self, element: Element) -> float:
+        bucket = self.scheme.bucket_of(element)
+        count = self._bucket_counts[bucket]
+        if count == 0:
+            return 0.0
+        return float(self._bucket_totals[bucket] / count)
+
+    @property
+    def size_bytes(self) -> int:
+        stored_ids = self.scheme.num_stored_ids if self._count_stored_ids else 0
+        return BYTES_PER_BUCKET * (self.scheme.num_buckets + stored_ids)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def bucket_totals(self) -> np.ndarray:
+        """Aggregate frequency ``φ_j`` per bucket."""
+        return self._bucket_totals.copy()
+
+    @property
+    def bucket_counts(self) -> np.ndarray:
+        """Element count ``c_j`` per bucket."""
+        return self._bucket_counts.copy()
+
+    def bucket_average(self, bucket: int) -> float:
+        """Current average frequency of a bucket (0 if empty)."""
+        count = self._bucket_counts[bucket]
+        return float(self._bucket_totals[bucket] / count) if count else 0.0
+
+
+class AdaptiveOptHashEstimator(FrequencyEstimator):
+    """The adaptive (Bloom-filter) opt-hash estimator of Section 5.3.
+
+    Parameters
+    ----------
+    scheme:
+        The learned hashing scheme.
+    initial_frequencies:
+        Prefix frequencies used to seed the bucket aggregates and to
+        initialize the Bloom filter with the prefix elements.
+    bloom_bits:
+        Size of the Bloom filter in bits.  If omitted it is sized for a 1%
+        false-positive rate over ``expected_distinct`` elements.
+    expected_distinct:
+        Expected number of distinct elements over the stream's lifetime
+        (used only to size the default Bloom filter).
+    seed:
+        Seed for the Bloom filter's hash functions.
+    """
+
+    def __init__(
+        self,
+        scheme: OptHashScheme,
+        initial_frequencies: Optional[Dict[Hashable, float]] = None,
+        bloom_bits: Optional[int] = None,
+        expected_distinct: int = 10_000,
+        seed: Optional[int] = None,
+        count_stored_ids: bool = False,
+    ) -> None:
+        self.scheme = scheme
+        self._count_stored_ids = count_stored_ids
+        self._bucket_totals = np.zeros(scheme.num_buckets)
+        self._bucket_counts = np.zeros(scheme.num_buckets)
+        if bloom_bits is not None:
+            self._bloom = BloomFilter(num_bits=bloom_bits, expected_items=expected_distinct, seed=seed)
+        else:
+            self._bloom = BloomFilter.from_false_positive_rate(
+                expected_items=expected_distinct, false_positive_rate=0.01, seed=seed
+            )
+        if initial_frequencies:
+            for key, frequency in initial_frequencies.items():
+                bucket = scheme.key_to_bucket.get(key)
+                if bucket is None:
+                    bucket = scheme.predict_bucket(Element(key=key))
+                self._bucket_totals[bucket] += float(frequency)
+                self._bucket_counts[bucket] += 1.0
+                self._bloom.add(key)
+        else:
+            for key, bucket in scheme.key_to_bucket.items():
+                self._bucket_counts[bucket] += 1.0
+                self._bloom.add(key)
+
+    def update(self, element: Element) -> None:
+        """Every arrival updates its bucket; first-time arrivals grow ``c_j``."""
+        bucket = self.scheme.bucket_of(element)
+        self._bucket_totals[bucket] += 1.0
+        if element.key not in self._bloom:
+            self._bucket_counts[bucket] += 1.0
+            self._bloom.add(element.key)
+
+    def estimate(self, element: Element) -> float:
+        if element.key not in self._bloom:
+            # The paper multiplies the bucket average by BF(u): elements never
+            # marked as seen are estimated as zero.
+            return 0.0
+        bucket = self.scheme.bucket_of(element)
+        count = self._bucket_counts[bucket]
+        if count == 0:
+            return 0.0
+        return float(self._bucket_totals[bucket] / count)
+
+    @property
+    def size_bytes(self) -> int:
+        stored_ids = self.scheme.num_stored_ids if self._count_stored_ids else 0
+        # Two counters (φ_j and c_j) per bucket, plus the Bloom filter bits.
+        return (
+            BYTES_PER_BUCKET * (2 * self.scheme.num_buckets + stored_ids)
+            + self._bloom.size_bytes
+        )
+
+    @property
+    def bloom_filter(self) -> BloomFilter:
+        return self._bloom
+
+    @property
+    def bucket_totals(self) -> np.ndarray:
+        return self._bucket_totals.copy()
+
+    @property
+    def bucket_counts(self) -> np.ndarray:
+        return self._bucket_counts.copy()

@@ -1,0 +1,299 @@
+"""End-to-end training pipeline for the opt-hash estimator (paper Section 3).
+
+:func:`train_opt_hash` takes an observed stream prefix and produces a ready
+streaming estimator by:
+
+1. computing the empirical frequencies of the distinct prefix elements;
+2. optionally sampling a subset of them (with probability proportional to
+   frequency, as the real-data experiments in Section 7.3 do when storing
+   every prefix ID would already exceed the memory budget);
+3. learning the bucket assignment with the configured solver (bcd / dp / milp);
+4. training the configured classifier on ``(features, bucket)`` pairs so
+   unseen elements can be hashed;
+5. seeding the per-bucket aggregates with the prefix frequencies.
+
+The helper :func:`split_bucket_budget` implements the paper's split of a
+total bucket budget into "stored IDs" and "buckets" via the ratio ``c``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.estimator import AdaptiveOptHashEstimator, OptHashEstimator
+from repro.core.scheme import OptHashScheme, default_featurizer
+from repro.ml import make_classifier
+from repro.ml.base import Classifier
+from repro.ml.model_selection import grid_search
+from repro.optimize.solvers import SolverResult, learn_hashing_scheme
+from repro.streams.stream import Element, StreamPrefix
+
+__all__ = [
+    "OptHashConfig",
+    "TrainingResult",
+    "train_opt_hash",
+    "sample_prefix_elements",
+    "split_bucket_budget",
+]
+
+
+def split_bucket_budget(total_buckets: int, ratio: float) -> Tuple[int, int]:
+    """Split a total budget into ``(num_stored_ids, num_buckets)``.
+
+    Following Section 7.3: for user-specified total budget ``b_total`` and
+    ratio ``c = b / n`` between buckets and stored IDs,
+    ``n = b_total / (1 + c)`` and ``b = b_total − n``.
+    """
+    if total_buckets < 2:
+        raise ValueError("total_buckets must be at least 2")
+    if ratio <= 0:
+        raise ValueError("ratio must be positive")
+    num_stored = int(round(total_buckets / (1.0 + ratio)))
+    num_stored = min(max(num_stored, 1), total_buckets - 1)
+    num_buckets = total_buckets - num_stored
+    return num_stored, num_buckets
+
+
+def sample_prefix_elements(
+    frequencies: np.ndarray,
+    max_elements: int,
+    proportional_to_frequency: bool = True,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Indices of a sample of prefix elements to keep in the hash table.
+
+    When the prefix contains more distinct elements than the memory budget
+    allows, a subset is sampled — by default with probability proportional to
+    the observed frequencies, so the high-impact elements are retained.
+    """
+    frequencies = np.asarray(frequencies, dtype=float)
+    num_elements = len(frequencies)
+    if max_elements >= num_elements:
+        return np.arange(num_elements)
+    if max_elements <= 0:
+        raise ValueError("max_elements must be positive")
+    rng = rng if rng is not None else np.random.default_rng()
+    if proportional_to_frequency and frequencies.sum() > 0:
+        probabilities = frequencies / frequencies.sum()
+        return np.sort(
+            rng.choice(num_elements, size=max_elements, replace=False, p=probabilities)
+        )
+    return np.sort(rng.choice(num_elements, size=max_elements, replace=False))
+
+
+@dataclass
+class OptHashConfig:
+    """Configuration of the opt-hash training pipeline.
+
+    Attributes
+    ----------
+    num_buckets:
+        Number of buckets ``b`` of the learned scheme.
+    lam:
+        Trade-off λ between estimation and similarity errors.
+    solver:
+        ``"bcd"``, ``"dp"`` or ``"milp"``.
+    solver_options:
+        Extra keyword arguments for the solver.
+    classifier:
+        Name of the classifier for unseen elements (``"cart"``, ``"logreg"``,
+        ``"rf"``) or ``None`` to disable it (unseen elements then fall back
+        to bucket 0).
+    classifier_options:
+        Keyword arguments for the classifier constructor.
+    tune_classifier / tuning_grid / tuning_folds:
+        Optional k-fold cross-validated grid search over classifier
+        hyperparameters (10 folds in the paper).
+    max_stored_elements:
+        Cap on the number of prefix elements whose IDs are stored (``n``);
+        ``None`` stores all of them.
+    sample_proportional_to_frequency:
+        Sampling rule used when the cap binds.
+    adaptive:
+        If True, build the Bloom-filter extension instead of the static
+        estimator.
+    bloom_bits / expected_distinct:
+        Bloom filter sizing for the adaptive estimator.
+    seed:
+        Seed for all stochastic steps.
+    """
+
+    num_buckets: int = 10
+    lam: float = 1.0
+    solver: str = "bcd"
+    solver_options: Dict = field(default_factory=dict)
+    classifier: Optional[str] = "cart"
+    classifier_options: Dict = field(default_factory=dict)
+    tune_classifier: bool = False
+    tuning_grid: Optional[Dict[str, Sequence]] = None
+    tuning_folds: int = 10
+    max_stored_elements: Optional[int] = None
+    sample_proportional_to_frequency: bool = True
+    adaptive: bool = False
+    bloom_bits: Optional[int] = None
+    expected_distinct: int = 10_000
+    seed: Optional[int] = None
+
+
+@dataclass
+class TrainingResult:
+    """Everything the learning phase produced.
+
+    ``estimator`` is what stream processing uses; the other fields expose the
+    intermediate artifacts for analysis (e.g. the experiments that report the
+    optimizer's objective value directly).
+    """
+
+    estimator: OptHashEstimator
+    scheme: OptHashScheme
+    solver_result: SolverResult
+    classifier: Optional[Classifier]
+    stored_keys: list
+    stored_frequencies: np.ndarray
+    stored_features: np.ndarray
+    classifier_cv_score: Optional[float] = None
+
+
+def _default_tuning_grid(classifier_name: str) -> Dict[str, Sequence]:
+    """The hyperparameter grids of Section 6.2."""
+    if classifier_name == "logreg":
+        return {"ridge": [1e-4, 1e-3, 1e-2, 1e-1]}
+    if classifier_name == "cart":
+        return {"min_impurity_decrease": [0.0, 1e-3, 1e-2], "max_depth": [5, 10, None]}
+    if classifier_name == "rf":
+        return {"max_features": ["sqrt", 0.5, None], "max_depth": [5, 10, None]}
+    return {}
+
+
+def _fit_classifier(
+    config: OptHashConfig,
+    features: np.ndarray,
+    labels: np.ndarray,
+) -> Tuple[Optional[Classifier], Optional[float]]:
+    """Fit (and optionally tune) the unseen-element classifier."""
+    if config.classifier is None or features.shape[1] == 0:
+        return None, None
+    if len(np.unique(labels)) < 2:
+        # Degenerate case: every stored element landed in one bucket, so a
+        # constant classifier is all that is needed.
+        classifier = make_classifier("cart", max_depth=1, random_state=config.seed)
+        classifier.fit(features, labels)
+        return classifier, None
+
+    options = dict(config.classifier_options)
+    cv_score = None
+    if config.tune_classifier:
+        grid = config.tuning_grid or _default_tuning_grid(config.classifier)
+        if grid:
+            best_params, cv_score = grid_search(
+                lambda **params: make_classifier(
+                    config.classifier, random_state=config.seed, **{**options, **params}
+                ),
+                grid,
+                features,
+                labels,
+                n_splits=min(config.tuning_folds, len(labels)),
+                random_state=config.seed,
+            )
+            options.update(best_params)
+
+    if config.classifier in ("cart", "rf", "logreg"):
+        options.setdefault("random_state", config.seed)
+    classifier = make_classifier(config.classifier, **options)
+    classifier.fit(features, labels)
+    return classifier, cv_score
+
+
+def train_opt_hash(
+    prefix: StreamPrefix,
+    config: OptHashConfig,
+    featurizer: Optional[Callable[[Element], np.ndarray]] = None,
+) -> TrainingResult:
+    """Run the full learning phase on an observed stream prefix.
+
+    Parameters
+    ----------
+    prefix:
+        The observed prefix ``S0``.
+    config:
+        Pipeline configuration.
+    featurizer:
+        Optional callable mapping elements to feature vectors.  When omitted,
+        the elements' own feature vectors are used (the synthetic workload);
+        the query-log workload passes a fitted
+        :class:`~repro.ml.text.QueryFeaturizer` here.
+    """
+    if len(prefix) == 0:
+        raise ValueError("the observed prefix must be non-empty")
+    rng = np.random.default_rng(config.seed)
+    featurizer = featurizer or default_featurizer
+
+    keys, _, frequencies = prefix.training_arrays()
+    distinct_elements = prefix.distinct_elements()
+    features = np.array(
+        [np.asarray(featurizer(element), dtype=float) for element in distinct_elements]
+    )
+    if features.ndim == 1:
+        features = features.reshape(len(distinct_elements), -1)
+
+    # Optionally sample the elements whose IDs the scheme will store.
+    if config.max_stored_elements is not None:
+        selected = sample_prefix_elements(
+            frequencies,
+            config.max_stored_elements,
+            proportional_to_frequency=config.sample_proportional_to_frequency,
+            rng=rng,
+        )
+    else:
+        selected = np.arange(len(keys))
+    stored_keys = [keys[index] for index in selected]
+    stored_frequencies = frequencies[selected]
+    stored_features = features[selected]
+
+    # Phase 1: learn the bucket assignment.
+    solver_result = learn_hashing_scheme(
+        stored_frequencies,
+        stored_features,
+        num_buckets=config.num_buckets,
+        lam=config.lam,
+        solver=config.solver,
+        random_state=config.seed,
+        **config.solver_options,
+    )
+    labels = solver_result.assignment.labels
+
+    # Phase 2: train the classifier for unseen elements.
+    classifier, cv_score = _fit_classifier(config, stored_features, labels)
+
+    scheme = OptHashScheme(
+        num_buckets=config.num_buckets,
+        key_to_bucket={key: int(bucket) for key, bucket in zip(stored_keys, labels)},
+        classifier=classifier,
+        featurizer=featurizer,
+    )
+    initial = {key: float(freq) for key, freq in zip(stored_keys, stored_frequencies)}
+
+    if config.adaptive:
+        estimator: OptHashEstimator = AdaptiveOptHashEstimator(
+            scheme,
+            initial_frequencies=initial,
+            bloom_bits=config.bloom_bits,
+            expected_distinct=config.expected_distinct,
+            seed=config.seed,
+        )
+    else:
+        estimator = OptHashEstimator(scheme, initial_frequencies=initial)
+
+    return TrainingResult(
+        estimator=estimator,
+        scheme=scheme,
+        solver_result=solver_result,
+        classifier=classifier,
+        stored_keys=stored_keys,
+        stored_frequencies=stored_frequencies,
+        stored_features=stored_features,
+        classifier_cv_score=cv_score,
+    )

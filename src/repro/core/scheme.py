@@ -1,0 +1,145 @@
+"""The learned hashing scheme: exact hash table + classifier (paper Section 5).
+
+After the optimization phase every prefix element has an integer hash code
+(its bucket).  The scheme that replaces a random hash function therefore has
+two parts:
+
+* ``h_S`` — an exact mapping from the IDs of elements seen in the prefix to
+  their learned bucket (a plain hash table);
+* ``h_U`` — a multi-class classifier over element features that predicts a
+  bucket for elements *not* seen in the prefix.
+
+:class:`OptHashScheme` packages the two together with the featurizer used to
+turn elements into classifier inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, Optional, Sequence
+
+import numpy as np
+
+from repro.ml.base import Classifier
+from repro.streams.stream import Element
+
+__all__ = ["OptHashScheme", "default_featurizer"]
+
+
+def default_featurizer(element: Element) -> np.ndarray:
+    """Use the element's own feature vector as classifier input."""
+    return element.feature_array()
+
+
+class OptHashScheme:
+    """Learned mapping of elements to buckets.
+
+    Parameters
+    ----------
+    num_buckets:
+        Number of buckets ``b`` of the scheme.
+    key_to_bucket:
+        The exact hash table ``h_S`` for elements seen in the prefix.
+    classifier:
+        Fitted multi-class classifier ``h_U`` predicting buckets from
+        features; ``None`` means unseen elements cannot be routed (they fall
+        back to bucket 0).
+    featurizer:
+        Callable mapping an :class:`Element` to the classifier's input
+        vector.  Defaults to the element's own features.
+    """
+
+    def __init__(
+        self,
+        num_buckets: int,
+        key_to_bucket: Dict[Hashable, int],
+        classifier: Optional[Classifier] = None,
+        featurizer: Optional[Callable[[Element], np.ndarray]] = None,
+    ) -> None:
+        if num_buckets <= 0:
+            raise ValueError("num_buckets must be positive")
+        for key, bucket in key_to_bucket.items():
+            if not 0 <= bucket < num_buckets:
+                raise ValueError(
+                    f"bucket {bucket} of key {key!r} outside [0, {num_buckets})"
+                )
+        self.num_buckets = num_buckets
+        self.key_to_bucket = dict(key_to_bucket)
+        self.classifier = classifier
+        self.featurizer = featurizer or default_featurizer
+        # Classifier predictions are deterministic per key, so they are cached
+        # to keep repeated queries (and the adaptive estimator's updates) fast.
+        self._prediction_cache: Dict[Hashable, int] = {}
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def is_seen(self, element: Element) -> bool:
+        """Was this element part of the training prefix?"""
+        return element.key in self.key_to_bucket
+
+    def bucket_of(self, element: Element) -> int:
+        """Bucket of an element: hash table if seen, classifier otherwise."""
+        bucket = self.key_to_bucket.get(element.key)
+        if bucket is not None:
+            return bucket
+        return self.predict_bucket(element)
+
+    def predict_bucket(self, element: Element) -> int:
+        """Bucket predicted by the classifier (ignoring the hash table)."""
+        if self.classifier is None:
+            return 0
+        cached = self._prediction_cache.get(element.key)
+        if cached is not None:
+            return cached
+        features = np.asarray(self.featurizer(element), dtype=float).reshape(1, -1)
+        bucket = int(self.classifier.predict(features)[0])
+        self._prediction_cache[element.key] = bucket
+        return bucket
+
+    def predict_buckets(self, elements: Sequence[Element]) -> np.ndarray:
+        """Vectorized classifier prediction for many elements (fills the cache)."""
+        if self.classifier is None:
+            return np.zeros(len(elements), dtype=int)
+        if len(elements) == 0:
+            return np.zeros(0, dtype=int)
+        features = np.array(
+            [np.asarray(self.featurizer(element), dtype=float) for element in elements]
+        )
+        buckets = np.asarray(self.classifier.predict(features), dtype=int)
+        for element, bucket in zip(elements, buckets):
+            self._prediction_cache[element.key] = int(bucket)
+        return buckets
+
+    def precompute(self, elements: Sequence[Element]) -> None:
+        """Batch-predict and cache buckets for many (unseen) elements.
+
+        The evaluation harness calls this before issuing a large batch of
+        point queries so the classifier runs once instead of per query.
+        """
+        pending = [
+            element
+            for element in elements
+            if element.key not in self.key_to_bucket
+            and element.key not in self._prediction_cache
+        ]
+        if pending:
+            self.predict_buckets(pending)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_stored_ids(self) -> int:
+        """Number of element IDs stored in the exact hash table."""
+        return len(self.key_to_bucket)
+
+    def hash_codes(self) -> Dict[Hashable, int]:
+        """A copy of the exact hash table (key → bucket)."""
+        return dict(self.key_to_bucket)
+
+    def bucket_population(self) -> np.ndarray:
+        """Number of stored (prefix) elements per bucket."""
+        population = np.zeros(self.num_buckets, dtype=int)
+        for bucket in self.key_to_bucket.values():
+            population[bucket] += 1
+        return population

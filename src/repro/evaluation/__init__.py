@@ -1,0 +1,58 @@
+"""Evaluation harness: error metrics, result containers, experiment runners.
+
+The metrics mirror the paper exactly:
+
+* the prefix-side *estimation / similarity / overall* errors of a learned
+  assignment (Section 6.4);
+* the streaming-side *average (per element) absolute error* and *expected
+  magnitude of absolute error* (Section 7.4).
+
+The experiment runners regenerate every figure and table of the evaluation:
+``synthetic_experiments`` covers Figures 1-6 and ``querylog_experiments``
+covers Figures 7-8 and Table 1.  Each runner returns an
+:class:`~repro.evaluation.results.ExperimentResult` that the benchmark
+harness renders as the same rows/series the paper reports.
+"""
+
+from repro.evaluation.metrics import (
+    average_absolute_error,
+    expected_magnitude_error,
+    errors_over_elements,
+    assignment_errors,
+)
+from repro.evaluation.results import ExperimentResult, SeriesPoint
+from repro.evaluation.synthetic_experiments import (
+    run_visualization_experiment,
+    run_lambda_sweep,
+    run_bcd_vs_dp,
+    run_bcd_stability,
+    run_fraction_seen,
+    run_classifier_comparison,
+)
+from repro.evaluation.querylog_experiments import (
+    EstimatorSpec,
+    build_estimator,
+    run_error_vs_size,
+    run_error_vs_time,
+    run_rank_error_table,
+)
+
+__all__ = [
+    "average_absolute_error",
+    "expected_magnitude_error",
+    "errors_over_elements",
+    "assignment_errors",
+    "ExperimentResult",
+    "SeriesPoint",
+    "run_visualization_experiment",
+    "run_lambda_sweep",
+    "run_bcd_vs_dp",
+    "run_bcd_stability",
+    "run_fraction_seen",
+    "run_classifier_comparison",
+    "EstimatorSpec",
+    "build_estimator",
+    "run_error_vs_size",
+    "run_error_vs_time",
+    "run_rank_error_table",
+]

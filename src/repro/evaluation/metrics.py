@@ -1,0 +1,92 @@
+"""Error metrics (paper Sections 6.4 and 7.4)."""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Optional, Tuple
+
+import numpy as np
+
+from repro.optimize.objective import (
+    BucketAssignment,
+    ObjectiveValue,
+    evaluate_assignment,
+)
+from repro.sketches.base import FrequencyEstimator
+from repro.streams.stream import Element, FrequencyVector
+
+__all__ = [
+    "average_absolute_error",
+    "expected_magnitude_error",
+    "errors_over_elements",
+    "assignment_errors",
+]
+
+
+def assignment_errors(
+    frequencies, features, assignment: BucketAssignment, lam: float
+) -> ObjectiveValue:
+    """Prefix-side errors of a learned assignment (Problem (1) terms)."""
+    return evaluate_assignment(frequencies, features, assignment, lam)
+
+
+def errors_over_elements(
+    true_frequencies: Dict[Hashable, float],
+    estimated_frequencies: Dict[Hashable, float],
+) -> Tuple[float, float]:
+    """Return ``(average_absolute, expected_magnitude)`` errors.
+
+    * average (per element) absolute error:
+      ``(1/|U|) Σ_u |f_u − f̃_u|``
+    * expected magnitude of absolute error:
+      ``Σ_u f_u · |f_u − f̃_u| / Σ_u f_u``
+
+    Both are computed over the keys of ``true_frequencies``.
+    """
+    if not true_frequencies:
+        raise ValueError("true_frequencies must be non-empty")
+    keys = list(true_frequencies)
+    truth = np.array([float(true_frequencies[key]) for key in keys])
+    estimates = np.array([float(estimated_frequencies.get(key, 0.0)) for key in keys])
+    absolute = np.abs(truth - estimates)
+    average = float(absolute.mean())
+    total = truth.sum()
+    expected = float((truth * absolute).sum() / total) if total > 0 else 0.0
+    return average, expected
+
+
+def _estimates_for(
+    estimator: FrequencyEstimator,
+    keys: Iterable[Hashable],
+    element_lookup: Optional[Dict[Hashable, Element]] = None,
+) -> Dict[Hashable, float]:
+    """Query an estimator for every key, using element features when known."""
+    estimates: Dict[Hashable, float] = {}
+    for key in keys:
+        if element_lookup is not None and key in element_lookup:
+            element = element_lookup[key]
+        else:
+            element = Element(key=key)
+        estimates[key] = estimator.estimate(element)
+    return estimates
+
+
+def average_absolute_error(
+    estimator: FrequencyEstimator,
+    true_frequencies: FrequencyVector,
+    element_lookup: Optional[Dict[Hashable, Element]] = None,
+) -> float:
+    """Average per-element absolute error of an estimator against ground truth."""
+    estimates = _estimates_for(estimator, true_frequencies.keys(), element_lookup)
+    average, _ = errors_over_elements(dict(true_frequencies.items()), estimates)
+    return average
+
+
+def expected_magnitude_error(
+    estimator: FrequencyEstimator,
+    true_frequencies: FrequencyVector,
+    element_lookup: Optional[Dict[Hashable, Element]] = None,
+) -> float:
+    """Expected magnitude of the absolute error (frequency-weighted)."""
+    estimates = _estimates_for(estimator, true_frequencies.keys(), element_lookup)
+    _, expected = errors_over_elements(dict(true_frequencies.items()), estimates)
+    return expected

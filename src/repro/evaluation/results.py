@@ -1,0 +1,100 @@
+"""Result containers for the experiment runners.
+
+Every runner returns an :class:`ExperimentResult`: a named collection of
+series, each a list of ``(x, mean, std)`` points — the exact quantities the
+paper's figures plot (each experiment is repeated and the mean ± standard
+deviation is reported).  ``render()`` prints them as aligned text tables so
+the benchmark harness can show the same rows the figures encode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+__all__ = ["SeriesPoint", "ExperimentResult"]
+
+
+@dataclass(frozen=True)
+class SeriesPoint:
+    """One point of a plotted series: x value, mean and standard deviation."""
+
+    x: float
+    mean: float
+    std: float = 0.0
+
+
+@dataclass
+class ExperimentResult:
+    """A named experiment with one or more series of points.
+
+    Attributes
+    ----------
+    name:
+        Human-readable experiment name (e.g. ``"Figure 2: impact of lambda"``).
+    x_label:
+        Name of the swept parameter (x axis of the paper's figure).
+    metrics:
+        Mapping ``metric name -> {series name -> [SeriesPoint, ...]}``.
+        A metric corresponds to one panel of the figure; a series to one line.
+    metadata:
+        Free-form extra information (problem sizes, parameters used, ...).
+    """
+
+    name: str
+    x_label: str
+    metrics: Dict[str, Dict[str, List[SeriesPoint]]] = field(default_factory=dict)
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def add_point(
+        self, metric: str, series: str, x: float, values: Sequence[float]
+    ) -> None:
+        """Record the repetitions of one (metric, series, x) cell."""
+        values = np.asarray(list(values), dtype=float)
+        if values.size == 0:
+            raise ValueError("cannot add a point with no values")
+        point = SeriesPoint(x=float(x), mean=float(values.mean()), std=float(values.std()))
+        self.metrics.setdefault(metric, {}).setdefault(series, []).append(point)
+
+    def series(self, metric: str, series: str) -> List[SeriesPoint]:
+        """The points of one series, in insertion (x) order."""
+        return list(self.metrics[metric][series])
+
+    def series_means(self, metric: str, series: str) -> List[float]:
+        return [point.mean for point in self.series(metric, series)]
+
+    def render(self, float_format: str = "{:.4g}") -> str:
+        """Render all metrics as aligned text tables (one per figure panel)."""
+        lines: List[str] = [f"=== {self.name} ==="]
+        for metric, series_map in self.metrics.items():
+            lines.append(f"-- {metric} --")
+            series_names = list(series_map)
+            xs = sorted({point.x for points in series_map.values() for point in points})
+            header = [self.x_label] + [
+                column
+                for name in series_names
+                for column in (f"{name} (mean)", f"{name} (std)")
+            ]
+            rows = [header]
+            for x in xs:
+                row = [float_format.format(x)]
+                for name in series_names:
+                    match = [p for p in series_map[name] if p.x == x]
+                    if match:
+                        row.extend(
+                            [float_format.format(match[0].mean), float_format.format(match[0].std)]
+                        )
+                    else:
+                        row.extend(["-", "-"])
+                rows.append(row)
+            widths = [max(len(row[col]) for row in rows) for col in range(len(header))]
+            for row in rows:
+                lines.append(
+                    "  ".join(cell.rjust(width) for cell, width in zip(row, widths))
+                )
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()

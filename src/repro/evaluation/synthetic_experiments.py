@@ -1,0 +1,467 @@
+"""Synthetic-data experiment runners (paper Section 6, Figures 1-6).
+
+Every runner is parameterized by the same knobs the paper sweeps (number of
+groups ``G``, fraction seen ``g0``, λ, solver, classifier) plus a repetition
+count, and returns an :class:`~repro.evaluation.results.ExperimentResult`
+whose series are the lines of the corresponding figure.  Parameters default
+to values small enough for a laptop; the benchmark harness passes the scales
+it wants.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.pipeline import OptHashConfig, TrainingResult, train_opt_hash
+from repro.evaluation.results import ExperimentResult
+from repro.optimize.objective import (
+    BucketAssignment,
+    estimation_error,
+    evaluate_assignment,
+    similarity_error,
+)
+from repro.streams.stream import Stream, StreamPrefix
+from repro.streams.synthetic import SyntheticConfig, SyntheticGenerator
+
+__all__ = [
+    "VisualizationResult",
+    "run_visualization_experiment",
+    "run_lambda_sweep",
+    "run_bcd_vs_dp",
+    "run_bcd_stability",
+    "run_fraction_seen",
+    "run_classifier_comparison",
+]
+
+
+# ----------------------------------------------------------------------
+# shared helpers
+# ----------------------------------------------------------------------
+def _make_generator(
+    num_groups: int, fraction_seen: float, seed: Optional[int]
+) -> SyntheticGenerator:
+    config = SyntheticConfig(
+        num_groups=num_groups, fraction_seen=fraction_seen, seed=seed
+    )
+    return SyntheticGenerator(config)
+
+
+def _train(
+    prefix: StreamPrefix,
+    num_buckets: int,
+    lam: float,
+    solver: str,
+    seed: Optional[int],
+    classifier: Optional[str] = "cart",
+    solver_options: Optional[Dict] = None,
+    max_stored_elements: Optional[int] = None,
+) -> Tuple[TrainingResult, float]:
+    """Train opt-hash on a prefix and return the result plus elapsed seconds."""
+    config = OptHashConfig(
+        num_buckets=num_buckets,
+        lam=lam,
+        solver=solver,
+        solver_options=solver_options or {},
+        classifier=classifier,
+        max_stored_elements=max_stored_elements,
+        seed=seed,
+    )
+    start = time.monotonic()
+    result = train_opt_hash(prefix, config)
+    elapsed = time.monotonic() - start
+    return result, elapsed
+
+
+def _unseen_assignment_errors(
+    training: TrainingResult,
+    prefix: StreamPrefix,
+    stream: Stream,
+) -> Tuple[float, float]:
+    """Per-element estimation and per-pair similarity errors on unseen elements.
+
+    Unseen elements are those that appear in ``stream`` (the arrivals after
+    the prefix) but not in the prefix.  Their buckets come from the trained
+    classifier; their frequencies are measured over ``stream``.
+    """
+    prefix_keys = set(prefix.distinct_keys())
+    stream_frequencies = stream.frequencies()
+    unseen_elements = [
+        element
+        for element in stream.distinct_elements()
+        if element.key not in prefix_keys
+    ]
+    if not unseen_elements:
+        return 0.0, 0.0
+    frequencies = np.array(
+        [float(stream_frequencies[element.key]) for element in unseen_elements]
+    )
+    features = np.array([element.feature_array() for element in unseen_elements])
+    labels = training.scheme.predict_buckets(unseen_elements)
+    assignment = BucketAssignment(
+        labels=labels, num_buckets=training.scheme.num_buckets
+    )
+    estimation = estimation_error(frequencies, assignment, per_element=True)
+    similarity = similarity_error(features, assignment, per_pair=True)
+    return estimation, similarity
+
+
+# ----------------------------------------------------------------------
+# Figure 1: visualization of the learned hash code
+# ----------------------------------------------------------------------
+@dataclass
+class VisualizationResult:
+    """Raw arrays behind Figure 1 (element groups, frequencies, hash codes)."""
+
+    seen_features: np.ndarray
+    seen_groups: np.ndarray
+    seen_frequencies: np.ndarray
+    seen_buckets: np.ndarray
+    unseen_features: np.ndarray
+    unseen_groups: np.ndarray
+    unseen_buckets: np.ndarray
+    num_buckets: int
+
+    def bucket_summary(self) -> Dict[int, int]:
+        """Number of seen elements mapped to each bucket."""
+        unique, counts = np.unique(self.seen_buckets, return_counts=True)
+        return {int(bucket): int(count) for bucket, count in zip(unique, counts)}
+
+
+def run_visualization_experiment(
+    num_groups: int = 10,
+    fraction_seen: float = 0.33,
+    prefix_length: int = 1000,
+    num_buckets: int = 10,
+    lam: float = 0.5,
+    classifier: str = "cart",
+    seed: Optional[int] = 0,
+) -> VisualizationResult:
+    """Reproduce Figure 1: learn a hash code and predict one for unseen elements."""
+    generator = _make_generator(num_groups, fraction_seen, seed)
+    prefix = generator.generate_prefix(prefix_length)
+    training, _ = _train(
+        prefix, num_buckets, lam, solver="bcd", seed=seed, classifier=classifier
+    )
+
+    seen_keys = training.stored_keys
+    seen_features = training.stored_features
+    seen_groups = np.array([generator.group_of(key) for key in seen_keys])
+    seen_buckets = training.solver_result.assignment.labels
+
+    seen_key_set = set(seen_keys)
+    unseen = [
+        element for element in generator.universe if element.key not in seen_key_set
+    ]
+    unseen_features = np.array([element.feature_array() for element in unseen])
+    unseen_groups = np.array([generator.group_of(element.key) for element in unseen])
+    unseen_buckets = training.scheme.predict_buckets(unseen)
+
+    return VisualizationResult(
+        seen_features=seen_features,
+        seen_groups=seen_groups,
+        seen_frequencies=training.stored_frequencies,
+        seen_buckets=seen_buckets,
+        unseen_features=unseen_features,
+        unseen_groups=unseen_groups,
+        unseen_buckets=unseen_buckets,
+        num_buckets=num_buckets,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 2 (Experiment 1): impact of lambda, milp vs bcd vs dp
+# ----------------------------------------------------------------------
+def run_lambda_sweep(
+    lambdas: Sequence[float] = (0.0, 0.25, 0.5, 0.75, 1.0),
+    solvers: Sequence[str] = ("bcd", "dp", "milp"),
+    num_groups: int = 6,
+    fraction_seen: float = 0.5,
+    num_buckets: int = 10,
+    prefix_length: Optional[int] = None,
+    max_stored_elements: Optional[int] = None,
+    num_repetitions: int = 3,
+    milp_options: Optional[Dict] = None,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Reproduce Figure 2: prefix errors and runtime as a function of λ.
+
+    The errors are reported in absolute (not per-element) scale, exactly as
+    the paper does for this experiment so the sub-optimality of bcd relative
+    to milp is visible.
+    """
+    result = ExperimentResult(
+        name="Figure 2 / Experiment 1: impact of lambda",
+        x_label="lambda",
+        metadata={
+            "num_groups": num_groups,
+            "num_buckets": num_buckets,
+            "solvers": list(solvers),
+            "num_repetitions": num_repetitions,
+        },
+    )
+    milp_options = milp_options or {"time_limit": 20.0, "node_limit": 200}
+    for lam in lambdas:
+        per_solver: Dict[str, Dict[str, List[float]]] = {
+            solver: {"estimation": [], "similarity": [], "overall": [], "time": []}
+            for solver in solvers
+        }
+        for repetition in range(num_repetitions):
+            rep_seed = seed + repetition
+            generator = _make_generator(num_groups, fraction_seen, rep_seed)
+            prefix = generator.generate_prefix(prefix_length)
+            for solver in solvers:
+                options = dict(milp_options) if solver == "milp" else {}
+                training, elapsed = _train(
+                    prefix,
+                    num_buckets,
+                    lam,
+                    solver=solver,
+                    seed=rep_seed,
+                    classifier=None,
+                    solver_options=options,
+                    max_stored_elements=max_stored_elements,
+                )
+                objective = evaluate_assignment(
+                    training.stored_frequencies,
+                    training.stored_features,
+                    training.solver_result.assignment,
+                    lam,
+                )
+                per_solver[solver]["estimation"].append(objective.estimation)
+                per_solver[solver]["similarity"].append(objective.similarity)
+                per_solver[solver]["overall"].append(objective.overall)
+                per_solver[solver]["time"].append(elapsed)
+        for solver in solvers:
+            result.add_point("prefix_estimation_error", solver, lam, per_solver[solver]["estimation"])
+            result.add_point("prefix_similarity_error", solver, lam, per_solver[solver]["similarity"])
+            result.add_point("prefix_overall_error", solver, lam, per_solver[solver]["overall"])
+            result.add_point("elapsed_time", solver, lam, per_solver[solver]["time"])
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 3 (Experiment 2): bcd vs dp in the lambda = 1 case
+# ----------------------------------------------------------------------
+def run_bcd_vs_dp(
+    group_range: Sequence[int] = (4, 6, 8, 10),
+    fraction_seen: float = 0.5,
+    num_buckets: int = 10,
+    num_repetitions: int = 3,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Reproduce Figure 3: per-element errors of bcd vs (optimal) dp at λ=1."""
+    result = ExperimentResult(
+        name="Figure 3 / Experiment 2: bcd vs dp at lambda = 1",
+        x_label="num_groups",
+        metadata={"num_buckets": num_buckets, "num_repetitions": num_repetitions},
+    )
+    for num_groups in group_range:
+        per_solver = {
+            solver: {"estimation": [], "similarity": [], "overall": [], "time": []}
+            for solver in ("bcd", "dp")
+        }
+        for repetition in range(num_repetitions):
+            rep_seed = seed + repetition
+            generator = _make_generator(num_groups, fraction_seen, rep_seed)
+            prefix = generator.generate_prefix()
+            for solver in ("bcd", "dp"):
+                training, elapsed = _train(
+                    prefix, num_buckets, 1.0, solver=solver, seed=rep_seed, classifier=None
+                )
+                assignment = training.solver_result.assignment
+                frequencies = training.stored_frequencies
+                features = training.stored_features
+                estimation = estimation_error(frequencies, assignment, per_element=True)
+                similarity = similarity_error(features, assignment, per_pair=True)
+                per_solver[solver]["estimation"].append(estimation)
+                per_solver[solver]["similarity"].append(similarity)
+                per_solver[solver]["overall"].append(estimation)  # lambda = 1
+                per_solver[solver]["time"].append(elapsed)
+        for solver in ("bcd", "dp"):
+            result.add_point("prefix_estimation_error", solver, num_groups, per_solver[solver]["estimation"])
+            result.add_point("prefix_similarity_error", solver, num_groups, per_solver[solver]["similarity"])
+            result.add_point("prefix_overall_error", solver, num_groups, per_solver[solver]["overall"])
+            result.add_point("elapsed_time", solver, num_groups, per_solver[solver]["time"])
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 4 (Experiment 3): bcd stability across random restarts
+# ----------------------------------------------------------------------
+def run_bcd_stability(
+    group_range: Sequence[int] = (4, 6, 8, 10),
+    lam: float = 0.5,
+    fraction_seen: float = 0.5,
+    num_buckets: int = 10,
+    num_starts: int = 5,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Reproduce Figure 4: variability of bcd across random initializations.
+
+    One problem instance per group count; ``num_starts`` independent bcd runs
+    on it.  The standard deviations of the reported errors quantify the
+    stability the paper observes.
+    """
+    result = ExperimentResult(
+        name="Figure 4 / Experiment 3: bcd from multiple starting points",
+        x_label="num_groups",
+        metadata={"lam": lam, "num_starts": num_starts, "num_buckets": num_buckets},
+    )
+    for num_groups in group_range:
+        generator = _make_generator(num_groups, fraction_seen, seed + num_groups)
+        prefix = generator.generate_prefix()
+        estimations, similarities, overalls, times = [], [], [], []
+        for start in range(num_starts):
+            training, elapsed = _train(
+                prefix,
+                num_buckets,
+                lam,
+                solver="bcd",
+                seed=seed + 1000 * start + num_groups,
+                classifier=None,
+            )
+            assignment = training.solver_result.assignment
+            frequencies = training.stored_frequencies
+            features = training.stored_features
+            estimation = estimation_error(frequencies, assignment, per_element=True)
+            similarity = similarity_error(features, assignment, per_pair=True)
+            estimations.append(estimation)
+            similarities.append(similarity)
+            overalls.append(lam * estimation + (1 - lam) * similarity)
+            times.append(elapsed)
+        result.add_point("prefix_estimation_error", "bcd", num_groups, estimations)
+        result.add_point("prefix_similarity_error", "bcd", num_groups, similarities)
+        result.add_point("prefix_overall_error", "bcd", num_groups, overalls)
+        result.add_point("elapsed_time", "bcd", num_groups, times)
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 5 (Experiment 4): impact of the fraction of elements seen
+# ----------------------------------------------------------------------
+def run_fraction_seen(
+    fractions: Sequence[float] = (0.1, 0.3, 0.5, 0.7, 0.9),
+    num_groups: int = 10,
+    num_buckets: int = 10,
+    prefix_length: Optional[int] = None,
+    stream_multiplier: int = 10,
+    classifier: str = "cart",
+    num_repetitions: int = 3,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Reproduce Figure 5: errors on seen and unseen elements vs ``g0``.
+
+    ``bcd`` runs with λ=0.5 and ``dp`` with λ=1, as in the paper.
+    """
+    result = ExperimentResult(
+        name="Figure 5 / Experiment 4: impact of fraction seen in the prefix",
+        x_label="fraction_seen",
+        metadata={"num_groups": num_groups, "num_buckets": num_buckets},
+    )
+    solver_lams = {"bcd": 0.5, "dp": 1.0}
+    for fraction in fractions:
+        per_solver = {
+            solver: {
+                "prefix_estimation": [],
+                "prefix_similarity": [],
+                "unseen_estimation": [],
+                "unseen_similarity": [],
+            }
+            for solver in solver_lams
+        }
+        for repetition in range(num_repetitions):
+            rep_seed = seed + repetition
+            generator = _make_generator(num_groups, fraction, rep_seed)
+            prefix, stream = generator.generate_prefix_and_stream(
+                prefix_length=prefix_length, stream_multiplier=stream_multiplier
+            )
+            for solver, lam in solver_lams.items():
+                training, _ = _train(
+                    prefix, num_buckets, lam, solver=solver, seed=rep_seed, classifier=classifier
+                )
+                assignment = training.solver_result.assignment
+                frequencies = training.stored_frequencies
+                features = training.stored_features
+                per_solver[solver]["prefix_estimation"].append(
+                    estimation_error(frequencies, assignment, per_element=True)
+                )
+                per_solver[solver]["prefix_similarity"].append(
+                    similarity_error(features, assignment, per_pair=True)
+                )
+                unseen_estimation, unseen_similarity = _unseen_assignment_errors(
+                    training, prefix, stream
+                )
+                per_solver[solver]["unseen_estimation"].append(unseen_estimation)
+                per_solver[solver]["unseen_similarity"].append(unseen_similarity)
+        for solver in solver_lams:
+            result.add_point("prefix_estimation_error", solver, fraction, per_solver[solver]["prefix_estimation"])
+            result.add_point("prefix_similarity_error", solver, fraction, per_solver[solver]["prefix_similarity"])
+            result.add_point("unseen_estimation_error", solver, fraction, per_solver[solver]["unseen_estimation"])
+            result.add_point("unseen_similarity_error", solver, fraction, per_solver[solver]["unseen_similarity"])
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 6 (Experiment 5): comparison between classification methods
+# ----------------------------------------------------------------------
+def run_classifier_comparison(
+    group_range: Sequence[int] = (4, 6, 8),
+    classifiers: Sequence[str] = ("logreg", "cart", "rf"),
+    fraction_seen: float = 0.33,
+    lam: float = 0.5,
+    num_buckets: int = 10,
+    prefix_length: Optional[int] = None,
+    stream_multiplier: int = 10,
+    num_repetitions: int = 3,
+    classifier_options: Optional[Dict[str, Dict]] = None,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Reproduce Figure 6: unseen-element errors for logreg / cart / rf."""
+    result = ExperimentResult(
+        name="Figure 6 / Experiment 5: comparison between classification methods",
+        x_label="num_groups",
+        metadata={"lam": lam, "fraction_seen": fraction_seen},
+    )
+    classifier_options = classifier_options or {}
+    for num_groups in group_range:
+        per_classifier = {
+            name: {"estimation": [], "similarity": [], "overall": [], "time": []}
+            for name in classifiers
+        }
+        for repetition in range(num_repetitions):
+            rep_seed = seed + repetition
+            generator = _make_generator(num_groups, fraction_seen, rep_seed)
+            prefix, stream = generator.generate_prefix_and_stream(
+                prefix_length=prefix_length, stream_multiplier=stream_multiplier
+            )
+            for name in classifiers:
+                config = OptHashConfig(
+                    num_buckets=num_buckets,
+                    lam=lam,
+                    solver="bcd",
+                    classifier=name,
+                    classifier_options=classifier_options.get(name, {}),
+                    seed=rep_seed,
+                )
+                start = time.monotonic()
+                training = train_opt_hash(prefix, config)
+                elapsed = time.monotonic() - start
+                unseen_estimation, unseen_similarity = _unseen_assignment_errors(
+                    training, prefix, stream
+                )
+                per_classifier[name]["estimation"].append(unseen_estimation)
+                per_classifier[name]["similarity"].append(unseen_similarity)
+                per_classifier[name]["overall"].append(
+                    lam * unseen_estimation + (1 - lam) * unseen_similarity
+                )
+                per_classifier[name]["time"].append(elapsed)
+        for name in classifiers:
+            result.add_point("unseen_estimation_error", name, num_groups, per_classifier[name]["estimation"])
+            result.add_point("unseen_similarity_error", name, num_groups, per_classifier[name]["similarity"])
+            result.add_point("unseen_overall_error", name, num_groups, per_classifier[name]["overall"])
+            result.add_point("elapsed_time", name, num_groups, per_classifier[name]["time"])
+    return result

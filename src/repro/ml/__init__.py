@@ -1,0 +1,70 @@
+"""Machine-learning substrate.
+
+The paper uses scikit-learn's multinomial logistic regression, CART and
+random forest as the classifier ``h_U`` that maps unseen elements to buckets
+(and, for the LCMS baseline, as heavy-hitter predictors).  scikit-learn is
+not a dependency of this library, so the same model families are implemented
+here from scratch on top of numpy:
+
+* :class:`~repro.ml.logistic.LogisticRegressionClassifier` — multinomial
+  (softmax) logistic regression with ridge regularization.
+* :class:`~repro.ml.tree.DecisionTreeClassifier` — CART with Gini impurity,
+  ``max_depth`` and ``min_impurity_decrease`` controls.
+* :class:`~repro.ml.forest.RandomForestClassifier` — bagged CART ensemble
+  with per-split feature subsampling.
+
+Plus the supporting machinery the experiments need: k-fold cross-validation
+and grid search (:mod:`~repro.ml.model_selection`), label encoding and
+feature scaling (:mod:`~repro.ml.preprocessing`), classification metrics
+(:mod:`~repro.ml.metrics`), and the bag-of-words query featurizer of
+Section 7.3 (:mod:`~repro.ml.text`).
+"""
+
+from repro.ml.base import Classifier
+from repro.ml.logistic import LogisticRegressionClassifier
+from repro.ml.tree import DecisionTreeClassifier
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.model_selection import (
+    KFold,
+    cross_val_score,
+    grid_search,
+    train_test_split,
+)
+from repro.ml.preprocessing import LabelEncoder, StandardScaler
+from repro.ml.metrics import accuracy_score, confusion_matrix, macro_f1_score
+from repro.ml.text import QueryFeaturizer, basic_text_counts
+
+__all__ = [
+    "Classifier",
+    "LogisticRegressionClassifier",
+    "DecisionTreeClassifier",
+    "RandomForestClassifier",
+    "KFold",
+    "cross_val_score",
+    "grid_search",
+    "train_test_split",
+    "LabelEncoder",
+    "StandardScaler",
+    "accuracy_score",
+    "confusion_matrix",
+    "macro_f1_score",
+    "QueryFeaturizer",
+    "basic_text_counts",
+    "make_classifier",
+]
+
+
+def make_classifier(name: str, **kwargs) -> Classifier:
+    """Instantiate a classifier by its short name used in the paper.
+
+    ``"logreg"`` → logistic regression, ``"cart"`` → decision tree,
+    ``"rf"`` → random forest.
+    """
+    registry = {
+        "logreg": LogisticRegressionClassifier,
+        "cart": DecisionTreeClassifier,
+        "rf": RandomForestClassifier,
+    }
+    if name not in registry:
+        raise ValueError(f"unknown classifier '{name}'; expected one of {sorted(registry)}")
+    return registry[name](**kwargs)

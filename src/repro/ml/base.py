@@ -1,0 +1,78 @@
+"""Common classifier interface.
+
+All classifiers in :mod:`repro.ml` follow the familiar fit/predict protocol
+(deliberately close to scikit-learn's, since the paper's experiments are
+phrased in those terms), operating on dense numpy arrays.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["Classifier", "check_fitted", "as_2d_array"]
+
+
+def as_2d_array(X) -> np.ndarray:
+    """Coerce input features to a 2-D float array."""
+    array = np.asarray(X, dtype=float)
+    if array.ndim == 1:
+        array = array.reshape(1, -1)
+    if array.ndim != 2:
+        raise ValueError(f"expected a 2-D feature matrix, got shape {array.shape}")
+    return array
+
+
+def check_fitted(estimator, attribute: str) -> None:
+    """Raise a clear error if ``estimator`` has not been fitted yet."""
+    if getattr(estimator, attribute, None) is None:
+        raise RuntimeError(
+            f"{type(estimator).__name__} must be fitted before calling predict"
+        )
+
+
+class Classifier(ABC):
+    """Abstract multi-class classifier with fit/predict/predict_proba."""
+
+    @abstractmethod
+    def fit(self, X, y) -> "Classifier":
+        """Fit the model on features ``X`` (n, p) and integer labels ``y``."""
+
+    @abstractmethod
+    def predict(self, X) -> np.ndarray:
+        """Predict labels for ``X``; returns an ``(n,)`` array."""
+
+    def predict_proba(self, X) -> np.ndarray:
+        """Predict class-membership probabilities; shape ``(n, n_classes)``.
+
+        The default implementation one-hot encodes the hard predictions;
+        probabilistic models override it.
+        """
+        predictions = self.predict(X)
+        classes = self.classes_
+        proba = np.zeros((len(predictions), len(classes)))
+        class_to_index = {c: i for i, c in enumerate(classes)}
+        for row, label in enumerate(predictions):
+            proba[row, class_to_index[label]] = 1.0
+        return proba
+
+    @property
+    def classes_(self) -> np.ndarray:
+        """The sorted array of class labels seen during fit."""
+        raise NotImplementedError
+
+    def score(self, X, y: Sequence[int]) -> float:
+        """Mean accuracy on the given test data."""
+        predictions = self.predict(X)
+        y = np.asarray(y)
+        return float(np.mean(predictions == y))
+
+    def get_params(self) -> dict:
+        """Return constructor parameters (public attributes set in __init__)."""
+        return {
+            name: value
+            for name, value in vars(self).items()
+            if not name.startswith("_") and not name.endswith("_")
+        }

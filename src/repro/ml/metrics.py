@@ -1,0 +1,46 @@
+"""Classification metrics used for tuning and reporting."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["accuracy_score", "confusion_matrix", "macro_f1_score"]
+
+
+def accuracy_score(y_true, y_pred) -> float:
+    """Fraction of exactly matching predictions."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape:
+        raise ValueError("y_true and y_pred must have the same shape")
+    if len(y_true) == 0:
+        raise ValueError("cannot compute accuracy of empty arrays")
+    return float(np.mean(y_true == y_pred))
+
+
+def confusion_matrix(y_true, y_pred, labels=None) -> np.ndarray:
+    """Confusion matrix ``C`` with ``C[i, j]`` = true class i predicted as j."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if labels is None:
+        labels = np.unique(np.concatenate([y_true, y_pred]))
+    else:
+        labels = np.asarray(labels)
+    index = {label: i for i, label in enumerate(labels)}
+    matrix = np.zeros((len(labels), len(labels)), dtype=int)
+    for true, pred in zip(y_true, y_pred):
+        matrix[index[true], index[pred]] += 1
+    return matrix
+
+
+def macro_f1_score(y_true, y_pred) -> float:
+    """Unweighted mean of per-class F1 scores."""
+    matrix = confusion_matrix(y_true, y_pred)
+    f1_scores = []
+    for class_index in range(matrix.shape[0]):
+        true_positive = matrix[class_index, class_index]
+        false_positive = matrix[:, class_index].sum() - true_positive
+        false_negative = matrix[class_index, :].sum() - true_positive
+        denominator = 2 * true_positive + false_positive + false_negative
+        f1_scores.append(0.0 if denominator == 0 else 2 * true_positive / denominator)
+    return float(np.mean(f1_scores))

@@ -1,0 +1,70 @@
+"""Preprocessing utilities: label encoding and feature standardization."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.ml.base import as_2d_array
+
+__all__ = ["LabelEncoder", "StandardScaler"]
+
+
+class LabelEncoder:
+    """Map arbitrary (sortable) labels to contiguous integers ``0..K-1``."""
+
+    def __init__(self) -> None:
+        self.classes_: Optional[np.ndarray] = None
+
+    def fit(self, y) -> "LabelEncoder":
+        self.classes_ = np.unique(np.asarray(y))
+        return self
+
+    def transform(self, y) -> np.ndarray:
+        if self.classes_ is None:
+            raise RuntimeError("LabelEncoder must be fitted before transform")
+        y = np.asarray(y)
+        indices = np.searchsorted(self.classes_, y)
+        valid = (indices < len(self.classes_)) & (self.classes_[np.minimum(indices, len(self.classes_) - 1)] == y)
+        if not np.all(valid):
+            unknown = np.unique(y[~valid])
+            raise ValueError(f"unseen labels in transform: {unknown.tolist()}")
+        return indices
+
+    def fit_transform(self, y) -> np.ndarray:
+        return self.fit(y).transform(y)
+
+    def inverse_transform(self, indices) -> np.ndarray:
+        if self.classes_ is None:
+            raise RuntimeError("LabelEncoder must be fitted before inverse_transform")
+        return self.classes_[np.asarray(indices, dtype=int)]
+
+
+class StandardScaler:
+    """Standardize features to zero mean and unit variance.
+
+    Constant features (zero variance) are left centred but unscaled so they
+    do not blow up to NaN.
+    """
+
+    def __init__(self) -> None:
+        self.mean_: Optional[np.ndarray] = None
+        self.scale_: Optional[np.ndarray] = None
+
+    def fit(self, X) -> "StandardScaler":
+        X = as_2d_array(X)
+        self.mean_ = X.mean(axis=0)
+        std = X.std(axis=0)
+        std[std == 0.0] = 1.0
+        self.scale_ = std
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        if self.mean_ is None or self.scale_ is None:
+            raise RuntimeError("StandardScaler must be fitted before transform")
+        X = as_2d_array(X)
+        return (X - self.mean_) / self.scale_
+
+    def fit_transform(self, X) -> np.ndarray:
+        return self.fit(X).transform(X)

@@ -1,0 +1,70 @@
+"""Learning the optimal hashing scheme (paper Section 4).
+
+Given the empirical frequencies ``f0`` and features ``x`` of the ``n``
+distinct prefix elements and a bucket budget ``b``, the optimizers in this
+subpackage compute an assignment of elements to buckets minimizing the
+Problem (1) objective — a convex combination (weight ``λ``) of the
+*estimation error* (per-bucket absolute deviation from the bucket mean) and
+the *similarity error* (per-bucket pairwise squared feature distances).
+
+Three solvers are provided, mirroring the paper:
+
+* :func:`~repro.optimize.bcd.block_coordinate_descent` — Algorithm 1, the
+  practical workhorse.
+* :class:`~repro.optimize.milp.MilpModel` /
+  :func:`~repro.optimize.milp.solve_milp` — the exact mixed-integer linear
+  reformulation of Theorem 1, solved by a pure-Python branch-and-bound on
+  top of scipy's LP solver (substituting for Gurobi).
+* :func:`~repro.optimize.dp.dynamic_programming` — the λ=1 special case
+  solved exactly as a 1-D clustering problem, in O(n²b) or in O(nb) with
+  SMAWK matrix searching.
+
+All solvers return a :class:`~repro.optimize.objective.BucketAssignment`.
+"""
+
+from repro.optimize.objective import (
+    BucketAssignment,
+    ObjectiveValue,
+    estimation_error,
+    similarity_error,
+    overall_error,
+    evaluate_assignment,
+    pairwise_squared_distances,
+)
+from repro.optimize.bucket_stats import BucketStats
+from repro.optimize.initialization import (
+    initialize_assignment,
+    random_assignment,
+    sorted_assignment,
+    heavy_hitter_assignment,
+)
+from repro.optimize.bcd import BcdResult, block_coordinate_descent
+from repro.optimize.dp import dynamic_programming, cluster_cost_matrix
+from repro.optimize.smawk import smawk_row_minima
+from repro.optimize.milp import MilpModel, MilpResult, solve_milp, solve_exact_enumeration
+from repro.optimize.solvers import learn_hashing_scheme
+
+__all__ = [
+    "BucketAssignment",
+    "ObjectiveValue",
+    "estimation_error",
+    "similarity_error",
+    "overall_error",
+    "evaluate_assignment",
+    "pairwise_squared_distances",
+    "BucketStats",
+    "initialize_assignment",
+    "random_assignment",
+    "sorted_assignment",
+    "heavy_hitter_assignment",
+    "BcdResult",
+    "block_coordinate_descent",
+    "dynamic_programming",
+    "cluster_cost_matrix",
+    "smawk_row_minima",
+    "MilpModel",
+    "MilpResult",
+    "solve_milp",
+    "solve_exact_enumeration",
+    "learn_hashing_scheme",
+]

@@ -1,0 +1,201 @@
+"""Incremental per-bucket statistics for the block coordinate descent.
+
+Algorithm 1 repeatedly asks "what would bucket ``j``'s error be with / without
+element ``i``?".  Answering from scratch would make every sweep quadratic in
+the bucket sizes, so — exactly as the paper describes in Section 4.3 — we
+maintain, per bucket:
+
+* the member set ``I_j``, its cardinality ``c_j`` and mean frequency ``μ_j``;
+* the frequency sum (so the mean updates in O(1));
+* the feature sum ``Σ x_i`` and squared-norm sum ``Σ ‖x_i‖²`` (so the
+  similarity error updates in O(p));
+* the current estimation error ``e_j`` and similarity error ``s_j``.
+
+The estimation error of a hypothetical membership change still needs one pass
+over the bucket's members (the mean shifts), which matches the per-iteration
+complexity the paper reports.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+import numpy as np
+
+from repro.optimize.objective import BucketAssignment
+
+__all__ = ["BucketStats"]
+
+
+class BucketStats:
+    """Mutable per-bucket statistics backing Algorithm 1.
+
+    Parameters
+    ----------
+    frequencies:
+        Observed prefix frequencies ``f0`` of the ``n`` elements.
+    features:
+        ``(n, p)`` feature matrix (``p`` may be 0, in which case all
+        similarity terms are 0).
+    assignment:
+        Initial assignment; the stats are built from it and then kept in sync
+        through :meth:`remove` / :meth:`add`.
+    """
+
+    def __init__(
+        self,
+        frequencies: np.ndarray,
+        features: np.ndarray,
+        assignment: BucketAssignment,
+    ) -> None:
+        self.frequencies = np.asarray(frequencies, dtype=float)
+        features = np.asarray(features, dtype=float)
+        if features.ndim == 1:
+            features = features.reshape(-1, 1)
+        self.features = features
+        self.num_buckets = assignment.num_buckets
+        self.num_elements = assignment.num_elements
+        self._feature_dim = features.shape[1]
+        self._squared_norms = (
+            (features**2).sum(axis=1) if self._feature_dim else np.zeros(self.num_elements)
+        )
+
+        self.members: List[Set[int]] = [set() for _ in range(self.num_buckets)]
+        self.counts = np.zeros(self.num_buckets, dtype=int)
+        self.freq_sums = np.zeros(self.num_buckets)
+        self.feature_sums = np.zeros((self.num_buckets, self._feature_dim))
+        self.sqnorm_sums = np.zeros(self.num_buckets)
+        self.estimation_errors = np.zeros(self.num_buckets)
+        self.similarity_errors = np.zeros(self.num_buckets)
+        self.labels = assignment.labels.copy()
+
+        for element, bucket in enumerate(self.labels):
+            self._insert_raw(int(element), int(bucket))
+        for bucket in range(self.num_buckets):
+            self.estimation_errors[bucket] = self._recompute_estimation(bucket)
+            self.similarity_errors[bucket] = self._similarity_from_sums(bucket)
+
+    # ------------------------------------------------------------------
+    # raw bookkeeping
+    # ------------------------------------------------------------------
+    def _insert_raw(self, element: int, bucket: int) -> None:
+        self.members[bucket].add(element)
+        self.counts[bucket] += 1
+        self.freq_sums[bucket] += self.frequencies[element]
+        if self._feature_dim:
+            self.feature_sums[bucket] += self.features[element]
+            self.sqnorm_sums[bucket] += self._squared_norms[element]
+
+    def _remove_raw(self, element: int, bucket: int) -> None:
+        self.members[bucket].remove(element)
+        self.counts[bucket] -= 1
+        self.freq_sums[bucket] -= self.frequencies[element]
+        if self._feature_dim:
+            self.feature_sums[bucket] -= self.features[element]
+            self.sqnorm_sums[bucket] -= self._squared_norms[element]
+
+    def _similarity_from_sums(self, bucket: int) -> float:
+        """Ordered-pair similarity error of a bucket from its running sums."""
+        if not self._feature_dim:
+            return 0.0
+        count = self.counts[bucket]
+        if count <= 1:
+            return 0.0
+        sum_vector = self.feature_sums[bucket]
+        value = 2.0 * count * self.sqnorm_sums[bucket] - 2.0 * float(sum_vector @ sum_vector)
+        # Guard against tiny negative values from floating-point cancellation.
+        return max(float(value), 0.0)
+
+    def _recompute_estimation(self, bucket: int) -> float:
+        count = self.counts[bucket]
+        if count == 0:
+            return 0.0
+        member_indices = np.fromiter(self.members[bucket], dtype=int, count=count)
+        mean = self.freq_sums[bucket] / count
+        return float(np.abs(self.frequencies[member_indices] - mean).sum())
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def mean(self, bucket: int) -> float:
+        """Current mean frequency of a bucket (0 if empty)."""
+        count = self.counts[bucket]
+        return float(self.freq_sums[bucket] / count) if count else 0.0
+
+    def bucket_error(self, bucket: int, lam: float) -> float:
+        """λ·e_j + (1−λ)·s_j for the current contents of ``bucket``."""
+        return lam * self.estimation_errors[bucket] + (1.0 - lam) * self.similarity_errors[bucket]
+
+    def total_error(self, lam: float) -> float:
+        """The Problem (1) objective of the current assignment."""
+        return float(
+            lam * self.estimation_errors.sum() + (1.0 - lam) * self.similarity_errors.sum()
+        )
+
+    def estimation_error_with(self, element: int, bucket: int) -> float:
+        """Estimation error of ``bucket`` if ``element`` were added to it.
+
+        ``element`` must not currently be a member of ``bucket``.
+        """
+        count = self.counts[bucket]
+        new_mean = (self.freq_sums[bucket] + self.frequencies[element]) / (count + 1)
+        if count == 0:
+            return abs(self.frequencies[element] - new_mean)
+        member_indices = np.fromiter(self.members[bucket], dtype=int, count=count)
+        error = float(np.abs(self.frequencies[member_indices] - new_mean).sum())
+        return error + abs(self.frequencies[element] - new_mean)
+
+    def similarity_error_with(self, element: int, bucket: int) -> float:
+        """Similarity error of ``bucket`` if ``element`` were added to it."""
+        if not self._feature_dim:
+            return 0.0
+        count = self.counts[bucket]
+        new_count = count + 1
+        new_sum = self.feature_sums[bucket] + self.features[element]
+        new_sqnorm = self.sqnorm_sums[bucket] + self._squared_norms[element]
+        if new_count <= 1:
+            return 0.0
+        value = 2.0 * new_count * new_sqnorm - 2.0 * float(new_sum @ new_sum)
+        return max(float(value), 0.0)
+
+    def marginal_cost(self, element: int, bucket: int, lam: float) -> float:
+        """Increase of the objective caused by adding ``element`` to ``bucket``.
+
+        The element must currently be unassigned (removed from its bucket).
+        Choosing the bucket with minimal marginal cost is equivalent to
+        Algorithm 1's ``argmin_j ε_{σi,j} + Σ_{ℓ≠j} ε_{−σi,ℓ}``.
+        """
+        estimation_delta = (
+            self.estimation_error_with(element, bucket) - self.estimation_errors[bucket]
+        )
+        similarity_delta = (
+            self.similarity_error_with(element, bucket) - self.similarity_errors[bucket]
+        )
+        return lam * estimation_delta + (1.0 - lam) * similarity_delta
+
+    # ------------------------------------------------------------------
+    # mutations
+    # ------------------------------------------------------------------
+    def remove(self, element: int) -> int:
+        """Remove ``element`` from its current bucket; return that bucket."""
+        bucket = int(self.labels[element])
+        self._remove_raw(element, bucket)
+        self.estimation_errors[bucket] = self._recompute_estimation(bucket)
+        self.similarity_errors[bucket] = self._similarity_from_sums(bucket)
+        self.labels[element] = -1
+        return bucket
+
+    def add(self, element: int, bucket: int) -> None:
+        """Assign the (currently unassigned) ``element`` to ``bucket``."""
+        if self.labels[element] != -1:
+            raise ValueError("element must be removed before it can be re-added")
+        self._insert_raw(element, bucket)
+        self.estimation_errors[bucket] = self._recompute_estimation(bucket)
+        self.similarity_errors[bucket] = self._similarity_from_sums(bucket)
+        self.labels[element] = bucket
+
+    def to_assignment(self) -> BucketAssignment:
+        """Snapshot the current labels as a :class:`BucketAssignment`."""
+        if np.any(self.labels < 0):
+            raise RuntimeError("cannot snapshot: some elements are unassigned")
+        return BucketAssignment(labels=self.labels.copy(), num_buckets=self.num_buckets)

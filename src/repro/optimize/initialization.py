@@ -1,0 +1,98 @@
+"""Initialization strategies for the block coordinate descent.
+
+Section 4.3 discusses three ways of seeding Algorithm 1, and Section 4.4
+adds a fourth (the λ=1 dynamic program as a warm start):
+
+* ``random`` — each element is assigned to a uniformly random bucket;
+* ``sorted`` — elements are sorted by observed frequency and chopped into
+  ``b`` equally sized consecutive buckets;
+* ``heavy_hitter`` — the ``b − 1`` most frequent elements get their own
+  bucket and everything else is assigned randomly to the remaining bucket(s);
+* ``dp`` — the exact λ=1 solution (imported lazily to avoid a cycle).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.optimize.objective import BucketAssignment
+
+__all__ = [
+    "random_assignment",
+    "sorted_assignment",
+    "heavy_hitter_assignment",
+    "initialize_assignment",
+]
+
+
+def random_assignment(
+    num_elements: int, num_buckets: int, rng: Optional[np.random.Generator] = None
+) -> BucketAssignment:
+    """Assign each element to a uniformly random bucket."""
+    if num_elements <= 0:
+        raise ValueError("num_elements must be positive")
+    rng = rng if rng is not None else np.random.default_rng()
+    labels = rng.integers(0, num_buckets, size=num_elements)
+    return BucketAssignment(labels=labels, num_buckets=num_buckets)
+
+
+def sorted_assignment(frequencies: np.ndarray, num_buckets: int) -> BucketAssignment:
+    """Sort by frequency and cut into ``b`` consecutive, equally sized buckets."""
+    frequencies = np.asarray(frequencies, dtype=float)
+    order = np.argsort(frequencies, kind="stable")
+    labels = np.zeros(len(frequencies), dtype=int)
+    chunks = np.array_split(order, num_buckets)
+    for bucket, chunk in enumerate(chunks):
+        labels[chunk] = bucket
+    return BucketAssignment(labels=labels, num_buckets=num_buckets)
+
+
+def heavy_hitter_assignment(
+    frequencies: np.ndarray,
+    num_buckets: int,
+    rng: Optional[np.random.Generator] = None,
+) -> BucketAssignment:
+    """Give the top ``b − 1`` elements their own bucket; the rest share bucket 0.
+
+    This mirrors the Learned CMS heuristic the paper contrasts against: heavy
+    hitters isolated, the tail lumped together.
+    """
+    frequencies = np.asarray(frequencies, dtype=float)
+    rng = rng if rng is not None else np.random.default_rng()
+    labels = np.zeros(len(frequencies), dtype=int)
+    num_heavy = min(num_buckets - 1, len(frequencies))
+    if num_heavy > 0:
+        heavy = np.argsort(frequencies)[::-1][:num_heavy]
+        labels[heavy] = np.arange(1, num_heavy + 1)
+    return BucketAssignment(labels=labels, num_buckets=num_buckets)
+
+
+def initialize_assignment(
+    frequencies: np.ndarray,
+    num_buckets: int,
+    strategy: str = "random",
+    rng: Optional[np.random.Generator] = None,
+) -> BucketAssignment:
+    """Build an initial assignment using one of the named strategies.
+
+    ``strategy`` is one of ``"random"``, ``"sorted"``, ``"heavy_hitter"``,
+    ``"dp"``.
+    """
+    frequencies = np.asarray(frequencies, dtype=float)
+    if strategy == "random":
+        return random_assignment(len(frequencies), num_buckets, rng=rng)
+    if strategy == "sorted":
+        return sorted_assignment(frequencies, num_buckets)
+    if strategy == "heavy_hitter":
+        return heavy_hitter_assignment(frequencies, num_buckets, rng=rng)
+    if strategy == "dp":
+        # Imported here to avoid a circular import at module load time.
+        from repro.optimize.dp import dynamic_programming
+
+        return dynamic_programming(frequencies, num_buckets).assignment
+    raise ValueError(
+        f"unknown initialization strategy '{strategy}'; expected one of "
+        "'random', 'sorted', 'heavy_hitter', 'dp'"
+    )

@@ -1,0 +1,235 @@
+"""Problem (1): the bucket-assignment objective.
+
+An assignment maps each of the ``n`` prefix elements to one of ``b`` buckets
+(the one-hot matrix ``Z`` of the paper, stored here as an integer label
+vector).  Its quality is measured by:
+
+* **estimation error** — ``Σ_i |f0_i − μ_{bucket(i)}|`` where ``μ_j`` is the
+  mean frequency of bucket ``j`` (this is the error the learned estimator
+  will make on the prefix itself);
+* **similarity error** — ``Σ_j Σ_{(i,k) ∈ I_j × I_j} ‖x_i − x_k‖²``, the sum
+  over *ordered* pairs of co-bucketed elements of their squared feature
+  distance (this is the term that encourages feature-wise coherent buckets,
+  which is what lets a classifier route unseen elements sensibly);
+* **overall error** — ``λ · estimation + (1 − λ) · similarity``.
+
+The ordered-pair convention matches the paper's formulation (``Σ_i Σ_k z_ij
+z_kj ‖x_i − x_k‖²``), so each unordered pair is counted twice and ``i = k``
+contributes zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+__all__ = [
+    "BucketAssignment",
+    "ObjectiveValue",
+    "estimation_error",
+    "similarity_error",
+    "overall_error",
+    "evaluate_assignment",
+    "pairwise_squared_distances",
+    "validate_inputs",
+]
+
+
+def validate_inputs(
+    frequencies: np.ndarray,
+    features: Optional[np.ndarray],
+    num_buckets: int,
+    lam: float,
+) -> tuple:
+    """Validate and normalize optimizer inputs.
+
+    Returns ``(frequencies, features, num_buckets, lam)`` with frequencies as
+    a float vector and features as an ``(n, p)`` float matrix (``p`` may be 0).
+    """
+    frequencies = np.asarray(frequencies, dtype=float).ravel()
+    if frequencies.size == 0:
+        raise ValueError("frequencies must be non-empty")
+    if np.any(frequencies < 0):
+        raise ValueError("frequencies must be non-negative")
+    if features is None:
+        features = np.zeros((frequencies.size, 0))
+    else:
+        features = np.asarray(features, dtype=float)
+        if features.ndim == 1:
+            features = features.reshape(-1, 1)
+        if features.shape[0] != frequencies.size:
+            raise ValueError(
+                "features and frequencies must describe the same elements: "
+                f"{features.shape[0]} vs {frequencies.size}"
+            )
+    if num_buckets <= 0:
+        raise ValueError("num_buckets must be positive")
+    if not 0.0 <= lam <= 1.0:
+        raise ValueError("lambda must lie in [0, 1]")
+    return frequencies, features, int(num_buckets), float(lam)
+
+
+@dataclass
+class BucketAssignment:
+    """An assignment of ``n`` elements to ``b`` buckets.
+
+    Attributes
+    ----------
+    labels:
+        Integer array of shape ``(n,)`` with values in ``[0, num_buckets)``.
+    num_buckets:
+        The bucket budget ``b``; buckets may be empty.
+    """
+
+    labels: np.ndarray
+    num_buckets: int
+
+    def __post_init__(self) -> None:
+        self.labels = np.asarray(self.labels, dtype=int).ravel()
+        if self.num_buckets <= 0:
+            raise ValueError("num_buckets must be positive")
+        if self.labels.size and (
+            self.labels.min() < 0 or self.labels.max() >= self.num_buckets
+        ):
+            raise ValueError("labels must lie in [0, num_buckets)")
+
+    @property
+    def num_elements(self) -> int:
+        return int(self.labels.size)
+
+    def one_hot(self) -> np.ndarray:
+        """The binary matrix ``Z`` of the paper, shape ``(n, b)``."""
+        matrix = np.zeros((self.num_elements, self.num_buckets), dtype=int)
+        matrix[np.arange(self.num_elements), self.labels] = 1
+        return matrix
+
+    @classmethod
+    def from_one_hot(cls, Z: np.ndarray) -> "BucketAssignment":
+        """Build an assignment from a one-hot matrix."""
+        Z = np.asarray(Z)
+        if Z.ndim != 2:
+            raise ValueError("Z must be a 2-D matrix")
+        if not np.all(Z.sum(axis=1) == 1):
+            raise ValueError("each row of Z must have exactly one nonzero entry")
+        return cls(labels=Z.argmax(axis=1), num_buckets=Z.shape[1])
+
+    def bucket_members(self, bucket: int) -> np.ndarray:
+        """Indices of elements assigned to ``bucket``."""
+        return np.flatnonzero(self.labels == bucket)
+
+    def bucket_sizes(self) -> np.ndarray:
+        """Number of elements per bucket, shape ``(b,)``."""
+        return np.bincount(self.labels, minlength=self.num_buckets)
+
+    def bucket_means(self, frequencies: np.ndarray) -> np.ndarray:
+        """Mean frequency per bucket (0 for empty buckets)."""
+        frequencies = np.asarray(frequencies, dtype=float)
+        sums = np.bincount(self.labels, weights=frequencies, minlength=self.num_buckets)
+        counts = self.bucket_sizes()
+        means = np.zeros(self.num_buckets)
+        nonempty = counts > 0
+        means[nonempty] = sums[nonempty] / counts[nonempty]
+        return means
+
+    def copy(self) -> "BucketAssignment":
+        return BucketAssignment(labels=self.labels.copy(), num_buckets=self.num_buckets)
+
+
+@dataclass(frozen=True)
+class ObjectiveValue:
+    """The three error terms of Problem (1) for a fixed assignment."""
+
+    estimation: float
+    similarity: float
+    lam: float
+
+    @property
+    def overall(self) -> float:
+        return self.lam * self.estimation + (1.0 - self.lam) * self.similarity
+
+
+def pairwise_squared_distances(features: np.ndarray) -> np.ndarray:
+    """Dense matrix of squared Euclidean distances between feature rows."""
+    features = np.asarray(features, dtype=float)
+    if features.ndim == 1:
+        features = features.reshape(-1, 1)
+    squared_norms = (features**2).sum(axis=1)
+    distances = squared_norms[:, None] + squared_norms[None, :] - 2.0 * features @ features.T
+    np.maximum(distances, 0.0, out=distances)
+    return distances
+
+
+def estimation_error(
+    frequencies: np.ndarray, assignment: BucketAssignment, per_element: bool = False
+) -> float:
+    """Σ_i |f0_i − μ_{bucket(i)}| (optionally divided by ``n``)."""
+    frequencies = np.asarray(frequencies, dtype=float)
+    means = assignment.bucket_means(frequencies)
+    total = float(np.abs(frequencies - means[assignment.labels]).sum())
+    if per_element:
+        return total / max(1, assignment.num_elements)
+    return total
+
+
+def similarity_error(
+    features: np.ndarray, assignment: BucketAssignment, per_pair: bool = False
+) -> float:
+    """Σ_j Σ_{(i,k) ∈ I_j × I_j} ‖x_i − x_k‖² over ordered pairs.
+
+    Computed per bucket via the identity
+    ``Σ_{i,k} ‖x_i − x_k‖² = 2·m·Σ_i ‖x_i‖² − 2·‖Σ_i x_i‖²`` so no pairwise
+    matrix is materialized.
+    """
+    features = np.asarray(features, dtype=float)
+    if features.ndim == 1:
+        features = features.reshape(-1, 1)
+    if features.shape[1] == 0:
+        return 0.0
+    total = 0.0
+    num_pairs = 0
+    for bucket in range(assignment.num_buckets):
+        members = assignment.bucket_members(bucket)
+        if members.size == 0:
+            continue
+        block = features[members]
+        sum_vector = block.sum(axis=0)
+        sum_squares = float((block**2).sum())
+        bucket_total = 2.0 * members.size * sum_squares - 2.0 * float(sum_vector @ sum_vector)
+        # Guard against tiny negative values from floating-point cancellation.
+        total += max(bucket_total, 0.0)
+        num_pairs += members.size * members.size
+    if per_pair:
+        return total / max(1, num_pairs)
+    return float(total)
+
+
+def overall_error(
+    frequencies: np.ndarray,
+    features: np.ndarray,
+    assignment: BucketAssignment,
+    lam: float,
+) -> float:
+    """The Problem (1) objective ``λ·estimation + (1−λ)·similarity``."""
+    value = evaluate_assignment(frequencies, features, assignment, lam)
+    return value.overall
+
+
+def evaluate_assignment(
+    frequencies: np.ndarray,
+    features: Optional[np.ndarray],
+    assignment: BucketAssignment,
+    lam: float,
+) -> ObjectiveValue:
+    """Evaluate all error terms of an assignment."""
+    frequencies, features, _, lam = validate_inputs(
+        frequencies, features, assignment.num_buckets, lam
+    )
+    if frequencies.size != assignment.num_elements:
+        raise ValueError("assignment and frequencies describe different element counts")
+    return ObjectiveValue(
+        estimation=estimation_error(frequencies, assignment),
+        similarity=similarity_error(features, assignment),
+        lam=lam,
+    )

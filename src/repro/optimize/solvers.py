@@ -1,0 +1,104 @@
+"""Unified entry point for the three hashing-scheme solvers.
+
+The experiments switch between ``milp``, ``bcd`` and ``dp`` by name; this
+module provides that dispatch so the core estimator and the benchmark
+harness do not need to know each solver's individual signature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.optimize.bcd import block_coordinate_descent
+from repro.optimize.dp import dynamic_programming
+from repro.optimize.milp import solve_milp
+from repro.optimize.objective import (
+    BucketAssignment,
+    ObjectiveValue,
+    evaluate_assignment,
+    validate_inputs,
+)
+
+__all__ = ["SolverResult", "learn_hashing_scheme"]
+
+
+@dataclass
+class SolverResult:
+    """Solver-agnostic result: the assignment, its errors, and metadata."""
+
+    assignment: BucketAssignment
+    objective: ObjectiveValue
+    solver: str
+    details: object = None
+
+
+def learn_hashing_scheme(
+    frequencies,
+    features=None,
+    num_buckets: int = 10,
+    lam: float = 1.0,
+    solver: str = "bcd",
+    random_state: Optional[int] = None,
+    **solver_options,
+) -> SolverResult:
+    """Learn a bucket assignment with the named solver.
+
+    Parameters
+    ----------
+    frequencies, features, num_buckets, lam:
+        The Problem (1) data (see :mod:`repro.optimize.objective`).
+    solver:
+        ``"bcd"`` (Algorithm 1), ``"dp"`` (exact λ=1 dynamic program — the λ
+        value is ignored by the solver, exactly as in the paper's
+        experiments), or ``"milp"`` (exact branch-and-bound, small instances
+        only).
+    random_state:
+        Seed forwarded to stochastic solvers.
+    solver_options:
+        Extra keyword arguments forwarded to the underlying solver, e.g.
+        ``num_restarts`` for bcd or ``time_limit`` for milp.
+    """
+    frequencies, features, num_buckets, lam = validate_inputs(
+        frequencies, features, num_buckets, lam
+    )
+    if solver == "bcd":
+        result = block_coordinate_descent(
+            frequencies,
+            features,
+            num_buckets=num_buckets,
+            lam=lam,
+            random_state=random_state,
+            **solver_options,
+        )
+        return SolverResult(
+            assignment=result.assignment,
+            objective=result.objective,
+            solver="bcd",
+            details=result,
+        )
+    if solver == "dp":
+        result = dynamic_programming(frequencies, num_buckets, **solver_options)
+        objective = evaluate_assignment(frequencies, features, result.assignment, lam)
+        return SolverResult(
+            assignment=result.assignment,
+            objective=objective,
+            solver="dp",
+            details=result,
+        )
+    if solver == "milp":
+        result = solve_milp(
+            frequencies,
+            features,
+            num_buckets=num_buckets,
+            lam=lam,
+            random_state=random_state,
+            **solver_options,
+        )
+        return SolverResult(
+            assignment=result.assignment,
+            objective=result.objective,
+            solver="milp",
+            details=result,
+        )
+    raise ValueError(f"unknown solver '{solver}'; expected 'bcd', 'dp' or 'milp'")

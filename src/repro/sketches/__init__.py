@@ -1,0 +1,51 @@
+"""Conventional sketching substrates.
+
+Random-hashing based frequency estimators used as baselines in the paper's
+evaluation, plus the probabilistic data structures the proposed approach
+builds on:
+
+* :class:`~repro.sketches.count_min.CountMinSketch` — the standard CMS
+  (``count-min`` in the paper), with an optional conservative-update variant.
+* :class:`~repro.sketches.count_sketch.CountSketch` — the Count Sketch of
+  Charikar et al., included for completeness (the paper discusses it as the
+  other canonical frequency sketch).
+* :class:`~repro.sketches.learned_cms.LearnedCountMinSketch` — the Learned
+  CMS of Hsu et al. (``heavy-hitter`` in the paper), with a pluggable
+  heavy-hitter oracle.
+* :class:`~repro.sketches.bloom.BloomFilter` — used by the adaptive counting
+  extension of the proposed estimator.
+* :mod:`repro.sketches.hashing` — seeded universal / tabulation hash families
+  implementing the random hash functions all of the above rely on.
+"""
+
+from repro.sketches.base import FrequencyEstimator, ExactCounter
+from repro.sketches.hashing import UniversalHashFamily, UniversalHash, TabulationHash
+from repro.sketches.count_min import CountMinSketch
+from repro.sketches.count_sketch import CountSketch
+from repro.sketches.learned_cms import (
+    HeavyHitterOracle,
+    IdealHeavyHitterOracle,
+    ClassifierHeavyHitterOracle,
+    LearnedCountMinSketch,
+)
+from repro.sketches.bloom import BloomFilter
+from repro.sketches.heavy_hitters import MisraGries, SpaceSaving
+from repro.sketches.ams import AmsSketch
+
+__all__ = [
+    "FrequencyEstimator",
+    "ExactCounter",
+    "UniversalHashFamily",
+    "UniversalHash",
+    "TabulationHash",
+    "CountMinSketch",
+    "CountSketch",
+    "HeavyHitterOracle",
+    "IdealHeavyHitterOracle",
+    "ClassifierHeavyHitterOracle",
+    "LearnedCountMinSketch",
+    "BloomFilter",
+    "MisraGries",
+    "SpaceSaving",
+    "AmsSketch",
+]

@@ -1,0 +1,70 @@
+"""AMS sketch (Alon, Matias & Szegedy, 1999).
+
+Historically the first sketching algorithm the paper discusses: it estimates
+the second frequency moment ``F2 = Σ_u f_u²`` of the stream (the "surprise
+number"), which is also the squared L2 norm governing the Count Sketch error
+bound.  Each of the ``num_estimators`` counters maintains ``Σ_u s(u)·f_u``
+for a random ±1 hash ``s``; squaring gives an unbiased F2 estimate, and
+median-of-means over the counters concentrates it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.sketches.base import BYTES_PER_BUCKET
+from repro.sketches.hashing import UniversalHashFamily
+from repro.streams.stream import Element
+
+__all__ = ["AmsSketch"]
+
+
+class AmsSketch:
+    """Estimates the second frequency moment of a stream.
+
+    Parameters
+    ----------
+    num_estimators:
+        Total number of ±1 counters (``means_groups × group_size``).
+    means_groups:
+        Number of groups used by the median-of-means estimator.
+    seed:
+        Seed for the sign hashes.
+    """
+
+    def __init__(
+        self,
+        num_estimators: int = 64,
+        means_groups: int = 8,
+        seed: Optional[int] = None,
+    ) -> None:
+        if num_estimators <= 0:
+            raise ValueError("num_estimators must be positive")
+        if means_groups <= 0 or num_estimators % means_groups != 0:
+            raise ValueError("means_groups must evenly divide num_estimators")
+        self.num_estimators = num_estimators
+        self.means_groups = means_groups
+        self._counters = np.zeros(num_estimators, dtype=np.int64)
+        self._hashes = UniversalHashFamily(2, seed=seed).draw(num_estimators)
+
+    def update(self, element: Element) -> None:
+        """Process one arrival of ``element``."""
+        key = element.key
+        for index, h in enumerate(self._hashes):
+            self._counters[index] += h.sign(key)
+
+    def update_many(self, elements) -> None:
+        for element in elements:
+            self.update(element)
+
+    def estimate_second_moment(self) -> float:
+        """Median-of-means estimate of ``F2 = Σ_u f_u²``."""
+        squares = self._counters.astype(float) ** 2
+        groups = squares.reshape(self.means_groups, -1)
+        return float(np.median(groups.mean(axis=1)))
+
+    @property
+    def size_bytes(self) -> int:
+        return BYTES_PER_BUCKET * self.num_estimators

@@ -1,0 +1,80 @@
+"""Common interface for streaming frequency estimators.
+
+Every estimator in this library — the conventional sketches, the Learned CMS
+baseline, and the proposed opt-hash estimator — implements the same small
+interface so benchmarks and examples can treat them interchangeably:
+
+* ``update(element)``: process one stream arrival (single pass, constant time).
+* ``estimate(element)``: answer a point (count) query.
+* ``size_bytes`` / ``size_kb``: memory accounting used by the error-vs-size
+  experiments, following the paper's convention of 4 bytes per bucket.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, Hashable
+
+from repro.streams.stream import Element
+
+__all__ = ["FrequencyEstimator", "ExactCounter", "BYTES_PER_BUCKET"]
+
+#: Memory charged per counter/bucket, as in Section 7.4 of the paper.
+BYTES_PER_BUCKET = 4
+
+
+class FrequencyEstimator(ABC):
+    """Abstract base class for single-pass frequency estimators."""
+
+    @abstractmethod
+    def update(self, element: Element) -> None:
+        """Process the arrival of ``element`` (increment its count by one)."""
+
+    @abstractmethod
+    def estimate(self, element: Element) -> float:
+        """Return the estimated frequency of ``element``."""
+
+    @property
+    @abstractmethod
+    def size_bytes(self) -> int:
+        """Memory footprint of the estimator state, in bytes."""
+
+    @property
+    def size_kb(self) -> float:
+        """Memory footprint in kilobytes (1 KB = 1000 bytes, as in the paper)."""
+        return self.size_bytes / 1000.0
+
+    def update_many(self, elements) -> None:
+        """Process a sequence of arrivals."""
+        for element in elements:
+            self.update(element)
+
+    def estimate_key(self, key: Hashable) -> float:
+        """Convenience point query by key only (no features)."""
+        return self.estimate(Element(key=key))
+
+
+class ExactCounter(FrequencyEstimator):
+    """Exact per-key counting.
+
+    Not a sublinear-space estimator — it exists as the ground-truth oracle in
+    tests and as the trivial upper bound of what any sketch could achieve.
+    Its reported size is the number of stored counters times the per-bucket
+    cost (ID storage is ignored, so this is a lower bound on its real cost).
+    """
+
+    def __init__(self) -> None:
+        self._counts: Dict[Hashable, int] = {}
+
+    def update(self, element: Element) -> None:
+        self._counts[element.key] = self._counts.get(element.key, 0) + 1
+
+    def estimate(self, element: Element) -> float:
+        return float(self._counts.get(element.key, 0))
+
+    @property
+    def size_bytes(self) -> int:
+        return BYTES_PER_BUCKET * len(self._counts)
+
+    def __len__(self) -> int:
+        return len(self._counts)

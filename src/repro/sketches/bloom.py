@@ -1,0 +1,102 @@
+"""Bloom filter (Bloom, 1970).
+
+Used by the adaptive counting extension of the proposed estimator (Section
+5.3): the filter remembers which elements have already been observed so the
+per-bucket *element counts* are only incremented on first occurrence.
+False positives make the extension overestimate frequencies slightly, exactly
+as the paper discusses — the filter never produces false negatives.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable, Optional
+
+import numpy as np
+
+from repro.sketches.hashing import UniversalHashFamily
+
+__all__ = ["BloomFilter"]
+
+
+class BloomFilter:
+    """A standard Bloom filter over arbitrary hashable keys.
+
+    Parameters
+    ----------
+    num_bits:
+        Size of the bit array (``m``).
+    num_hashes:
+        Number of hash functions (``k``).  If omitted, it is chosen optimally
+        for ``expected_items`` insertions.
+    expected_items:
+        Expected number of distinct insertions; used to pick ``k`` when it is
+        not given explicitly.
+    seed:
+        Seed for the hash functions.
+    """
+
+    def __init__(
+        self,
+        num_bits: int,
+        num_hashes: Optional[int] = None,
+        expected_items: Optional[int] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        if num_bits <= 0:
+            raise ValueError("num_bits must be positive")
+        if num_hashes is None:
+            if expected_items is None or expected_items <= 0:
+                num_hashes = 3
+            else:
+                num_hashes = max(1, round(math.log(2) * num_bits / expected_items))
+        if num_hashes <= 0:
+            raise ValueError("num_hashes must be positive")
+        self.num_bits = num_bits
+        self.num_hashes = num_hashes
+        self._bits = np.zeros(num_bits, dtype=bool)
+        self._hashes = UniversalHashFamily(num_bits, seed=seed).draw(num_hashes)
+        self._num_inserted = 0
+
+    @classmethod
+    def from_false_positive_rate(
+        cls, expected_items: int, false_positive_rate: float, seed: Optional[int] = None
+    ) -> "BloomFilter":
+        """Size the filter for a target false-positive rate after ``n`` inserts."""
+        if expected_items <= 0:
+            raise ValueError("expected_items must be positive")
+        if not 0 < false_positive_rate < 1:
+            raise ValueError("false_positive_rate must lie in (0, 1)")
+        num_bits = math.ceil(
+            -expected_items * math.log(false_positive_rate) / (math.log(2) ** 2)
+        )
+        num_hashes = max(1, round(math.log(2) * num_bits / expected_items))
+        return cls(num_bits=num_bits, num_hashes=num_hashes, seed=seed)
+
+    def add(self, key: Hashable) -> None:
+        """Mark ``key`` as seen."""
+        for h in self._hashes:
+            self._bits[h(key)] = True
+        self._num_inserted += 1
+
+    def __contains__(self, key: Hashable) -> bool:
+        return all(self._bits[h(key)] for h in self._hashes)
+
+    def contains(self, key: Hashable) -> bool:
+        """Membership test; false positives possible, false negatives not."""
+        return key in self
+
+    @property
+    def num_inserted(self) -> int:
+        """Number of ``add`` calls (not necessarily distinct keys)."""
+        return self._num_inserted
+
+    @property
+    def size_bytes(self) -> int:
+        """Memory footprint of the bit array, in bytes (rounded up)."""
+        return (self.num_bits + 7) // 8
+
+    def estimated_false_positive_rate(self) -> float:
+        """Estimate the current false-positive probability from the fill ratio."""
+        fill = float(self._bits.mean())
+        return fill ** self.num_hashes

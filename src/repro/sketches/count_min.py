@@ -1,0 +1,131 @@
+"""Count-Min Sketch (Cormode & Muthukrishnan, 2005).
+
+The conventional baseline of the paper (``count-min``).  The sketch keeps
+``d`` levels of ``w`` counters each; every arrival increments one counter per
+level (chosen by that level's random hash function) and a point query returns
+the minimum of the ``d`` counters the key maps to, which always
+*overestimates* the true count.
+
+With ``w = ceil(e / eps)`` and ``d = ceil(ln(1 / delta))`` the estimate error
+is at most ``eps * ||f||_1`` with probability at least ``1 - delta``
+(Section 2.1 of the paper).
+
+A conservative-update variant is included as a design-choice ablation: it
+only raises the counters that are currently equal to the minimum, which can
+only tighten the overestimate while keeping the one-sided error guarantee.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.sketches.base import BYTES_PER_BUCKET, FrequencyEstimator
+from repro.sketches.hashing import UniversalHashFamily
+from repro.streams.stream import Element
+
+__all__ = ["CountMinSketch"]
+
+
+class CountMinSketch(FrequencyEstimator):
+    """Count-Min Sketch with ``d`` levels of ``w`` buckets.
+
+    Parameters
+    ----------
+    width:
+        Number of buckets per level (``w``).
+    depth:
+        Number of levels (``d``).
+    seed:
+        Seed for the random hash functions.
+    conservative:
+        If True, use conservative update (only counters equal to the current
+        minimum are incremented).
+    """
+
+    def __init__(
+        self,
+        width: int,
+        depth: int = 1,
+        seed: Optional[int] = None,
+        conservative: bool = False,
+    ) -> None:
+        if width <= 0:
+            raise ValueError("width must be positive")
+        if depth <= 0:
+            raise ValueError("depth must be positive")
+        self.width = width
+        self.depth = depth
+        self.conservative = conservative
+        self._table = np.zeros((depth, width), dtype=np.int64)
+        family = UniversalHashFamily(width, seed=seed)
+        self._hashes = family.draw(depth)
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_error_guarantee(
+        cls, epsilon: float, delta: float, seed: Optional[int] = None
+    ) -> "CountMinSketch":
+        """Size the sketch so that ``P(|f̃ - f| > eps*||f||_1) <= delta``."""
+        if not 0 < epsilon < 1:
+            raise ValueError("epsilon must lie in (0, 1)")
+        if not 0 < delta < 1:
+            raise ValueError("delta must lie in (0, 1)")
+        width = math.ceil(math.e / epsilon)
+        depth = math.ceil(math.log(1.0 / delta))
+        return cls(width=width, depth=max(depth, 1), seed=seed)
+
+    @classmethod
+    def from_total_buckets(
+        cls, total_buckets: int, depth: int = 1, seed: Optional[int] = None, **kwargs
+    ) -> "CountMinSketch":
+        """Build a sketch with ``total_buckets = width * depth`` counters.
+
+        This is the constructor the error-vs-size experiments use: the memory
+        budget fixes the total number of buckets and the depth is a tunable
+        hyperparameter.
+        """
+        if total_buckets < depth:
+            raise ValueError("total_buckets must be at least depth")
+        width = total_buckets // depth
+        return cls(width=width, depth=depth, seed=seed, **kwargs)
+
+    # ------------------------------------------------------------------
+    # FrequencyEstimator interface
+    # ------------------------------------------------------------------
+    def update(self, element: Element) -> None:
+        key = element.key
+        if self.conservative:
+            positions = [h(key) for h in self._hashes]
+            current = np.array(
+                [self._table[level, pos] for level, pos in enumerate(positions)]
+            )
+            new_value = current.min() + 1
+            for level, pos in enumerate(positions):
+                if self._table[level, pos] < new_value:
+                    self._table[level, pos] = new_value
+        else:
+            for level, h in enumerate(self._hashes):
+                self._table[level, h(key)] += 1
+
+    def estimate(self, element: Element) -> float:
+        key = element.key
+        return float(
+            min(self._table[level, h(key)] for level, h in enumerate(self._hashes))
+        )
+
+    @property
+    def size_bytes(self) -> int:
+        return BYTES_PER_BUCKET * self.width * self.depth
+
+    @property
+    def total_buckets(self) -> int:
+        return self.width * self.depth
+
+    def counters(self) -> np.ndarray:
+        """Return a copy of the counter table (for inspection/testing)."""
+        return self._table.copy()

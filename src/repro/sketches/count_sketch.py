@@ -1,0 +1,69 @@
+"""Count Sketch (Charikar, Chen & Farach-Colton, 2002).
+
+The other canonical random-hashing frequency sketch the paper discusses.
+Unlike Count-Min, every update is multiplied by a random ±1 sign before being
+added to the counter, and a point query takes the *median* across levels.
+The resulting estimator is unbiased (errors are two-sided) with variance
+controlled by ``||f||_2`` rather than ``||f||_1``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.sketches.base import BYTES_PER_BUCKET, FrequencyEstimator
+from repro.sketches.hashing import UniversalHashFamily
+from repro.streams.stream import Element
+
+__all__ = ["CountSketch"]
+
+
+class CountSketch(FrequencyEstimator):
+    """Count Sketch with ``d`` levels of ``w`` signed counters."""
+
+    def __init__(self, width: int, depth: int = 1, seed: Optional[int] = None) -> None:
+        if width <= 0:
+            raise ValueError("width must be positive")
+        if depth <= 0:
+            raise ValueError("depth must be positive")
+        self.width = width
+        self.depth = depth
+        self._table = np.zeros((depth, width), dtype=np.int64)
+        family = UniversalHashFamily(width, seed=seed)
+        self._hashes = family.draw(depth)
+
+    @classmethod
+    def from_total_buckets(
+        cls, total_buckets: int, depth: int = 1, seed: Optional[int] = None
+    ) -> "CountSketch":
+        """Build a sketch with ``total_buckets = width * depth`` counters."""
+        if total_buckets < depth:
+            raise ValueError("total_buckets must be at least depth")
+        return cls(width=total_buckets // depth, depth=depth, seed=seed)
+
+    def update(self, element: Element) -> None:
+        key = element.key
+        for level, h in enumerate(self._hashes):
+            self._table[level, h(key)] += h.sign(key)
+
+    def estimate(self, element: Element) -> float:
+        key = element.key
+        values = [
+            h.sign(key) * self._table[level, h(key)]
+            for level, h in enumerate(self._hashes)
+        ]
+        return float(np.median(values))
+
+    @property
+    def size_bytes(self) -> int:
+        return BYTES_PER_BUCKET * self.width * self.depth
+
+    @property
+    def total_buckets(self) -> int:
+        return self.width * self.depth
+
+    def counters(self) -> np.ndarray:
+        """Return a copy of the counter table (for inspection/testing)."""
+        return self._table.copy()

@@ -1,0 +1,137 @@
+"""Random hash families.
+
+The conventional sketches (Count-Min, Count Sketch, Bloom filter) are all
+defined in terms of random hash functions drawn from a universal family.
+Because the sketch transform matrix is never materialized, the quality of the
+whole construction rests on these hash functions, so they get their own
+module with two interchangeable implementations:
+
+* :class:`UniversalHash` — the classic Carter–Wegman multiply-shift scheme
+  ``h(x) = ((a*x + b) mod p) mod m`` over a Mersenne prime.
+* :class:`TabulationHash` — simple tabulation hashing, which gives stronger
+  independence guarantees at the cost of lookup tables.
+
+Both accept arbitrary hashable Python keys: keys are first mapped to 64-bit
+integers with a seeded byte-level FNV-1a so that string keys (search queries)
+hash consistently across processes — Python's builtin ``hash`` is
+intentionally randomized per process and would break reproducibility.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, List, Optional
+
+import numpy as np
+
+__all__ = ["fingerprint64", "UniversalHash", "TabulationHash", "UniversalHashFamily"]
+
+_MERSENNE_PRIME = (1 << 61) - 1
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+_MASK64 = (1 << 64) - 1
+
+
+def fingerprint64(key: Hashable, seed: int = 0) -> int:
+    """Map an arbitrary hashable key to a deterministic 64-bit fingerprint.
+
+    Integers are used directly (mixed with the seed); other keys are
+    serialized via ``repr`` and run through FNV-1a.  The result is stable
+    across processes, unlike the builtin ``hash``.
+    """
+    if isinstance(key, (int, np.integer)) and not isinstance(key, bool):
+        value = (int(key) ^ (seed * 0x9E3779B97F4A7C15)) & _MASK64
+        # Final avalanche (splitmix64 finalizer) so nearby integers spread out.
+        value = (value ^ (value >> 30)) * 0xBF58476D1CE4E5B9 & _MASK64
+        value = (value ^ (value >> 27)) * 0x94D049BB133111EB & _MASK64
+        return (value ^ (value >> 31)) & _MASK64
+    data = repr(key).encode("utf-8")
+    value = (_FNV_OFFSET ^ (seed & _MASK64)) & _MASK64
+    for byte in data:
+        value ^= byte
+        value = (value * _FNV_PRIME) & _MASK64
+    return value
+
+
+class UniversalHash:
+    """A single Carter–Wegman universal hash function onto ``[0, range)``."""
+
+    def __init__(self, output_range: int, seed: Optional[int] = None) -> None:
+        if output_range <= 0:
+            raise ValueError("output_range must be positive")
+        self.output_range = output_range
+        rng = np.random.default_rng(seed)
+        self._a = int(rng.integers(1, _MERSENNE_PRIME))
+        self._b = int(rng.integers(0, _MERSENNE_PRIME))
+        self._seed = int(rng.integers(0, 2**31))
+
+    def __call__(self, key: Hashable) -> int:
+        x = fingerprint64(key, self._seed) % _MERSENNE_PRIME
+        return int(((self._a * x + self._b) % _MERSENNE_PRIME) % self.output_range)
+
+    def sign(self, key: Hashable) -> int:
+        """A ±1 hash derived from the same function (used by Count Sketch)."""
+        x = fingerprint64(key, self._seed ^ 0x5A5A5A5A) % _MERSENNE_PRIME
+        return 1 if ((self._a * x + self._b) % _MERSENNE_PRIME) & 1 else -1
+
+
+class TabulationHash:
+    """Simple tabulation hashing onto ``[0, range)``.
+
+    The 64-bit fingerprint of the key is split into 8 bytes; each byte
+    indexes a table of random 64-bit values which are XOR-ed together.
+    """
+
+    _NUM_TABLES = 8
+
+    def __init__(self, output_range: int, seed: Optional[int] = None) -> None:
+        if output_range <= 0:
+            raise ValueError("output_range must be positive")
+        self.output_range = output_range
+        rng = np.random.default_rng(seed)
+        self._tables = rng.integers(
+            0, 2**63, size=(self._NUM_TABLES, 256), dtype=np.int64
+        ).astype(np.uint64)
+        self._seed = int(rng.integers(0, 2**31))
+
+    def __call__(self, key: Hashable) -> int:
+        x = fingerprint64(key, self._seed)
+        acc = np.uint64(0)
+        for table_index in range(self._NUM_TABLES):
+            byte = (x >> (8 * table_index)) & 0xFF
+            acc ^= self._tables[table_index, byte]
+        return int(acc % np.uint64(self.output_range))
+
+    def sign(self, key: Hashable) -> int:
+        x = fingerprint64(key, self._seed ^ 0x3C3C3C3C)
+        return 1 if x & 1 else -1
+
+
+class UniversalHashFamily:
+    """A family of independent hash functions sharing one output range.
+
+    Used to draw the ``d`` per-level hash functions of a sketch from a single
+    seed so the whole sketch is reproducible.
+    """
+
+    def __init__(
+        self,
+        output_range: int,
+        seed: Optional[int] = None,
+        scheme: str = "universal",
+    ) -> None:
+        if scheme not in ("universal", "tabulation"):
+            raise ValueError("scheme must be 'universal' or 'tabulation'")
+        self.output_range = output_range
+        self.scheme = scheme
+        self._rng = np.random.default_rng(seed)
+
+    def draw(self, count: int) -> List:
+        """Draw ``count`` independent hash functions."""
+        functions = []
+        for _ in range(count):
+            seed = int(self._rng.integers(0, 2**31))
+            if self.scheme == "universal":
+                functions.append(UniversalHash(self.output_range, seed=seed))
+            else:
+                functions.append(TabulationHash(self.output_range, seed=seed))
+        return functions

@@ -1,0 +1,159 @@
+"""Deterministic heavy-hitter algorithms (Misra–Gries and Space-Saving).
+
+The paper motivates frequency estimation partly through heavy-hitter
+detection (its reference [6] is Misra & Gries' classic algorithm).  These two
+counter-based summaries complement the sketches: they keep ``k`` counters,
+process the stream in one pass, and guarantee that every element with
+frequency above ``||f||_1 / k`` is retained.
+
+* :class:`MisraGries` — the classic decrement-all summary; estimates are
+  *under*-estimates with additive error at most ``||f||_1 / (k + 1)``.
+* :class:`SpaceSaving` — Metwally et al.'s replace-the-minimum summary;
+  estimates are *over*-estimates with additive error at most the minimum
+  tracked count.
+
+Both implement the common :class:`~repro.sketches.base.FrequencyEstimator`
+interface so they can be dropped into the evaluation harness, and both expose
+``heavy_hitters(threshold)`` for the detection use case.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Tuple
+
+from repro.sketches.base import BYTES_PER_BUCKET, FrequencyEstimator
+from repro.streams.stream import Element
+
+__all__ = ["MisraGries", "SpaceSaving"]
+
+
+class MisraGries(FrequencyEstimator):
+    """Misra–Gries summary with ``num_counters`` counters.
+
+    Every point query under-estimates the true frequency by at most
+    ``(stream length) / (num_counters + 1)``.
+    """
+
+    def __init__(self, num_counters: int) -> None:
+        if num_counters <= 0:
+            raise ValueError("num_counters must be positive")
+        self.num_counters = num_counters
+        self._counters: Dict[Hashable, int] = {}
+        self._stream_length = 0
+
+    def update(self, element: Element) -> None:
+        key = element.key
+        self._stream_length += 1
+        if key in self._counters:
+            self._counters[key] += 1
+        elif len(self._counters) < self.num_counters:
+            self._counters[key] = 1
+        else:
+            # Decrement every counter; drop the ones that reach zero.
+            for tracked in list(self._counters):
+                self._counters[tracked] -= 1
+                if self._counters[tracked] == 0:
+                    del self._counters[tracked]
+
+    def estimate(self, element: Element) -> float:
+        return float(self._counters.get(element.key, 0))
+
+    @property
+    def size_bytes(self) -> int:
+        # One counter plus one stored ID per slot (ID charged like a bucket).
+        return 2 * BYTES_PER_BUCKET * self.num_counters
+
+    @property
+    def error_bound(self) -> float:
+        """Maximum possible under-estimation of any point query so far."""
+        return self._stream_length / (self.num_counters + 1)
+
+    def heavy_hitters(self, threshold_fraction: float) -> List[Tuple[Hashable, int]]:
+        """Candidate elements with frequency above ``threshold_fraction * N``.
+
+        Guaranteed to contain every true heavy hitter (no false negatives);
+        may contain false positives, as is inherent to the summary.
+        """
+        if not 0 < threshold_fraction < 1:
+            raise ValueError("threshold_fraction must lie in (0, 1)")
+        cutoff = threshold_fraction * self._stream_length - self.error_bound
+        return sorted(
+            ((key, count) for key, count in self._counters.items() if count > cutoff),
+            key=lambda item: item[1],
+            reverse=True,
+        )
+
+    def tracked_items(self) -> Dict[Hashable, int]:
+        """The current (key, counter) pairs."""
+        return dict(self._counters)
+
+
+class SpaceSaving(FrequencyEstimator):
+    """Space-Saving summary with ``num_counters`` counters.
+
+    Point queries for tracked elements over-estimate by at most the element's
+    stored error term; untracked elements are estimated by the minimum
+    tracked count (still an over-estimate of their true frequency).
+    """
+
+    def __init__(self, num_counters: int) -> None:
+        if num_counters <= 0:
+            raise ValueError("num_counters must be positive")
+        self.num_counters = num_counters
+        self._counts: Dict[Hashable, int] = {}
+        self._errors: Dict[Hashable, int] = {}
+        self._stream_length = 0
+
+    def _min_tracked(self) -> Tuple[Hashable, int]:
+        key = min(self._counts, key=self._counts.get)
+        return key, self._counts[key]
+
+    def update(self, element: Element) -> None:
+        key = element.key
+        self._stream_length += 1
+        if key in self._counts:
+            self._counts[key] += 1
+        elif len(self._counts) < self.num_counters:
+            self._counts[key] = 1
+            self._errors[key] = 0
+        else:
+            evicted_key, evicted_count = self._min_tracked()
+            del self._counts[evicted_key]
+            del self._errors[evicted_key]
+            self._counts[key] = evicted_count + 1
+            self._errors[key] = evicted_count
+
+    def estimate(self, element: Element) -> float:
+        key = element.key
+        if key in self._counts:
+            return float(self._counts[key])
+        if self._counts and len(self._counts) >= self.num_counters:
+            return float(self._min_tracked()[1])
+        return 0.0
+
+    def guaranteed_count(self, element: Element) -> float:
+        """A lower bound on the true frequency of a tracked element."""
+        key = element.key
+        if key not in self._counts:
+            return 0.0
+        return float(self._counts[key] - self._errors[key])
+
+    @property
+    def size_bytes(self) -> int:
+        # Count + error + stored ID per slot.
+        return 3 * BYTES_PER_BUCKET * self.num_counters
+
+    def heavy_hitters(self, threshold_fraction: float) -> List[Tuple[Hashable, int]]:
+        """Tracked elements whose count exceeds ``threshold_fraction * N``."""
+        if not 0 < threshold_fraction < 1:
+            raise ValueError("threshold_fraction must lie in (0, 1)")
+        cutoff = threshold_fraction * self._stream_length
+        return sorted(
+            ((key, count) for key, count in self._counts.items() if count > cutoff),
+            key=lambda item: item[1],
+            reverse=True,
+        )
+
+    def tracked_items(self) -> Dict[Hashable, int]:
+        """The current (key, count) pairs."""
+        return dict(self._counts)

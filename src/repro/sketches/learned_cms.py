@@ -1,0 +1,172 @@
+"""Learned Count-Min Sketch (Hsu, Indyk, Katabi & Vakilian, ICLR 2019).
+
+The learning-augmented baseline the paper compares against (called
+``heavy-hitter`` in the experiments).  A heavy-hitter oracle decides, per
+element, whether it is expected to be among the most frequent elements:
+
+* predicted heavy hitters get *unique* buckets holding exact counts (each
+  unique bucket also stores the element ID, so it is charged twice the space
+  of a normal bucket — Section 2.2 of the paper);
+* everything else is hashed into a standard Count-Min Sketch occupying the
+  remaining buckets.
+
+The oracle is pluggable.  :class:`IdealHeavyHitterOracle` knows the true IDs
+of the heavy hitters (the idealized variant the paper benchmarks against,
+which upper-bounds what any learned oracle could achieve);
+:class:`ClassifierHeavyHitterOracle` wraps any classifier from
+:mod:`repro.ml` together with a featurizer.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Dict, Hashable, Iterable, Optional, Set
+
+from repro.sketches.base import BYTES_PER_BUCKET, FrequencyEstimator
+from repro.sketches.count_min import CountMinSketch
+from repro.streams.stream import Element
+
+__all__ = [
+    "HeavyHitterOracle",
+    "IdealHeavyHitterOracle",
+    "ClassifierHeavyHitterOracle",
+    "LearnedCountMinSketch",
+]
+
+
+class HeavyHitterOracle(ABC):
+    """Decides whether an element should receive a unique bucket."""
+
+    @abstractmethod
+    def is_heavy(self, element: Element) -> bool:
+        """Return True if ``element`` is predicted to be a heavy hitter."""
+
+
+class IdealHeavyHitterOracle(HeavyHitterOracle):
+    """An oracle with perfect knowledge of the heavy-hitter IDs.
+
+    The paper evaluates LCMS with exactly this idealization: the IDs of the
+    top elements of the *test* period are assumed known, which dominates any
+    realistically learnable oracle.
+    """
+
+    def __init__(self, heavy_keys: Iterable[Hashable]) -> None:
+        self._heavy_keys: Set[Hashable] = set(heavy_keys)
+
+    @classmethod
+    def from_frequencies(cls, frequencies, num_heavy: int) -> "IdealHeavyHitterOracle":
+        """Build the oracle from a frequency mapping, taking the top ``num_heavy``."""
+        if num_heavy < 0:
+            raise ValueError("num_heavy must be non-negative")
+        ranked = sorted(frequencies.items(), key=lambda kv: kv[1], reverse=True)
+        return cls(key for key, _ in ranked[:num_heavy])
+
+    def is_heavy(self, element: Element) -> bool:
+        return element.key in self._heavy_keys
+
+    def __len__(self) -> int:
+        return len(self._heavy_keys)
+
+
+class ClassifierHeavyHitterOracle(HeavyHitterOracle):
+    """An oracle backed by a binary classifier over element features.
+
+    Parameters
+    ----------
+    classifier:
+        Any fitted object with a ``predict(X)`` method returning 0/1 labels
+        (1 = heavy), e.g. the classifiers in :mod:`repro.ml`.
+    featurizer:
+        Callable mapping an :class:`Element` to a 1-D feature array.  Defaults
+        to the element's own feature vector.
+    """
+
+    def __init__(
+        self,
+        classifier,
+        featurizer: Optional[Callable[[Element], "object"]] = None,
+    ) -> None:
+        self._classifier = classifier
+        self._featurizer = featurizer or (lambda element: element.feature_array())
+
+    def is_heavy(self, element: Element) -> bool:
+        features = self._featurizer(element)
+        prediction = self._classifier.predict([features])[0]
+        return bool(prediction)
+
+
+class LearnedCountMinSketch(FrequencyEstimator):
+    """LCMS: unique buckets for predicted heavy hitters + CMS for the rest.
+
+    Parameters
+    ----------
+    total_buckets:
+        Total bucket budget ``b``.  Unique buckets cost 2 bucket-equivalents,
+        so with ``num_heavy_buckets = b_h`` the CMS receives
+        ``b - 2 * b_h`` buckets.
+    num_heavy_buckets:
+        Number of unique buckets reserved for heavy hitters (``b_heavy``).
+    oracle:
+        The heavy-hitter oracle.
+    depth:
+        Depth of the backing Count-Min Sketch.
+    seed:
+        Seed for the CMS hash functions.
+    """
+
+    def __init__(
+        self,
+        total_buckets: int,
+        num_heavy_buckets: int,
+        oracle: HeavyHitterOracle,
+        depth: int = 1,
+        seed: Optional[int] = None,
+    ) -> None:
+        if total_buckets <= 0:
+            raise ValueError("total_buckets must be positive")
+        if num_heavy_buckets < 0:
+            raise ValueError("num_heavy_buckets must be non-negative")
+        random_buckets = total_buckets - 2 * num_heavy_buckets
+        if random_buckets < depth:
+            raise ValueError(
+                "heavy buckets leave too little room for the random sketch: "
+                f"{random_buckets} buckets remain but depth={depth}"
+            )
+        self.total_buckets = total_buckets
+        self.num_heavy_buckets = num_heavy_buckets
+        self.oracle = oracle
+        self._heavy_counts: Dict[Hashable, int] = {}
+        self._sketch = CountMinSketch.from_total_buckets(
+            random_buckets, depth=depth, seed=seed
+        )
+
+    def update(self, element: Element) -> None:
+        if self._route_to_heavy(element):
+            self._heavy_counts[element.key] = self._heavy_counts.get(element.key, 0) + 1
+        else:
+            self._sketch.update(element)
+
+    def estimate(self, element: Element) -> float:
+        if self._route_to_heavy(element):
+            return float(self._heavy_counts.get(element.key, 0))
+        return self._sketch.estimate(element)
+
+    def _route_to_heavy(self, element: Element) -> bool:
+        """Heavy prediction AND room left in the unique-bucket area."""
+        if not self.oracle.is_heavy(element):
+            return False
+        if element.key in self._heavy_counts:
+            return True
+        return len(self._heavy_counts) < self.num_heavy_buckets
+
+    @property
+    def size_bytes(self) -> int:
+        # Unique buckets store ID + count (2x cost); the CMS charges per counter.
+        return (
+            2 * BYTES_PER_BUCKET * self.num_heavy_buckets + self._sketch.size_bytes
+        )
+
+    @property
+    def num_heavy_tracked(self) -> int:
+        """Number of elements currently held in unique buckets."""
+        return len(self._heavy_counts)

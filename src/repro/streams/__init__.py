@@ -1,0 +1,46 @@
+"""Stream model and workload generators.
+
+This subpackage provides the data-stream abstractions used throughout the
+library (:class:`~repro.streams.stream.Element`,
+:class:`~repro.streams.stream.Stream`), plus the two workload generators the
+paper evaluates on:
+
+* :mod:`repro.streams.synthetic` — the group-structured synthetic generator of
+  Section 6.1 (``G`` groups of exponentially increasing sizes, Gaussian
+  features, group arrival probability proportional to ``1/g``).
+* :mod:`repro.streams.querylog` — a synthetic AOL-like search-query log with
+  Zipfian query popularity and realistic query text, standing in for the
+  proprietary AOL dataset used in Section 7.
+"""
+
+from repro.streams.stream import (
+    Element,
+    FrequencyVector,
+    Stream,
+    StreamPrefix,
+    exact_frequencies,
+)
+from repro.streams.zipf import ZipfSampler, zipf_weights
+from repro.streams.synthetic import SyntheticConfig, SyntheticGenerator
+from repro.streams.querylog import (
+    Query,
+    QueryLogConfig,
+    QueryLogGenerator,
+    QueryLogDataset,
+)
+
+__all__ = [
+    "Element",
+    "FrequencyVector",
+    "Stream",
+    "StreamPrefix",
+    "exact_frequencies",
+    "ZipfSampler",
+    "zipf_weights",
+    "SyntheticConfig",
+    "SyntheticGenerator",
+    "Query",
+    "QueryLogConfig",
+    "QueryLogGenerator",
+    "QueryLogDataset",
+]

@@ -1,0 +1,256 @@
+"""Synthetic AOL-like search-query log (substitute for the paper's Section 7 data).
+
+The paper evaluates on the AOL query log: 21 million queries (3.8 million
+unique) over 90 days, whose frequency distribution is Zipfian.  That dataset
+is not redistributable, so this module generates a synthetic query log with
+the same statistical structure:
+
+* **Zipfian popularity.**  Query popularity follows a finite Zipf law whose
+  exponent (default 0.8) matches the rank/frequency pairs quoted in the
+  paper (rank 1 ≈ 251k occurrences over 90 days, rank 10 ≈ 37k, rank 100 ≈
+  5.2k, rank 1000 ≈ 926, rank 10000 ≈ 146).
+* **Realistic query text.**  Head queries are short navigational queries
+  ("google", "www.yahoo.com", ...), while tail queries are longer multi-word
+  phrases, so textual features (length, whitespace count, presence of "www"
+  or "com") correlate with frequency exactly as the paper's feature-importance
+  discussion describes.
+* **Day-over-day persistence.**  The same popularity distribution drives
+  every day, with a configurable per-day churn of brand-new tail queries, so
+  popular queries recur across days (the property that makes the learned
+  scheme effective) while the universe keeps growing.
+
+The generator is seeded and produces day-by-day :class:`~repro.streams.stream.Stream`
+objects on demand, so benchmarks can simulate the 90-day experiment at a
+laptop-friendly scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.streams.stream import Element, FrequencyVector, Stream, StreamPrefix
+from repro.streams.zipf import zipf_weights
+
+__all__ = ["Query", "QueryLogConfig", "QueryLogGenerator", "QueryLogDataset"]
+
+
+# A small vocabulary used to synthesize query text.  Head tokens appear in
+# popular (often navigational) queries; tail tokens build long rare queries.
+_HEAD_SITES = [
+    "google", "yahoo", "myspace", "ebay", "mapquest", "amazon", "craigslist",
+    "weather", "hotmail", "aol", "bankofamerica", "walmart", "target",
+    "youtube", "facebook", "ask", "msn", "netflix", "expedia", "imdb",
+]
+
+_TAIL_TOKENS = [
+    "cheap", "free", "best", "how", "to", "buy", "sale", "used", "new",
+    "reviews", "pictures", "lyrics", "recipes", "hotels", "flights", "games",
+    "movie", "music", "download", "online", "casino", "insurance", "jobs",
+    "homes", "cars", "dogs", "cats", "school", "college", "university",
+    "county", "city", "map", "directions", "phone", "number", "address",
+    "history", "definition", "symptoms", "treatment", "diet", "exercise",
+    "wedding", "baby", "names", "stone", "sharon", "coupons", "codes",
+    "florida", "texas", "california", "york", "chicago", "vegas", "beach",
+]
+
+
+@dataclass(frozen=True)
+class Query:
+    """A unique query with its text and popularity rank (0-based)."""
+
+    rank: int
+    text: str
+
+
+@dataclass
+class QueryLogConfig:
+    """Configuration of the synthetic query log.
+
+    Attributes
+    ----------
+    num_unique_queries:
+        Number of distinct queries in the base universe (the paper has 3.8M;
+        the default is laptop-scale).
+    num_days:
+        Number of days of traffic to simulate (90 in the paper).
+    arrivals_per_day:
+        Number of query arrivals per day.
+    zipf_exponent:
+        Exponent of the Zipfian popularity law (0.8 matches the paper's
+        quoted rank/frequency pairs).
+    daily_churn_fraction:
+        Fraction of each day's arrivals drawn from brand-new tail queries
+        never seen before (models universe growth).
+    seed:
+        Seed for reproducibility.
+    """
+
+    num_unique_queries: int = 20_000
+    num_days: int = 90
+    arrivals_per_day: int = 20_000
+    zipf_exponent: float = 0.8
+    daily_churn_fraction: float = 0.02
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.num_unique_queries <= 0:
+            raise ValueError("num_unique_queries must be positive")
+        if self.num_days <= 0:
+            raise ValueError("num_days must be positive")
+        if self.arrivals_per_day <= 0:
+            raise ValueError("arrivals_per_day must be positive")
+        if not 0 <= self.daily_churn_fraction < 1:
+            raise ValueError("daily_churn_fraction must lie in [0, 1)")
+
+
+class QueryLogGenerator:
+    """Generates the query universe and day-by-day streams."""
+
+    def __init__(self, config: QueryLogConfig) -> None:
+        self.config = config
+        self._rng = np.random.default_rng(config.seed)
+        self._queries = self._build_universe()
+        self._weights = zipf_weights(config.num_unique_queries, config.zipf_exponent)
+        self._cumulative = np.cumsum(self._weights)
+        self._churn_counter = 0
+
+    # ------------------------------------------------------------------
+    # query text synthesis
+    # ------------------------------------------------------------------
+    def _head_text(self, rank: int) -> str:
+        """Text of a popular query: navigational, short, often with www/com."""
+        site = _HEAD_SITES[rank % len(_HEAD_SITES)]
+        style = rank % 3
+        if style == 0:
+            return site
+        if style == 1:
+            return f"www.{site}.com"
+        return f"{site}.com"
+
+    def _tail_text(self, rank: int) -> str:
+        """Text of a rare query: multiple tokens drawn from the tail vocabulary."""
+        rng = np.random.default_rng(rank + 7919)  # deterministic per rank
+        num_tokens = 2 + int(rng.integers(0, 5))
+        tokens = [str(_TAIL_TOKENS[int(t)]) for t in rng.integers(0, len(_TAIL_TOKENS), num_tokens)]
+        if rng.random() < 0.15:
+            tokens.append(f"{int(rng.integers(1950, 2007))}")
+        return " ".join(tokens)
+
+    def _query_text(self, rank: int) -> str:
+        head_cutoff = max(1, self.config.num_unique_queries // 200)
+        if rank < len(_HEAD_SITES) * 3:
+            return self._head_text(rank)
+        if rank < head_cutoff:
+            # Moderately popular: site + one qualifier.
+            site = _HEAD_SITES[rank % len(_HEAD_SITES)]
+            token = _TAIL_TOKENS[rank % len(_TAIL_TOKENS)]
+            return f"{site} {token}"
+        return self._tail_text(rank)
+
+    def _build_universe(self) -> List[Query]:
+        queries: List[Query] = []
+        seen_text: Dict[str, int] = {}
+        for rank in range(self.config.num_unique_queries):
+            text = self._query_text(rank)
+            # Deduplicate identical synthesized texts by appending the rank.
+            if text in seen_text:
+                text = f"{text} {rank}"
+            seen_text[text] = rank
+            queries.append(Query(rank=rank, text=text))
+        return queries
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def queries(self) -> List[Query]:
+        """The base query universe ordered by popularity rank."""
+        return list(self._queries)
+
+    def query_text(self, rank: int) -> str:
+        return self._queries[rank].text
+
+    def popularity_weights(self) -> np.ndarray:
+        """Normalized arrival probability of each base query."""
+        return self._weights.copy()
+
+    # ------------------------------------------------------------------
+    # stream generation
+    # ------------------------------------------------------------------
+    def _element(self, text: str) -> Element:
+        return Element(key=text)
+
+    def _new_churn_query(self) -> str:
+        self._churn_counter += 1
+        rank = self.config.num_unique_queries + self._churn_counter
+        return f"{self._tail_text(rank)} {rank}"
+
+    def generate_day(self, day: int) -> Stream:
+        """Generate one day of query arrivals.
+
+        The ``day`` argument only affects the random draws (all days share
+        the same popularity distribution), so popular queries recur daily.
+        """
+        cfg = self.config
+        num_churn = int(round(cfg.daily_churn_fraction * cfg.arrivals_per_day))
+        num_base = cfg.arrivals_per_day - num_churn
+        uniforms = self._rng.random(num_base)
+        ranks = np.searchsorted(self._cumulative, uniforms, side="right")
+        arrivals = [self._element(self._queries[int(r)].text) for r in ranks]
+        arrivals.extend(
+            self._element(self._new_churn_query()) for _ in range(num_churn)
+        )
+        self._rng.shuffle(arrivals)
+        return Stream(arrivals=arrivals)
+
+    def generate_dataset(self) -> "QueryLogDataset":
+        """Materialize all days into a :class:`QueryLogDataset`."""
+        days = [self.generate_day(day) for day in range(self.config.num_days)]
+        return QueryLogDataset(config=self.config, days=days)
+
+
+@dataclass
+class QueryLogDataset:
+    """A materialized multi-day query log.
+
+    Day 0 plays the role of the observed prefix ``S0`` in the paper's
+    real-data experiments.
+    """
+
+    config: QueryLogConfig
+    days: List[Stream]
+
+    def prefix(self) -> StreamPrefix:
+        """Day 0 as the training prefix."""
+        return StreamPrefix(arrivals=list(self.days[0].arrivals))
+
+    def cumulative_frequencies(self, through_day: int) -> FrequencyVector:
+        """Exact frequencies aggregated over days ``0..through_day`` inclusive."""
+        if not 0 <= through_day < len(self.days):
+            raise ValueError("through_day out of range")
+        freq = FrequencyVector()
+        for day in self.days[: through_day + 1]:
+            for element in day:
+                freq.increment(element.key)
+        return freq
+
+    def arrivals_after_prefix(self, through_day: int):
+        """Iterate over arrivals of days ``1..through_day`` inclusive."""
+        if not 0 <= through_day < len(self.days):
+            raise ValueError("through_day out of range")
+        for day in self.days[1 : through_day + 1]:
+            yield from day
+
+    def queries_seen_by(self, through_day: int) -> List[str]:
+        """Distinct query texts appearing in days ``0..through_day``."""
+        seen = set()
+        ordered: List[str] = []
+        for day in self.days[: through_day + 1]:
+            for element in day:
+                if element.key not in seen:
+                    seen.add(element.key)
+                    ordered.append(element.key)
+        return ordered

@@ -1,0 +1,206 @@
+"""Core stream abstractions.
+
+The paper models the input as an ordered sequence ``S = (u_1, ..., u_|S|)``
+of elements drawn from a finite universe ``U``.  Each element carries a
+unique key (ID) and a feature vector.  The goal of a frequency estimator is,
+at the end of the stream, to answer ``f_u`` — the number of occurrences of
+``u`` in ``S`` — using space much smaller than ``min(|S|, |U|)``.
+
+This module provides light-weight containers for elements, streams, stream
+prefixes, and exact frequency vectors.  They are deliberately simple so the
+estimators (which are the point of the library) stay decoupled from how the
+workloads are produced.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "Element",
+    "Stream",
+    "StreamPrefix",
+    "FrequencyVector",
+    "exact_frequencies",
+]
+
+
+@dataclass(frozen=True)
+class Element:
+    """A single stream element ``u = (k, x)``.
+
+    Parameters
+    ----------
+    key:
+        Unique identifier of the element within the universe.  Any hashable
+        value is accepted (integers for synthetic data, query strings for the
+        query-log workload).
+    features:
+        Feature vector ``x`` associated with the element.  Stored as a tuple
+        of floats so elements remain hashable and immutable.
+    """
+
+    key: Hashable
+    features: tuple = ()
+
+    @staticmethod
+    def with_features(key: Hashable, features: Sequence[float]) -> "Element":
+        """Build an element from any sequence of numeric features."""
+        return Element(key=key, features=tuple(float(v) for v in features))
+
+    def feature_array(self) -> np.ndarray:
+        """Return the features as a 1-D numpy array of floats."""
+        return np.asarray(self.features, dtype=float)
+
+
+class FrequencyVector:
+    """Exact per-key frequency counts with convenience accessors.
+
+    This is the ground-truth object benchmarks compare estimators against.
+    It behaves like a read-mostly mapping from keys to integer counts.
+    """
+
+    def __init__(self, counts: Optional[Dict[Hashable, int]] = None) -> None:
+        self._counts: Counter = Counter(counts or {})
+
+    def increment(self, key: Hashable, amount: int = 1) -> None:
+        """Add ``amount`` occurrences of ``key``."""
+        if amount < 0:
+            raise ValueError("frequency increments must be non-negative")
+        self._counts[key] += amount
+
+    def __getitem__(self, key: Hashable) -> int:
+        return self._counts.get(key, 0)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._counts
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._counts)
+
+    def keys(self):
+        return self._counts.keys()
+
+    def items(self):
+        return self._counts.items()
+
+    def values(self):
+        return self._counts.values()
+
+    @property
+    def total(self) -> int:
+        """Total number of stream arrivals recorded (the L1 norm)."""
+        return sum(self._counts.values())
+
+    def most_common(self, k: Optional[int] = None) -> List[tuple]:
+        """Return the ``k`` most frequent ``(key, count)`` pairs."""
+        return self._counts.most_common(k)
+
+    def copy(self) -> "FrequencyVector":
+        return FrequencyVector(dict(self._counts))
+
+    def as_dict(self) -> Dict[Hashable, int]:
+        return dict(self._counts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"FrequencyVector(unique={len(self)}, total={self.total})"
+
+
+def exact_frequencies(elements: Iterable[Element]) -> FrequencyVector:
+    """Compute the exact frequency vector of a sequence of elements."""
+    freq = FrequencyVector()
+    for element in elements:
+        freq.increment(element.key)
+    return freq
+
+
+@dataclass
+class Stream:
+    """An ordered, finite sequence of :class:`Element` arrivals.
+
+    The stream also records the universe of *distinct* elements so callers
+    can ask for features of elements that never arrive (needed when we query
+    estimators about unseen elements).
+    """
+
+    arrivals: List[Element] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.arrivals)
+
+    def __iter__(self) -> Iterator[Element]:
+        return iter(self.arrivals)
+
+    def __getitem__(self, index):
+        return self.arrivals[index]
+
+    def append(self, element: Element) -> None:
+        self.arrivals.append(element)
+
+    def extend(self, elements: Iterable[Element]) -> None:
+        self.arrivals.extend(elements)
+
+    def prefix(self, length: int) -> "StreamPrefix":
+        """Return the first ``length`` arrivals as a :class:`StreamPrefix`."""
+        if length < 0:
+            raise ValueError("prefix length must be non-negative")
+        return StreamPrefix(arrivals=list(self.arrivals[:length]))
+
+    def suffix(self, start: int) -> "Stream":
+        """Return the arrivals from position ``start`` onwards."""
+        return Stream(arrivals=list(self.arrivals[start:]))
+
+    def frequencies(self) -> FrequencyVector:
+        """Exact frequencies over the whole stream."""
+        return exact_frequencies(self.arrivals)
+
+    def distinct_elements(self) -> List[Element]:
+        """Distinct elements in arrival order of first appearance."""
+        seen = set()
+        distinct: List[Element] = []
+        for element in self.arrivals:
+            if element.key not in seen:
+                seen.add(element.key)
+                distinct.append(element)
+        return distinct
+
+    def distinct_keys(self) -> List[Hashable]:
+        return [element.key for element in self.distinct_elements()]
+
+
+class StreamPrefix(Stream):
+    """The observed prefix ``S0`` used to train the hashing scheme.
+
+    A prefix is just a stream with convenience accessors for the quantities
+    the learning phase needs: the set ``U0`` of distinct prefix elements, the
+    empirical frequency vector ``f0``, and aligned arrays of keys, features
+    and frequencies for the optimizers.
+    """
+
+    def empirical_frequencies(self) -> FrequencyVector:
+        """Alias of :meth:`Stream.frequencies` named as in the paper (f0)."""
+        return self.frequencies()
+
+    def training_arrays(self):
+        """Return ``(keys, features, frequencies)`` aligned arrays.
+
+        ``features`` is an ``(n, p)`` float array and ``frequencies`` an
+        ``(n,)`` float array, both ordered consistently with ``keys``.
+        Elements with zero-length features yield a ``(n, 0)`` feature matrix.
+        """
+        freq = self.empirical_frequencies()
+        distinct = self.distinct_elements()
+        keys = [element.key for element in distinct]
+        frequencies = np.array([float(freq[key]) for key in keys])
+        if distinct and len(distinct[0].features) > 0:
+            features = np.array([element.feature_array() for element in distinct])
+        else:
+            features = np.zeros((len(distinct), 0))
+        return keys, features, frequencies

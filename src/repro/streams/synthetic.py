@@ -1,0 +1,202 @@
+"""Synthetic workload generator (paper Section 6.1).
+
+The generator is parameterized by a positive integer ``G``:
+
+* ``G`` groups of elements of exponentially increasing sizes
+  ``2^(G0+1), ..., 2^(G0+G)`` (``G0 = 2`` in the paper's experiments).
+* Each group ``g`` is associated with a ``p``-dimensional Gaussian
+  ``N(mu_g, I)`` whose mean is drawn uniformly from ``[-10, 10]^p``;
+  each element's features are one draw from its group's Gaussian.
+* Arrivals first pick a group with probability proportional to ``1/g`` and
+  then an element uniformly within the group, so small groups contain the
+  heavy hitters.
+* When the *prefix* is generated, only a fraction ``g0`` of each group's
+  elements is eligible to appear, mimicking elements that only show up later
+  in the stream.
+* The prefix length defaults to ``10 * 2^G`` as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.streams.stream import Element, Stream, StreamPrefix
+
+__all__ = ["SyntheticConfig", "SyntheticGenerator"]
+
+
+@dataclass
+class SyntheticConfig:
+    """Configuration of the group-structured synthetic workload.
+
+    Attributes
+    ----------
+    num_groups:
+        The parameter ``G`` controlling the problem size.
+    smallest_group_exponent:
+        The parameter ``G0``; the smallest group has ``2^(G0+1)`` elements.
+    feature_dim:
+        Dimension ``p`` of the Gaussian features (2 in the paper).
+    fraction_seen:
+        Fraction ``g0`` of each group's elements allowed to appear in the
+        prefix.
+    feature_box_halfwidth:
+        Group means are drawn uniformly from ``[-halfwidth, halfwidth]^p``.
+    seed:
+        Seed for reproducibility.
+    """
+
+    num_groups: int = 6
+    smallest_group_exponent: int = 2
+    feature_dim: int = 2
+    fraction_seen: float = 0.5
+    feature_box_halfwidth: float = 10.0
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.num_groups <= 0:
+            raise ValueError("num_groups must be positive")
+        if self.smallest_group_exponent < 0:
+            raise ValueError("smallest_group_exponent must be non-negative")
+        if not 0 < self.fraction_seen <= 1:
+            raise ValueError("fraction_seen must lie in (0, 1]")
+        if self.feature_dim <= 0:
+            raise ValueError("feature_dim must be positive")
+
+    @property
+    def group_sizes(self) -> List[int]:
+        """Sizes ``2^(G0+1), ..., 2^(G0+G)`` of the element groups."""
+        base = self.smallest_group_exponent
+        return [2 ** (base + g) for g in range(1, self.num_groups + 1)]
+
+    @property
+    def universe_size(self) -> int:
+        return sum(self.group_sizes)
+
+    @property
+    def default_prefix_length(self) -> int:
+        """The paper's choice ``|S0| = 10 * 2^G``."""
+        return 10 * (2 ** self.num_groups)
+
+
+class SyntheticGenerator:
+    """Generates element universes, prefixes and streams per Section 6.1."""
+
+    def __init__(self, config: SyntheticConfig) -> None:
+        self.config = config
+        self._rng = np.random.default_rng(config.seed)
+        self._build_universe()
+
+    # ------------------------------------------------------------------
+    # universe construction
+    # ------------------------------------------------------------------
+    def _build_universe(self) -> None:
+        cfg = self.config
+        self.group_means = self._rng.uniform(
+            -cfg.feature_box_halfwidth,
+            cfg.feature_box_halfwidth,
+            size=(cfg.num_groups, cfg.feature_dim),
+        )
+        self._elements: List[Element] = []
+        self._group_of_key: List[int] = []
+        group_slices = []
+        next_key = 0
+        for group_index, size in enumerate(cfg.group_sizes):
+            features = self._rng.normal(
+                loc=self.group_means[group_index], scale=1.0, size=(size, cfg.feature_dim)
+            )
+            start = next_key
+            for row in features:
+                self._elements.append(Element.with_features(next_key, row))
+                self._group_of_key.append(group_index)
+                next_key += 1
+            group_slices.append((start, next_key))
+        self._group_slices = group_slices
+        # Group arrival probability proportional to 1/g (1-indexed groups).
+        raw = np.array([1.0 / (g + 1) for g in range(cfg.num_groups)])
+        self._group_probabilities = raw / raw.sum()
+
+    @property
+    def universe(self) -> List[Element]:
+        """All elements of the universe, keyed ``0..|U|-1``."""
+        return list(self._elements)
+
+    @property
+    def group_probabilities(self) -> np.ndarray:
+        return self._group_probabilities.copy()
+
+    def group_of(self, key: int) -> int:
+        """Return the group index of an element key."""
+        return self._group_of_key[key]
+
+    def group_members(self, group_index: int) -> List[Element]:
+        start, end = self._group_slices[group_index]
+        return self._elements[start:end]
+
+    # ------------------------------------------------------------------
+    # stream generation
+    # ------------------------------------------------------------------
+    def _sample_arrivals(
+        self,
+        length: int,
+        eligible_per_group: Sequence[np.ndarray],
+    ) -> List[Element]:
+        """Sample arrivals by first picking a group, then a uniform element."""
+        group_draws = self._rng.choice(
+            self.config.num_groups, size=length, p=self._group_probabilities
+        )
+        arrivals: List[Element] = []
+        for group_index in group_draws:
+            members = eligible_per_group[group_index]
+            key = int(members[self._rng.integers(len(members))])
+            arrivals.append(self._elements[key])
+        return arrivals
+
+    def _all_keys_per_group(self) -> List[np.ndarray]:
+        return [
+            np.arange(start, end) for start, end in self._group_slices
+        ]
+
+    def _prefix_keys_per_group(self) -> List[np.ndarray]:
+        """Restrict each group to the fraction ``g0`` eligible for the prefix."""
+        eligible = []
+        for start, end in self._group_slices:
+            keys = np.arange(start, end)
+            count = max(1, int(round(self.config.fraction_seen * len(keys))))
+            chosen = self._rng.choice(keys, size=count, replace=False)
+            eligible.append(np.sort(chosen))
+        return eligible
+
+    def generate_prefix(self, length: Optional[int] = None) -> StreamPrefix:
+        """Generate the observed prefix ``S0``.
+
+        Only a fraction ``g0`` of each group is eligible to appear.
+        """
+        if length is None:
+            length = self.config.default_prefix_length
+        eligible = self._prefix_keys_per_group()
+        self._last_prefix_eligible = eligible
+        arrivals = self._sample_arrivals(length, eligible)
+        return StreamPrefix(arrivals=arrivals)
+
+    def generate_stream(self, length: int) -> Stream:
+        """Generate a post-prefix stream where every element may appear."""
+        arrivals = self._sample_arrivals(length, self._all_keys_per_group())
+        return Stream(arrivals=arrivals)
+
+    def generate_prefix_and_stream(
+        self,
+        prefix_length: Optional[int] = None,
+        stream_multiplier: int = 10,
+    ):
+        """Generate ``(S0, S_rest)`` with ``|S_rest| = multiplier * |S0|``.
+
+        This mirrors the paper's experiments that evaluate unseen-element
+        error after ``|S| = 10 |S0|`` arrivals.
+        """
+        prefix = self.generate_prefix(prefix_length)
+        stream = self.generate_stream(stream_multiplier * len(prefix))
+        return prefix, stream

@@ -1,0 +1,75 @@
+"""Zipfian popularity distributions.
+
+Search-query and network workloads are heavy-tailed; the paper (and the
+Learned CMS paper it builds on) model them as Zipfian.  This module provides
+a small, seedable Zipf sampler over a *finite* support of ranks, which both
+the query-log generator and several tests use.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["zipf_weights", "ZipfSampler"]
+
+
+def zipf_weights(num_items: int, exponent: float = 1.0) -> np.ndarray:
+    """Return normalized Zipf probabilities for ranks ``1..num_items``.
+
+    ``p_r ∝ 1 / r^exponent``.  The returned vector sums to one.
+    """
+    if num_items <= 0:
+        raise ValueError("num_items must be positive")
+    if exponent < 0:
+        raise ValueError("exponent must be non-negative")
+    ranks = np.arange(1, num_items + 1, dtype=float)
+    weights = ranks ** (-exponent)
+    return weights / weights.sum()
+
+
+class ZipfSampler:
+    """Sample ranks from a finite Zipf distribution.
+
+    Parameters
+    ----------
+    num_items:
+        Size of the support (ranks ``0..num_items-1`` are returned).
+    exponent:
+        Zipf exponent; ``1.0`` gives the classic harmonic decay.
+    rng:
+        Optional numpy random generator for reproducibility.
+    """
+
+    def __init__(
+        self,
+        num_items: int,
+        exponent: float = 1.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        self.num_items = num_items
+        self.exponent = exponent
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self._weights = zipf_weights(num_items, exponent)
+        self._cumulative = np.cumsum(self._weights)
+
+    @property
+    def weights(self) -> np.ndarray:
+        """Normalized probability of each rank (rank 0 is the most popular)."""
+        return self._weights.copy()
+
+    def expected_counts(self, num_arrivals: int) -> np.ndarray:
+        """Expected number of occurrences of each rank in ``num_arrivals``."""
+        return self._weights * num_arrivals
+
+    def sample(self, size: int) -> np.ndarray:
+        """Draw ``size`` ranks (0-based) i.i.d. from the distribution."""
+        if size < 0:
+            raise ValueError("size must be non-negative")
+        uniforms = self._rng.random(size)
+        return np.searchsorted(self._cumulative, uniforms, side="right")
+
+    def sample_one(self) -> int:
+        """Draw a single rank."""
+        return int(self.sample(1)[0])

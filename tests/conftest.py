@@ -1,0 +1,74 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.streams.stream import Element, Stream, StreamPrefix
+from repro.streams.synthetic import SyntheticConfig, SyntheticGenerator
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_frequencies() -> np.ndarray:
+    """A tiny frequency vector with three clear groups."""
+    return np.array([1.0, 2.0, 3.0, 10.0, 11.0, 12.0, 50.0, 52.0])
+
+
+@pytest.fixture
+def small_features() -> np.ndarray:
+    """Features matching ``small_frequencies``: co-frequent elements are close."""
+    return np.array(
+        [
+            [0.0, 0.0],
+            [0.1, 0.0],
+            [0.0, 0.1],
+            [5.0, 5.0],
+            [5.1, 5.0],
+            [5.0, 5.1],
+            [10.0, 0.0],
+            [10.1, 0.0],
+        ]
+    )
+
+
+@pytest.fixture
+def small_generator() -> SyntheticGenerator:
+    """A small synthetic workload (G=4) used across integration-ish tests."""
+    return SyntheticGenerator(SyntheticConfig(num_groups=4, fraction_seen=0.5, seed=7))
+
+
+@pytest.fixture
+def small_prefix(small_generator) -> StreamPrefix:
+    return small_generator.generate_prefix(200)
+
+
+@pytest.fixture
+def toy_prefix() -> StreamPrefix:
+    """A hand-built prefix with known frequencies and 1-D features."""
+    elements = {
+        "a": Element.with_features("a", [0.0]),
+        "b": Element.with_features("b", [0.1]),
+        "c": Element.with_features("c", [5.0]),
+        "d": Element.with_features("d", [5.1]),
+    }
+    arrivals = (
+        [elements["a"]] * 6
+        + [elements["b"]] * 5
+        + [elements["c"]] * 1
+        + [elements["d"]] * 2
+    )
+    return StreamPrefix(arrivals=arrivals)
+
+
+@pytest.fixture
+def toy_stream(toy_prefix) -> Stream:
+    """A follow-up stream re-using the toy prefix elements plus one unseen."""
+    unseen = Element.with_features("e", [5.2])
+    arrivals = list(toy_prefix.arrivals) + [unseen] * 3
+    return Stream(arrivals=arrivals)

@@ -1,0 +1,131 @@
+"""Tests for the static and adaptive opt-hash estimators."""
+
+import numpy as np
+import pytest
+
+from repro.core.estimator import AdaptiveOptHashEstimator, OptHashEstimator
+from repro.core.scheme import OptHashScheme
+from repro.ml.tree import DecisionTreeClassifier
+from repro.sketches.base import BYTES_PER_BUCKET
+from repro.streams.stream import Element
+
+
+def make_scheme(with_classifier=True):
+    """Two buckets: 'light' elements in bucket 0, 'heavy' elements in bucket 1."""
+    classifier = None
+    if with_classifier:
+        X = np.array([[0.0], [1.0], [9.0], [10.0]])
+        y = np.array([0, 0, 1, 1])
+        classifier = DecisionTreeClassifier(max_depth=1).fit(X, y)
+    return OptHashScheme(
+        num_buckets=2,
+        key_to_bucket={"l1": 0, "l2": 0, "h1": 1, "h2": 1},
+        classifier=classifier,
+    )
+
+
+INITIAL = {"l1": 2.0, "l2": 4.0, "h1": 100.0, "h2": 104.0}
+
+
+class TestOptHashEstimator:
+    def test_initial_estimates_are_bucket_averages(self):
+        estimator = OptHashEstimator(make_scheme(), initial_frequencies=INITIAL)
+        assert estimator.estimate(Element(key="l1")) == pytest.approx(3.0)
+        assert estimator.estimate(Element(key="h2")) == pytest.approx(102.0)
+
+    def test_update_increments_only_seen_elements(self):
+        estimator = OptHashEstimator(make_scheme(), initial_frequencies=INITIAL)
+        estimator.update(Element(key="l1"))
+        estimator.update(Element(key="l1"))
+        # Two more arrivals shared between the 2 elements of bucket 0.
+        assert estimator.estimate(Element(key="l2")) == pytest.approx(4.0)
+        # Arrivals of unseen elements are ignored by the static estimator.
+        estimator.update(Element.with_features("unknown", [0.0]))
+        assert estimator.estimate(Element(key="l2")) == pytest.approx(4.0)
+
+    def test_unseen_query_routed_by_classifier(self):
+        estimator = OptHashEstimator(make_scheme(), initial_frequencies=INITIAL)
+        heavy_looking = Element.with_features("new-heavy", [9.5])
+        light_looking = Element.with_features("new-light", [0.5])
+        assert estimator.estimate(heavy_looking) == pytest.approx(102.0)
+        assert estimator.estimate(light_looking) == pytest.approx(3.0)
+
+    def test_initial_frequencies_for_unknown_key_rejected(self):
+        with pytest.raises(ValueError):
+            OptHashEstimator(make_scheme(), initial_frequencies={"not-in-scheme": 1.0})
+
+    def test_without_initial_frequencies_counts_start_at_zero(self):
+        estimator = OptHashEstimator(make_scheme())
+        assert estimator.estimate(Element(key="l1")) == 0.0
+        estimator.update(Element(key="l1"))
+        # One arrival averaged over the two stored elements of bucket 0.
+        assert estimator.estimate(Element(key="l1")) == pytest.approx(0.5)
+
+    def test_size_accounts_for_buckets_and_stored_ids(self):
+        estimator = OptHashEstimator(make_scheme(), initial_frequencies=INITIAL)
+        assert estimator.size_bytes == BYTES_PER_BUCKET * (2 + 4)
+        bare = OptHashEstimator(
+            make_scheme(), initial_frequencies=INITIAL, count_stored_ids=False
+        )
+        assert bare.size_bytes == BYTES_PER_BUCKET * 2
+
+    def test_bucket_introspection(self):
+        estimator = OptHashEstimator(make_scheme(), initial_frequencies=INITIAL)
+        np.testing.assert_allclose(estimator.bucket_totals, [6.0, 204.0])
+        np.testing.assert_allclose(estimator.bucket_counts, [2.0, 2.0])
+        assert estimator.bucket_average(1) == pytest.approx(102.0)
+
+    def test_empty_bucket_estimates_zero(self):
+        scheme = OptHashScheme(num_buckets=3, key_to_bucket={"a": 0})
+        estimator = OptHashEstimator(scheme, initial_frequencies={"a": 5.0})
+        # Bucket 2 has no elements; an element routed there estimates 0.
+        assert estimator.bucket_average(2) == 0.0
+
+
+class TestAdaptiveOptHashEstimator:
+    def test_prefix_elements_marked_seen(self):
+        estimator = AdaptiveOptHashEstimator(
+            make_scheme(), initial_frequencies=INITIAL, seed=0
+        )
+        assert estimator.estimate(Element(key="l1")) == pytest.approx(3.0)
+
+    def test_unseen_element_estimates_zero_until_it_arrives(self):
+        estimator = AdaptiveOptHashEstimator(
+            make_scheme(), initial_frequencies=INITIAL, seed=0
+        )
+        newcomer = Element.with_features("newcomer", [0.3])
+        assert estimator.estimate(newcomer) == 0.0
+        estimator.update(newcomer)
+        assert estimator.estimate(newcomer) > 0.0
+
+    def test_first_arrival_grows_element_count(self):
+        estimator = AdaptiveOptHashEstimator(
+            make_scheme(), initial_frequencies=INITIAL, seed=0
+        )
+        newcomer = Element.with_features("newcomer", [0.3])
+        before = estimator.bucket_counts[0]
+        estimator.update(newcomer)
+        estimator.update(newcomer)
+        after = estimator.bucket_counts[0]
+        assert after == before + 1  # counted once, not twice
+
+    def test_every_arrival_increments_bucket_total(self):
+        estimator = AdaptiveOptHashEstimator(
+            make_scheme(), initial_frequencies=INITIAL, seed=0
+        )
+        before = estimator.bucket_totals[1]
+        estimator.update(Element(key="h1"))
+        estimator.update(Element.with_features("new-heavy", [9.9]))
+        after = estimator.bucket_totals[1]
+        assert after == before + 2
+
+    def test_size_includes_bloom_filter(self):
+        estimator = AdaptiveOptHashEstimator(
+            make_scheme(), initial_frequencies=INITIAL, bloom_bits=8000, seed=0
+        )
+        assert estimator.size_bytes >= 8000 // 8
+
+    def test_without_initial_frequencies_prefix_keys_still_seen(self):
+        estimator = AdaptiveOptHashEstimator(make_scheme(), seed=0)
+        assert "l1" in estimator.bloom_filter
+        assert estimator.bucket_counts.sum() == 4

@@ -1,0 +1,79 @@
+"""Tests for the streaming error metrics."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.metrics import (
+    assignment_errors,
+    average_absolute_error,
+    errors_over_elements,
+    expected_magnitude_error,
+)
+from repro.optimize.objective import BucketAssignment
+from repro.sketches.base import ExactCounter
+from repro.streams.stream import Element, FrequencyVector
+
+
+class TestErrorsOverElements:
+    def test_perfect_estimates_give_zero_errors(self):
+        truth = {"a": 10.0, "b": 5.0}
+        average, expected = errors_over_elements(truth, dict(truth))
+        assert average == 0.0
+        assert expected == 0.0
+
+    def test_hand_computed_values(self):
+        truth = {"a": 10.0, "b": 2.0}
+        estimates = {"a": 13.0, "b": 1.0}
+        average, expected = errors_over_elements(truth, estimates)
+        assert average == pytest.approx((3 + 1) / 2)
+        assert expected == pytest.approx((10 * 3 + 2 * 1) / 12)
+
+    def test_missing_estimates_treated_as_zero(self):
+        truth = {"a": 4.0}
+        average, expected = errors_over_elements(truth, {})
+        assert average == 4.0
+        assert expected == 4.0
+
+    def test_expected_error_weighs_heavy_elements_more(self):
+        truth = {"heavy": 100.0, "light": 1.0}
+        # Same absolute error on both elements.
+        estimates = {"heavy": 110.0, "light": 11.0}
+        average, expected = errors_over_elements(truth, estimates)
+        assert average == pytest.approx(10.0)
+        assert expected == pytest.approx((100 * 10 + 1 * 10) / 101)
+
+    def test_empty_truth_rejected(self):
+        with pytest.raises(ValueError):
+            errors_over_elements({}, {})
+
+
+class TestEstimatorMetrics:
+    def test_exact_counter_has_zero_error(self):
+        counter = ExactCounter()
+        truth = FrequencyVector()
+        for key, count in [("a", 3), ("b", 7)]:
+            for _ in range(count):
+                counter.update(Element(key=key))
+                truth.increment(key)
+        assert average_absolute_error(counter, truth) == 0.0
+        assert expected_magnitude_error(counter, truth) == 0.0
+
+    def test_element_lookup_passes_features_through(self):
+        class FeatureSensitive(ExactCounter):
+            def estimate(self, element):
+                return float(len(element.features))
+
+        estimator = FeatureSensitive()
+        truth = FrequencyVector({"a": 2})
+        lookup = {"a": Element.with_features("a", [1.0, 2.0])}
+        assert average_absolute_error(estimator, truth, element_lookup=lookup) == 0.0
+
+
+class TestAssignmentErrors:
+    def test_wraps_objective_evaluation(self, small_frequencies, small_features):
+        assignment = BucketAssignment(labels=[0, 0, 0, 1, 1, 1, 2, 2], num_buckets=3)
+        value = assignment_errors(small_frequencies, small_features, assignment, 0.7)
+        assert value.lam == 0.7
+        assert value.overall == pytest.approx(
+            0.7 * value.estimation + 0.3 * value.similarity
+        )

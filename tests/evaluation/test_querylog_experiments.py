@@ -1,0 +1,164 @@
+"""Tests for the query-log experiment runners (Figures 7-8, Table 1).
+
+Again at tiny scale: a handful of days, a few hundred unique queries, small
+memory budgets — enough to verify the mechanics and the qualitative ordering
+(opt-hash beats count-min at small sizes on Zipfian data).
+"""
+
+import pytest
+
+from repro.evaluation.querylog_experiments import (
+    EstimatorSpec,
+    build_estimator,
+    default_opt_hash_options,
+    run_error_vs_size,
+    run_error_vs_time,
+    run_rank_error_table,
+)
+from repro.sketches.count_min import CountMinSketch
+from repro.sketches.learned_cms import LearnedCountMinSketch
+from repro.core.estimator import OptHashEstimator
+from repro.streams.querylog import QueryLogConfig, QueryLogGenerator
+
+
+TINY_OPT_HASH = {
+    "ratio": 0.3,
+    "lam": 1.0,
+    "solver": "dp",
+    "classifier": "cart",
+    "classifier_options": {"max_depth": 8},
+    "vocabulary_size": 50,
+}
+
+
+@pytest.fixture(scope="module")
+def tiny_dataset():
+    config = QueryLogConfig(
+        num_unique_queries=300,
+        num_days=4,
+        arrivals_per_day=1500,
+        zipf_exponent=0.8,
+        daily_churn_fraction=0.02,
+        seed=0,
+    )
+    return QueryLogGenerator(config).generate_dataset()
+
+
+class TestBuildEstimator:
+    def test_count_min_budget(self, tiny_dataset):
+        estimator = build_estimator(
+            EstimatorSpec("count-min", {"depth": 2}), 1.0, tiny_dataset, seed=0
+        )
+        assert isinstance(estimator, CountMinSketch)
+        assert estimator.size_kb == pytest.approx(1.0, rel=0.01)
+
+    def test_heavy_hitter_requires_oracle(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            build_estimator(EstimatorSpec("heavy-hitter", {}), 1.0, tiny_dataset, seed=0)
+
+    def test_heavy_hitter_built_with_oracle(self, tiny_dataset):
+        truth = dict(tiny_dataset.cumulative_frequencies(3).items())
+        estimator = build_estimator(
+            EstimatorSpec("heavy-hitter", {"depth": 1, "num_heavy_buckets": 10}),
+            1.0,
+            tiny_dataset,
+            oracle_frequencies=truth,
+            seed=0,
+        )
+        assert isinstance(estimator, LearnedCountMinSketch)
+        assert estimator.size_kb <= 1.01
+
+    def test_opt_hash_trained_on_prefix(self, tiny_dataset):
+        estimator = build_estimator(
+            EstimatorSpec("opt-hash", TINY_OPT_HASH), 1.0, tiny_dataset, seed=0
+        )
+        assert isinstance(estimator, OptHashEstimator)
+        # Memory accounting: stored IDs + buckets stay within ~1 KB.
+        assert estimator.size_kb == pytest.approx(1.0, rel=0.05)
+
+    def test_unknown_method_rejected(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            build_estimator(EstimatorSpec("magic", {}), 1.0, tiny_dataset, seed=0)
+
+    def test_default_options_complete(self):
+        options = default_opt_hash_options()
+        assert {"ratio", "lam", "solver", "classifier"} <= set(options)
+
+
+class TestRunErrorVsSize:
+    @pytest.fixture(scope="class")
+    def result(self, tiny_dataset):
+        return run_error_vs_size(
+            tiny_dataset,
+            sizes_kb=(0.5, 2.0),
+            checkpoint_days=(1, 3),
+            methods=("count-min", "opt-hash"),
+            count_min_depths=(1, 2),
+            opt_hash_options=TINY_OPT_HASH,
+            seed=0,
+        )
+
+    def test_metrics_for_each_checkpoint(self, result):
+        assert "average_error_day_1" in result.metrics
+        assert "expected_error_day_3" in result.metrics
+
+    def test_every_method_has_a_point_per_size(self, result):
+        for metric in result.metrics.values():
+            for series in metric.values():
+                assert [point.x for point in series] == [0.5, 2.0]
+
+    def test_errors_decrease_with_memory_for_count_min(self, result):
+        series = result.metrics["average_error_day_3"]["count-min"]
+        assert series[1].mean <= series[0].mean * 1.5
+
+    def test_opt_hash_beats_count_min_at_small_sizes(self, result):
+        opt = result.metrics["average_error_day_3"]["opt-hash"][0].mean
+        cms = result.metrics["average_error_day_3"]["count-min"][0].mean
+        assert opt < cms
+
+
+class TestRunErrorVsTime:
+    def test_series_over_days(self, tiny_dataset):
+        result = run_error_vs_time(
+            tiny_dataset,
+            sizes_kb=(1.0,),
+            checkpoint_days=(1, 2, 3),
+            methods=("count-min", "opt-hash"),
+            count_min_depths=(1,),
+            opt_hash_options=TINY_OPT_HASH,
+            seed=0,
+        )
+        series = result.metrics["average_error_1.0kb"]["count-min"]
+        assert [point.x for point in series] == [1, 2, 3]
+        # More days of traffic means larger absolute error for the sketch.
+        assert series[-1].mean >= series[0].mean
+
+
+class TestRankErrorTable:
+    def test_requested_ranks_reported(self, tiny_dataset):
+        result = run_rank_error_table(
+            tiny_dataset,
+            size_kb=2.0,
+            ranks=(1, 10, 100, 10_000),
+            opt_hash_options=TINY_OPT_HASH,
+            seed=0,
+        )
+        xs = [point.x for point in result.metrics["error_percentage"]["opt-hash"]]
+        # Rank 10000 exceeds the tiny universe and is skipped.
+        assert xs == [1, 10, 100]
+        frequencies = result.series_means("query_frequency", "opt-hash")
+        assert frequencies[0] >= frequencies[1] >= frequencies[2]
+
+    def test_head_queries_estimated_accurately(self, tiny_dataset):
+        result = run_rank_error_table(
+            tiny_dataset,
+            size_kb=2.0,
+            ranks=(1, 100),
+            opt_hash_options=TINY_OPT_HASH,
+            seed=0,
+        )
+        percentages = result.series_means("error_percentage", "opt-hash")
+        # The most frequent query is estimated within a modest relative error,
+        # and more accurately than the rank-100 query (as in Table 1).
+        assert percentages[0] < 50.0
+        assert percentages[0] <= percentages[1] + 1e-9

@@ -1,0 +1,48 @@
+"""Tests for the experiment result containers."""
+
+import pytest
+
+from repro.evaluation.results import ExperimentResult, SeriesPoint
+
+
+class TestExperimentResult:
+    def test_add_point_computes_mean_and_std(self):
+        result = ExperimentResult(name="demo", x_label="x")
+        result.add_point("error", "bcd", 1.0, [2.0, 4.0])
+        (point,) = result.series("error", "bcd")
+        assert point == SeriesPoint(x=1.0, mean=3.0, std=1.0)
+
+    def test_empty_values_rejected(self):
+        result = ExperimentResult(name="demo", x_label="x")
+        with pytest.raises(ValueError):
+            result.add_point("error", "bcd", 1.0, [])
+
+    def test_series_means_in_insertion_order(self):
+        result = ExperimentResult(name="demo", x_label="x")
+        result.add_point("error", "dp", 1.0, [1.0])
+        result.add_point("error", "dp", 2.0, [5.0])
+        assert result.series_means("error", "dp") == [1.0, 5.0]
+
+    def test_render_contains_all_series_and_x_values(self):
+        result = ExperimentResult(name="Figure X", x_label="lambda")
+        result.add_point("overall_error", "bcd", 0.5, [10.0, 12.0])
+        result.add_point("overall_error", "milp", 0.5, [9.0])
+        result.add_point("elapsed_time", "bcd", 0.5, [0.1])
+        text = result.render()
+        assert "Figure X" in text
+        assert "overall_error" in text
+        assert "elapsed_time" in text
+        assert "bcd (mean)" in text
+        assert "milp (mean)" in text
+        assert "0.5" in text
+
+    def test_render_handles_missing_cells(self):
+        result = ExperimentResult(name="demo", x_label="x")
+        result.add_point("error", "a", 1.0, [1.0])
+        result.add_point("error", "b", 2.0, [2.0])
+        text = result.render()
+        assert "-" in text  # the (a, x=2) and (b, x=1) cells are missing
+
+    def test_metadata_round_trip(self):
+        result = ExperimentResult(name="demo", x_label="x", metadata={"G": 6})
+        assert result.metadata["G"] == 6

@@ -1,0 +1,143 @@
+"""Tests for the synthetic-data experiment runners (Figures 1-6).
+
+The runners are exercised at tiny scales: the goal here is to verify their
+mechanics (series produced, shapes consistent, qualitative relationships),
+not to reproduce the paper's numbers — that is what ``benchmarks/`` does.
+"""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.synthetic_experiments import (
+    run_bcd_stability,
+    run_bcd_vs_dp,
+    run_classifier_comparison,
+    run_fraction_seen,
+    run_lambda_sweep,
+    run_visualization_experiment,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_lambda_sweep():
+    return run_lambda_sweep(
+        lambdas=(0.0, 1.0),
+        solvers=("bcd", "dp"),
+        num_groups=3,
+        num_buckets=4,
+        prefix_length=120,
+        num_repetitions=2,
+        seed=0,
+    )
+
+
+class TestVisualizationExperiment:
+    def test_shapes_and_ranges(self):
+        result = run_visualization_experiment(
+            num_groups=3, prefix_length=150, num_buckets=4, seed=0
+        )
+        assert result.seen_features.shape[1] == 2
+        assert len(result.seen_buckets) == len(result.seen_frequencies)
+        assert result.unseen_features.shape[0] == len(result.unseen_buckets)
+        assert result.seen_buckets.max() < 4
+        assert result.unseen_buckets.max() < 4
+
+    def test_bucket_summary_counts_all_seen_elements(self):
+        result = run_visualization_experiment(
+            num_groups=3, prefix_length=150, num_buckets=4, seed=1
+        )
+        assert sum(result.bucket_summary().values()) == len(result.seen_buckets)
+
+    def test_seen_and_unseen_partition_the_universe(self):
+        result = run_visualization_experiment(
+            num_groups=3, prefix_length=150, num_buckets=4, seed=2
+        )
+        total = len(result.seen_buckets) + len(result.unseen_buckets)
+        # G=3 with G0=2 gives 8+16+32=56 elements.
+        assert total == 56
+
+
+class TestLambdaSweep:
+    def test_all_metrics_and_series_present(self, tiny_lambda_sweep):
+        assert set(tiny_lambda_sweep.metrics) == {
+            "prefix_estimation_error",
+            "prefix_similarity_error",
+            "prefix_overall_error",
+            "elapsed_time",
+        }
+        for metric in tiny_lambda_sweep.metrics.values():
+            assert set(metric) == {"bcd", "dp"}
+
+    def test_each_series_covers_every_lambda(self, tiny_lambda_sweep):
+        for series in tiny_lambda_sweep.metrics["prefix_overall_error"].values():
+            assert [point.x for point in series] == [0.0, 1.0]
+
+    def test_dp_estimation_error_at_most_bcd_at_lambda_one(self, tiny_lambda_sweep):
+        bcd = tiny_lambda_sweep.metrics["prefix_estimation_error"]["bcd"]
+        dp = tiny_lambda_sweep.metrics["prefix_estimation_error"]["dp"]
+        bcd_at_one = [p for p in bcd if p.x == 1.0][0]
+        dp_at_one = [p for p in dp if p.x == 1.0][0]
+        # dp is exact for the lambda=1 estimation error.
+        assert dp_at_one.mean <= bcd_at_one.mean + 1e-6
+
+
+class TestBcdVsDp:
+    def test_series_and_optimality(self):
+        result = run_bcd_vs_dp(
+            group_range=(3, 4), num_buckets=4, num_repetitions=2, seed=0
+        )
+        dp_series = result.metrics["prefix_estimation_error"]["dp"]
+        bcd_series = result.metrics["prefix_estimation_error"]["bcd"]
+        assert len(dp_series) == len(bcd_series) == 2
+        for dp_point, bcd_point in zip(dp_series, bcd_series):
+            assert dp_point.mean <= bcd_point.mean + 1e-6
+
+
+class TestBcdStability:
+    def test_std_reported_across_starts(self):
+        result = run_bcd_stability(
+            group_range=(3,), num_buckets=4, num_starts=3, seed=0
+        )
+        (point,) = result.metrics["prefix_overall_error"]["bcd"]
+        assert point.std >= 0.0
+        assert result.metadata["num_starts"] == 3
+
+
+class TestFractionSeen:
+    def test_metrics_cover_seen_and_unseen(self):
+        result = run_fraction_seen(
+            fractions=(0.3, 0.9),
+            num_groups=3,
+            num_buckets=4,
+            prefix_length=150,
+            stream_multiplier=3,
+            num_repetitions=1,
+            seed=0,
+        )
+        assert set(result.metrics) == {
+            "prefix_estimation_error",
+            "prefix_similarity_error",
+            "unseen_estimation_error",
+            "unseen_similarity_error",
+        }
+        for metric in result.metrics.values():
+            assert set(metric) == {"bcd", "dp"}
+            for series in metric.values():
+                assert [point.x for point in series] == [0.3, 0.9]
+
+
+class TestClassifierComparison:
+    def test_all_classifiers_evaluated(self):
+        result = run_classifier_comparison(
+            group_range=(3,),
+            classifiers=("logreg", "cart"),
+            num_buckets=4,
+            prefix_length=150,
+            stream_multiplier=3,
+            num_repetitions=1,
+            classifier_options={"logreg": {"max_iter": 50}},
+            seed=0,
+        )
+        assert set(result.metrics["unseen_overall_error"]) == {"logreg", "cart"}
+        for series in result.metrics["elapsed_time"].values():
+            assert all(point.mean >= 0.0 for point in series)

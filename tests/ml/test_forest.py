@@ -1,0 +1,84 @@
+"""Tests for the random forest classifier."""
+
+import numpy as np
+import pytest
+
+from repro.ml.forest import RandomForestClassifier
+
+
+def make_dataset(seed=0, num_samples=300):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(num_samples, 4))
+    y = ((X[:, 0] + X[:, 1] > 0) & (X[:, 2] > -0.5)).astype(int)
+    return X, y
+
+
+class TestRandomForest:
+    def test_invalid_estimator_count_rejected(self):
+        with pytest.raises(ValueError):
+            RandomForestClassifier(n_estimators=0)
+
+    def test_learns_nonlinear_boundary(self):
+        X, y = make_dataset()
+        forest = RandomForestClassifier(n_estimators=20, random_state=0).fit(X, y)
+        assert forest.score(X, y) > 0.9
+
+    def test_generalizes_to_held_out_data(self):
+        X, y = make_dataset(seed=1, num_samples=600)
+        forest = RandomForestClassifier(
+            n_estimators=25, max_depth=8, random_state=0
+        ).fit(X[:400], y[:400])
+        assert forest.score(X[400:], y[400:]) > 0.8
+
+    def test_predict_proba_normalized(self):
+        X, y = make_dataset()
+        forest = RandomForestClassifier(n_estimators=10, random_state=0).fit(X, y)
+        proba = forest.predict_proba(X[:20])
+        assert proba.shape == (20, 2)
+        np.testing.assert_allclose(proba.sum(axis=1), np.ones(20), atol=1e-9)
+
+    def test_number_of_trees_matches_config(self):
+        X, y = make_dataset()
+        forest = RandomForestClassifier(n_estimators=7, random_state=0).fit(X, y)
+        assert len(forest.estimators_) == 7
+
+    def test_reproducible_with_seed(self):
+        X, y = make_dataset()
+        first = RandomForestClassifier(n_estimators=5, random_state=3).fit(X, y)
+        second = RandomForestClassifier(n_estimators=5, random_state=3).fit(X, y)
+        np.testing.assert_array_equal(first.predict(X), second.predict(X))
+
+    def test_multiclass_with_noncontiguous_labels(self):
+        rng = np.random.default_rng(2)
+        X = np.vstack(
+            [rng.normal(center, 0.3, size=(40, 2)) for center in [(0, 0), (5, 0), (0, 5)]]
+        )
+        y = np.repeat([2, 7, 11], 40)
+        forest = RandomForestClassifier(n_estimators=15, random_state=0).fit(X, y)
+        np.testing.assert_array_equal(forest.classes_, [2, 7, 11])
+        assert forest.score(X, y) > 0.95
+
+    def test_without_bootstrap_trees_see_all_data(self):
+        X, y = make_dataset()
+        forest = RandomForestClassifier(
+            n_estimators=5, bootstrap=False, max_features=None, random_state=0
+        ).fit(X, y)
+        # Without bootstrap or feature subsampling all trees are identical,
+        # so the forest behaves like a single tree with perfect training fit.
+        assert forest.score(X, y) == 1.0
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            RandomForestClassifier().predict([[0.0, 0.0, 0.0, 0.0]])
+
+    def test_feature_importances_average_over_trees(self):
+        rng = np.random.default_rng(4)
+        X = rng.normal(size=(400, 5))
+        y = (X[:, 3] > 0).astype(int)  # only feature 3 matters
+        forest = RandomForestClassifier(
+            n_estimators=15, max_depth=5, random_state=0
+        ).fit(X, y)
+        importances = forest.feature_importances_
+        assert importances.shape == (5,)
+        assert importances[3] == importances.max()
+        assert importances.sum() == pytest.approx(1.0)

@@ -1,0 +1,81 @@
+"""Tests for the multinomial logistic regression classifier."""
+
+import numpy as np
+import pytest
+
+from repro.ml.logistic import LogisticRegressionClassifier, softmax
+
+
+def make_blobs(num_per_class=40, num_classes=3, seed=0):
+    rng = np.random.default_rng(seed)
+    centers = np.array([[0.0, 0.0], [6.0, 0.0], [0.0, 6.0], [6.0, 6.0]])[:num_classes]
+    X = np.vstack(
+        [rng.normal(center, 0.5, size=(num_per_class, 2)) for center in centers]
+    )
+    y = np.repeat(np.arange(num_classes), num_per_class)
+    return X, y
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        logits = np.array([[1.0, 2.0, 3.0], [0.0, 0.0, 0.0]])
+        proba = softmax(logits)
+        np.testing.assert_allclose(proba.sum(axis=1), [1.0, 1.0])
+
+    def test_stable_for_large_logits(self):
+        proba = softmax(np.array([[1000.0, 0.0]]))
+        assert np.isfinite(proba).all()
+        assert proba[0, 0] > 0.99
+
+    def test_monotone_in_logits(self):
+        proba = softmax(np.array([[1.0, 2.0, 3.0]]))
+        assert proba[0, 0] < proba[0, 1] < proba[0, 2]
+
+
+class TestLogisticRegression:
+    def test_separable_blobs_learned(self):
+        X, y = make_blobs()
+        model = LogisticRegressionClassifier(max_iter=300, random_state=0).fit(X, y)
+        assert model.score(X, y) > 0.95
+
+    def test_binary_classification(self):
+        X, y = make_blobs(num_classes=2)
+        model = LogisticRegressionClassifier(random_state=0).fit(X, y)
+        assert model.score(X, y) > 0.95
+
+    def test_predict_proba_shape_and_normalization(self):
+        X, y = make_blobs(num_classes=3)
+        model = LogisticRegressionClassifier(random_state=0).fit(X, y)
+        proba = model.predict_proba(X[:10])
+        assert proba.shape == (10, 3)
+        np.testing.assert_allclose(proba.sum(axis=1), np.ones(10), atol=1e-9)
+
+    def test_classes_preserved_with_noncontiguous_labels(self):
+        X, y = make_blobs(num_classes=3)
+        shifted = y * 10 + 5  # labels 5, 15, 25
+        model = LogisticRegressionClassifier(random_state=0).fit(X, shifted)
+        np.testing.assert_array_equal(model.classes_, [5, 15, 25])
+        predictions = model.predict(X)
+        assert set(predictions).issubset({5, 15, 25})
+
+    def test_strong_ridge_shrinks_coefficients(self):
+        X, y = make_blobs()
+        weak = LogisticRegressionClassifier(ridge=1e-6, random_state=0).fit(X, y)
+        strong = LogisticRegressionClassifier(ridge=10.0, random_state=0).fit(X, y)
+        assert np.linalg.norm(strong.coef_) < np.linalg.norm(weak.coef_)
+
+    def test_predict_before_fit_raises(self):
+        model = LogisticRegressionClassifier()
+        with pytest.raises(RuntimeError):
+            model.predict([[0.0, 0.0]])
+
+    def test_single_sample_prediction_shape(self):
+        X, y = make_blobs()
+        model = LogisticRegressionClassifier(random_state=0).fit(X, y)
+        assert model.predict([0.0, 0.0]).shape == (1,)
+
+    def test_get_params_exposes_constructor_arguments(self):
+        model = LogisticRegressionClassifier(ridge=0.5, max_iter=10)
+        params = model.get_params()
+        assert params["ridge"] == 0.5
+        assert params["max_iter"] == 10

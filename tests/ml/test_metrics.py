@@ -1,0 +1,56 @@
+"""Tests for classification metrics."""
+
+import numpy as np
+import pytest
+
+from repro.ml.metrics import accuracy_score, confusion_matrix, macro_f1_score
+
+
+class TestAccuracy:
+    def test_perfect_and_zero_accuracy(self):
+        assert accuracy_score([1, 2, 3], [1, 2, 3]) == 1.0
+        assert accuracy_score([1, 2, 3], [3, 1, 2]) == 0.0
+
+    def test_partial_accuracy(self):
+        assert accuracy_score([0, 0, 1, 1], [0, 1, 1, 1]) == 0.75
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            accuracy_score([1, 2], [1])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            accuracy_score([], [])
+
+
+class TestConfusionMatrix:
+    def test_diagonal_for_perfect_predictions(self):
+        matrix = confusion_matrix([0, 1, 2, 2], [0, 1, 2, 2])
+        np.testing.assert_array_equal(matrix, np.diag([1, 1, 2]))
+
+    def test_off_diagonal_counts(self):
+        matrix = confusion_matrix([0, 0, 1], [1, 0, 1])
+        np.testing.assert_array_equal(matrix, [[1, 1], [0, 1]])
+
+    def test_explicit_label_order(self):
+        matrix = confusion_matrix([0, 1], [0, 1], labels=[1, 0])
+        np.testing.assert_array_equal(matrix, [[1, 0], [0, 1]])
+
+    def test_total_equals_number_of_samples(self):
+        y_true = [0, 1, 2, 1, 0, 2, 2]
+        y_pred = [0, 2, 2, 1, 1, 0, 2]
+        assert confusion_matrix(y_true, y_pred).sum() == len(y_true)
+
+
+class TestMacroF1:
+    def test_perfect_predictions(self):
+        assert macro_f1_score([0, 1, 1], [0, 1, 1]) == 1.0
+
+    def test_balanced_binary_case(self):
+        score = macro_f1_score([0, 0, 1, 1], [0, 1, 0, 1])
+        assert score == pytest.approx(0.5)
+
+    def test_missing_class_counts_as_zero(self):
+        score = macro_f1_score([0, 0, 1], [0, 0, 0])
+        # class 1 has F1 = 0; class 0 has F1 = 2*2/(2*2+1) = 0.8.
+        assert score == pytest.approx((0.8 + 0.0) / 2)

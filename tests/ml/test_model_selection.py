@@ -1,0 +1,118 @@
+"""Tests for k-fold CV, grid search and train/test splitting."""
+
+import numpy as np
+import pytest
+
+from repro.ml.model_selection import KFold, cross_val_score, grid_search, train_test_split
+from repro.ml.tree import DecisionTreeClassifier
+
+
+class TestKFold:
+    def test_folds_partition_all_indices(self):
+        kfold = KFold(n_splits=5, shuffle=True, random_state=0)
+        seen = []
+        for train, test in kfold.split(53):
+            assert len(set(train) & set(test)) == 0
+            seen.extend(test.tolist())
+        assert sorted(seen) == list(range(53))
+
+    def test_split_counts(self):
+        kfold = KFold(n_splits=4, shuffle=False)
+        splits = list(kfold.split(20))
+        assert len(splits) == 4
+        assert all(len(test) == 5 for _, test in splits)
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(ValueError):
+            list(KFold(n_splits=10).split(5))
+
+    def test_invalid_n_splits_rejected(self):
+        with pytest.raises(ValueError):
+            KFold(n_splits=1)
+
+    def test_shuffle_reproducible(self):
+        first = [test.tolist() for _, test in KFold(3, random_state=1).split(12)]
+        second = [test.tolist() for _, test in KFold(3, random_state=1).split(12)]
+        assert first == second
+
+
+class TestTrainTestSplit:
+    def test_partition_sizes(self):
+        X = np.arange(40).reshape(-1, 1)
+        y = np.arange(40)
+        X_train, X_test, y_train, y_test = train_test_split(
+            X, y, test_fraction=0.25, random_state=0
+        )
+        assert len(X_test) == 10
+        assert len(X_train) == 30
+        np.testing.assert_array_equal(X_train.ravel(), y_train)
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            train_test_split(np.zeros((4, 1)), np.zeros(4), test_fraction=0.0)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            train_test_split(np.zeros((4, 1)), np.zeros(5))
+
+
+class TestCrossValScore:
+    def test_returns_one_score_per_fold(self):
+        X = np.vstack([np.zeros((20, 1)), np.ones((20, 1))])
+        y = np.repeat([0, 1], 20)
+        scores = cross_val_score(
+            lambda: DecisionTreeClassifier(max_depth=1), X, y, n_splits=5, random_state=0
+        )
+        assert len(scores) == 5
+        assert all(score == 1.0 for score in scores)
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(ValueError):
+            cross_val_score(lambda: DecisionTreeClassifier(), np.zeros((1, 1)), [0])
+
+    def test_folds_clamped_to_sample_count(self):
+        X = np.array([[0.0], [1.0], [10.0], [11.0]])
+        y = np.array([0, 0, 1, 1])
+        scores = cross_val_score(
+            lambda: DecisionTreeClassifier(), X, y, n_splits=10, random_state=0
+        )
+        assert len(scores) == 4
+
+
+class TestGridSearch:
+    def test_selects_better_hyperparameters(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(120, 2))
+        y = (X[:, 0] * X[:, 1] > 0).astype(int)  # needs depth >= 2
+        best_params, best_score = grid_search(
+            lambda **kwargs: DecisionTreeClassifier(**kwargs),
+            {"max_depth": [1, 4]},
+            X,
+            y,
+            n_splits=4,
+            random_state=0,
+        )
+        assert best_params["max_depth"] == 4
+        assert 0.0 <= best_score <= 1.0
+
+    def test_empty_grid_returns_plain_cv_score(self):
+        X = np.vstack([np.zeros((10, 1)), np.ones((10, 1))])
+        y = np.repeat([0, 1], 10)
+        params, score = grid_search(
+            lambda: DecisionTreeClassifier(), {}, X, y, n_splits=4, random_state=0
+        )
+        assert params == {}
+        assert score == 1.0
+
+    def test_multi_parameter_grid_enumerated(self):
+        X = np.vstack([np.zeros((10, 1)), np.ones((10, 1))])
+        y = np.repeat([0, 1], 10)
+        params, _ = grid_search(
+            lambda **kwargs: DecisionTreeClassifier(**kwargs),
+            {"max_depth": [1, 2], "min_samples_split": [2, 4]},
+            X,
+            y,
+            n_splits=4,
+            random_state=0,
+        )
+        assert set(params) == {"max_depth", "min_samples_split"}

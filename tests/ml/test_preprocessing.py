@@ -1,0 +1,55 @@
+"""Tests for label encoding and feature scaling."""
+
+import numpy as np
+import pytest
+
+from repro.ml.preprocessing import LabelEncoder, StandardScaler
+
+
+class TestLabelEncoder:
+    def test_fit_transform_roundtrip(self):
+        encoder = LabelEncoder()
+        labels = ["b", "a", "c", "a"]
+        encoded = encoder.fit_transform(labels)
+        np.testing.assert_array_equal(encoder.classes_, ["a", "b", "c"])
+        np.testing.assert_array_equal(encoded, [1, 0, 2, 0])
+        np.testing.assert_array_equal(encoder.inverse_transform(encoded), labels)
+
+    def test_integer_labels(self):
+        encoder = LabelEncoder().fit([10, 5, 10, 7])
+        np.testing.assert_array_equal(encoder.classes_, [5, 7, 10])
+        np.testing.assert_array_equal(encoder.transform([7, 10]), [1, 2])
+
+    def test_unseen_label_rejected(self):
+        encoder = LabelEncoder().fit([1, 2, 3])
+        with pytest.raises(ValueError):
+            encoder.transform([4])
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            LabelEncoder().transform([1])
+        with pytest.raises(RuntimeError):
+            LabelEncoder().inverse_transform([0])
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_variance(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(loc=5.0, scale=3.0, size=(200, 4))
+        transformed = StandardScaler().fit_transform(X)
+        np.testing.assert_allclose(transformed.mean(axis=0), np.zeros(4), atol=1e-9)
+        np.testing.assert_allclose(transformed.std(axis=0), np.ones(4), atol=1e-9)
+
+    def test_constant_feature_not_divided_by_zero(self):
+        X = np.column_stack([np.ones(10), np.arange(10, dtype=float)])
+        transformed = StandardScaler().fit_transform(X)
+        assert np.isfinite(transformed).all()
+        np.testing.assert_allclose(transformed[:, 0], np.zeros(10))
+
+    def test_transform_uses_training_statistics(self):
+        scaler = StandardScaler().fit(np.array([[0.0], [10.0]]))
+        np.testing.assert_allclose(scaler.transform([[5.0]]), [[0.0]])
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform([[1.0]])

@@ -1,0 +1,86 @@
+"""Tests for the query-text featurizer (paper Section 7.3)."""
+
+import numpy as np
+import pytest
+
+from repro.ml.text import QueryFeaturizer, basic_text_counts
+
+
+class TestBasicTextCounts:
+    def test_counts_of_simple_query(self):
+        counts = basic_text_counts("www.google.com")
+        ascii_chars, punctuation, dots, whitespaces = counts
+        assert ascii_chars == len("www.google.com")
+        assert dots == 2
+        assert punctuation == 2  # the two dots are punctuation
+        assert whitespaces == 0
+
+    def test_whitespace_and_punctuation(self):
+        counts = basic_text_counts("cheap flights, new york!")
+        assert counts[3] == 3  # whitespaces
+        assert counts[1] == 2  # comma and exclamation mark
+
+    def test_empty_string(self):
+        assert basic_text_counts("") == [0.0, 0.0, 0.0, 0.0]
+
+    def test_non_ascii_characters_not_counted_as_ascii(self):
+        counts = basic_text_counts("café")
+        assert counts[0] == 3
+
+
+class TestQueryFeaturizer:
+    def test_vocabulary_keeps_most_common_words(self):
+        featurizer = QueryFeaturizer(vocabulary_size=2)
+        featurizer.fit(["google maps", "google mail", "weather"])
+        assert "google" in featurizer.vocabulary_
+        assert len(featurizer.vocabulary_) == 2
+
+    def test_num_features_is_vocabulary_plus_counts(self):
+        featurizer = QueryFeaturizer(vocabulary_size=10)
+        featurizer.fit(["a b c", "a b", "a"])
+        assert featurizer.num_features == min(10, 3) + 4
+
+    def test_transform_marks_present_words(self):
+        featurizer = QueryFeaturizer(vocabulary_size=5)
+        featurizer.fit(["google maps", "google", "yahoo mail"])
+        vector = featurizer.transform_one("google mail inbox")
+        names = featurizer.feature_names()
+        assert vector[names.index("google")] == 1.0
+        assert vector[names.index("mail")] == 1.0
+        assert vector[names.index("maps")] == 0.0
+
+    def test_binary_vs_count_mode(self):
+        queries = ["spam spam spam", "ham"]
+        binary = QueryFeaturizer(vocabulary_size=5, binary=True).fit(queries)
+        counting = QueryFeaturizer(vocabulary_size=5, binary=False).fit(queries)
+        names = binary.feature_names()
+        assert binary.transform_one("spam spam")[names.index("spam")] == 1.0
+        assert counting.transform_one("spam spam")[names.index("spam")] == 2.0
+
+    def test_transform_batch_shape(self):
+        featurizer = QueryFeaturizer(vocabulary_size=3)
+        matrix = featurizer.fit_transform(["a b", "c d", "a d"])
+        assert matrix.shape == (3, featurizer.num_features)
+
+    def test_count_features_appended_at_end(self):
+        featurizer = QueryFeaturizer(vocabulary_size=2).fit(["x y"])
+        vector = featurizer.transform_one("www.site.com page")
+        np.testing.assert_allclose(
+            vector[-4:], basic_text_counts("www.site.com page")
+        )
+
+    def test_unfitted_featurizer_raises(self):
+        featurizer = QueryFeaturizer()
+        with pytest.raises(RuntimeError):
+            featurizer.transform_one("query")
+        with pytest.raises(RuntimeError):
+            _ = featurizer.num_features
+
+    def test_tokenization_ignores_punctuation_and_case(self):
+        featurizer = QueryFeaturizer(vocabulary_size=5).fit(["Google.COM!!"])
+        assert "google" in featurizer.vocabulary_
+        assert "com" in featurizer.vocabulary_
+
+    def test_negative_vocabulary_rejected(self):
+        with pytest.raises(ValueError):
+            QueryFeaturizer(vocabulary_size=-1)

@@ -1,0 +1,89 @@
+"""Tests for the BCD initialization strategies."""
+
+import numpy as np
+import pytest
+
+from repro.optimize.initialization import (
+    heavy_hitter_assignment,
+    initialize_assignment,
+    random_assignment,
+    sorted_assignment,
+)
+from repro.optimize.objective import estimation_error
+
+
+class TestRandomAssignment:
+    def test_labels_within_range(self, rng):
+        assignment = random_assignment(50, 7, rng=rng)
+        assert assignment.num_elements == 50
+        assert assignment.labels.min() >= 0
+        assert assignment.labels.max() < 7
+
+    def test_zero_elements_rejected(self):
+        with pytest.raises(ValueError):
+            random_assignment(0, 3)
+
+
+class TestSortedAssignment:
+    def test_buckets_are_frequency_contiguous(self):
+        frequencies = np.array([50.0, 1.0, 2.0, 51.0, 3.0, 52.0])
+        assignment = sorted_assignment(frequencies, 2)
+        # The three smallest frequencies share a bucket, the three largest the other.
+        small_bucket = assignment.labels[1]
+        assert assignment.labels[2] == small_bucket
+        assert assignment.labels[4] == small_bucket
+        large_bucket = assignment.labels[0]
+        assert assignment.labels[3] == large_bucket
+        assert assignment.labels[5] == large_bucket
+        assert small_bucket != large_bucket
+
+    def test_bucket_sizes_balanced(self):
+        assignment = sorted_assignment(np.arange(10, dtype=float), 3)
+        sizes = assignment.bucket_sizes()
+        assert sizes.sum() == 10
+        assert sizes.max() - sizes.min() <= 1
+
+    def test_better_than_single_bucket_for_spread_frequencies(self):
+        frequencies = np.array([1.0, 2.0, 100.0, 101.0, 1000.0, 1001.0])
+        sorted_init = sorted_assignment(frequencies, 3)
+        single = sorted_assignment(frequencies, 1)
+        assert estimation_error(frequencies, sorted_init) < estimation_error(
+            frequencies, single
+        )
+
+
+class TestHeavyHitterAssignment:
+    def test_top_elements_isolated(self, rng):
+        frequencies = np.array([1.0, 2.0, 3.0, 100.0, 200.0])
+        assignment = heavy_hitter_assignment(frequencies, 3, rng=rng)
+        # The two heaviest elements get buckets of their own.
+        assert assignment.labels[3] != 0
+        assert assignment.labels[4] != 0
+        assert assignment.labels[3] != assignment.labels[4]
+        # Light elements share the catch-all bucket 0.
+        assert assignment.labels[0] == assignment.labels[1] == assignment.labels[2] == 0
+
+    def test_more_buckets_than_elements(self, rng):
+        frequencies = np.array([5.0, 1.0])
+        assignment = heavy_hitter_assignment(frequencies, 10, rng=rng)
+        assert assignment.num_buckets == 10
+        assert len(set(assignment.labels.tolist())) == 2
+
+
+class TestInitializeAssignment:
+    @pytest.mark.parametrize("strategy", ["random", "sorted", "heavy_hitter", "dp"])
+    def test_all_strategies_produce_valid_assignments(self, strategy, rng):
+        frequencies = np.array([1.0, 2.0, 3.0, 10.0, 20.0, 30.0])
+        assignment = initialize_assignment(frequencies, 3, strategy=strategy, rng=rng)
+        assert assignment.num_elements == 6
+        assert assignment.num_buckets == 3
+        assert np.all((assignment.labels >= 0) & (assignment.labels < 3))
+
+    def test_dp_strategy_is_optimal_for_lambda_one(self):
+        frequencies = np.array([1.0, 1.0, 10.0, 10.0, 100.0, 100.0])
+        assignment = initialize_assignment(frequencies, 3, strategy="dp")
+        assert estimation_error(frequencies, assignment) == pytest.approx(0.0)
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            initialize_assignment(np.array([1.0]), 1, strategy="quantum")

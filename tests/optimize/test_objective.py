@@ -1,0 +1,192 @@
+"""Tests for the Problem (1) objective and the assignment container."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.optimize.objective import (
+    BucketAssignment,
+    ObjectiveValue,
+    estimation_error,
+    evaluate_assignment,
+    overall_error,
+    pairwise_squared_distances,
+    similarity_error,
+    validate_inputs,
+)
+
+
+class TestBucketAssignment:
+    def test_one_hot_roundtrip(self):
+        assignment = BucketAssignment(labels=[0, 2, 1, 2], num_buckets=3)
+        Z = assignment.one_hot()
+        assert Z.shape == (4, 3)
+        assert np.all(Z.sum(axis=1) == 1)
+        recovered = BucketAssignment.from_one_hot(Z)
+        np.testing.assert_array_equal(recovered.labels, assignment.labels)
+
+    def test_invalid_labels_rejected(self):
+        with pytest.raises(ValueError):
+            BucketAssignment(labels=[0, 3], num_buckets=3)
+        with pytest.raises(ValueError):
+            BucketAssignment(labels=[-1], num_buckets=2)
+        with pytest.raises(ValueError):
+            BucketAssignment(labels=[0], num_buckets=0)
+
+    def test_from_one_hot_validates_rows(self):
+        with pytest.raises(ValueError):
+            BucketAssignment.from_one_hot(np.array([[1, 1], [0, 1]]))
+
+    def test_bucket_members_and_sizes(self):
+        assignment = BucketAssignment(labels=[0, 1, 0, 2], num_buckets=4)
+        np.testing.assert_array_equal(assignment.bucket_members(0), [0, 2])
+        np.testing.assert_array_equal(assignment.bucket_sizes(), [2, 1, 1, 0])
+
+    def test_bucket_means_handle_empty_buckets(self):
+        assignment = BucketAssignment(labels=[0, 0, 2], num_buckets=3)
+        means = assignment.bucket_means([2.0, 4.0, 10.0])
+        np.testing.assert_allclose(means, [3.0, 0.0, 10.0])
+
+    def test_copy_is_independent(self):
+        assignment = BucketAssignment(labels=[0, 1], num_buckets=2)
+        clone = assignment.copy()
+        clone.labels[0] = 1
+        assert assignment.labels[0] == 0
+
+
+class TestEstimationError:
+    def test_matches_hand_computation(self):
+        frequencies = np.array([1.0, 3.0, 10.0])
+        assignment = BucketAssignment(labels=[0, 0, 1], num_buckets=2)
+        # Bucket 0 mean = 2 -> errors 1 + 1; bucket 1 exact.
+        assert estimation_error(frequencies, assignment) == pytest.approx(2.0)
+
+    def test_per_element_scaling(self):
+        frequencies = np.array([1.0, 3.0, 10.0])
+        assignment = BucketAssignment(labels=[0, 0, 1], num_buckets=2)
+        assert estimation_error(frequencies, assignment, per_element=True) == pytest.approx(2 / 3)
+
+    def test_zero_when_each_element_isolated(self):
+        frequencies = np.array([5.0, 9.0, 2.0])
+        assignment = BucketAssignment(labels=[0, 1, 2], num_buckets=3)
+        assert estimation_error(frequencies, assignment) == 0.0
+
+    def test_zero_when_frequencies_equal(self):
+        frequencies = np.full(6, 7.0)
+        assignment = BucketAssignment(labels=[0] * 6, num_buckets=2)
+        assert estimation_error(frequencies, assignment) == 0.0
+
+
+class TestSimilarityError:
+    def test_matches_pairwise_sum(self):
+        features = np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 2.0], [3.0, 3.0]])
+        assignment = BucketAssignment(labels=[0, 0, 0, 1], num_buckets=2)
+        distances = pairwise_squared_distances(features)
+        members = [0, 1, 2]
+        expected = sum(distances[i, k] for i in members for k in members)
+        assert similarity_error(features, assignment) == pytest.approx(expected)
+
+    def test_zero_without_features(self):
+        assignment = BucketAssignment(labels=[0, 0], num_buckets=1)
+        assert similarity_error(np.zeros((2, 0)), assignment) == 0.0
+
+    def test_singleton_buckets_contribute_nothing(self):
+        features = np.array([[1.0], [2.0], [3.0]])
+        assignment = BucketAssignment(labels=[0, 1, 2], num_buckets=3)
+        assert similarity_error(features, assignment) == 0.0
+
+    def test_per_pair_scaling(self):
+        features = np.array([[0.0], [2.0]])
+        assignment = BucketAssignment(labels=[0, 0], num_buckets=1)
+        # Ordered pairs: (0,0), (0,1), (1,0), (1,1) -> total 8, 4 pairs.
+        assert similarity_error(features, assignment, per_pair=True) == pytest.approx(2.0)
+
+
+class TestOverallError:
+    def test_convex_combination(self, small_frequencies, small_features):
+        assignment = BucketAssignment(
+            labels=[0, 0, 0, 1, 1, 1, 2, 2], num_buckets=3
+        )
+        value = evaluate_assignment(small_frequencies, small_features, assignment, 0.3)
+        assert isinstance(value, ObjectiveValue)
+        assert value.overall == pytest.approx(
+            0.3 * value.estimation + 0.7 * value.similarity
+        )
+        assert overall_error(
+            small_frequencies, small_features, assignment, 0.3
+        ) == pytest.approx(value.overall)
+
+    def test_lambda_one_ignores_similarity(self, small_frequencies, small_features):
+        assignment = BucketAssignment(labels=[0] * 8, num_buckets=2)
+        value = evaluate_assignment(small_frequencies, small_features, assignment, 1.0)
+        assert value.overall == pytest.approx(value.estimation)
+
+
+class TestValidateInputs:
+    def test_rejects_bad_shapes_and_values(self):
+        with pytest.raises(ValueError):
+            validate_inputs(np.array([]), None, 2, 0.5)
+        with pytest.raises(ValueError):
+            validate_inputs(np.array([-1.0]), None, 2, 0.5)
+        with pytest.raises(ValueError):
+            validate_inputs(np.array([1.0]), np.zeros((2, 2)), 2, 0.5)
+        with pytest.raises(ValueError):
+            validate_inputs(np.array([1.0]), None, 0, 0.5)
+        with pytest.raises(ValueError):
+            validate_inputs(np.array([1.0]), None, 2, 1.5)
+
+    def test_one_dimensional_features_promoted(self):
+        _, features, _, _ = validate_inputs(np.array([1.0, 2.0]), np.array([3.0, 4.0]), 2, 0.5)
+        assert features.shape == (2, 1)
+
+
+class TestPairwiseSquaredDistances:
+    def test_matches_manual_computation(self):
+        features = np.array([[0.0, 0.0], [3.0, 4.0]])
+        distances = pairwise_squared_distances(features)
+        np.testing.assert_allclose(distances, [[0.0, 25.0], [25.0, 0.0]])
+
+    def test_never_negative(self, rng):
+        features = rng.normal(size=(30, 5))
+        assert (pairwise_squared_distances(features) >= 0).all()
+
+
+@given(
+    labels=st.lists(st.integers(min_value=0, max_value=3), min_size=1, max_size=25),
+    seed=st.integers(min_value=0, max_value=100),
+)
+@settings(max_examples=40, deadline=None)
+def test_errors_invariant_under_bucket_relabeling(labels, seed):
+    """Renaming buckets (a permutation of the bucket indices) changes nothing."""
+    rng = np.random.default_rng(seed)
+    frequencies = rng.integers(0, 50, size=len(labels)).astype(float)
+    features = rng.normal(size=(len(labels), 2))
+    permutation = rng.permutation(4)
+    original = BucketAssignment(labels=labels, num_buckets=4)
+    relabeled = BucketAssignment(labels=permutation[np.asarray(labels)], num_buckets=4)
+    assert estimation_error(frequencies, original) == pytest.approx(
+        estimation_error(frequencies, relabeled)
+    )
+    assert similarity_error(features, original) == pytest.approx(
+        similarity_error(features, relabeled)
+    )
+
+
+@given(
+    labels=st.lists(st.integers(min_value=0, max_value=3), min_size=2, max_size=25),
+    seed=st.integers(min_value=0, max_value=100),
+)
+@settings(max_examples=40, deadline=None)
+def test_singleton_buckets_have_zero_error_and_nonnegative_otherwise(labels, seed):
+    """Every error term is non-negative, and isolating all elements zeroes both."""
+    rng = np.random.default_rng(seed)
+    frequencies = rng.integers(0, 50, size=len(labels)).astype(float)
+    features = rng.normal(size=(len(labels), 2))
+    assignment = BucketAssignment(labels=labels, num_buckets=4)
+    assert estimation_error(frequencies, assignment) >= 0.0
+    assert similarity_error(features, assignment) >= 0.0
+    singleton = BucketAssignment(
+        labels=np.arange(len(labels)), num_buckets=len(labels)
+    )
+    assert estimation_error(frequencies, singleton) == pytest.approx(0.0)
+    assert similarity_error(features, singleton) == pytest.approx(0.0)

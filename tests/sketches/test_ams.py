@@ -1,0 +1,58 @@
+"""Tests for the AMS second-moment sketch."""
+
+import numpy as np
+import pytest
+
+from repro.sketches.ams import AmsSketch
+from repro.streams.stream import Element
+
+
+def second_moment(counts):
+    return float(np.sum(np.asarray(counts, dtype=float) ** 2))
+
+
+class TestAmsSketch:
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            AmsSketch(num_estimators=0)
+        with pytest.raises(ValueError):
+            AmsSketch(num_estimators=10, means_groups=3)
+
+    def test_empty_stream_estimates_zero(self):
+        sketch = AmsSketch(num_estimators=16, means_groups=4, seed=0)
+        assert sketch.estimate_second_moment() == 0.0
+
+    def test_single_heavy_key_estimated_exactly(self):
+        sketch = AmsSketch(num_estimators=32, means_groups=4, seed=0)
+        for _ in range(25):
+            sketch.update(Element(key="only"))
+        # With a single distinct key every counter is ±25, so F2 is exact.
+        assert sketch.estimate_second_moment() == pytest.approx(625.0)
+
+    def test_estimate_within_reasonable_relative_error(self):
+        rng = np.random.default_rng(0)
+        keys = rng.integers(0, 50, size=4000)
+        counts = np.bincount(keys, minlength=50)
+        sketch = AmsSketch(num_estimators=256, means_groups=16, seed=1)
+        sketch.update_many(Element(key=int(k)) for k in keys)
+        truth = second_moment(counts)
+        estimate = sketch.estimate_second_moment()
+        assert abs(estimate - truth) / truth < 0.35
+
+    def test_more_estimators_reduce_error_on_average(self):
+        rng = np.random.default_rng(2)
+        keys = rng.integers(0, 100, size=3000)
+        counts = np.bincount(keys, minlength=100)
+        truth = second_moment(counts)
+
+        def relative_error(num_estimators, seed):
+            sketch = AmsSketch(num_estimators=num_estimators, means_groups=8, seed=seed)
+            sketch.update_many(Element(key=int(k)) for k in keys)
+            return abs(sketch.estimate_second_moment() - truth) / truth
+
+        small = np.mean([relative_error(16, seed) for seed in range(5)])
+        large = np.mean([relative_error(256, seed) for seed in range(5)])
+        assert large <= small + 0.05
+
+    def test_size_bytes(self):
+        assert AmsSketch(num_estimators=64, means_groups=8).size_bytes == 256

@@ -1,0 +1,58 @@
+"""Tests for the estimator base interface and the exact counter."""
+
+import pytest
+
+from repro.sketches.base import BYTES_PER_BUCKET, ExactCounter, FrequencyEstimator
+from repro.streams.stream import Element
+
+
+class TestExactCounter:
+    def test_counts_exactly(self):
+        counter = ExactCounter()
+        counter.update_many([Element(key="a"), Element(key="a"), Element(key="b")])
+        assert counter.estimate(Element(key="a")) == 2
+        assert counter.estimate(Element(key="b")) == 1
+        assert counter.estimate(Element(key="missing")) == 0
+
+    def test_size_grows_with_distinct_keys(self):
+        counter = ExactCounter()
+        for key in range(10):
+            counter.update(Element(key=key))
+        assert counter.size_bytes == 10 * BYTES_PER_BUCKET
+        assert len(counter) == 10
+
+    def test_size_kb_conversion(self):
+        counter = ExactCounter()
+        for key in range(250):
+            counter.update(Element(key=key))
+        assert counter.size_kb == pytest.approx(1.0)
+
+    def test_estimate_key_convenience(self):
+        counter = ExactCounter()
+        counter.update(Element(key="q"))
+        assert counter.estimate_key("q") == 1
+
+
+class TestInterface:
+    def test_abstract_class_cannot_be_instantiated(self):
+        with pytest.raises(TypeError):
+            FrequencyEstimator()
+
+    def test_update_many_delegates_to_update(self):
+        class Recorder(FrequencyEstimator):
+            def __init__(self):
+                self.updates = []
+
+            def update(self, element):
+                self.updates.append(element.key)
+
+            def estimate(self, element):
+                return 0.0
+
+            @property
+            def size_bytes(self):
+                return 0
+
+        recorder = Recorder()
+        recorder.update_many([Element(key=1), Element(key=2)])
+        assert recorder.updates == [1, 2]

@@ -1,0 +1,76 @@
+"""Tests for the Bloom filter."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sketches.bloom import BloomFilter
+
+
+class TestConstruction:
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            BloomFilter(num_bits=0)
+        with pytest.raises(ValueError):
+            BloomFilter(num_bits=8, num_hashes=0)
+
+    def test_optimal_hash_count_from_expected_items(self):
+        bloom = BloomFilter(num_bits=10_000, expected_items=1000)
+        # Optimal k = ln(2) * m / n ≈ 6.9.
+        assert 5 <= bloom.num_hashes <= 9
+
+    def test_from_false_positive_rate_sizing(self):
+        bloom = BloomFilter.from_false_positive_rate(1000, 0.01, seed=0)
+        # The classic formula gives ~9.6 bits per element for 1% FPR.
+        assert 9_000 <= bloom.num_bits <= 11_000
+
+    def test_from_false_positive_rate_validates(self):
+        with pytest.raises(ValueError):
+            BloomFilter.from_false_positive_rate(0, 0.01)
+        with pytest.raises(ValueError):
+            BloomFilter.from_false_positive_rate(100, 1.5)
+
+    def test_size_bytes_rounds_up(self):
+        assert BloomFilter(num_bits=9, num_hashes=1).size_bytes == 2
+
+
+class TestMembership:
+    def test_no_false_negatives(self):
+        bloom = BloomFilter.from_false_positive_rate(500, 0.01, seed=1)
+        keys = [f"query {i}" for i in range(500)]
+        for key in keys:
+            bloom.add(key)
+        assert all(key in bloom for key in keys)
+
+    def test_false_positive_rate_near_target(self):
+        bloom = BloomFilter.from_false_positive_rate(1000, 0.01, seed=2)
+        for i in range(1000):
+            bloom.add(f"present-{i}")
+        false_positives = sum(f"absent-{i}" in bloom for i in range(10_000))
+        assert false_positives / 10_000 < 0.05
+
+    def test_empty_filter_rejects_everything(self):
+        bloom = BloomFilter(num_bits=128, num_hashes=3, seed=3)
+        assert "anything" not in bloom
+        assert not bloom.contains(42)
+
+    def test_num_inserted_tracks_adds(self):
+        bloom = BloomFilter(num_bits=64, num_hashes=2, seed=4)
+        bloom.add("a")
+        bloom.add("a")
+        assert bloom.num_inserted == 2
+
+    def test_estimated_false_positive_rate_increases_with_fill(self):
+        bloom = BloomFilter(num_bits=256, num_hashes=3, seed=5)
+        initial = bloom.estimated_false_positive_rate()
+        for i in range(200):
+            bloom.add(i)
+        assert bloom.estimated_false_positive_rate() > initial
+
+
+@given(keys=st.lists(st.text(max_size=15), min_size=1, max_size=100))
+@settings(max_examples=30, deadline=None)
+def test_bloom_never_forgets_inserted_keys(keys):
+    bloom = BloomFilter(num_bits=2048, num_hashes=3, seed=0)
+    for key in keys:
+        bloom.add(key)
+    assert all(key in bloom for key in keys)

@@ -1,0 +1,115 @@
+"""Tests for the Count-Min Sketch."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sketches.count_min import CountMinSketch
+from repro.streams.stream import Element
+
+
+def stream_of(keys):
+    return [Element(key=key) for key in keys]
+
+
+class TestConstruction:
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            CountMinSketch(width=0, depth=1)
+        with pytest.raises(ValueError):
+            CountMinSketch(width=10, depth=0)
+
+    def test_from_error_guarantee_sizes(self):
+        sketch = CountMinSketch.from_error_guarantee(epsilon=0.01, delta=0.01)
+        assert sketch.width >= np.e / 0.01 - 1
+        assert sketch.depth >= np.log(1 / 0.01) - 1
+
+    def test_from_error_guarantee_validates(self):
+        with pytest.raises(ValueError):
+            CountMinSketch.from_error_guarantee(epsilon=0.0, delta=0.5)
+        with pytest.raises(ValueError):
+            CountMinSketch.from_error_guarantee(epsilon=0.5, delta=1.5)
+
+    def test_from_total_buckets_divides_budget(self):
+        sketch = CountMinSketch.from_total_buckets(100, depth=4)
+        assert sketch.width == 25
+        assert sketch.total_buckets == 100
+        assert sketch.size_bytes == 400
+
+    def test_from_total_buckets_rejects_tiny_budget(self):
+        with pytest.raises(ValueError):
+            CountMinSketch.from_total_buckets(2, depth=4)
+
+
+class TestEstimation:
+    def test_never_underestimates(self):
+        sketch = CountMinSketch(width=8, depth=2, seed=0)
+        keys = [f"key{i}" for i in range(100)]
+        true_counts = {key: (i % 5) + 1 for i, key in enumerate(keys)}
+        for key, count in true_counts.items():
+            for _ in range(count):
+                sketch.update(Element(key=key))
+        for key, count in true_counts.items():
+            assert sketch.estimate(Element(key=key)) >= count
+
+    def test_exact_when_no_collisions(self):
+        sketch = CountMinSketch(width=1024, depth=4, seed=1)
+        sketch.update_many(stream_of(["a"] * 7 + ["b"] * 3))
+        assert sketch.estimate(Element(key="a")) == 7
+        assert sketch.estimate(Element(key="b")) == 3
+
+    def test_unseen_key_estimate_bounded_by_collisions(self):
+        sketch = CountMinSketch(width=512, depth=4, seed=2)
+        sketch.update_many(stream_of(["x"] * 10))
+        assert sketch.estimate(Element(key="never-seen")) <= 10
+
+    def test_error_guarantee_holds_on_average(self):
+        rng = np.random.default_rng(0)
+        keys = rng.integers(0, 500, size=5000)
+        sketch = CountMinSketch(width=272, depth=3, seed=3)  # eps ~ 0.01
+        for key in keys:
+            sketch.update(Element(key=int(key)))
+        counts = np.bincount(keys, minlength=500)
+        errors = [
+            sketch.estimate(Element(key=int(k))) - counts[k] for k in range(500)
+        ]
+        # eps * ||f||_1 = 0.01 * 5000 = 50; the vast majority of estimates
+        # must respect the bound.
+        violations = sum(error > 50 for error in errors)
+        assert violations < 25
+
+    def test_counters_sum_equals_depth_times_updates(self):
+        sketch = CountMinSketch(width=16, depth=3, seed=4)
+        sketch.update_many(stream_of(range(200)))
+        assert sketch.counters().sum() == 3 * 200
+
+
+class TestConservativeUpdate:
+    def test_conservative_still_never_underestimates(self):
+        plain = CountMinSketch(width=8, depth=2, seed=5)
+        conservative = CountMinSketch(width=8, depth=2, seed=5, conservative=True)
+        keys = [i % 40 for i in range(2000)]
+        for key in keys:
+            element = Element(key=key)
+            plain.update(element)
+            conservative.update(element)
+        counts = np.bincount(keys, minlength=40)
+        for key in range(40):
+            element = Element(key=key)
+            assert conservative.estimate(element) >= counts[key]
+            # Conservative update can only tighten the overestimate.
+            assert conservative.estimate(element) <= plain.estimate(element)
+
+
+@given(
+    keys=st.lists(st.integers(min_value=0, max_value=30), min_size=1, max_size=300),
+    depth=st.integers(min_value=1, max_value=4),
+)
+@settings(max_examples=25, deadline=None)
+def test_count_min_overestimation_property(keys, depth):
+    """CMS point queries always upper-bound the true count."""
+    sketch = CountMinSketch(width=16, depth=depth, seed=0)
+    for key in keys:
+        sketch.update(Element(key=key))
+    for key in set(keys):
+        assert sketch.estimate(Element(key=key)) >= keys.count(key)

@@ -1,0 +1,84 @@
+"""Tests for the Count Sketch."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sketches.count_sketch import CountSketch
+from repro.streams.stream import Element
+
+
+class TestConstruction:
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            CountSketch(width=0)
+        with pytest.raises(ValueError):
+            CountSketch(width=4, depth=0)
+
+    def test_from_total_buckets(self):
+        sketch = CountSketch.from_total_buckets(60, depth=3)
+        assert sketch.width == 20
+        assert sketch.total_buckets == 60
+        assert sketch.size_bytes == 240
+
+    def test_from_total_buckets_rejects_tiny_budget(self):
+        with pytest.raises(ValueError):
+            CountSketch.from_total_buckets(1, depth=2)
+
+
+class TestEstimation:
+    def test_exact_when_no_collisions(self):
+        sketch = CountSketch(width=1024, depth=5, seed=0)
+        for _ in range(9):
+            sketch.update(Element(key="alpha"))
+        for _ in range(2):
+            sketch.update(Element(key="beta"))
+        assert sketch.estimate(Element(key="alpha")) == 9
+        assert sketch.estimate(Element(key="beta")) == 2
+
+    def test_estimates_can_err_in_both_directions(self):
+        rng = np.random.default_rng(1)
+        keys = rng.integers(0, 200, size=3000)
+        sketch = CountSketch(width=32, depth=1, seed=1)
+        for key in keys:
+            sketch.update(Element(key=int(key)))
+        counts = np.bincount(keys, minlength=200)
+        errors = np.array(
+            [sketch.estimate(Element(key=int(k))) - counts[k] for k in range(200)]
+        )
+        assert (errors > 0).any()
+        assert (errors < 0).any()
+
+    def test_median_across_levels_reduces_error(self):
+        rng = np.random.default_rng(2)
+        keys = rng.integers(0, 300, size=5000)
+        counts = np.bincount(keys, minlength=300)
+
+        def mean_abs_error(depth):
+            sketch = CountSketch(width=64, depth=depth, seed=3)
+            for key in keys:
+                sketch.update(Element(key=int(key)))
+            return np.mean(
+                [abs(sketch.estimate(Element(key=int(k))) - counts[k]) for k in range(300)]
+            )
+
+        assert mean_abs_error(5) <= mean_abs_error(1) + 1.0
+
+    def test_counter_sum_is_signed(self):
+        sketch = CountSketch(width=16, depth=2, seed=4)
+        for key in range(100):
+            sketch.update(Element(key=key))
+        # Signed updates keep the total close to zero relative to 2*100.
+        assert abs(sketch.counters().sum()) < 2 * 100
+
+
+@given(keys=st.lists(st.integers(min_value=0, max_value=10), min_size=1, max_size=200))
+@settings(max_examples=25, deadline=None)
+def test_count_sketch_is_unbiased_for_isolated_heavy_key(keys):
+    """A key hashed with a wide sketch is estimated exactly (no collisions)."""
+    sketch = CountSketch(width=4096, depth=3, seed=0)
+    for key in keys:
+        sketch.update(Element(key=key))
+    target = keys[0]
+    estimate = sketch.estimate(Element(key=target))
+    assert estimate == pytest.approx(keys.count(target), abs=1e-9)

@@ -1,0 +1,105 @@
+"""Tests for the random hash families."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sketches.hashing import (
+    TabulationHash,
+    UniversalHash,
+    UniversalHashFamily,
+    fingerprint64,
+)
+
+
+class TestFingerprint64:
+    def test_deterministic_across_calls(self):
+        assert fingerprint64("query text", seed=3) == fingerprint64("query text", seed=3)
+
+    def test_seed_changes_value(self):
+        assert fingerprint64("abc", seed=1) != fingerprint64("abc", seed=2)
+
+    def test_integer_and_string_keys_supported(self):
+        assert isinstance(fingerprint64(12345), int)
+        assert isinstance(fingerprint64("12345"), int)
+        assert fingerprint64(12345) != fingerprint64("12345")
+
+    def test_result_fits_in_64_bits(self):
+        for key in ["a", 0, 2**63, ("tuple", 1)]:
+            assert 0 <= fingerprint64(key) < 2**64
+
+    def test_nearby_integers_spread_out(self):
+        values = [fingerprint64(i) % 1000 for i in range(100)]
+        # A splitmix-style finalizer should not map consecutive ints to
+        # consecutive outputs.
+        assert len(set(values)) > 80
+
+
+@pytest.mark.parametrize("hash_class", [UniversalHash, TabulationHash])
+class TestHashFunctions:
+    def test_output_in_range(self, hash_class):
+        h = hash_class(output_range=37, seed=0)
+        for key in range(200):
+            assert 0 <= h(key) < 37
+
+    def test_deterministic(self, hash_class):
+        h = hash_class(output_range=100, seed=5)
+        assert h("repeat") == h("repeat")
+
+    def test_different_seeds_give_different_functions(self, hash_class):
+        first = hash_class(output_range=1000, seed=1)
+        second = hash_class(output_range=1000, seed=2)
+        keys = list(range(100))
+        assert [first(k) for k in keys] != [second(k) for k in keys]
+
+    def test_sign_is_plus_minus_one(self, hash_class):
+        h = hash_class(output_range=10, seed=0)
+        signs = {h.sign(key) for key in range(100)}
+        assert signs == {-1, 1}
+
+    def test_invalid_range_rejected(self, hash_class):
+        with pytest.raises(ValueError):
+            hash_class(output_range=0)
+
+    def test_distribution_roughly_uniform(self, hash_class):
+        h = hash_class(output_range=10, seed=42)
+        counts = np.bincount([h(key) for key in range(5000)], minlength=10)
+        # Each bucket should get roughly 500 keys; allow generous slack.
+        assert counts.min() > 300
+        assert counts.max() < 700
+
+
+class TestUniversalHashFamily:
+    def test_draw_produces_independent_functions(self):
+        family = UniversalHashFamily(output_range=64, seed=0)
+        functions = family.draw(3)
+        assert len(functions) == 3
+        keys = list(range(50))
+        outputs = [[h(k) for k in keys] for h in functions]
+        assert outputs[0] != outputs[1] != outputs[2]
+
+    def test_family_reproducible_by_seed(self):
+        keys = list(range(20))
+        first = UniversalHashFamily(16, seed=7).draw(2)
+        second = UniversalHashFamily(16, seed=7).draw(2)
+        for h1, h2 in zip(first, second):
+            assert [h1(k) for k in keys] == [h2(k) for k in keys]
+
+    def test_tabulation_scheme_supported(self):
+        family = UniversalHashFamily(8, seed=0, scheme="tabulation")
+        (h,) = family.draw(1)
+        assert isinstance(h, TabulationHash)
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ValueError):
+            UniversalHashFamily(8, scheme="cryptographic")
+
+
+@given(keys=st.lists(st.text(min_size=0, max_size=20), min_size=1, max_size=50))
+@settings(max_examples=30, deadline=None)
+def test_universal_hash_stable_over_arbitrary_strings(keys):
+    h = UniversalHash(output_range=101, seed=13)
+    first_pass = [h(key) for key in keys]
+    second_pass = [h(key) for key in keys]
+    assert first_pass == second_pass
+    assert all(0 <= value < 101 for value in first_pass)

@@ -1,0 +1,135 @@
+"""Tests for the Misra–Gries and Space-Saving heavy-hitter summaries."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sketches.heavy_hitters import MisraGries, SpaceSaving
+from repro.streams.stream import Element
+
+
+def zipf_keys(num_keys=100, arrivals=5000, seed=0):
+    rng = np.random.default_rng(seed)
+    weights = 1.0 / np.arange(1, num_keys + 1)
+    weights /= weights.sum()
+    keys = rng.choice(num_keys, size=arrivals, p=weights)
+    return keys, np.bincount(keys, minlength=num_keys)
+
+
+class TestMisraGries:
+    def test_invalid_counter_count_rejected(self):
+        with pytest.raises(ValueError):
+            MisraGries(0)
+
+    def test_never_overestimates(self):
+        keys, counts = zipf_keys()
+        summary = MisraGries(num_counters=20)
+        for key in keys:
+            summary.update(Element(key=int(key)))
+        for key in range(len(counts)):
+            assert summary.estimate(Element(key=key)) <= counts[key]
+
+    def test_error_bound_holds(self):
+        keys, counts = zipf_keys(seed=1)
+        summary = MisraGries(num_counters=25)
+        for key in keys:
+            summary.update(Element(key=int(key)))
+        bound = summary.error_bound
+        for key in range(len(counts)):
+            assert counts[key] - summary.estimate(Element(key=key)) <= bound + 1e-9
+
+    def test_true_heavy_hitters_always_reported(self):
+        keys, counts = zipf_keys(seed=2)
+        total = counts.sum()
+        summary = MisraGries(num_counters=40)
+        for key in keys:
+            summary.update(Element(key=int(key)))
+        threshold = 0.05
+        reported = {key for key, _ in summary.heavy_hitters(threshold)}
+        true_heavy = {int(k) for k in np.flatnonzero(counts > threshold * total)}
+        assert true_heavy.issubset(reported)
+
+    def test_threshold_validation(self):
+        summary = MisraGries(5)
+        with pytest.raises(ValueError):
+            summary.heavy_hitters(0.0)
+
+    def test_small_stream_exact(self):
+        summary = MisraGries(num_counters=10)
+        for key in ["a", "a", "b"]:
+            summary.update(Element(key=key))
+        assert summary.estimate(Element(key="a")) == 2
+        assert summary.estimate(Element(key="b")) == 1
+
+    def test_size_accounts_ids_and_counters(self):
+        assert MisraGries(10).size_bytes == 80
+
+
+class TestSpaceSaving:
+    def test_invalid_counter_count_rejected(self):
+        with pytest.raises(ValueError):
+            SpaceSaving(0)
+
+    def test_never_underestimates(self):
+        keys, counts = zipf_keys(seed=3)
+        summary = SpaceSaving(num_counters=20)
+        for key in keys:
+            summary.update(Element(key=int(key)))
+        # Space-Saving estimates over-estimate the true count of every key
+        # that appeared in the stream.
+        for key in np.flatnonzero(counts):
+            assert summary.estimate(Element(key=int(key))) >= counts[key]
+
+    def test_guaranteed_count_is_lower_bound(self):
+        keys, counts = zipf_keys(seed=4)
+        summary = SpaceSaving(num_counters=30)
+        for key in keys:
+            summary.update(Element(key=int(key)))
+        for key, _ in summary.tracked_items().items():
+            assert summary.guaranteed_count(Element(key=key)) <= counts[key]
+
+    def test_top_elements_are_tracked(self):
+        keys, counts = zipf_keys(seed=5)
+        summary = SpaceSaving(num_counters=30)
+        for key in keys:
+            summary.update(Element(key=int(key)))
+        tracked = set(summary.tracked_items())
+        top5 = set(np.argsort(counts)[::-1][:5].tolist())
+        assert top5.issubset(tracked)
+
+    def test_number_of_counters_never_exceeded(self):
+        summary = SpaceSaving(num_counters=8)
+        for key in range(1000):
+            summary.update(Element(key=key))
+        assert len(summary.tracked_items()) == 8
+
+    def test_heavy_hitters_threshold(self):
+        summary = SpaceSaving(num_counters=10)
+        stream = ["hot"] * 60 + [f"cold{i}" for i in range(40)]
+        for key in stream:
+            summary.update(Element(key=key))
+        reported = dict(summary.heavy_hitters(0.3))
+        assert "hot" in reported
+
+    def test_size_accounts_ids_counts_and_errors(self):
+        assert SpaceSaving(10).size_bytes == 120
+
+
+@given(
+    keys=st.lists(st.integers(min_value=0, max_value=20), min_size=1, max_size=400),
+    num_counters=st.integers(min_value=1, max_value=10),
+)
+@settings(max_examples=30, deadline=None)
+def test_misra_gries_and_space_saving_error_bounds_property(keys, num_counters):
+    """MG under-estimates within N/(k+1); SS over-estimates for present keys."""
+    mg = MisraGries(num_counters)
+    ss = SpaceSaving(num_counters)
+    for key in keys:
+        mg.update(Element(key=key))
+        ss.update(Element(key=key))
+    for key in set(keys):
+        true_count = keys.count(key)
+        mg_estimate = mg.estimate(Element(key=key))
+        assert mg_estimate <= true_count
+        assert true_count - mg_estimate <= len(keys) / (num_counters + 1) + 1e-9
+        assert ss.estimate(Element(key=key)) >= true_count

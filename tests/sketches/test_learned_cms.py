@@ -1,0 +1,138 @@
+"""Tests for the Learned Count-Min Sketch (Hsu et al. baseline)."""
+
+import numpy as np
+import pytest
+
+from repro.ml.tree import DecisionTreeClassifier
+from repro.sketches.learned_cms import (
+    ClassifierHeavyHitterOracle,
+    IdealHeavyHitterOracle,
+    LearnedCountMinSketch,
+)
+from repro.streams.stream import Element
+
+
+def zipf_stream(num_keys=200, arrivals=5000, seed=0):
+    rng = np.random.default_rng(seed)
+    weights = 1.0 / np.arange(1, num_keys + 1)
+    weights /= weights.sum()
+    keys = rng.choice(num_keys, size=arrivals, p=weights)
+    return [Element(key=int(k)) for k in keys], np.bincount(keys, minlength=num_keys)
+
+
+class TestIdealHeavyHitterOracle:
+    def test_from_frequencies_takes_top_keys(self):
+        oracle = IdealHeavyHitterOracle.from_frequencies({"a": 10, "b": 5, "c": 1}, 2)
+        assert oracle.is_heavy(Element(key="a"))
+        assert oracle.is_heavy(Element(key="b"))
+        assert not oracle.is_heavy(Element(key="c"))
+        assert len(oracle) == 2
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            IdealHeavyHitterOracle.from_frequencies({"a": 1}, -1)
+
+    def test_zero_heavy_hitters_allowed(self):
+        oracle = IdealHeavyHitterOracle.from_frequencies({"a": 1}, 0)
+        assert not oracle.is_heavy(Element(key="a"))
+
+
+class TestClassifierHeavyHitterOracle:
+    def test_wraps_fitted_classifier(self):
+        X = np.array([[0.0], [0.1], [5.0], [5.1]])
+        y = np.array([1, 1, 0, 0])
+        tree = DecisionTreeClassifier(max_depth=2).fit(X, y)
+        oracle = ClassifierHeavyHitterOracle(tree)
+        assert oracle.is_heavy(Element.with_features("hot", [0.05]))
+        assert not oracle.is_heavy(Element.with_features("cold", [5.05]))
+
+    def test_custom_featurizer(self):
+        X = np.array([[1.0], [0.0]])
+        y = np.array([1, 0])
+        tree = DecisionTreeClassifier(max_depth=1).fit(X, y)
+        oracle = ClassifierHeavyHitterOracle(
+            tree, featurizer=lambda element: [1.0 if "www" in str(element.key) else 0.0]
+        )
+        assert oracle.is_heavy(Element(key="www.google.com"))
+        assert not oracle.is_heavy(Element(key="rare query text"))
+
+
+class TestLearnedCountMinSketch:
+    def test_heavy_hitters_counted_exactly(self):
+        stream, counts = zipf_stream()
+        oracle = IdealHeavyHitterOracle.from_frequencies(
+            {k: counts[k] for k in range(len(counts))}, 10
+        )
+        lcms = LearnedCountMinSketch(
+            total_buckets=100, num_heavy_buckets=10, oracle=oracle, depth=1, seed=0
+        )
+        for element in stream:
+            lcms.update(element)
+        top10 = np.argsort(counts)[::-1][:10]
+        for key in top10:
+            assert lcms.estimate(Element(key=int(key))) == counts[key]
+
+    def test_non_heavy_keys_never_underestimated(self):
+        stream, counts = zipf_stream(seed=1)
+        oracle = IdealHeavyHitterOracle.from_frequencies(
+            {k: counts[k] for k in range(len(counts))}, 10
+        )
+        lcms = LearnedCountMinSketch(
+            total_buckets=120, num_heavy_buckets=10, oracle=oracle, depth=2, seed=1
+        )
+        for element in stream:
+            lcms.update(element)
+        for key in range(len(counts)):
+            assert lcms.estimate(Element(key=int(key))) >= counts[key]
+
+    def test_unique_buckets_cost_double(self):
+        oracle = IdealHeavyHitterOracle([])
+        lcms = LearnedCountMinSketch(
+            total_buckets=100, num_heavy_buckets=20, oracle=oracle, depth=1
+        )
+        # 20 unique buckets at 8 bytes + 60 CMS buckets at 4 bytes.
+        assert lcms.size_bytes == 20 * 8 + 60 * 4
+
+    def test_budget_overflow_rejected(self):
+        oracle = IdealHeavyHitterOracle([])
+        with pytest.raises(ValueError):
+            LearnedCountMinSketch(
+                total_buckets=20, num_heavy_buckets=10, oracle=oracle, depth=1
+            )
+
+    def test_heavy_bucket_capacity_enforced(self):
+        # Oracle claims everything is heavy, but only 5 unique buckets exist.
+        class AlwaysHeavy(IdealHeavyHitterOracle):
+            def is_heavy(self, element):
+                return True
+
+        lcms = LearnedCountMinSketch(
+            total_buckets=40, num_heavy_buckets=5, oracle=AlwaysHeavy([]), depth=1, seed=2
+        )
+        for key in range(20):
+            lcms.update(Element(key=key))
+        assert lcms.num_heavy_tracked == 5
+
+    def test_beats_plain_cms_on_zipf_expected_error(self):
+        from repro.sketches.count_min import CountMinSketch
+
+        stream, counts = zipf_stream(num_keys=300, arrivals=8000, seed=2)
+        total_buckets = 80
+        frequencies = {k: counts[k] for k in range(len(counts))}
+        oracle = IdealHeavyHitterOracle.from_frequencies(frequencies, 20)
+        lcms = LearnedCountMinSketch(
+            total_buckets=total_buckets, num_heavy_buckets=20, oracle=oracle, depth=1, seed=3
+        )
+        cms = CountMinSketch.from_total_buckets(total_buckets, depth=1, seed=3)
+        for element in stream:
+            lcms.update(element)
+            cms.update(element)
+
+        def expected_error(sketch):
+            total = counts.sum()
+            return sum(
+                counts[k] * abs(sketch.estimate(Element(key=int(k))) - counts[k])
+                for k in range(len(counts))
+            ) / total
+
+        assert expected_error(lcms) < expected_error(cms)

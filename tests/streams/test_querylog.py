@@ -1,0 +1,123 @@
+"""Tests for the synthetic AOL-like query-log generator."""
+
+import numpy as np
+import pytest
+
+from repro.streams.querylog import QueryLogConfig, QueryLogGenerator
+
+
+def small_config(**overrides):
+    defaults = dict(
+        num_unique_queries=500,
+        num_days=5,
+        arrivals_per_day=2000,
+        zipf_exponent=0.8,
+        daily_churn_fraction=0.02,
+        seed=0,
+    )
+    defaults.update(overrides)
+    return QueryLogConfig(**defaults)
+
+
+class TestQueryLogConfig:
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            QueryLogConfig(num_unique_queries=0)
+        with pytest.raises(ValueError):
+            QueryLogConfig(num_days=0)
+        with pytest.raises(ValueError):
+            QueryLogConfig(arrivals_per_day=0)
+        with pytest.raises(ValueError):
+            QueryLogConfig(daily_churn_fraction=1.0)
+
+
+class TestQueryLogGenerator:
+    def test_universe_has_unique_texts(self):
+        generator = QueryLogGenerator(small_config())
+        texts = [query.text for query in generator.queries]
+        assert len(texts) == len(set(texts)) == 500
+
+    def test_head_queries_are_navigational(self):
+        generator = QueryLogGenerator(small_config())
+        head_texts = [query.text for query in generator.queries[:30]]
+        assert any("www." in text or text.endswith(".com") for text in head_texts)
+        # Head queries are short.
+        assert np.mean([len(text.split()) for text in head_texts]) < 2.5
+
+    def test_tail_queries_are_longer_than_head(self):
+        generator = QueryLogGenerator(small_config())
+        head_words = np.mean([len(q.text.split()) for q in generator.queries[:20]])
+        tail_words = np.mean([len(q.text.split()) for q in generator.queries[-100:]])
+        assert tail_words > head_words
+
+    def test_day_stream_has_configured_length(self):
+        generator = QueryLogGenerator(small_config())
+        day = generator.generate_day(0)
+        assert len(day) == 2000
+
+    def test_popularity_is_zipfian(self):
+        generator = QueryLogGenerator(small_config(arrivals_per_day=20_000, num_days=1))
+        day = generator.generate_day(0)
+        frequencies = day.frequencies()
+        top_text = generator.queries[0].text
+        mid_text = generator.queries[99].text
+        # Rank 1 should be much more frequent than rank 100 (about 100^0.8 ≈ 40x).
+        assert frequencies[top_text] > 10 * max(1, frequencies[mid_text])
+
+    def test_popular_queries_recur_across_days(self):
+        generator = QueryLogGenerator(small_config())
+        day0 = generator.generate_day(0).frequencies()
+        day1 = generator.generate_day(1).frequencies()
+        top = [query.text for query in generator.queries[:5]]
+        assert all(day0[text] > 0 for text in top)
+        assert all(day1[text] > 0 for text in top)
+
+    def test_churn_introduces_new_queries(self):
+        generator = QueryLogGenerator(small_config(daily_churn_fraction=0.1))
+        base_texts = {query.text for query in generator.queries}
+        day = generator.generate_day(0)
+        new_queries = [e.key for e in day if e.key not in base_texts]
+        assert len(new_queries) == int(round(0.1 * 2000))
+
+    def test_zero_churn_stays_within_base_universe(self):
+        generator = QueryLogGenerator(small_config(daily_churn_fraction=0.0))
+        base_texts = {query.text for query in generator.queries}
+        day = generator.generate_day(0)
+        assert all(element.key in base_texts for element in day)
+
+
+class TestQueryLogDataset:
+    def test_dataset_has_all_days(self):
+        dataset = QueryLogGenerator(small_config()).generate_dataset()
+        assert len(dataset.days) == 5
+
+    def test_prefix_is_day_zero(self):
+        dataset = QueryLogGenerator(small_config()).generate_dataset()
+        prefix = dataset.prefix()
+        assert [e.key for e in prefix] == [e.key for e in dataset.days[0]]
+
+    def test_cumulative_frequencies_accumulate(self):
+        dataset = QueryLogGenerator(small_config()).generate_dataset()
+        day0 = dataset.cumulative_frequencies(0)
+        day2 = dataset.cumulative_frequencies(2)
+        assert day2.total == 3 * 2000
+        assert day0.total == 2000
+        some_key = dataset.days[0][0].key
+        assert day2[some_key] >= day0[some_key]
+
+    def test_cumulative_frequencies_bounds_checked(self):
+        dataset = QueryLogGenerator(small_config()).generate_dataset()
+        with pytest.raises(ValueError):
+            dataset.cumulative_frequencies(99)
+
+    def test_arrivals_after_prefix_excludes_day_zero(self):
+        dataset = QueryLogGenerator(small_config()).generate_dataset()
+        arrivals = list(dataset.arrivals_after_prefix(2))
+        assert len(arrivals) == 2 * 2000
+
+    def test_queries_seen_by_grows_with_days(self):
+        dataset = QueryLogGenerator(small_config()).generate_dataset()
+        seen_day0 = dataset.queries_seen_by(0)
+        seen_day3 = dataset.queries_seen_by(3)
+        assert set(seen_day0).issubset(set(seen_day3))
+        assert len(seen_day3) >= len(seen_day0)

@@ -1,0 +1,129 @@
+"""Tests for the core stream abstractions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.streams.stream import (
+    Element,
+    FrequencyVector,
+    Stream,
+    StreamPrefix,
+    exact_frequencies,
+)
+
+
+class TestElement:
+    def test_with_features_coerces_to_float_tuple(self):
+        element = Element.with_features("key", [1, 2, 3])
+        assert element.features == (1.0, 2.0, 3.0)
+
+    def test_feature_array_roundtrip(self):
+        element = Element.with_features(5, [0.5, -1.5])
+        np.testing.assert_allclose(element.feature_array(), [0.5, -1.5])
+
+    def test_elements_are_hashable_and_comparable(self):
+        first = Element.with_features("a", [1.0])
+        second = Element.with_features("a", [1.0])
+        assert first == second
+        assert hash(first) == hash(second)
+
+    def test_default_features_empty(self):
+        assert Element(key="x").feature_array().shape == (0,)
+
+
+class TestFrequencyVector:
+    def test_increment_and_lookup(self):
+        freq = FrequencyVector()
+        freq.increment("a")
+        freq.increment("a", 2)
+        assert freq["a"] == 3
+        assert freq["missing"] == 0
+
+    def test_negative_increment_rejected(self):
+        freq = FrequencyVector()
+        with pytest.raises(ValueError):
+            freq.increment("a", -1)
+
+    def test_total_and_len(self):
+        freq = FrequencyVector({"a": 2, "b": 3})
+        assert freq.total == 5
+        assert len(freq) == 2
+
+    def test_most_common_ordering(self):
+        freq = FrequencyVector({"a": 1, "b": 5, "c": 3})
+        assert [key for key, _ in freq.most_common(2)] == ["b", "c"]
+
+    def test_copy_is_independent(self):
+        freq = FrequencyVector({"a": 1})
+        clone = freq.copy()
+        clone.increment("a")
+        assert freq["a"] == 1
+        assert clone["a"] == 2
+
+    def test_contains_and_iteration(self):
+        freq = FrequencyVector({"a": 1, "b": 2})
+        assert "a" in freq
+        assert set(iter(freq)) == {"a", "b"}
+
+
+class TestStream:
+    def test_exact_frequencies_counts_arrivals(self):
+        a, b = Element(key="a"), Element(key="b")
+        stream = Stream(arrivals=[a, b, a, a])
+        freq = stream.frequencies()
+        assert freq["a"] == 3
+        assert freq["b"] == 1
+
+    def test_prefix_and_suffix_partition_the_stream(self):
+        elements = [Element(key=i) for i in range(10)]
+        stream = Stream(arrivals=elements)
+        prefix = stream.prefix(4)
+        suffix = stream.suffix(4)
+        assert len(prefix) == 4
+        assert len(suffix) == 6
+        assert [e.key for e in prefix] + [e.key for e in suffix] == list(range(10))
+
+    def test_prefix_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            Stream(arrivals=[]).prefix(-1)
+
+    def test_distinct_elements_preserve_first_appearance_order(self):
+        a, b = Element(key="a"), Element(key="b")
+        stream = Stream(arrivals=[b, a, b, a])
+        assert [e.key for e in stream.distinct_elements()] == ["b", "a"]
+
+    def test_append_and_extend(self):
+        stream = Stream()
+        stream.append(Element(key=1))
+        stream.extend([Element(key=2), Element(key=3)])
+        assert len(stream) == 3
+        assert stream[2].key == 3
+
+
+class TestStreamPrefix:
+    def test_training_arrays_are_aligned(self, toy_prefix):
+        keys, features, frequencies = toy_prefix.training_arrays()
+        assert keys == ["a", "b", "c", "d"]
+        np.testing.assert_allclose(frequencies, [6, 5, 1, 2])
+        assert features.shape == (4, 1)
+        np.testing.assert_allclose(features.ravel(), [0.0, 0.1, 5.0, 5.1])
+
+    def test_training_arrays_without_features(self):
+        prefix = StreamPrefix(arrivals=[Element(key="x"), Element(key="x")])
+        keys, features, frequencies = prefix.training_arrays()
+        assert keys == ["x"]
+        assert features.shape == (1, 0)
+        np.testing.assert_allclose(frequencies, [2.0])
+
+    def test_empirical_frequencies_alias(self, toy_prefix):
+        assert toy_prefix.empirical_frequencies()["a"] == 6
+
+
+@given(st.lists(st.integers(min_value=0, max_value=20), min_size=1, max_size=200))
+def test_exact_frequencies_match_manual_count(keys):
+    elements = [Element(key=key) for key in keys]
+    freq = exact_frequencies(elements)
+    assert freq.total == len(keys)
+    for key in set(keys):
+        assert freq[key] == keys.count(key)

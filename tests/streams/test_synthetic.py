@@ -1,0 +1,101 @@
+"""Tests for the synthetic workload generator (paper Section 6.1)."""
+
+import numpy as np
+import pytest
+
+from repro.streams.synthetic import SyntheticConfig, SyntheticGenerator
+
+
+class TestSyntheticConfig:
+    def test_group_sizes_grow_exponentially(self):
+        config = SyntheticConfig(num_groups=4, smallest_group_exponent=2)
+        assert config.group_sizes == [8, 16, 32, 64]
+        assert config.universe_size == 120
+
+    def test_default_prefix_length_matches_paper(self):
+        config = SyntheticConfig(num_groups=10)
+        assert config.default_prefix_length == 10 * 2**10
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticConfig(num_groups=0)
+        with pytest.raises(ValueError):
+            SyntheticConfig(num_groups=3, fraction_seen=0.0)
+        with pytest.raises(ValueError):
+            SyntheticConfig(num_groups=3, fraction_seen=1.5)
+        with pytest.raises(ValueError):
+            SyntheticConfig(num_groups=3, feature_dim=0)
+
+
+class TestSyntheticGenerator:
+    def test_universe_has_expected_size_and_features(self):
+        generator = SyntheticGenerator(SyntheticConfig(num_groups=3, seed=0))
+        universe = generator.universe
+        assert len(universe) == SyntheticConfig(num_groups=3).universe_size
+        assert all(len(element.features) == 2 for element in universe)
+
+    def test_group_membership_is_consistent(self):
+        generator = SyntheticGenerator(SyntheticConfig(num_groups=3, seed=0))
+        for group_index in range(3):
+            members = generator.group_members(group_index)
+            assert all(generator.group_of(m.key) == group_index for m in members)
+
+    def test_group_probabilities_proportional_to_inverse_rank(self):
+        generator = SyntheticGenerator(SyntheticConfig(num_groups=4, seed=0))
+        probabilities = generator.group_probabilities
+        expected = np.array([1.0, 1 / 2, 1 / 3, 1 / 4])
+        np.testing.assert_allclose(probabilities, expected / expected.sum())
+
+    def test_prefix_respects_fraction_seen(self):
+        config = SyntheticConfig(num_groups=5, fraction_seen=0.3, seed=1)
+        generator = SyntheticGenerator(config)
+        prefix = generator.generate_prefix(5000)
+        distinct = set(prefix.distinct_keys())
+        # The prefix can never contain more than fraction_seen of each group
+        # (rounded per group).
+        for group_index in range(config.num_groups):
+            members = {m.key for m in generator.group_members(group_index)}
+            eligible_cap = max(1, int(round(0.3 * len(members))))
+            assert len(distinct & members) <= eligible_cap
+
+    def test_stream_can_contain_any_element(self):
+        config = SyntheticConfig(num_groups=3, fraction_seen=0.2, seed=2)
+        generator = SyntheticGenerator(config)
+        stream = generator.generate_stream(4000)
+        distinct = set(e.key for e in stream)
+        # With enough arrivals, the stream should reach elements outside the
+        # prefix-eligible fraction of at least one group.
+        assert len(distinct) > 0.2 * config.universe_size
+
+    def test_smaller_groups_are_heavier(self):
+        config = SyntheticConfig(num_groups=5, seed=3)
+        generator = SyntheticGenerator(config)
+        stream = generator.generate_stream(20_000)
+        frequencies = stream.frequencies()
+        group_totals = np.zeros(config.num_groups)
+        for key, count in frequencies.items():
+            group_totals[generator.group_of(key)] += count
+        per_element = group_totals / np.array(config.group_sizes)
+        # Elements of the first (smallest) group are the heavy hitters.
+        assert per_element[0] == per_element.max()
+
+    def test_prefix_and_stream_multiplier(self):
+        generator = SyntheticGenerator(SyntheticConfig(num_groups=3, seed=4))
+        prefix, stream = generator.generate_prefix_and_stream(
+            prefix_length=100, stream_multiplier=5
+        )
+        assert len(prefix) == 100
+        assert len(stream) == 500
+
+    def test_reproducibility_with_seed(self):
+        first = SyntheticGenerator(SyntheticConfig(num_groups=3, seed=9))
+        second = SyntheticGenerator(SyntheticConfig(num_groups=3, seed=9))
+        prefix_one = first.generate_prefix(50)
+        prefix_two = second.generate_prefix(50)
+        assert [e.key for e in prefix_one] == [e.key for e in prefix_two]
+
+    def test_default_prefix_length_used_when_omitted(self):
+        config = SyntheticConfig(num_groups=3, seed=5)
+        generator = SyntheticGenerator(config)
+        prefix = generator.generate_prefix()
+        assert len(prefix) == config.default_prefix_length

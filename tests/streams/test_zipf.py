@@ -1,0 +1,77 @@
+"""Tests for the Zipf sampler."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.streams.zipf import ZipfSampler, zipf_weights
+
+
+class TestZipfWeights:
+    def test_weights_sum_to_one(self):
+        weights = zipf_weights(100, exponent=1.0)
+        assert weights.shape == (100,)
+        assert np.isclose(weights.sum(), 1.0)
+
+    def test_weights_are_decreasing(self):
+        weights = zipf_weights(50, exponent=1.2)
+        assert np.all(np.diff(weights) <= 0)
+
+    def test_zero_exponent_is_uniform(self):
+        weights = zipf_weights(10, exponent=0.0)
+        np.testing.assert_allclose(weights, np.full(10, 0.1))
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0)
+        with pytest.raises(ValueError):
+            zipf_weights(10, exponent=-1.0)
+
+    def test_ratio_matches_power_law(self):
+        weights = zipf_weights(1000, exponent=0.8)
+        # p_1 / p_10 should equal 10^0.8.
+        assert np.isclose(weights[0] / weights[9], 10**0.8, rtol=1e-9)
+
+
+class TestZipfSampler:
+    def test_samples_within_support(self, rng):
+        sampler = ZipfSampler(num_items=20, exponent=1.0, rng=rng)
+        draws = sampler.sample(1000)
+        assert draws.min() >= 0
+        assert draws.max() < 20
+
+    def test_rank_zero_is_most_frequent(self, rng):
+        sampler = ZipfSampler(num_items=50, exponent=1.0, rng=rng)
+        draws = sampler.sample(20_000)
+        counts = np.bincount(draws, minlength=50)
+        assert counts[0] == counts.max()
+
+    def test_expected_counts_scale_with_arrivals(self):
+        sampler = ZipfSampler(num_items=10, exponent=1.0)
+        expected = sampler.expected_counts(1000)
+        assert np.isclose(expected.sum(), 1000)
+
+    def test_negative_sample_size_rejected(self):
+        sampler = ZipfSampler(num_items=5)
+        with pytest.raises(ValueError):
+            sampler.sample(-1)
+
+    def test_sample_one_returns_int(self, rng):
+        sampler = ZipfSampler(num_items=5, rng=rng)
+        assert isinstance(sampler.sample_one(), int)
+
+    def test_reproducible_with_seeded_rng(self):
+        first = ZipfSampler(10, rng=np.random.default_rng(3)).sample(100)
+        second = ZipfSampler(10, rng=np.random.default_rng(3)).sample(100)
+        np.testing.assert_array_equal(first, second)
+
+
+@given(
+    num_items=st.integers(min_value=1, max_value=200),
+    exponent=st.floats(min_value=0.0, max_value=3.0, allow_nan=False),
+)
+@settings(max_examples=50, deadline=None)
+def test_zipf_weights_always_form_distribution(num_items, exponent):
+    weights = zipf_weights(num_items, exponent)
+    assert np.all(weights >= 0)
+    assert np.isclose(weights.sum(), 1.0)
