@@ -1,0 +1,124 @@
+"""Ingestion throughput: vectorized batch path vs element-at-a-time scalar.
+
+Replays a 10^6-element Zipf stream (the scale of the paper's query-log
+experiments) through the sketches and reports elements/sec for the scalar
+``update`` loop and the chunked ``update_batch`` path.  The acceptance gate
+is the Count-Min comparison: the batch path must ingest at least 10× more
+elements per second than the scalar path on the same stream.
+
+Run explicitly (benchmarks are opt-in): ``PYTHONPATH=src pytest benchmarks/test_throughput.py -s``
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.pipeline import DEFAULT_REPLAY_BATCH_SIZE, replay
+from repro.sketches import (
+    AmsSketch,
+    BloomFilter,
+    CountMinSketch,
+    CountSketch,
+    IdealHeavyHitterOracle,
+    LearnedCountMinSketch,
+)
+from repro.streams.stream import Element
+from repro.streams.zipf import ZipfSampler
+
+from conftest import benchmark_scale, save_result
+
+STREAM_LENGTH = 1_000_000
+ZIPF_SUPPORT = 100_000
+#: Scalar ingestion is measured on a prefix this long and reported as a rate;
+#: replaying all 10^6 arrivals one Python call at a time would add minutes of
+#: runtime without changing the measured elements/sec.
+SCALAR_SAMPLE = 50_000
+
+
+def _zipf_stream(length: int) -> np.ndarray:
+    sampler = ZipfSampler(ZIPF_SUPPORT, exponent=1.0, rng=np.random.default_rng(7))
+    return sampler.sample(length).astype(np.int64)
+
+
+def _scalar_rate(sketch, keys: np.ndarray) -> float:
+    start = time.perf_counter()
+    for key in keys:
+        sketch.update(Element(key=key))
+    return len(keys) / (time.perf_counter() - start)
+
+
+def _batch_rate(sketch, keys: np.ndarray) -> float:
+    start = time.perf_counter()
+    replay(sketch, keys, batch_size=DEFAULT_REPLAY_BATCH_SIZE)
+    return len(keys) / (time.perf_counter() - start)
+
+
+def test_count_min_batch_speedup_at_least_10x():
+    """The acceptance gate: >= 10x elements/sec on a 10^6-element Zipf stream."""
+    length = max(100_000, int(STREAM_LENGTH * benchmark_scale()))
+    keys = _zipf_stream(length)
+
+    scalar_sketch = CountMinSketch.from_total_buckets(8192, depth=2, seed=1)
+    scalar_keys = keys[:SCALAR_SAMPLE]
+    scalar_rate = _scalar_rate(scalar_sketch, scalar_keys)
+
+    batch_sketch = CountMinSketch.from_total_buckets(8192, depth=2, seed=1)
+    batch_rate = _batch_rate(batch_sketch, keys)
+
+    # The two paths must agree exactly on the common prefix they both saw.
+    reference = CountMinSketch.from_total_buckets(8192, depth=2, seed=1)
+    reference.update_batch(scalar_keys)
+    assert (reference.counters() == scalar_sketch.counters()).all()
+
+    speedup = batch_rate / scalar_rate
+    lines = [
+        "Count-Min ingestion throughput (Zipf stream, depth=2, 8192 buckets)",
+        f"  stream length        : {length:,} elements",
+        f"  scalar update loop   : {scalar_rate:>12,.0f} elements/sec"
+        f" (measured on {len(scalar_keys):,} arrivals)",
+        f"  batch update_batch   : {batch_rate:>12,.0f} elements/sec"
+        f" (chunks of {DEFAULT_REPLAY_BATCH_SIZE:,})",
+        f"  speedup              : {speedup:>12,.0f}x (gate: >= 10x)",
+    ]
+    save_result("throughput_count_min", "\n".join(lines))
+    assert speedup >= 10.0
+
+
+def test_batch_throughput_across_sketches():
+    """Record batch elements/sec for every vectorized sketch (no gate)."""
+    length = max(100_000, int(STREAM_LENGTH * benchmark_scale()))
+    keys = _zipf_stream(length)
+    unique, counts = np.unique(keys, return_counts=True)
+    frequencies = dict(zip(unique.tolist(), counts.tolist()))
+
+    sketches = {
+        "count-min (d=2)": CountMinSketch.from_total_buckets(8192, depth=2, seed=1),
+        "count-min conservative (d=2)": CountMinSketch.from_total_buckets(
+            8192, depth=2, seed=1, conservative=True
+        ),
+        "count-sketch (d=3)": CountSketch.from_total_buckets(8192, depth=3, seed=1),
+        "learned-cms (ideal oracle)": LearnedCountMinSketch(
+            8192,
+            num_heavy_buckets=512,
+            oracle=IdealHeavyHitterOracle.from_frequencies(frequencies, 512),
+            depth=2,
+            seed=1,
+        ),
+        "ams (64 estimators)": AmsSketch(64, 8, seed=1),
+        "bloom filter (k=4)": BloomFilter(1 << 20, num_hashes=4, seed=1),
+    }
+    lines = [f"Batch ingestion throughput on {length:,} Zipf arrivals"]
+    for name, sketch in sketches.items():
+        ingest = sketch.add_batch if isinstance(sketch, BloomFilter) else None
+        start = time.perf_counter()
+        if ingest is not None:
+            for chunk_start in range(0, length, DEFAULT_REPLAY_BATCH_SIZE):
+                ingest(keys[chunk_start : chunk_start + DEFAULT_REPLAY_BATCH_SIZE])
+        else:
+            replay(sketch, keys)
+        rate = length / (time.perf_counter() - start)
+        lines.append(f"  {name:<32s}: {rate:>12,.0f} elements/sec")
+        assert rate > 0
+    save_result("throughput_all_sketches", "\n".join(lines))

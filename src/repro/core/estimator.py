@@ -24,7 +24,7 @@ from typing import Dict, Hashable, Optional
 import numpy as np
 
 from repro.core.scheme import OptHashScheme
-from repro.sketches.base import BYTES_PER_BUCKET, FrequencyEstimator
+from repro.sketches.base import BYTES_PER_BUCKET, FrequencyEstimator, as_key_batch
 from repro.sketches.bloom import BloomFilter
 from repro.streams.stream import Element
 
@@ -76,11 +76,39 @@ class OptHashEstimator(FrequencyEstimator):
     # ------------------------------------------------------------------
     # FrequencyEstimator interface
     # ------------------------------------------------------------------
+    @property
+    def routes_by_features(self) -> bool:
+        """Ingestion only consults the exact hash table, never the classifier."""
+        return False
+
     def update(self, element: Element) -> None:
         """Process one arrival: only prefix elements update their bucket."""
         bucket = self.scheme.key_to_bucket.get(element.key)
         if bucket is not None:
             self._bucket_totals[bucket] += 1.0
+
+    def update_batch(self, keys, counts=None) -> None:
+        """Vectorized ingestion: bucket lookups then one scatter-add.
+
+        Keys outside the scheme's hash table are ignored, exactly as in the
+        scalar path; the surviving per-bucket additions happen in arrival
+        order so the float accumulators stay bit-identical.
+        """
+        key_batch, count_array = as_key_batch(keys, counts)
+        table = self.scheme.key_to_bucket
+        buckets: list = []
+        amounts: list = []
+        for key, count in zip(key_batch, count_array):
+            bucket = table.get(key)
+            if bucket is not None:
+                buckets.append(bucket)
+                amounts.append(count)
+        if buckets:
+            np.add.at(
+                self._bucket_totals,
+                np.asarray(buckets, dtype=np.int64),
+                np.asarray(amounts, dtype=np.float64),
+            )
 
     def estimate(self, element: Element) -> float:
         bucket = self.scheme.bucket_of(element)
@@ -88,6 +116,18 @@ class OptHashEstimator(FrequencyEstimator):
         if count == 0:
             return 0.0
         return float(self._bucket_totals[bucket] / count)
+
+    def estimate_batch(self, keys) -> np.ndarray:
+        """Vectorized point queries: one batched bucket resolution + gather."""
+        items = keys if isinstance(keys, np.ndarray) else list(keys)
+        if len(items) == 0:
+            return np.zeros(0, dtype=np.float64)
+        buckets = self.scheme.buckets_batch(items)
+        counts = self._bucket_counts[buckets]
+        totals = self._bucket_totals[buckets]
+        return np.divide(
+            totals, counts, out=np.zeros_like(totals), where=counts != 0
+        )
 
     @property
     def size_bytes(self) -> int:
@@ -165,6 +205,11 @@ class AdaptiveOptHashEstimator(FrequencyEstimator):
                 self._bucket_counts[bucket] += 1.0
                 self._bloom.add(key)
 
+    @property
+    def routes_by_features(self) -> bool:
+        """Unseen arrivals route through the feature-based classifier."""
+        return self.scheme.classifier is not None
+
     def update(self, element: Element) -> None:
         """Every arrival updates its bucket; first-time arrivals grow ``c_j``."""
         bucket = self.scheme.bucket_of(element)
@@ -172,6 +217,41 @@ class AdaptiveOptHashEstimator(FrequencyEstimator):
         if element.key not in self._bloom:
             self._bucket_counts[bucket] += 1.0
             self._bloom.add(element.key)
+
+    def update_batch(self, keys, counts=None) -> None:
+        """Vectorized ingestion with sequential first-occurrence accounting.
+
+        Bucket resolution and the φ_j scatter-add are fully vectorized; the
+        Bloom-filter pass walks the batch in arrival order (via
+        :meth:`BloomFilter.observe_batch`) so within-batch repeats of a key
+        count exactly once, as in a scalar replay.
+        """
+        items = keys if isinstance(keys, np.ndarray) else list(keys)
+        key_batch, count_array = as_key_batch(items, counts)
+        if len(key_batch) == 0:
+            return
+        if count_array.min() == 0:
+            # Zero-count entries are no-ops in a scalar replay: they must not
+            # touch the Bloom filter or the per-bucket element counts.
+            nonzero = np.flatnonzero(count_array)
+            if nonzero.size == 0:
+                return
+            items = (
+                items[nonzero]
+                if isinstance(items, np.ndarray)
+                else [items[i] for i in nonzero]
+            )
+            key_batch = (
+                key_batch[nonzero]
+                if isinstance(key_batch, np.ndarray)
+                else [key_batch[i] for i in nonzero]
+            )
+            count_array = count_array[nonzero]
+        buckets = self.scheme.buckets_batch(items)
+        np.add.at(self._bucket_totals, buckets, count_array.astype(np.float64))
+        new_flags = self._bloom.observe_batch(key_batch)
+        if new_flags.any():
+            np.add.at(self._bucket_counts, buckets[new_flags], 1.0)
 
     def estimate(self, element: Element) -> float:
         if element.key not in self._bloom:
@@ -183,6 +263,30 @@ class AdaptiveOptHashEstimator(FrequencyEstimator):
         if count == 0:
             return 0.0
         return float(self._bucket_totals[bucket] / count)
+
+    def estimate_batch(self, keys) -> np.ndarray:
+        """Vectorized point queries gated by batched Bloom membership."""
+        items = keys if isinstance(keys, np.ndarray) else list(keys)
+        key_batch, _ = as_key_batch(items)
+        n = len(key_batch)
+        if n == 0:
+            return np.zeros(0, dtype=np.float64)
+        contained = self._bloom.contains_batch(key_batch)
+        estimates = np.zeros(n, dtype=np.float64)
+        if contained.any():
+            indices = np.flatnonzero(contained)
+            subset = (
+                items[indices]
+                if isinstance(items, np.ndarray)
+                else [items[i] for i in indices]
+            )
+            buckets = self.scheme.buckets_batch(subset)
+            counts = self._bucket_counts[buckets]
+            totals = self._bucket_totals[buckets]
+            estimates[indices] = np.divide(
+                totals, counts, out=np.zeros_like(totals), where=counts != 0
+            )
+        return estimates
 
     @property
     def size_bytes(self) -> int:

@@ -110,6 +110,32 @@ class OptHashScheme:
             self._prediction_cache[element.key] = int(bucket)
         return buckets
 
+    def buckets_batch(self, elements: Sequence[Element]) -> np.ndarray:
+        """Vectorized :meth:`bucket_of` over many elements.
+
+        Unseen, uncached elements are classified in one batched ``predict``
+        call; the rest resolve through the exact hash table / prediction
+        cache.  Accepts raw keys as well as elements (raw keys only work
+        when the featurizer needs nothing beyond the key, e.g. with the
+        exact table or a key-based featurizer).
+        """
+        items = list(elements)
+        if items and not isinstance(items[0], Element):
+            items = [Element(key=key) for key in items]
+        self.precompute(items)
+        table = self.key_to_bucket
+        cache = self._prediction_cache
+        return np.fromiter(
+            (
+                table[element.key]
+                if element.key in table
+                else cache.get(element.key, 0)
+                for element in items
+            ),
+            dtype=np.int64,
+            count=len(items),
+        )
+
     def precompute(self, elements: Sequence[Element]) -> None:
         """Batch-predict and cache buckets for many (unseen) elements.
 

@@ -25,7 +25,12 @@ from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.estimator import OptHashEstimator
-from repro.core.pipeline import OptHashConfig, split_bucket_budget, train_opt_hash
+from repro.core.pipeline import (
+    OptHashConfig,
+    replay,
+    split_bucket_budget,
+    train_opt_hash,
+)
 from repro.evaluation.metrics import errors_over_elements
 from repro.evaluation.results import ExperimentResult
 from repro.ml.text import QueryFeaturizer
@@ -173,11 +178,7 @@ def _evaluate_at_checkpoint(
 ) -> Tuple[float, float]:
     """Average and expected-magnitude errors over all queries seen so far."""
     keys = list(truth.keys())
-    elements = [Element(key=key) for key in keys]
-    scheme = getattr(estimator, "scheme", None)
-    if scheme is not None:
-        scheme.precompute(elements)
-    estimates = {key: estimator.estimate(element) for key, element in zip(keys, elements)}
+    estimates = dict(zip(keys, estimator.estimate_batch(keys).tolist()))
     return errors_over_elements(dict(truth.items()), estimates)
 
 
@@ -189,8 +190,11 @@ def _simulate(
 ) -> Dict[int, Tuple[float, float]]:
     """Stream the dataset through an estimator, measuring at checkpoints.
 
-    ``include_day_zero_updates`` is True for the conventional sketches (they
-    see every arrival); opt-hash already absorbed day 0 during training.
+    Each day replays through the estimator's vectorized ``update_batch`` in
+    chunks (see :func:`repro.core.pipeline.replay`) instead of one Python
+    call per arrival.  ``include_day_zero_updates`` is True for the
+    conventional sketches (they see every arrival); opt-hash already
+    absorbed day 0 during training.
     """
     checkpoints = sorted(set(int(day) for day in checkpoints))
     if not checkpoints:
@@ -199,16 +203,15 @@ def _simulate(
         raise ValueError("checkpoint beyond the dataset's number of days")
     results: Dict[int, Tuple[float, float]] = {}
     cumulative = FrequencyVector()
-    for element in dataset.days[0]:
-        cumulative.increment(element.key)
+    cumulative.increment_batch(dataset.days[0].key_array())
     if include_day_zero_updates:
-        estimator.update_many(dataset.days[0])
+        replay(estimator, dataset.days[0])
     if 0 in checkpoints:
         results[0] = _evaluate_at_checkpoint(estimator, cumulative)
     for day in range(1, checkpoints[-1] + 1):
-        for element in dataset.days[day]:
-            estimator.update(element)
-            cumulative.increment(element.key)
+        day_stream = dataset.days[day]
+        replay(estimator, day_stream)
+        cumulative.increment_batch(day_stream.key_array())
         if day in checkpoints:
             results[day] = _evaluate_at_checkpoint(estimator, cumulative)
     return results

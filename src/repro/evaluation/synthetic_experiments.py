@@ -96,8 +96,8 @@ def _unseen_assignment_errors(
     ]
     if not unseen_elements:
         return 0.0, 0.0
-    frequencies = np.array(
-        [float(stream_frequencies[element.key]) for element in unseen_elements]
+    frequencies = stream_frequencies.counts_for(
+        [element.key for element in unseen_elements]
     )
     features = np.array([element.feature_array() for element in unseen_elements])
     labels = training.scheme.predict_buckets(unseen_elements)

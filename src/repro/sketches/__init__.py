@@ -18,8 +18,14 @@ builds on:
   implementing the random hash functions all of the above rely on.
 """
 
-from repro.sketches.base import FrequencyEstimator, ExactCounter
-from repro.sketches.hashing import UniversalHashFamily, UniversalHash, TabulationHash
+from repro.sketches.base import FrequencyEstimator, ExactCounter, as_key_batch
+from repro.sketches.hashing import (
+    UniversalHashFamily,
+    UniversalHash,
+    TabulationHash,
+    fingerprint64,
+    fingerprint64_batch,
+)
 from repro.sketches.count_min import CountMinSketch
 from repro.sketches.count_sketch import CountSketch
 from repro.sketches.learned_cms import (
@@ -35,6 +41,9 @@ from repro.sketches.ams import AmsSketch
 __all__ = [
     "FrequencyEstimator",
     "ExactCounter",
+    "as_key_batch",
+    "fingerprint64",
+    "fingerprint64_batch",
     "UniversalHashFamily",
     "UniversalHash",
     "TabulationHash",

@@ -14,7 +14,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.sketches.base import BYTES_PER_BUCKET
+from repro.sketches.base import BYTES_PER_BUCKET, as_key_batch
 from repro.sketches.hashing import UniversalHashFamily
 from repro.streams.stream import Element
 
@@ -39,6 +39,7 @@ class AmsSketch:
         num_estimators: int = 64,
         means_groups: int = 8,
         seed: Optional[int] = None,
+        hash_scheme: str = "universal",
     ) -> None:
         if num_estimators <= 0:
             raise ValueError("num_estimators must be positive")
@@ -47,7 +48,9 @@ class AmsSketch:
         self.num_estimators = num_estimators
         self.means_groups = means_groups
         self._counters = np.zeros(num_estimators, dtype=np.int64)
-        self._hashes = UniversalHashFamily(2, seed=seed).draw(num_estimators)
+        self._hashes = UniversalHashFamily(
+            2, seed=seed, scheme=hash_scheme
+        ).draw(num_estimators)
 
     def update(self, element: Element) -> None:
         """Process one arrival of ``element``."""
@@ -56,8 +59,16 @@ class AmsSketch:
             self._counters[index] += h.sign(key)
 
     def update_many(self, elements) -> None:
-        for element in elements:
-            self.update(element)
+        """Process a sequence of arrivals (delegates to the batch path)."""
+        self.update_batch(elements)
+
+    def update_batch(self, keys, counts=None) -> None:
+        """Ingest a key batch: each ±1 counter absorbs its signed sum at once."""
+        key_batch, count_array = as_key_batch(keys, counts)
+        if len(key_batch) == 0:
+            return
+        for index, h in enumerate(self._hashes):
+            self._counters[index] += int(np.dot(h.sign_batch(key_batch), count_array))
 
     def estimate_second_moment(self) -> float:
         """Median-of-means estimate of ``F2 = Σ_u f_u²``."""

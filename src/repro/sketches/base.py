@@ -6,18 +6,77 @@ interface so benchmarks and examples can treat them interchangeably:
 
 * ``update(element)``: process one stream arrival (single pass, constant time).
 * ``estimate(element)``: answer a point (count) query.
+* ``update_batch(keys, counts)`` / ``estimate_batch(keys)``: the vectorized
+  ingestion/query path.  The base class provides a generic element-at-a-time
+  fallback so every estimator supports the batch API; the array-backed
+  sketches override it with NumPy implementations that are bit-identical to
+  the scalar path but orders of magnitude faster.
 * ``size_bytes`` / ``size_kb``: memory accounting used by the error-vs-size
   experiments, following the paper's convention of 4 bytes per bucket.
+
+Batch inputs are deliberately permissive: a numpy array of raw keys, a list
+of raw keys, a list of :class:`~repro.streams.stream.Element`, or a whole
+:class:`~repro.streams.stream.Stream` all work, so replay loops can feed
+whatever the stream layer hands them.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Dict, Hashable
+from typing import Dict, Hashable, Tuple, Union
+
+import numpy as np
 
 from repro.streams.stream import Element
 
-__all__ = ["FrequencyEstimator", "ExactCounter", "BYTES_PER_BUCKET"]
+__all__ = [
+    "FrequencyEstimator",
+    "ExactCounter",
+    "BYTES_PER_BUCKET",
+    "as_key_batch",
+]
+
+
+def as_key_batch(
+    keys, counts=None
+) -> Tuple[Union[np.ndarray, list], np.ndarray]:
+    """Normalize a batch input into ``(keys, counts)``.
+
+    ``keys`` may be a 1-D numpy array of raw keys, any sequence of raw keys,
+    a sequence of :class:`Element`, or a ``Stream``.  The returned keys are
+    either an integer ndarray (the fast path) or a plain Python list; the
+    returned counts are an int64 array aligned with the keys (all ones when
+    ``counts`` is omitted).
+    """
+    if isinstance(keys, np.ndarray):
+        if keys.ndim != 1:
+            raise ValueError("key batches must be 1-D")
+        if keys.dtype == object and keys.shape[0] and isinstance(keys[0], Element):
+            # An object array of Elements must extract keys exactly like a
+            # list of Elements would — hashing repr(Element) would silently
+            # diverge from the scalar path.
+            normalized: Union[np.ndarray, list] = [
+                element.key for element in keys.tolist()
+            ]
+            n = len(normalized)
+        else:
+            normalized = keys
+            n = keys.shape[0]
+    else:
+        key_list = list(keys)
+        if key_list and isinstance(key_list[0], Element):
+            key_list = [element.key for element in key_list]
+        normalized = key_list
+        n = len(key_list)
+    if counts is None:
+        count_array = np.ones(n, dtype=np.int64)
+    else:
+        count_array = np.asarray(counts, dtype=np.int64)
+        if count_array.shape != (n,):
+            raise ValueError("counts must align one-to-one with keys")
+        if n and count_array.min() < 0:
+            raise ValueError("counts must be non-negative")
+    return normalized, count_array
 
 #: Memory charged per counter/bucket, as in Section 7.4 of the paper.
 BYTES_PER_BUCKET = 4
@@ -45,9 +104,30 @@ class FrequencyEstimator(ABC):
         return self.size_bytes / 1000.0
 
     def update_many(self, elements) -> None:
-        """Process a sequence of arrivals."""
-        for element in elements:
-            self.update(element)
+        """Process a sequence of arrivals (delegates to the batch path)."""
+        self.update_batch(elements)
+
+    def update_batch(self, keys, counts=None) -> None:
+        """Process a batch of arrivals: ``counts[i]`` occurrences of ``keys[i]``.
+
+        The base implementation replays the batch element-at-a-time, so it is
+        always equivalent to the scalar path; array-backed sketches override
+        it with vectorized implementations.
+        """
+        key_batch, count_array = as_key_batch(keys, counts)
+        for key, count in zip(key_batch, count_array):
+            element = Element(key=key)
+            for _ in range(int(count)):
+                self.update(element)
+
+    def estimate_batch(self, keys) -> np.ndarray:
+        """Vectorized point queries: a float64 array aligned with ``keys``."""
+        key_batch, _ = as_key_batch(keys)
+        return np.fromiter(
+            (self.estimate(Element(key=key)) for key in key_batch),
+            dtype=np.float64,
+            count=len(key_batch),
+        )
 
     def estimate_key(self, key: Hashable) -> float:
         """Convenience point query by key only (no features)."""
@@ -69,8 +149,23 @@ class ExactCounter(FrequencyEstimator):
     def update(self, element: Element) -> None:
         self._counts[element.key] = self._counts.get(element.key, 0) + 1
 
+    def update_batch(self, keys, counts=None) -> None:
+        key_batch, count_array = as_key_batch(keys, counts)
+        table = self._counts
+        for key, count in zip(key_batch, count_array):
+            table[key] = table.get(key, 0) + int(count)
+
     def estimate(self, element: Element) -> float:
         return float(self._counts.get(element.key, 0))
+
+    def estimate_batch(self, keys) -> np.ndarray:
+        key_batch, _ = as_key_batch(keys)
+        table = self._counts
+        return np.fromiter(
+            (table.get(key, 0) for key in key_batch),
+            dtype=np.float64,
+            count=len(key_batch),
+        )
 
     @property
     def size_bytes(self) -> int:

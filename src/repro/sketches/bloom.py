@@ -42,6 +42,7 @@ class BloomFilter:
         num_hashes: Optional[int] = None,
         expected_items: Optional[int] = None,
         seed: Optional[int] = None,
+        hash_scheme: str = "universal",
     ) -> None:
         if num_bits <= 0:
             raise ValueError("num_bits must be positive")
@@ -55,7 +56,9 @@ class BloomFilter:
         self.num_bits = num_bits
         self.num_hashes = num_hashes
         self._bits = np.zeros(num_bits, dtype=bool)
-        self._hashes = UniversalHashFamily(num_bits, seed=seed).draw(num_hashes)
+        self._hashes = UniversalHashFamily(
+            num_bits, seed=seed, scheme=hash_scheme
+        ).draw(num_hashes)
         self._num_inserted = 0
 
     @classmethod
@@ -85,6 +88,48 @@ class BloomFilter:
     def contains(self, key: Hashable) -> bool:
         """Membership test; false positives possible, false negatives not."""
         return key in self
+
+    # ------------------------------------------------------------------
+    # vectorized batch path
+    # ------------------------------------------------------------------
+    def _positions(self, keys) -> np.ndarray:
+        """Bit positions of a key batch, as a (num_hashes, n) array."""
+        return np.stack([h.hash_batch(keys) for h in self._hashes])
+
+    def add_batch(self, keys) -> None:
+        """Mark every key of the batch as seen (one gather/scatter per hash)."""
+        positions = self._positions(keys)
+        if positions.shape[1] == 0:
+            return
+        self._bits[positions.ravel()] = True
+        self._num_inserted += positions.shape[1]
+
+    def contains_batch(self, keys) -> np.ndarray:
+        """Vectorized membership test: a bool array aligned with ``keys``."""
+        positions = self._positions(keys)
+        if positions.shape[1] == 0:
+            return np.zeros(0, dtype=bool)
+        return self._bits[positions].all(axis=0)
+
+    def observe_batch(self, keys) -> np.ndarray:
+        """Process arrivals in order; return True where the key was *new*.
+
+        Equivalent to ``if k not in self: add(k)`` per arrival — later
+        occurrences of a key within the same batch see the bits its first
+        occurrence set, exactly as a scalar replay would.  Used by the
+        adaptive opt-hash estimator's first-occurrence counting.
+        """
+        positions = self._positions(keys)
+        n = positions.shape[1]
+        new_flags = np.zeros(n, dtype=bool)
+        bits = self._bits
+        for index in range(n):
+            column = positions[:, index]
+            if not bits[column].all():
+                bits[column] = True
+                new_flags[index] = True
+                self._num_inserted += 1
+        return new_flags
 
     @property
     def num_inserted(self) -> int:

@@ -22,7 +22,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.sketches.base import BYTES_PER_BUCKET, FrequencyEstimator
+from repro.sketches.base import BYTES_PER_BUCKET, FrequencyEstimator, as_key_batch
 from repro.sketches.hashing import UniversalHashFamily
 from repro.streams.stream import Element
 
@@ -43,6 +43,8 @@ class CountMinSketch(FrequencyEstimator):
     conservative:
         If True, use conservative update (only counters equal to the current
         minimum are incremented).
+    hash_scheme:
+        ``"universal"`` (Carter–Wegman, default) or ``"tabulation"``.
     """
 
     def __init__(
@@ -51,6 +53,7 @@ class CountMinSketch(FrequencyEstimator):
         depth: int = 1,
         seed: Optional[int] = None,
         conservative: bool = False,
+        hash_scheme: str = "universal",
     ) -> None:
         if width <= 0:
             raise ValueError("width must be positive")
@@ -60,7 +63,8 @@ class CountMinSketch(FrequencyEstimator):
         self.depth = depth
         self.conservative = conservative
         self._table = np.zeros((depth, width), dtype=np.int64)
-        family = UniversalHashFamily(width, seed=seed)
+        self._levels = np.arange(depth)
+        family = UniversalHashFamily(width, seed=seed, scheme=hash_scheme)
         self._hashes = family.draw(depth)
 
     # ------------------------------------------------------------------
@@ -98,25 +102,55 @@ class CountMinSketch(FrequencyEstimator):
     # FrequencyEstimator interface
     # ------------------------------------------------------------------
     def update(self, element: Element) -> None:
-        key = element.key
-        if self.conservative:
-            positions = [h(key) for h in self._hashes]
-            current = np.array(
-                [self._table[level, pos] for level, pos in enumerate(positions)]
-            )
-            new_value = current.min() + 1
-            for level, pos in enumerate(positions):
-                if self._table[level, pos] < new_value:
-                    self._table[level, pos] = new_value
-        else:
-            for level, h in enumerate(self._hashes):
-                self._table[level, h(key)] += 1
+        self.update_batch([element.key])
 
     def estimate(self, element: Element) -> float:
-        key = element.key
-        return float(
-            min(self._table[level, h(key)] for level, h in enumerate(self._hashes))
-        )
+        return float(self.estimate_batch([element.key])[0])
+
+    # ------------------------------------------------------------------
+    # vectorized batch path
+    # ------------------------------------------------------------------
+    def _positions(self, keys) -> np.ndarray:
+        """Per-level bucket positions of a key batch, as a (depth, n) array."""
+        return np.stack([h.hash_batch(keys) for h in self._hashes])
+
+    def update_batch(self, keys, counts=None) -> None:
+        """Ingest ``counts[i]`` arrivals of ``keys[i]``, all at once.
+
+        The plain variant is order-independent, so one ``np.add.at`` per
+        level reproduces the scalar loop exactly.  Conservative update reads
+        the counters it is about to raise, so the batch path precomputes all
+        hash positions vectorized (the dominant cost) and replays the
+        min/max counter logic in arrival order to stay bit-identical.
+        """
+        key_batch, count_array = as_key_batch(keys, counts)
+        if len(key_batch) == 0:
+            return
+        positions = self._positions(key_batch)
+        if not self.conservative:
+            for level in range(self.depth):
+                np.add.at(self._table[level], positions[level], count_array)
+            return
+        table = self._table
+        levels = self._levels
+        for index in range(positions.shape[1]):
+            count = count_array[index]
+            if count == 0:
+                continue
+            column = positions[:, index]
+            current = table[levels, column]
+            # Raising every counter to min+count equals `count` consecutive
+            # conservative +1 updates of the same key.
+            table[levels, column] = np.maximum(current, current.min() + count)
+
+    def estimate_batch(self, keys) -> np.ndarray:
+        """Vectorized point queries: min over levels of the gathered counters."""
+        key_batch, _ = as_key_batch(keys)
+        if len(key_batch) == 0:
+            return np.zeros(0, dtype=np.float64)
+        positions = self._positions(key_batch)
+        gathered = self._table[self._levels[:, None], positions]
+        return gathered.min(axis=0).astype(np.float64)
 
     @property
     def size_bytes(self) -> int:

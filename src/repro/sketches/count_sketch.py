@@ -13,7 +13,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.sketches.base import BYTES_PER_BUCKET, FrequencyEstimator
+from repro.sketches.base import BYTES_PER_BUCKET, FrequencyEstimator, as_key_batch
 from repro.sketches.hashing import UniversalHashFamily
 from repro.streams.stream import Element
 
@@ -23,7 +23,13 @@ __all__ = ["CountSketch"]
 class CountSketch(FrequencyEstimator):
     """Count Sketch with ``d`` levels of ``w`` signed counters."""
 
-    def __init__(self, width: int, depth: int = 1, seed: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        width: int,
+        depth: int = 1,
+        seed: Optional[int] = None,
+        hash_scheme: str = "universal",
+    ) -> None:
         if width <= 0:
             raise ValueError("width must be positive")
         if depth <= 0:
@@ -31,7 +37,7 @@ class CountSketch(FrequencyEstimator):
         self.width = width
         self.depth = depth
         self._table = np.zeros((depth, width), dtype=np.int64)
-        family = UniversalHashFamily(width, seed=seed)
+        family = UniversalHashFamily(width, seed=seed, scheme=hash_scheme)
         self._hashes = family.draw(depth)
 
     @classmethod
@@ -44,17 +50,38 @@ class CountSketch(FrequencyEstimator):
         return cls(width=total_buckets // depth, depth=depth, seed=seed)
 
     def update(self, element: Element) -> None:
-        key = element.key
-        for level, h in enumerate(self._hashes):
-            self._table[level, h(key)] += h.sign(key)
+        self.update_batch([element.key])
 
     def estimate(self, element: Element) -> float:
-        key = element.key
-        values = [
-            h.sign(key) * self._table[level, h(key)]
-            for level, h in enumerate(self._hashes)
-        ]
-        return float(np.median(values))
+        return float(self.estimate_batch([element.key])[0])
+
+    # ------------------------------------------------------------------
+    # vectorized batch path
+    # ------------------------------------------------------------------
+    def update_batch(self, keys, counts=None) -> None:
+        """Ingest a key batch: signed, order-independent counter increments."""
+        key_batch, count_array = as_key_batch(keys, counts)
+        if len(key_batch) == 0:
+            return
+        for level, h in enumerate(self._hashes):
+            np.add.at(
+                self._table[level],
+                h.hash_batch(key_batch),
+                h.sign_batch(key_batch) * count_array,
+            )
+
+    def estimate_batch(self, keys) -> np.ndarray:
+        """Vectorized point queries: median over levels of signed counters."""
+        key_batch, _ = as_key_batch(keys)
+        if len(key_batch) == 0:
+            return np.zeros(0, dtype=np.float64)
+        signed = np.stack(
+            [
+                h.sign_batch(key_batch) * self._table[level, h.hash_batch(key_batch)]
+                for level, h in enumerate(self._hashes)
+            ]
+        )
+        return np.median(signed, axis=0)
 
     @property
     def size_bytes(self) -> int:

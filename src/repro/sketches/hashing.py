@@ -15,20 +15,37 @@ Both accept arbitrary hashable Python keys: keys are first mapped to 64-bit
 integers with a seeded byte-level FNV-1a so that string keys (search queries)
 hash consistently across processes — Python's builtin ``hash`` is
 intentionally randomized per process and would break reproducibility.
+
+Every hash function also exposes a *batch* path (``fingerprint64_batch``,
+``hash_batch``, ``sign_batch``) operating on whole arrays of keys at once.
+The batch paths are bit-identical to the scalar ones — integer keys run the
+splitmix64 finalizer on ``uint64`` arrays, string/object keys run a
+column-parallel FNV-1a over their padded ``repr`` bytes, and the
+Carter–Wegman ``(a*x + b) mod p`` step uses an exact 64×64→128-bit
+multiply-mod-Mersenne-61 built from 32-bit limbs — so sketches can ingest
+millions of elements per second without changing any estimate.
 """
 
 from __future__ import annotations
 
-from typing import Hashable, List, Optional
+from typing import Hashable, List, Optional, Sequence, Union
 
 import numpy as np
 
-__all__ = ["fingerprint64", "UniversalHash", "TabulationHash", "UniversalHashFamily"]
+__all__ = [
+    "fingerprint64",
+    "fingerprint64_batch",
+    "UniversalHash",
+    "TabulationHash",
+    "UniversalHashFamily",
+]
 
 _MERSENNE_PRIME = (1 << 61) - 1
 _FNV_OFFSET = 0xCBF29CE484222325
 _FNV_PRIME = 0x100000001B3
 _MASK64 = (1 << 64) - 1
+
+KeyBatch = Union[np.ndarray, Sequence[Hashable]]
 
 
 def fingerprint64(key: Hashable, seed: int = 0) -> int:
@@ -52,6 +69,124 @@ def fingerprint64(key: Hashable, seed: int = 0) -> int:
     return value
 
 
+def _is_int_key(key: Hashable) -> bool:
+    """The same dispatch predicate the scalar ``fingerprint64`` uses."""
+    return isinstance(key, (int, np.integer)) and not isinstance(key, bool)
+
+
+def _fingerprint_int_array(keys: np.ndarray, seed: int) -> np.ndarray:
+    """Vectorized splitmix64 finalizer over a uint64-convertible array."""
+    value = keys.astype(np.uint64, copy=False)
+    value = value ^ np.uint64((seed * 0x9E3779B97F4A7C15) & _MASK64)
+    value = (value ^ (value >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+    value = (value ^ (value >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+    return value ^ (value >> np.uint64(31))
+
+
+def _fingerprint_repr_batch(keys: Sequence[Hashable], seed: int) -> np.ndarray:
+    """Column-parallel FNV-1a over the UTF-8 ``repr`` bytes of each key.
+
+    The per-key byte strings are packed into one contiguous buffer and the
+    FNV recurrence runs once per byte *column*.  Keys are processed in
+    length-sorted order so each column only touches the keys that are still
+    active — total work and memory stay O(total bytes) even when one key in
+    the batch is much longer than the rest (no padded n × max_len matrix).
+    """
+    encoded = [repr(key).encode("utf-8") for key in keys]
+    n = len(encoded)
+    lengths = np.fromiter((len(data) for data in encoded), np.int64, n)
+    value = np.full(n, (_FNV_OFFSET ^ (seed & _MASK64)) & _MASK64, np.uint64)
+    prime = np.uint64(_FNV_PRIME)
+    # Length outliers (a 10KB key among 20-byte queries) would each add one
+    # near-empty column per byte; the scalar byte loop is faster for them.
+    cutoff = max(64, 2 * int(np.percentile(lengths, 95)))
+    long_indices = np.flatnonzero(lengths > cutoff)
+    for index in long_indices:
+        scalar = int(value[index])
+        for byte in encoded[index]:
+            scalar = ((scalar ^ byte) * _FNV_PRIME) & _MASK64
+        value[index] = scalar
+    short_order = np.flatnonzero(lengths <= cutoff)
+    if short_order.size == 0:
+        return value
+    short_order = short_order[np.argsort(lengths[short_order], kind="stable")]
+    flat = np.frombuffer(b"".join(encoded), dtype=np.uint8)
+    offsets = np.concatenate(([0], np.cumsum(lengths[:-1])))
+    # first_active[j] = number of short keys with length <= j, i.e. the start
+    # of the still-active suffix of `short_order` at column j.
+    first_active = np.searchsorted(
+        lengths[short_order], np.arange(int(lengths[short_order].max())), side="right"
+    )
+    for column in range(first_active.shape[0]):
+        active = short_order[first_active[column] :]
+        value[active] = (
+            value[active] ^ flat[offsets[active] + column].astype(np.uint64)
+        ) * prime
+    return value
+
+
+def fingerprint64_batch(keys: KeyBatch, seed: int = 0) -> np.ndarray:
+    """Vectorized :func:`fingerprint64` over an array/sequence of keys.
+
+    Returns a ``uint64`` array with
+    ``fingerprint64_batch(keys)[i] == fingerprint64(keys[i])`` for integer
+    and string keys (other key types are normalized via ``ndarray.tolist``
+    before hashing, so numpy scalars hash like their Python equivalents).
+    """
+    if isinstance(keys, np.ndarray) and keys.ndim == 1 and keys.dtype.kind in "iu":
+        return _fingerprint_int_array(keys, seed)
+    if isinstance(keys, np.ndarray) and keys.ndim == 1:
+        key_list = keys.tolist()
+    else:
+        key_list = list(keys)
+    n = len(key_list)
+    if n == 0:
+        return np.zeros(0, dtype=np.uint64)
+    int_flags = [_is_int_key(key) for key in key_list]
+    if all(int_flags):
+        # Mask in Python first: two's-complement wrap of negatives and
+        # integers >= 2**63 without tripping numpy's bounds checking.
+        arr = np.fromiter(((int(key) & _MASK64) for key in key_list), np.uint64, n)
+        return _fingerprint_int_array(arr, seed)
+    if not any(int_flags):
+        return _fingerprint_repr_batch(key_list, seed)
+    # Mixed integer / non-integer batch: rare, fall back to scalar dispatch.
+    return np.fromiter((fingerprint64(key, seed) for key in key_list), np.uint64, n)
+
+
+# ----------------------------------------------------------------------
+# exact multiply-mod Mersenne-61 on uint64 arrays
+# ----------------------------------------------------------------------
+_P61 = np.uint64(_MERSENNE_PRIME)
+
+
+def _mod_mersenne61(x: np.ndarray) -> np.ndarray:
+    """Reduce a uint64 array modulo ``2^61 - 1`` (exact, branch-free)."""
+    folded = (x >> np.uint64(61)) + (x & _P61)
+    return np.where(folded >= _P61, folded - _P61, folded)
+
+
+def _mulmod_mersenne61(a: int, x: np.ndarray) -> np.ndarray:
+    """Exact ``(a * x) mod (2^61 - 1)`` with ``a < 2^61`` and ``x < 2^61``.
+
+    The 122-bit product never materializes: both operands split into 32-bit
+    limbs, and the partial products fold through ``2^61 ≡ 1 (mod p)``
+    (hence ``2^64 ≡ 8``) so every intermediate fits in a uint64.
+    """
+    a_hi = np.uint64(a >> 32)
+    a_lo = np.uint64(a & 0xFFFFFFFF)
+    x_hi = x >> np.uint64(32)
+    x_lo = x & np.uint64(0xFFFFFFFF)
+    # a*x = (a_hi*x_hi)*2^64 + (a_hi*x_lo + a_lo*x_hi)*2^32 + a_lo*x_lo
+    high = (a_hi * x_hi) << np.uint64(3)  # * 2^64 ≡ * 8, stays < p
+    mid = a_hi * x_lo + a_lo * x_hi  # < 2^62
+    # mid*2^32 = (mid >> 29)*2^61 + (mid & (2^29-1))*2^32 ≡ fold below
+    mid_folded = (mid >> np.uint64(29)) + ((mid & np.uint64(0x1FFFFFFF)) << np.uint64(32))
+    low = a_lo * x_lo  # < 2^64, folds via the Mersenne identity
+    low_folded = (low >> np.uint64(61)) + (low & _P61)
+    return _mod_mersenne61(high + mid_folded + low_folded)
+
+
 class UniversalHash:
     """A single Carter–Wegman universal hash function onto ``[0, range)``."""
 
@@ -72,6 +207,22 @@ class UniversalHash:
         """A ±1 hash derived from the same function (used by Count Sketch)."""
         x = fingerprint64(key, self._seed ^ 0x5A5A5A5A) % _MERSENNE_PRIME
         return 1 if ((self._a * x + self._b) % _MERSENNE_PRIME) & 1 else -1
+
+    def _carter_wegman_batch(self, keys: KeyBatch, seed: int) -> np.ndarray:
+        """Vectorized ``(a*x + b) mod p`` for a whole batch of keys."""
+        x = _mod_mersenne61(fingerprint64_batch(keys, seed))
+        value = _mulmod_mersenne61(self._a, x) + np.uint64(self._b)
+        return np.where(value >= _P61, value - _P61, value)
+
+    def hash_batch(self, keys: KeyBatch) -> np.ndarray:
+        """Vectorized ``__call__``: ``hash_batch(keys)[i] == self(keys[i])``."""
+        value = self._carter_wegman_batch(keys, self._seed)
+        return (value % np.uint64(self.output_range)).astype(np.int64)
+
+    def sign_batch(self, keys: KeyBatch) -> np.ndarray:
+        """Vectorized ``sign``: an int64 array of ±1."""
+        value = self._carter_wegman_batch(keys, self._seed ^ 0x5A5A5A5A)
+        return np.where(value & np.uint64(1), np.int64(1), np.int64(-1))
 
 
 class TabulationHash:
@@ -104,6 +255,20 @@ class TabulationHash:
     def sign(self, key: Hashable) -> int:
         x = fingerprint64(key, self._seed ^ 0x3C3C3C3C)
         return 1 if x & 1 else -1
+
+    def hash_batch(self, keys: KeyBatch) -> np.ndarray:
+        """Vectorized ``__call__`` via one table gather per fingerprint byte."""
+        x = fingerprint64_batch(keys, self._seed)
+        acc = np.zeros(x.shape, dtype=np.uint64)
+        for table_index in range(self._NUM_TABLES):
+            byte = ((x >> np.uint64(8 * table_index)) & np.uint64(0xFF)).astype(np.intp)
+            acc ^= self._tables[table_index, byte]
+        return (acc % np.uint64(self.output_range)).astype(np.int64)
+
+    def sign_batch(self, keys: KeyBatch) -> np.ndarray:
+        """Vectorized ``sign``: an int64 array of ±1."""
+        x = fingerprint64_batch(keys, self._seed ^ 0x3C3C3C3C)
+        return np.where(x & np.uint64(1), np.int64(1), np.int64(-1))
 
 
 class UniversalHashFamily:

@@ -21,10 +21,30 @@ from __future__ import annotations
 
 from typing import Dict, Hashable, List, Tuple
 
-from repro.sketches.base import BYTES_PER_BUCKET, FrequencyEstimator
+import numpy as np
+
+from repro.sketches.base import BYTES_PER_BUCKET, FrequencyEstimator, as_key_batch
 from repro.streams.stream import Element
 
 __all__ = ["MisraGries", "SpaceSaving"]
+
+
+def _replay_batch_in_order(summary, keys, counts, tracked: Dict) -> None:
+    """Shared order-faithful batch replay for the counter summaries.
+
+    Tracked keys take an O(1) bulk increment (equivalent to ``counts[i]``
+    consecutive scalar updates, since an incremented key stays tracked);
+    untracked keys run the summary's full scalar insert/evict logic.
+    """
+    key_batch, count_array = as_key_batch(keys, counts)
+    for key, count in zip(key_batch, count_array):
+        count = int(count)
+        if count and key in tracked:
+            tracked[key] += count
+            summary._stream_length += count
+        else:
+            for _ in range(count):
+                summary._update_key(key)
 
 
 class MisraGries(FrequencyEstimator):
@@ -42,7 +62,9 @@ class MisraGries(FrequencyEstimator):
         self._stream_length = 0
 
     def update(self, element: Element) -> None:
-        key = element.key
+        self._update_key(element.key)
+
+    def _update_key(self, key: Hashable) -> None:
         self._stream_length += 1
         if key in self._counters:
             self._counters[key] += 1
@@ -55,8 +77,26 @@ class MisraGries(FrequencyEstimator):
                 if self._counters[tracked] == 0:
                     del self._counters[tracked]
 
+    def update_batch(self, keys, counts=None) -> None:
+        """Replay a batch in arrival order (see :func:`_replay_batch_in_order`).
+
+        The summary is inherently sequential (decrements depend on the
+        current counter set), so the batch path is an optimized in-order
+        replay rather than a vectorized scatter.
+        """
+        _replay_batch_in_order(self, keys, counts, self._counters)
+
     def estimate(self, element: Element) -> float:
         return float(self._counters.get(element.key, 0))
+
+    def estimate_batch(self, keys) -> np.ndarray:
+        key_batch, _ = as_key_batch(keys)
+        counters = self._counters
+        return np.fromiter(
+            (counters.get(key, 0) for key in key_batch),
+            dtype=np.float64,
+            count=len(key_batch),
+        )
 
     @property
     def size_bytes(self) -> int:
@@ -109,7 +149,9 @@ class SpaceSaving(FrequencyEstimator):
         return key, self._counts[key]
 
     def update(self, element: Element) -> None:
-        key = element.key
+        self._update_key(element.key)
+
+    def _update_key(self, key: Hashable) -> None:
         self._stream_length += 1
         if key in self._counts:
             self._counts[key] += 1
@@ -123,6 +165,10 @@ class SpaceSaving(FrequencyEstimator):
             self._counts[key] = evicted_count + 1
             self._errors[key] = evicted_count
 
+    def update_batch(self, keys, counts=None) -> None:
+        """Replay a batch in arrival order (see :func:`_replay_batch_in_order`)."""
+        _replay_batch_in_order(self, keys, counts, self._counts)
+
     def estimate(self, element: Element) -> float:
         key = element.key
         if key in self._counts:
@@ -130,6 +176,19 @@ class SpaceSaving(FrequencyEstimator):
         if self._counts and len(self._counts) >= self.num_counters:
             return float(self._min_tracked()[1])
         return 0.0
+
+    def estimate_batch(self, keys) -> np.ndarray:
+        key_batch, _ = as_key_batch(keys)
+        tracked = self._counts
+        if tracked and len(tracked) >= self.num_counters:
+            fallback = float(self._min_tracked()[1])
+        else:
+            fallback = 0.0
+        return np.fromiter(
+            (float(tracked[key]) if key in tracked else fallback for key in key_batch),
+            dtype=np.float64,
+            count=len(key_batch),
+        )
 
     def guaranteed_count(self, element: Element) -> float:
         """A lower bound on the true frequency of a tracked element."""

@@ -20,9 +20,11 @@ which upper-bounds what any learned oracle could achieve);
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Callable, Dict, Hashable, Iterable, Optional, Set
+from typing import Callable, Dict, Hashable, Iterable, List, Optional, Sequence
 
-from repro.sketches.base import BYTES_PER_BUCKET, FrequencyEstimator
+import numpy as np
+
+from repro.sketches.base import BYTES_PER_BUCKET, FrequencyEstimator, as_key_batch
 from repro.sketches.count_min import CountMinSketch
 from repro.streams.stream import Element
 
@@ -41,6 +43,23 @@ class HeavyHitterOracle(ABC):
     def is_heavy(self, element: Element) -> bool:
         """Return True if ``element`` is predicted to be a heavy hitter."""
 
+    @property
+    def uses_features(self) -> bool:
+        """Whether predictions depend on element features (not just the key).
+
+        Replay loops use this to decide if raw keys are enough or whole
+        elements must be kept; the conservative default is True.
+        """
+        return True
+
+    def is_heavy_batch(self, elements: Sequence[Element]) -> np.ndarray:
+        """Vectorized prediction; the default loops over :meth:`is_heavy`."""
+        return np.fromiter(
+            (self.is_heavy(element) for element in elements),
+            dtype=bool,
+            count=len(elements),
+        )
+
 
 class IdealHeavyHitterOracle(HeavyHitterOracle):
     """An oracle with perfect knowledge of the heavy-hitter IDs.
@@ -51,7 +70,7 @@ class IdealHeavyHitterOracle(HeavyHitterOracle):
     """
 
     def __init__(self, heavy_keys: Iterable[Hashable]) -> None:
-        self._heavy_keys: Set[Hashable] = set(heavy_keys)
+        self._heavy_keys: frozenset = frozenset(heavy_keys)
 
     @classmethod
     def from_frequencies(cls, frequencies, num_heavy: int) -> "IdealHeavyHitterOracle":
@@ -61,8 +80,30 @@ class IdealHeavyHitterOracle(HeavyHitterOracle):
         ranked = sorted(frequencies.items(), key=lambda kv: kv[1], reverse=True)
         return cls(key for key, _ in ranked[:num_heavy])
 
+    @property
+    def uses_features(self) -> bool:
+        """Membership is by key only; raw-key replay is safe."""
+        return False
+
+    @property
+    def heavy_keys(self) -> frozenset:
+        """The known heavy-hitter key set (immutable view, no copy)."""
+        return self._heavy_keys
+
     def is_heavy(self, element: Element) -> bool:
         return element.key in self._heavy_keys
+
+    def is_heavy_batch(self, elements: Sequence[Element]) -> np.ndarray:
+        if type(self) is not IdealHeavyHitterOracle:
+            # A subclass may override is_heavy; route through it so batch
+            # and scalar predictions can never diverge.
+            return super().is_heavy_batch(elements)
+        heavy_keys = self._heavy_keys
+        return np.fromiter(
+            (element.key in heavy_keys for element in elements),
+            dtype=bool,
+            count=len(elements),
+        )
 
     def __len__(self) -> int:
         return len(self._heavy_keys)
@@ -93,6 +134,12 @@ class ClassifierHeavyHitterOracle(HeavyHitterOracle):
         features = self._featurizer(element)
         prediction = self._classifier.predict([features])[0]
         return bool(prediction)
+
+    def is_heavy_batch(self, elements: Sequence[Element]) -> np.ndarray:
+        if len(elements) == 0:
+            return np.zeros(0, dtype=bool)
+        features = np.asarray([self._featurizer(element) for element in elements])
+        return np.asarray(self._classifier.predict(features), dtype=bool)
 
 
 class LearnedCountMinSketch(FrequencyEstimator):
@@ -140,6 +187,11 @@ class LearnedCountMinSketch(FrequencyEstimator):
             random_buckets, depth=depth, seed=seed
         )
 
+    @property
+    def routes_by_features(self) -> bool:
+        """Whether batch replay must keep whole elements for oracle routing."""
+        return self.oracle.uses_features
+
     def update(self, element: Element) -> None:
         if self._route_to_heavy(element):
             self._heavy_counts[element.key] = self._heavy_counts.get(element.key, 0) + 1
@@ -158,6 +210,79 @@ class LearnedCountMinSketch(FrequencyEstimator):
         if element.key in self._heavy_counts:
             return True
         return len(self._heavy_counts) < self.num_heavy_buckets
+
+    # ------------------------------------------------------------------
+    # vectorized batch path
+    # ------------------------------------------------------------------
+    def _batch_routing(self, keys, counts):
+        """Normalize a batch and compute per-arrival oracle predictions."""
+        elements: Optional[List[Element]] = None
+        if not isinstance(keys, np.ndarray):
+            items = list(keys)
+            if items and isinstance(items[0], Element):
+                elements = items
+                keys = items
+        key_batch, count_array = as_key_batch(keys, counts)
+        if type(self.oracle) is IdealHeavyHitterOracle:
+            # Key-only fast path for the exact class (no Element
+            # construction).  Subclasses may override is_heavy, so they take
+            # the generic is_heavy_batch route below.
+            heavy_keys = self.oracle.heavy_keys
+            heavy_flags = np.fromiter(
+                (key in heavy_keys for key in key_batch),
+                dtype=bool,
+                count=len(key_batch),
+            )
+        else:
+            if elements is None:
+                elements = [Element(key=key) for key in key_batch]
+            heavy_flags = self.oracle.is_heavy_batch(elements)
+        return key_batch, count_array, heavy_flags
+
+    def update_batch(self, keys, counts=None) -> None:
+        """Route a batch in arrival order; light keys hit the CMS in one go.
+
+        The unique-bucket capacity check is sequential (first arrivals claim
+        the free slots), so routing walks the batch in order; the non-heavy
+        remainder is order-independent inside the plain CMS and is ingested
+        with a single vectorized ``update_batch``.
+        """
+        key_batch, count_array, heavy_flags = self._batch_routing(keys, counts)
+        heavy_counts = self._heavy_counts
+        light_keys: List[Hashable] = []
+        light_counts: List[int] = []
+        for key, count, heavy in zip(key_batch, count_array, heavy_flags):
+            count = int(count)
+            if count == 0:
+                continue
+            if heavy and (
+                key in heavy_counts or len(heavy_counts) < self.num_heavy_buckets
+            ):
+                heavy_counts[key] = heavy_counts.get(key, 0) + count
+            else:
+                light_keys.append(key)
+                light_counts.append(count)
+        if light_keys:
+            self._sketch.update_batch(light_keys, np.asarray(light_counts, dtype=np.int64))
+
+    def estimate_batch(self, keys) -> np.ndarray:
+        """Vectorized point queries mirroring the scalar routing."""
+        key_batch, _, heavy_flags = self._batch_routing(keys, None)
+        n = len(key_batch)
+        estimates = np.zeros(n, dtype=np.float64)
+        heavy_counts = self._heavy_counts
+        has_room = len(heavy_counts) < self.num_heavy_buckets
+        light_indices: List[int] = []
+        light_keys: List[Hashable] = []
+        for index, (key, heavy) in enumerate(zip(key_batch, heavy_flags)):
+            if heavy and (key in heavy_counts or has_room):
+                estimates[index] = float(heavy_counts.get(key, 0))
+            else:
+                light_indices.append(index)
+                light_keys.append(key)
+        if light_keys:
+            estimates[light_indices] = self._sketch.estimate_batch(light_keys)
+        return estimates
 
     @property
     def size_bytes(self) -> int:

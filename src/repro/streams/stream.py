@@ -73,6 +73,30 @@ class FrequencyVector:
             raise ValueError("frequency increments must be non-negative")
         self._counts[key] += amount
 
+    def increment_batch(self, keys, counts=None) -> None:
+        """Add a whole batch of arrivals in one C-speed ``Counter`` update."""
+        if isinstance(keys, np.ndarray):
+            keys = keys.tolist()
+        if counts is None:
+            self._counts.update(keys)
+            return
+        counts = np.asarray(counts)
+        if len(counts) != len(keys):
+            raise ValueError("counts must align one-to-one with keys")
+        if len(counts) and counts.min() < 0:
+            raise ValueError("frequency increments must be non-negative")
+        for key, amount in zip(keys, counts.tolist()):
+            self._counts[key] += amount
+
+    def counts_for(self, keys) -> np.ndarray:
+        """Vectorized lookup: a float64 array of counts aligned with ``keys``."""
+        if isinstance(keys, np.ndarray):
+            keys = keys.tolist()
+        counts = self._counts
+        return np.fromiter(
+            (counts.get(key, 0) for key in keys), dtype=np.float64, count=len(keys)
+        )
+
     def __getitem__(self, key: Hashable) -> int:
         return self._counts.get(key, 0)
 
@@ -116,8 +140,10 @@ class FrequencyVector:
 def exact_frequencies(elements: Iterable[Element]) -> FrequencyVector:
     """Compute the exact frequency vector of a sequence of elements."""
     freq = FrequencyVector()
-    for element in elements:
-        freq.increment(element.key)
+    if isinstance(elements, Stream):
+        freq.increment_batch(elements.key_array())
+    else:
+        freq.increment_batch([element.key for element in elements])
     return freq
 
 
@@ -143,9 +169,44 @@ class Stream:
 
     def append(self, element: Element) -> None:
         self.arrivals.append(element)
+        self._key_cache = None
 
     def extend(self, elements: Iterable[Element]) -> None:
         self.arrivals.extend(elements)
+        self._key_cache = None
+
+    # ------------------------------------------------------------------
+    # batch key extraction (the ingestion fast path)
+    # ------------------------------------------------------------------
+    def key_array(self) -> np.ndarray:
+        """The arrival keys as one array, ready for ``update_batch``.
+
+        Integer keys come back as an int64 array (the fully vectorized
+        ingestion path); any other key type comes back as a 1-D object
+        array.  The array is cached until the stream is mutated — do not
+        modify it in place.
+        """
+        cached = getattr(self, "_key_cache", None)
+        if cached is not None:
+            return cached
+        keys = [element.key for element in self.arrivals]
+        try:
+            array = np.asarray(keys)
+            if array.ndim != 1 or array.dtype.kind not in "iu":
+                raise ValueError
+        except (ValueError, OverflowError):
+            array = np.empty(len(keys), dtype=object)
+            array[:] = keys
+        self._key_cache = array
+        return array
+
+    def iter_key_batches(self, batch_size: int = 65536) -> Iterator[np.ndarray]:
+        """Yield the arrival keys as consecutive arrays of ``batch_size``."""
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        keys = self.key_array()
+        for start in range(0, len(keys), batch_size):
+            yield keys[start : start + batch_size]
 
     def prefix(self, length: int) -> "StreamPrefix":
         """Return the first ``length`` arrivals as a :class:`StreamPrefix`."""

@@ -1,0 +1,318 @@
+"""Batch/scalar equivalence: the vectorized paths must be bit-identical.
+
+Every sketch exposes ``update_batch``/``estimate_batch``; these tests replay
+the same seeded streams element-at-a-time and in chunked batches and assert
+that counters, bits, and estimates agree exactly — for integer and string
+keys and for both hash schemes (universal and tabulation).  They are the
+regression fence around the vectorized ingestion engine.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sketches import (
+    AmsSketch,
+    BloomFilter,
+    CountMinSketch,
+    CountSketch,
+    ExactCounter,
+    IdealHeavyHitterOracle,
+    LearnedCountMinSketch,
+    MisraGries,
+    SpaceSaving,
+    fingerprint64,
+    fingerprint64_batch,
+)
+from repro.sketches.hashing import TabulationHash, UniversalHash
+from repro.streams.stream import Element
+from repro.streams.zipf import ZipfSampler
+
+SCHEMES = ("universal", "tabulation")
+
+
+def zipf_keys(num=3000, support=300, seed=0):
+    ranks = ZipfSampler(support, rng=np.random.default_rng(seed)).sample(num)
+    return ranks.astype(np.int64)
+
+
+def as_string_keys(keys):
+    return [f"query {int(k)} text" for k in keys]
+
+
+def scalar_replay(sketch, keys):
+    for key in keys:
+        sketch.update(Element(key=key))
+
+
+def batch_replay(sketch, keys, chunk=701):
+    for start in range(0, len(keys), chunk):
+        sketch.update_batch(keys[start : start + chunk])
+
+
+def probe_keys(keys):
+    if isinstance(keys, np.ndarray):
+        unique = np.unique(keys).tolist()
+        return unique + [10**9, 10**9 + 1]
+    return sorted(set(keys)) + ["never seen a", "never seen b"]
+
+
+# ----------------------------------------------------------------------
+# fingerprints
+# ----------------------------------------------------------------------
+class TestFingerprintBatch:
+    @pytest.mark.parametrize("seed", [0, 7, 12345])
+    def test_matches_scalar_on_integers(self, seed):
+        keys = [0, 1, -1, 41, -2**63, 2**63, 2**64 - 1, 123456789]
+        got = fingerprint64_batch(keys, seed)
+        assert got.tolist() == [fingerprint64(k, seed) for k in keys]
+
+    @pytest.mark.parametrize("seed", [0, 9])
+    def test_matches_scalar_on_strings(self, seed):
+        keys = ["", "a", "www.google.com", "long " * 40, "query 17"]
+        got = fingerprint64_batch(keys, seed)
+        assert got.tolist() == [fingerprint64(k, seed) for k in keys]
+
+    def test_matches_scalar_on_mixed_and_tuples(self):
+        keys = [3, "three", ("t", 3), True, 3.5]
+        got = fingerprint64_batch(keys)
+        assert got.tolist() == [fingerprint64(k) for k in keys]
+
+    def test_int_ndarray_input(self):
+        keys = np.random.default_rng(0).integers(-(2**62), 2**62, size=500)
+        got = fingerprint64_batch(keys, 3)
+        assert got.tolist() == [fingerprint64(int(k), 3) for k in keys]
+
+    def test_empty_batch(self):
+        assert fingerprint64_batch([]).shape == (0,)
+
+    @given(st.lists(st.one_of(st.integers(), st.text(max_size=30)), max_size=60))
+    @settings(max_examples=30, deadline=None)
+    def test_property_scalar_parity(self, keys):
+        got = fingerprint64_batch(keys, 5)
+        assert got.tolist() == [fingerprint64(k, 5) for k in keys]
+
+
+@pytest.mark.parametrize("hash_class", [UniversalHash, TabulationHash])
+@pytest.mark.parametrize("string_keys", [False, True])
+def test_hash_and_sign_batch_match_scalar(hash_class, string_keys):
+    keys = zipf_keys(500, seed=2)
+    keys = as_string_keys(keys) if string_keys else keys
+    h = hash_class(output_range=389, seed=11)
+    assert h.hash_batch(keys).tolist() == [h(k) for k in keys]
+    assert h.sign_batch(keys).tolist() == [h.sign(k) for k in keys]
+
+
+# ----------------------------------------------------------------------
+# counter-array sketches: identical counters AND estimates
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("scheme", SCHEMES)
+@pytest.mark.parametrize("string_keys", [False, True])
+@pytest.mark.parametrize(
+    "factory",
+    [
+        lambda scheme: CountMinSketch(64, 3, seed=5, hash_scheme=scheme),
+        lambda scheme: CountMinSketch(
+            64, 3, seed=5, conservative=True, hash_scheme=scheme
+        ),
+        lambda scheme: CountSketch(64, 3, seed=5, hash_scheme=scheme),
+    ],
+    ids=["count-min", "count-min-conservative", "count-sketch"],
+)
+def test_table_sketches_bit_identical(factory, string_keys, scheme):
+    keys = zipf_keys(2000, seed=3)
+    if string_keys:
+        keys = as_string_keys(keys)
+    scalar, batch = factory(scheme), factory(scheme)
+    scalar_replay(scalar, keys)
+    batch_replay(batch, keys)
+    assert (scalar.counters() == batch.counters()).all()
+    probes = probe_keys(keys)
+    scalar_estimates = [scalar.estimate(Element(key=k)) for k in probes]
+    assert batch.estimate_batch(probes).tolist() == scalar_estimates
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_ams_bit_identical(scheme):
+    keys = zipf_keys(1500, seed=4)
+    scalar, batch = (
+        AmsSketch(32, 4, seed=6, hash_scheme=scheme),
+        AmsSketch(32, 4, seed=6, hash_scheme=scheme),
+    )
+    scalar_replay(scalar, keys)
+    batch_replay(batch, keys)
+    assert (scalar._counters == batch._counters).all()
+    assert scalar.estimate_second_moment() == batch.estimate_second_moment()
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+@pytest.mark.parametrize("string_keys", [False, True])
+def test_bloom_bit_identical(string_keys, scheme):
+    keys = zipf_keys(1200, support=400, seed=5)
+    if string_keys:
+        keys = as_string_keys(keys)
+    scalar, batch = (
+        BloomFilter(4096, 4, seed=7, hash_scheme=scheme),
+        BloomFilter(4096, 4, seed=7, hash_scheme=scheme),
+    )
+    for key in keys:
+        scalar.add(key)
+    batch.add_batch(keys)
+    assert (scalar._bits == batch._bits).all()
+    assert scalar.num_inserted == batch.num_inserted
+    probes = probe_keys(keys)
+    assert batch.contains_batch(probes).tolist() == [k in scalar for k in probes]
+
+
+def test_bloom_observe_batch_matches_scalar_first_occurrence():
+    keys = zipf_keys(800, support=150, seed=6)
+    scalar, batch = BloomFilter(2048, 3, seed=8), BloomFilter(2048, 3, seed=8)
+    scalar_new = []
+    for key in keys:
+        if key not in scalar:
+            scalar.add(key)
+            scalar_new.append(True)
+        else:
+            scalar_new.append(False)
+    batch_new = np.concatenate(
+        [batch.observe_batch(keys[s : s + 333]) for s in range(0, len(keys), 333)]
+    )
+    assert batch_new.tolist() == scalar_new
+    assert (scalar._bits == batch._bits).all()
+    assert scalar.num_inserted == batch.num_inserted
+
+
+# ----------------------------------------------------------------------
+# dict-backed estimators: identical tracked state and estimates
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("string_keys", [False, True])
+@pytest.mark.parametrize(
+    "factory",
+    [lambda: MisraGries(25), lambda: SpaceSaving(25), ExactCounter],
+    ids=["misra-gries", "space-saving", "exact"],
+)
+def test_dict_estimators_bit_identical(factory, string_keys):
+    keys = zipf_keys(2500, support=200, seed=7)
+    if string_keys:
+        keys = as_string_keys(keys)
+    scalar, batch = factory(), factory()
+    scalar_replay(scalar, keys)
+    batch_replay(batch, keys)
+    probes = probe_keys(keys)
+    scalar_estimates = [scalar.estimate(Element(key=k)) for k in probes]
+    assert batch.estimate_batch(probes).tolist() == scalar_estimates
+
+
+@pytest.mark.parametrize("string_keys", [False, True])
+def test_learned_cms_bit_identical(string_keys):
+    keys = zipf_keys(3000, support=250, seed=8)
+    if string_keys:
+        keys = as_string_keys(keys)
+    unique, counts = np.unique(np.asarray(keys), return_counts=True)
+    frequencies = dict(zip(unique.tolist(), counts.tolist()))
+
+    def factory():
+        oracle = IdealHeavyHitterOracle.from_frequencies(frequencies, 20)
+        return LearnedCountMinSketch(500, 20, oracle, depth=2, seed=9)
+
+    scalar, batch = factory(), factory()
+    scalar_replay(scalar, keys)
+    batch_replay(batch, keys)
+    assert scalar._heavy_counts == batch._heavy_counts
+    assert (scalar._sketch.counters() == batch._sketch.counters()).all()
+    probes = probe_keys(keys)
+    scalar_estimates = [scalar.estimate(Element(key=k)) for k in probes]
+    assert batch.estimate_batch(probes).tolist() == scalar_estimates
+
+
+# ----------------------------------------------------------------------
+# weighted batches == repeated arrivals
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("conservative", [False, True])
+def test_weighted_counts_equal_repeated_updates(conservative):
+    keys = [5, 9, 5, 13, 9, 5]
+    counts = [3, 1, 2, 4, 2, 1]
+    one_by_one = CountMinSketch(32, 2, seed=1, conservative=conservative)
+    weighted = CountMinSketch(32, 2, seed=1, conservative=conservative)
+    for key, count in zip(keys, counts):
+        for _ in range(count):
+            one_by_one.update(Element(key=key))
+    weighted.update_batch(np.asarray(keys), np.asarray(counts))
+    assert (one_by_one.counters() == weighted.counters()).all()
+
+
+def test_object_ndarray_of_elements_extracts_keys():
+    """An object ndarray of Elements must hash keys, not repr(Element)."""
+    elements = [Element(key=i % 5) for i in range(20)]
+    as_array = np.empty(len(elements), dtype=object)
+    as_array[:] = elements
+    from_list = CountMinSketch(32, 2, seed=0)
+    from_array = CountMinSketch(32, 2, seed=0)
+    from_list.update_batch(elements)
+    from_array.update_batch(as_array)
+    assert (from_list.counters() == from_array.counters()).all()
+
+
+def test_oracle_subclass_override_routes_batch_like_scalar():
+    """Overriding is_heavy on an Ideal oracle subclass must steer batches."""
+
+    class ThresholdOracle(IdealHeavyHitterOracle):
+        def is_heavy(self, element):
+            return super().is_heavy(element) and element.key != 0
+
+    def factory():
+        return LearnedCountMinSketch(200, 5, ThresholdOracle([0, 1, 2]), depth=1, seed=0)
+
+    scalar, batch = factory(), factory()
+    keys = [0, 1, 2, 3, 0, 1, 2, 0]
+    for key in keys:
+        scalar.update(Element(key=key))
+    batch.update_batch(keys)
+    assert scalar._heavy_counts == batch._heavy_counts
+    assert (scalar._sketch.counters() == batch._sketch.counters()).all()
+    probes = [0, 1, 2, 3, 9]
+    scalar_estimates = [scalar.estimate(Element(key=k)) for k in probes]
+    assert batch.estimate_batch(probes).tolist() == scalar_estimates
+
+
+def test_counts_validation():
+    sketch = CountMinSketch(16, 2, seed=0)
+    with pytest.raises(ValueError):
+        sketch.update_batch([1, 2, 3], [1, 2])
+    with pytest.raises(ValueError):
+        sketch.update_batch([1, 2], [1, -1])
+
+
+# ----------------------------------------------------------------------
+# conservative-update invariants on the batch path
+# ----------------------------------------------------------------------
+class TestConservativeBatchInvariants:
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_never_underestimates_and_dominated_by_plain(self, scheme):
+        keys = zipf_keys(4000, support=120, seed=9)
+        plain = CountMinSketch(48, 2, seed=3, hash_scheme=scheme)
+        conservative = CountMinSketch(
+            48, 2, seed=3, conservative=True, hash_scheme=scheme
+        )
+        batch_replay(plain, keys)
+        batch_replay(conservative, keys)
+        unique, true_counts = np.unique(keys, return_counts=True)
+        conservative_estimates = conservative.estimate_batch(unique)
+        plain_estimates = plain.estimate_batch(unique)
+        assert (conservative_estimates >= true_counts).all()
+        assert (conservative_estimates <= plain_estimates).all()
+
+    @given(
+        keys=st.lists(st.integers(min_value=0, max_value=40), min_size=1, max_size=250),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property_batch_conservative_bounds(self, keys):
+        keys = np.asarray(keys, dtype=np.int64)
+        plain = CountMinSketch(16, 3, seed=0)
+        conservative = CountMinSketch(16, 3, seed=0, conservative=True)
+        plain.update_batch(keys)
+        conservative.update_batch(keys)
+        unique, true_counts = np.unique(keys, return_counts=True)
+        conservative_estimates = conservative.estimate_batch(unique)
+        assert (conservative_estimates >= true_counts).all()
+        assert (conservative_estimates <= plain.estimate_batch(unique)).all()
