@@ -18,21 +18,27 @@ substrates:
 
 from repro.core.scheme import OptHashScheme
 from repro.core.estimator import OptHashEstimator, AdaptiveOptHashEstimator
+from repro.core.sharding import ShardedEstimator
 from repro.core.pipeline import (
     OptHashConfig,
     TrainingResult,
     train_opt_hash,
     sample_prefix_elements,
     split_bucket_budget,
+    replay,
+    replay_sharded,
 )
 
 __all__ = [
     "OptHashScheme",
     "OptHashEstimator",
     "AdaptiveOptHashEstimator",
+    "ShardedEstimator",
     "OptHashConfig",
     "TrainingResult",
     "train_opt_hash",
     "sample_prefix_elements",
     "split_bucket_budget",
+    "replay",
+    "replay_sharded",
 ]

@@ -24,11 +24,41 @@ from typing import Dict, Hashable, Optional
 import numpy as np
 
 from repro.core.scheme import OptHashScheme
-from repro.sketches.base import BYTES_PER_BUCKET, FrequencyEstimator, as_key_batch
+from repro.sketches.base import (
+    BYTES_PER_BUCKET,
+    FrequencyEstimator,
+    IncompatibleSketchError,
+    as_key_batch,
+)
 from repro.sketches.bloom import BloomFilter
 from repro.streams.stream import Element
 
 __all__ = ["OptHashEstimator", "AdaptiveOptHashEstimator"]
+
+
+def _check_mergeable_schemes(first, second) -> None:
+    """Merged opt-hash estimators must route every key identically.
+
+    The exact hash tables must agree; the classifier is compared by identity
+    only (two shards built from the same training run share the object).
+    """
+    if first.scheme is second.scheme:
+        return
+    if first.scheme.num_buckets != second.scheme.num_buckets:
+        raise IncompatibleSketchError(
+            f"bucket count mismatch: {first.scheme.num_buckets} vs "
+            f"{second.scheme.num_buckets}"
+        )
+    if first.scheme.key_to_bucket != second.scheme.key_to_bucket:
+        raise IncompatibleSketchError(
+            "hash tables differ: merged estimators must assign every stored "
+            "key to the same bucket"
+        )
+    if first.scheme.classifier is not second.scheme.classifier:
+        raise IncompatibleSketchError(
+            "classifiers differ: merged estimators must share the unseen-"
+            "element classifier"
+        )
 
 
 class OptHashEstimator(FrequencyEstimator):
@@ -72,6 +102,11 @@ class OptHashEstimator(FrequencyEstimator):
             # reflect the scheme so queries average over the right population.
             for bucket in scheme.key_to_bucket.values():
                 self._bucket_counts[bucket] += 1.0
+        # Post-seed snapshots: merge() folds in only the *ingested* deltas of
+        # the other estimator, so shards that each start from the same prefix
+        # seeding do not double-count it when collapsed.
+        self._initial_totals = self._bucket_totals.copy()
+        self._initial_counts = self._bucket_counts.copy()
 
     # ------------------------------------------------------------------
     # FrequencyEstimator interface
@@ -128,6 +163,31 @@ class OptHashEstimator(FrequencyEstimator):
         return np.divide(
             totals, counts, out=np.zeros_like(totals), where=counts != 0
         )
+
+    def merge(self, other: "OptHashEstimator") -> "OptHashEstimator":
+        """Fold another shard's *ingested* arrivals into this estimator.
+
+        Both estimators must share the learned scheme and have been seeded
+        identically (same prefix frequencies); what transfers is the delta
+        each bucket accumulated after construction.  Bucket updates are
+        integer-valued, so as long as the stream stays below 2^53 arrivals
+        per bucket the merged totals are bit-identical to single-estimator
+        ingestion of the concatenated streams.
+        """
+        if not isinstance(other, OptHashEstimator):
+            raise IncompatibleSketchError(
+                f"cannot merge OptHashEstimator with {type(other).__name__}"
+            )
+        _check_mergeable_schemes(self, other)
+        if not np.array_equal(self._initial_totals, other._initial_totals):
+            raise IncompatibleSketchError(
+                "initial bucket seedings differ: merged estimators must be "
+                "built from the same prefix frequencies"
+            )
+        self._bucket_totals += other._bucket_totals - other._initial_totals
+        # The static estimator never mutates the element counts after
+        # seeding, so there is no count delta to transfer.
+        return self
 
     @property
     def size_bytes(self) -> int:
@@ -204,6 +264,9 @@ class AdaptiveOptHashEstimator(FrequencyEstimator):
             for key, bucket in scheme.key_to_bucket.items():
                 self._bucket_counts[bucket] += 1.0
                 self._bloom.add(key)
+        # Post-seed snapshots for delta-based merging (see OptHashEstimator).
+        self._initial_totals = self._bucket_totals.copy()
+        self._initial_counts = self._bucket_counts.copy()
 
     @property
     def routes_by_features(self) -> bool:
@@ -287,6 +350,33 @@ class AdaptiveOptHashEstimator(FrequencyEstimator):
                 totals, counts, out=np.zeros_like(totals), where=counts != 0
             )
         return estimates
+
+    def merge(self, other: "AdaptiveOptHashEstimator") -> "AdaptiveOptHashEstimator":
+        """Fold another shard's ingested arrivals and Bloom state into this one.
+
+        Totals and first-occurrence element counts transfer as post-seed
+        deltas; the Bloom filters (built from the same seed, holding the same
+        prefix) union bitwise.  With key-partitioned sharding every key's
+        arrivals hit exactly one shard, so its first occurrence is counted
+        once and the merged state matches serial ingestion exactly.  Under
+        round-robin sharding a key's first arrival in *each* shard bumps that
+        shard's ``c_j``, so merged element counts can exceed the serial ones
+        — use key partitioning when exact adaptive semantics matter.
+        """
+        if not isinstance(other, AdaptiveOptHashEstimator):
+            raise IncompatibleSketchError(
+                f"cannot merge AdaptiveOptHashEstimator with {type(other).__name__}"
+            )
+        _check_mergeable_schemes(self, other)
+        if not np.array_equal(self._initial_totals, other._initial_totals):
+            raise IncompatibleSketchError(
+                "initial bucket seedings differ: merged estimators must be "
+                "built from the same prefix frequencies"
+            )
+        self._bloom.merge(other._bloom)
+        self._bucket_totals += other._bucket_totals - other._initial_totals
+        self._bucket_counts += other._bucket_counts - other._initial_counts
+        return self
 
     @property
     def size_bytes(self) -> int:

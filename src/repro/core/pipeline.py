@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.core.estimator import AdaptiveOptHashEstimator, OptHashEstimator
 from repro.core.scheme import OptHashScheme, default_featurizer
+from repro.core.sharding import ShardedEstimator
 from repro.ml import make_classifier
 from repro.ml.base import Classifier
 from repro.ml.model_selection import grid_search
@@ -42,6 +43,7 @@ __all__ = [
     "sample_prefix_elements",
     "split_bucket_budget",
     "replay",
+    "replay_sharded",
     "DEFAULT_REPLAY_BATCH_SIZE",
 ]
 
@@ -79,6 +81,41 @@ def replay(estimator, stream, batch_size: int = DEFAULT_REPLAY_BATCH_SIZE) -> in
     for start in range(0, len(keys), batch_size):
         estimator.update_batch(keys[start : start + batch_size])
     return len(keys)
+
+
+def replay_sharded(
+    factory,
+    stream,
+    num_shards: int = 4,
+    mode: str = "key-partition",
+    executor: str = "serial",
+    batch_size: int = DEFAULT_REPLAY_BATCH_SIZE,
+    collapse: bool = True,
+):
+    """Replay a stream through ``num_shards`` estimator shards.
+
+    ``factory`` is a zero-argument callable producing one (seeded, hence
+    mergeable) estimator per call — e.g.
+    ``lambda: CountMinSketch.from_total_buckets(8192, depth=2, seed=1)`` or a
+    closure re-wrapping a trained :class:`OptHashScheme`.  With
+    ``collapse=True`` (default) the shards are merged into one ordinary
+    estimator, the pool is shut down, and the merged estimator is returned —
+    a drop-in replacement for :func:`replay` into a single instance.  With
+    ``collapse=False`` the live :class:`ShardedEstimator` is returned (caller
+    owns ``close()``), which keeps answering queries while further batches
+    stream in.
+    """
+    sharded = ShardedEstimator(factory, num_shards, mode=mode, executor=executor)
+    try:
+        replay(sharded, stream, batch_size=batch_size)
+    except BaseException:
+        sharded.close()
+        raise
+    if collapse:
+        merged = sharded.collapse()
+        sharded.close()
+        return merged
+    return sharded
 
 
 def split_bucket_budget(total_buckets: int, ratio: float) -> Tuple[int, int]:

@@ -1,0 +1,438 @@
+"""Sharded ingestion: split one logical stream across N estimator shards.
+
+This is the scaling layer the merge/serialization machinery exists for.  A
+:class:`ShardedEstimator` owns ``num_shards`` identically-configured
+estimators (same factory, hence same seeds and hash functions — the merge
+compatibility requirement) and splits every ingested batch across them:
+
+* ``key-partition`` (default): a dedicated fingerprint hash routes each key
+  to a fixed shard, so all arrivals of a key land on the same shard.  On
+  top of the linear sketches, this makes the hash-table/dictionary
+  estimators exact — the exact counter, and the opt-hash estimators
+  including the adaptive variant's first-occurrence counting (each key's
+  first arrival is seen by exactly one Bloom filter).  Estimators whose
+  state couples *different* keys — Misra–Gries / Space-Saving (shared
+  decrement/eviction) and conservative CMS (counter-dependent updates) —
+  see each key's full, in-order substream, but their collapsed results
+  carry the merged-summary guarantees rather than matching a serial run
+  bit for bit.
+* ``round-robin``: each batch splits into contiguous blocks, one per shard,
+  with the shard receiving the first block rotating from batch to batch.
+  Equivalent for linear sketches (Count-Min, Count Sketch, AMS, Bloom —
+  any split of a stream merges back bit-identically), and the cheapest
+  split there is: no routing pass, and NumPy batches shard into zero-copy
+  views.  Only approximate for the order-dependent estimators.
+
+Ingestion runs through a ``concurrent.futures`` pool:
+
+* ``serial`` (default): plain loop, no extra threads or processes.
+* ``thread``: one :class:`~concurrent.futures.ThreadPoolExecutor` task per
+  shard.  Shards are disjoint objects, so no locking is needed; NumPy
+  releases the GIL in the hashing kernels, which is where batch ingestion
+  spends its time.
+* ``process``: true parallelism via a
+  :class:`~concurrent.futures.ProcessPoolExecutor`.  Each task ships a
+  *blank* clone of the shard (its ``to_bytes()`` serialization, cached at
+  construction) plus the sub-batch to a worker, which rehydrates, ingests,
+  and returns the updated state as bytes; the parent folds the result into
+  the resident shard with ``merge``.  Only the constant-size blank sketch
+  and the keys cross the process boundary, never the accumulated state, so
+  transport cost stays flat as the stream grows.  ``update_batch`` submits
+  and returns immediately — results are drained and merged lazily, right
+  before anything reads shard state — so the parent pipelines batch N+1's
+  routing with batch N's ingestion, with a bounded backlog (it blocks on
+  the oldest outstanding task once too many batches per shard are in
+  flight).  Requires the factory's estimators to implement
+  ``to_bytes``/``merge``.
+
+Queries default to ``collapse``: merge all shards into one estimator (cached
+until the next update) and answer from it — for linear sketches this is
+bit-identical to having ingested the whole stream into a single sketch.
+``fanout`` mode instead routes each queried key to the shard that owns it
+(key-partition only).  Fanout answers are exact only for estimators whose
+point query depends solely on the queried key's own accumulated state (the
+exact counter); estimators that answer from state *shared* across keys —
+bucket averages in the opt-hash estimators, counter tables in the sketches —
+split that shared state across shards, so the owning shard alone
+under-estimates: query those through ``collapse``.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.sketches.base import (
+    FrequencyEstimator,
+    IncompatibleSketchError,
+    as_key_batch,
+)
+from repro.sketches.hashing import fingerprint64_batch
+from repro.sketches.serialization import loads
+from repro.streams.stream import Element
+
+__all__ = ["ShardedEstimator"]
+
+#: Seed of the shard-routing fingerprint.  Deliberately distinct from any
+#: sketch-level hash seed so shard routing is independent of bucket hashing.
+DEFAULT_PARTITION_SEED = 0x51A2DED
+
+#: Chunk size of the in-worker ingestion loop.  Callers ship *large*
+#: sub-batches to the process pool (few tasks amortize the submit/pickle
+#: overhead), but vectorized ingestion is fastest when its scatter/gather
+#: temporaries stay cache-resident, so the worker re-chunks locally — same
+#: sweet spot as ``repro.core.pipeline.DEFAULT_REPLAY_BATCH_SIZE``.
+WORKER_CHUNK_SIZE = 65536
+
+
+def _ingest_into_blank(blank_bytes: bytes, keys, counts) -> bytes:
+    """Process-pool task: rehydrate a blank shard, ingest, ship state back."""
+    shard = loads(blank_bytes)
+    for start in range(0, len(keys), WORKER_CHUNK_SIZE):
+        shard.update_batch(
+            keys[start : start + WORKER_CHUNK_SIZE],
+            counts[start : start + WORKER_CHUNK_SIZE],
+        )
+    return shard.to_bytes()
+
+
+class ShardedEstimator(FrequencyEstimator):
+    """N identically-configured estimator shards behind one estimator API.
+
+    Parameters
+    ----------
+    factory:
+        Zero-argument callable producing one shard estimator.  Every call
+        must yield an identically-configured (mergeable) instance — in
+        practice: construct with the same explicit seed.
+    num_shards:
+        Number of shards (``k >= 1``).
+    mode:
+        ``"key-partition"`` (exact for linear sketches and the hash-table/
+        dictionary estimators; merged-summary guarantees for the rest) or
+        ``"round-robin"`` (exact for linear sketches only).
+    executor:
+        ``"serial"``, ``"thread"`` or ``"process"`` (see module docstring).
+    query_mode:
+        ``"collapse"`` (default; query the merged estimator) or ``"fanout"``
+        (route queries to owning shards; requires key partitioning and is
+        only exact for per-key-state estimators — see module docstring).
+    partition_seed:
+        Seed of the key-routing fingerprint hash.
+    """
+
+    MODES = ("key-partition", "round-robin")
+    EXECUTORS = ("serial", "thread", "process")
+    QUERY_MODES = ("collapse", "fanout")
+    #: Process-mode backlog cap: at most this many in-flight batches per
+    #: shard before update_batch blocks on the oldest outstanding task.
+    _MAX_PENDING_FACTOR = 4
+
+    def __init__(
+        self,
+        factory: Callable[[], FrequencyEstimator],
+        num_shards: int,
+        mode: str = "key-partition",
+        executor: str = "serial",
+        query_mode: str = "collapse",
+        partition_seed: int = DEFAULT_PARTITION_SEED,
+    ) -> None:
+        if num_shards <= 0:
+            raise ValueError("num_shards must be positive")
+        if mode not in self.MODES:
+            raise ValueError(f"mode must be one of {self.MODES}, got {mode!r}")
+        if executor not in self.EXECUTORS:
+            raise ValueError(
+                f"executor must be one of {self.EXECUTORS}, got {executor!r}"
+            )
+        if query_mode not in self.QUERY_MODES:
+            raise ValueError(
+                f"query_mode must be one of {self.QUERY_MODES}, got {query_mode!r}"
+            )
+        if query_mode == "fanout" and mode != "key-partition":
+            raise ValueError(
+                "fanout queries require key partitioning (round-robin spreads "
+                "each key's arrivals over every shard)"
+            )
+        self.num_shards = num_shards
+        self.mode = mode
+        self.executor = executor
+        self.query_mode = query_mode
+        self._partition_seed = partition_seed
+        self._factory = factory
+        self.shards = [factory() for _ in range(num_shards)]
+        self._round_robin_offset = 0
+        self._collapsed: Optional[FrequencyEstimator] = None
+        self._pool = None
+        self._blank_bytes = None
+        self._pending = []  # (shard_index, future) pairs awaiting merge
+        if executor == "process":
+            try:
+                self._blank_bytes = [shard.to_bytes() for shard in self.shards]
+            except (AttributeError, NotImplementedError) as error:
+                raise ValueError(
+                    "the process executor needs serializable shards "
+                    f"(to_bytes/from_bytes); {type(self.shards[0]).__name__} "
+                    "does not provide them — use the thread or serial executor"
+                ) from error
+            self._pool = concurrent.futures.ProcessPoolExecutor(
+                max_workers=num_shards
+            )
+        elif executor == "thread":
+            self._pool = concurrent.futures.ThreadPoolExecutor(
+                max_workers=num_shards
+            )
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def shard_of_keys(self, key_batch) -> np.ndarray:
+        """Deterministic shard index per key (key-partition routing)."""
+        fingerprints = fingerprint64_batch(key_batch, seed=self._partition_seed)
+        return (fingerprints % np.uint64(self.num_shards)).astype(np.intp)
+
+    @staticmethod
+    def _take(items, indices: np.ndarray):
+        if isinstance(items, np.ndarray):
+            return items[indices]
+        return [items[index] for index in indices]
+
+    def _partition_jobs(self, items, key_batch, count_array, n):
+        """Split a normalized batch into per-shard ``(index, keys, counts)``."""
+        if self.num_shards == 1:
+            return [(0, items, count_array)]
+        if self.mode == "round-robin":
+            # Contiguous blocks (zero-copy views for arrays), rotating which
+            # shard receives the first block so partial batches balance out.
+            bounds = [n * block // self.num_shards for block in range(self.num_shards + 1)]
+            offset = self._round_robin_offset
+            self._round_robin_offset = (offset + 1) % self.num_shards
+            return [
+                (
+                    (offset + block) % self.num_shards,
+                    items[bounds[block] : bounds[block + 1]],
+                    count_array[bounds[block] : bounds[block + 1]],
+                )
+                for block in range(self.num_shards)
+                if bounds[block + 1] > bounds[block]
+            ]
+        assignments = self.shard_of_keys(key_batch)
+        jobs = []
+        for shard_index in range(self.num_shards):
+            selected = np.flatnonzero(assignments == shard_index)
+            if selected.size:
+                jobs.append(
+                    (shard_index, self._take(items, selected), count_array[selected])
+                )
+        return jobs
+
+    # ------------------------------------------------------------------
+    # ingestion
+    # ------------------------------------------------------------------
+    def update(self, element: Element) -> None:
+        self.update_batch([element])
+
+    def update_batch(self, keys, counts=None) -> None:
+        """Split a batch across the shards and ingest each part.
+
+        ``items`` (possibly full elements, for feature-routing estimators)
+        are what the shards receive; the normalized key view only drives the
+        shard assignment.
+        """
+        items = keys if isinstance(keys, np.ndarray) else list(keys)
+        key_batch, count_array = as_key_batch(items, counts)
+        n = len(key_batch)
+        if n == 0:
+            return
+        self._collapsed = None
+        jobs = self._partition_jobs(items, key_batch, count_array, n)
+        if self.executor == "process":
+            # Fire and return: the parent keeps routing the next batch while
+            # the workers ingest this one.  Results merge in _drain_pending.
+            # Backpressure keeps the backlog (queued key chunks + finished
+            # state blobs) bounded when the parent outpaces the workers.
+            if len(self._pending) >= self._MAX_PENDING_FACTOR * self.num_shards:
+                self._reap_completed()
+                while len(self._pending) >= self._MAX_PENDING_FACTOR * self.num_shards:
+                    shard_index, future = self._pending.pop(0)
+                    self.shards[shard_index].merge(loads(future.result()))
+            for shard_index, part, part_counts in jobs:
+                self._pending.append(
+                    (
+                        shard_index,
+                        self._pool.submit(
+                            _ingest_into_blank,
+                            self._blank_bytes[shard_index],
+                            part,
+                            part_counts,
+                        ),
+                    )
+                )
+        elif self.executor == "thread":
+            list(
+                self._pool.map(
+                    lambda job: self._ingest_resident(job[0], job[1], job[2]), jobs
+                )
+            )
+        else:
+            for shard_index, part, part_counts in jobs:
+                self._ingest_resident(shard_index, part, part_counts)
+
+    def _ingest_resident(self, shard_index: int, part, part_counts) -> None:
+        """Chunked in-process ingestion into a resident shard.
+
+        Large sub-batches are re-chunked to the cache-friendly size — the
+        vectorized sketch kernels lose most of their throughput when their
+        scatter/gather temporaries outgrow the cache.
+        """
+        shard = self.shards[shard_index]
+        for start in range(0, len(part), WORKER_CHUNK_SIZE):
+            shard.update_batch(
+                part[start : start + WORKER_CHUNK_SIZE],
+                part_counts[start : start + WORKER_CHUNK_SIZE],
+            )
+
+    def _reap_completed(self) -> None:
+        """Merge results whose futures already finished (non-blocking)."""
+        still_running = []
+        for shard_index, future in self._pending:
+            if future.done():
+                self.shards[shard_index].merge(loads(future.result()))
+            else:
+                still_running.append((shard_index, future))
+        self._pending = still_running
+
+    def _drain_pending(self) -> None:
+        """Merge every completed/outstanding process-pool result."""
+        pending, self._pending = self._pending, []
+        for shard_index, future in pending:
+            self.shards[shard_index].merge(loads(future.result()))
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def estimate(self, element: Element) -> float:
+        return float(self.estimate_batch([element])[0])
+
+    def estimate_batch(self, keys) -> np.ndarray:
+        if self.query_mode == "fanout":
+            return self._fanout_estimate(keys)
+        return self.collapsed().estimate_batch(keys)
+
+    def _fanout_estimate(self, keys) -> np.ndarray:
+        self._drain_pending()
+        items = keys if isinstance(keys, np.ndarray) else list(keys)
+        key_batch, _ = as_key_batch(items)
+        n = len(key_batch)
+        if n == 0:
+            return np.zeros(0, dtype=np.float64)
+        estimates = np.zeros(n, dtype=np.float64)
+        assignments = self.shard_of_keys(key_batch)
+        for shard_index in range(self.num_shards):
+            selected = np.flatnonzero(assignments == shard_index)
+            if selected.size:
+                estimates[selected] = self.shards[shard_index].estimate_batch(
+                    self._take(items, selected)
+                )
+        return estimates
+
+    # ------------------------------------------------------------------
+    # collapse / lifecycle
+    # ------------------------------------------------------------------
+    def collapse(self) -> FrequencyEstimator:
+        """Merge every shard into one fresh estimator and return it.
+
+        The merge target comes from the factory — another identically-
+        configured instance, sharing any referenced objects (learned scheme,
+        oracle, classifier) with the shards, so the identity-based
+        compatibility checks hold by construction.  For linear sketches the
+        result is bit-identical to single-sketch ingestion of the whole
+        stream; for the counter summaries it carries the standard
+        merged-summary guarantees.
+        """
+        self._drain_pending()
+        merged = self._factory()
+        for shard in self.shards:
+            merged.merge(shard)
+        return merged
+
+    def collapsed(self) -> FrequencyEstimator:
+        """Cached :meth:`collapse`, invalidated by the next update."""
+        if self._collapsed is None:
+            self._collapsed = self.collapse()
+        return self._collapsed
+
+    def warm_up(self) -> "ShardedEstimator":
+        """Eagerly spawn the executor's workers.
+
+        A :class:`~concurrent.futures.ProcessPoolExecutor` forks lazily on
+        first submit, which would otherwise charge worker startup to the
+        first ingested batch; long-lived services warm the pool at deploy
+        time instead.  No-op for the serial executor.
+        """
+        if self._pool is not None:
+            list(self._pool.map(int, range(self.num_shards), chunksize=1))
+        return self
+
+    def close(self) -> None:
+        """Drain outstanding work and shut down the executor pool."""
+        self._drain_pending()
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "ShardedEstimator":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # FrequencyEstimator plumbing
+    # ------------------------------------------------------------------
+    @property
+    def routes_by_features(self) -> bool:
+        """Replay must keep elements when any shard routes by features."""
+        return any(
+            getattr(shard, "routes_by_features", False) for shard in self.shards
+        )
+
+    @property
+    def size_bytes(self) -> int:
+        self._drain_pending()
+        return sum(shard.size_bytes for shard in self.shards)
+
+    def merge(self, other: FrequencyEstimator) -> FrequencyEstimator:
+        """Merge another sharded (or plain) estimator into this one.
+
+        A :class:`ShardedEstimator` with the same layout (shard count, mode,
+        partition seed) merges shard by shard, preserving fan-out routing.
+        Anything else — a plain estimator, or a differently-laid-out sharded
+        one — is folded into shard 0, which keeps collapse-mode queries
+        exact but would corrupt fan-out routing, so it is rejected when
+        ``query_mode == "fanout"``.
+        """
+        self._collapsed = None
+        self._drain_pending()
+        if isinstance(other, ShardedEstimator):
+            other._drain_pending()
+        if (
+            isinstance(other, ShardedEstimator)
+            and other.num_shards == self.num_shards
+            and other.mode == self.mode
+            and other._partition_seed == self._partition_seed
+        ):
+            for mine, theirs in zip(self.shards, other.shards):
+                mine.merge(theirs)
+            return self
+        if self.query_mode == "fanout":
+            raise IncompatibleSketchError(
+                "cannot fold foreign state into a fanout-queried sharded "
+                "estimator: keys would no longer resolve to the shard that "
+                "holds their counts"
+            )
+        folded = other.collapse() if isinstance(other, ShardedEstimator) else other
+        self.shards[0].merge(folded)
+        return self

@@ -18,7 +18,13 @@ builds on:
   implementing the random hash functions all of the above rely on.
 """
 
-from repro.sketches.base import FrequencyEstimator, ExactCounter, as_key_batch
+from repro.sketches.base import (
+    FrequencyEstimator,
+    ExactCounter,
+    IncompatibleSketchError,
+    as_key_batch,
+)
+from repro.sketches.serialization import SerializationError, loads
 from repro.sketches.hashing import (
     UniversalHashFamily,
     UniversalHash,
@@ -41,6 +47,9 @@ from repro.sketches.ams import AmsSketch
 __all__ = [
     "FrequencyEstimator",
     "ExactCounter",
+    "IncompatibleSketchError",
+    "SerializationError",
+    "loads",
     "as_key_batch",
     "fingerprint64",
     "fingerprint64_batch",

@@ -14,13 +14,24 @@ from typing import Optional
 
 import numpy as np
 
-from repro.sketches.base import BYTES_PER_BUCKET, as_key_batch
-from repro.sketches.hashing import UniversalHashFamily
+from repro.sketches.base import (
+    BYTES_PER_BUCKET,
+    IncompatibleSketchError,
+    as_key_batch,
+)
+from repro.sketches.hashing import (
+    UniversalHashFamily,
+    hash_functions_equal,
+    hash_functions_from_state,
+    hash_functions_state,
+)
+from repro.sketches.serialization import pack, register_sketch, unpack
 from repro.streams.stream import Element
 
 __all__ = ["AmsSketch"]
 
 
+@register_sketch("ams")
 class AmsSketch:
     """Estimates the second frequency moment of a stream.
 
@@ -79,3 +90,53 @@ class AmsSketch:
     @property
     def size_bytes(self) -> int:
         return BYTES_PER_BUCKET * self.num_estimators
+
+    # ------------------------------------------------------------------
+    # merge / serialization
+    # ------------------------------------------------------------------
+    def merge(self, other: "AmsSketch") -> "AmsSketch":
+        """Add another AMS sketch's ±1 counters into this one.
+
+        Each counter is the linear form ``Σ_u s(u)·f_u``, so with shared sign
+        hashes the merged counters are bit-identical to single-sketch
+        ingestion of the concatenated streams.
+        """
+        if not isinstance(other, AmsSketch):
+            raise IncompatibleSketchError(
+                f"cannot merge AmsSketch with {type(other).__name__}"
+            )
+        if (self.num_estimators, self.means_groups) != (
+            other.num_estimators,
+            other.means_groups,
+        ):
+            raise IncompatibleSketchError(
+                f"shape mismatch: ({self.num_estimators}, {self.means_groups}) "
+                f"vs ({other.num_estimators}, {other.means_groups})"
+            )
+        if not hash_functions_equal(self._hashes, other._hashes):
+            raise IncompatibleSketchError(
+                "sign hashes differ (sketches must be built from the same "
+                "seed and hash scheme to be mergeable)"
+            )
+        self._counters += other._counters
+        return self
+
+    def to_bytes(self) -> bytes:
+        hash_states, arrays = hash_functions_state(self._hashes)
+        state = {
+            "num_estimators": self.num_estimators,
+            "means_groups": self.means_groups,
+            "hashes": hash_states,
+        }
+        arrays["counters"] = self._counters
+        return pack("ams", state, arrays)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "AmsSketch":
+        _, state, arrays = unpack(data, expect_tag="ams")
+        sketch = cls.__new__(cls)
+        sketch.num_estimators = int(state["num_estimators"])
+        sketch.means_groups = int(state["means_groups"])
+        sketch._counters = arrays["counters"].astype(np.int64, copy=False)
+        sketch._hashes = hash_functions_from_state(state["hashes"], arrays)
+        return sketch

@@ -27,14 +27,26 @@ from typing import Dict, Hashable, Tuple, Union
 
 import numpy as np
 
+from repro.sketches.serialization import (
+    decode_counts,
+    encode_counts,
+    pack,
+    register_sketch,
+    unpack,
+)
 from repro.streams.stream import Element
 
 __all__ = [
     "FrequencyEstimator",
     "ExactCounter",
+    "IncompatibleSketchError",
     "BYTES_PER_BUCKET",
     "as_key_batch",
 ]
+
+
+class IncompatibleSketchError(ValueError):
+    """Two sketches cannot be merged (different shape, seeds, or hashes)."""
 
 
 def as_key_batch(
@@ -110,15 +122,49 @@ class FrequencyEstimator(ABC):
     def update_batch(self, keys, counts=None) -> None:
         """Process a batch of arrivals: ``counts[i]`` occurrences of ``keys[i]``.
 
-        The base implementation replays the batch element-at-a-time, so it is
-        always equivalent to the scalar path; array-backed sketches override
-        it with vectorized implementations.
+        Normalizes the input once (the only :func:`as_key_batch` call on this
+        path) and hands the aligned ``(keys, counts)`` pair to
+        :meth:`_ingest`, which subclasses override with their vectorized
+        implementations.  The base ``_ingest`` replays element-at-a-time, so
+        it is always equivalent to the scalar path.
         """
         key_batch, count_array = as_key_batch(keys, counts)
+        self._ingest(key_batch, count_array)
+
+    def _ingest(self, key_batch, count_array: np.ndarray) -> None:
+        """Ingest an already-normalized ``(keys, counts)`` pair."""
         for key, count in zip(key_batch, count_array):
             element = Element(key=key)
             for _ in range(int(count)):
                 self.update(element)
+
+    def _scalar_batch(self, key: Hashable):
+        """A reusable 1-element ``(keys, counts)`` pair for scalar updates.
+
+        Scalar ``update`` wrappers feed this straight into :meth:`_ingest`,
+        bypassing :func:`as_key_batch` — one cached list and one cached ones
+        array per estimator instead of fresh ndarray allocations on every
+        arrival.
+        """
+        cache = getattr(self, "_scalar_cache", None)
+        if cache is None:
+            cache = ([None], np.ones(1, dtype=np.int64))
+            self._scalar_cache = cache
+        cache[0][0] = key
+        return cache
+
+    def merge(self, other: "FrequencyEstimator") -> "FrequencyEstimator":
+        """Fold another estimator's state into this one, in place.
+
+        After ``a.merge(b)``, ``a`` answers queries as if it had also seen
+        every arrival ``b`` ingested (exactly for linear sketches, within the
+        summary guarantees for the counter-based ones).  Implementations
+        raise :class:`IncompatibleSketchError` when the two estimators do
+        not share a configuration (shape, seeds, hash functions).
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support merging"
+        )
 
     def estimate_batch(self, keys) -> np.ndarray:
         """Vectorized point queries: a float64 array aligned with ``keys``."""
@@ -134,6 +180,7 @@ class FrequencyEstimator(ABC):
         return self.estimate(Element(key=key))
 
 
+@register_sketch("exact_counter")
 class ExactCounter(FrequencyEstimator):
     """Exact per-key counting.
 
@@ -149,11 +196,32 @@ class ExactCounter(FrequencyEstimator):
     def update(self, element: Element) -> None:
         self._counts[element.key] = self._counts.get(element.key, 0) + 1
 
-    def update_batch(self, keys, counts=None) -> None:
-        key_batch, count_array = as_key_batch(keys, counts)
+    def _ingest(self, key_batch, count_array) -> None:
         table = self._counts
         for key, count in zip(key_batch, count_array):
             table[key] = table.get(key, 0) + int(count)
+
+    def merge(self, other: "ExactCounter") -> "ExactCounter":
+        """Add another counter's exact counts into this one (always exact)."""
+        if not isinstance(other, ExactCounter):
+            raise IncompatibleSketchError(
+                f"cannot merge ExactCounter with {type(other).__name__}"
+            )
+        table = self._counts
+        for key, count in other._counts.items():
+            table[key] = table.get(key, 0) + count
+        return self
+
+    def to_bytes(self) -> bytes:
+        state, arrays = encode_counts(self._counts, "counts")
+        return pack("exact_counter", state, arrays)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "ExactCounter":
+        _, state, arrays = unpack(data, expect_tag="exact_counter")
+        counter = cls()
+        counter._counts = decode_counts(state, arrays, "counts")
+        return counter
 
     def estimate(self, element: Element) -> float:
         return float(self._counts.get(element.key, 0))

@@ -14,11 +14,19 @@ from typing import Hashable, Optional
 
 import numpy as np
 
-from repro.sketches.hashing import UniversalHashFamily
+from repro.sketches.base import IncompatibleSketchError
+from repro.sketches.hashing import (
+    UniversalHashFamily,
+    hash_functions_equal,
+    hash_functions_from_state,
+    hash_functions_state,
+)
+from repro.sketches.serialization import pack, register_sketch, unpack
 
 __all__ = ["BloomFilter"]
 
 
+@register_sketch("bloom")
 class BloomFilter:
     """A standard Bloom filter over arbitrary hashable keys.
 
@@ -145,3 +153,58 @@ class BloomFilter:
         """Estimate the current false-positive probability from the fill ratio."""
         fill = float(self._bits.mean())
         return fill ** self.num_hashes
+
+    # ------------------------------------------------------------------
+    # merge / serialization
+    # ------------------------------------------------------------------
+    def merge(self, other: "BloomFilter") -> "BloomFilter":
+        """Union another filter's bits into this one (bitwise OR).
+
+        With shared hash functions the union is exactly the filter a single
+        instance would hold after ``add``-ing both key sets: no false
+        negatives are ever introduced.  ``num_inserted`` adds the two
+        insertion counts, which double-counts keys both filters saw — it is
+        an ``add``-call counter, not a distinct-key estimate.
+        """
+        if not isinstance(other, BloomFilter):
+            raise IncompatibleSketchError(
+                f"cannot merge BloomFilter with {type(other).__name__}"
+            )
+        if (self.num_bits, self.num_hashes) != (other.num_bits, other.num_hashes):
+            raise IncompatibleSketchError(
+                f"shape mismatch: ({self.num_bits}, {self.num_hashes}) vs "
+                f"({other.num_bits}, {other.num_hashes})"
+            )
+        if not hash_functions_equal(self._hashes, other._hashes):
+            raise IncompatibleSketchError(
+                "hash functions differ (filters must be built from the same "
+                "seed and hash scheme to be mergeable)"
+            )
+        self._bits |= other._bits
+        self._num_inserted += other._num_inserted
+        return self
+
+    def to_bytes(self) -> bytes:
+        hash_states, arrays = hash_functions_state(self._hashes)
+        state = {
+            "num_bits": self.num_bits,
+            "num_hashes": self.num_hashes,
+            "num_inserted": self._num_inserted,
+        }
+        state["hashes"] = hash_states
+        # 8x smaller on the wire than the bool array the filter works on.
+        arrays["bits"] = np.packbits(self._bits)
+        return pack("bloom", state, arrays)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "BloomFilter":
+        _, state, arrays = unpack(data, expect_tag="bloom")
+        sketch = cls.__new__(cls)
+        sketch.num_bits = int(state["num_bits"])
+        sketch.num_hashes = int(state["num_hashes"])
+        sketch._num_inserted = int(state["num_inserted"])
+        sketch._bits = (
+            np.unpackbits(arrays["bits"])[: sketch.num_bits].astype(bool)
+        )
+        sketch._hashes = hash_functions_from_state(state["hashes"], arrays)
+        return sketch

@@ -22,13 +22,25 @@ from typing import Optional
 
 import numpy as np
 
-from repro.sketches.base import BYTES_PER_BUCKET, FrequencyEstimator, as_key_batch
-from repro.sketches.hashing import UniversalHashFamily
+from repro.sketches.base import (
+    BYTES_PER_BUCKET,
+    FrequencyEstimator,
+    IncompatibleSketchError,
+    as_key_batch,
+)
+from repro.sketches.hashing import (
+    UniversalHashFamily,
+    hash_functions_equal,
+    hash_functions_from_state,
+    hash_functions_state,
+)
+from repro.sketches.serialization import pack, register_sketch, unpack
 from repro.streams.stream import Element
 
 __all__ = ["CountMinSketch"]
 
 
+@register_sketch("count_min")
 class CountMinSketch(FrequencyEstimator):
     """Count-Min Sketch with ``d`` levels of ``w`` buckets.
 
@@ -102,7 +114,8 @@ class CountMinSketch(FrequencyEstimator):
     # FrequencyEstimator interface
     # ------------------------------------------------------------------
     def update(self, element: Element) -> None:
-        self.update_batch([element.key])
+        key_batch, ones = self._scalar_batch(element.key)
+        self._ingest(key_batch, ones)
 
     def estimate(self, element: Element) -> float:
         return float(self.estimate_batch([element.key])[0])
@@ -114,7 +127,7 @@ class CountMinSketch(FrequencyEstimator):
         """Per-level bucket positions of a key batch, as a (depth, n) array."""
         return np.stack([h.hash_batch(keys) for h in self._hashes])
 
-    def update_batch(self, keys, counts=None) -> None:
+    def _ingest(self, key_batch, count_array) -> None:
         """Ingest ``counts[i]`` arrivals of ``keys[i]``, all at once.
 
         The plain variant is order-independent, so one ``np.add.at`` per
@@ -123,7 +136,6 @@ class CountMinSketch(FrequencyEstimator):
         hash positions vectorized (the dominant cost) and replays the
         min/max counter logic in arrival order to stay bit-identical.
         """
-        key_batch, count_array = as_key_batch(keys, counts)
         if len(key_batch) == 0:
             return
         positions = self._positions(key_batch)
@@ -163,3 +175,67 @@ class CountMinSketch(FrequencyEstimator):
     def counters(self) -> np.ndarray:
         """Return a copy of the counter table (for inspection/testing)."""
         return self._table.copy()
+
+    # ------------------------------------------------------------------
+    # merge / serialization
+    # ------------------------------------------------------------------
+    def merge(self, other: "CountMinSketch") -> "CountMinSketch":
+        """Add another CMS's counters into this one, level by level.
+
+        Count-Min is a linear sketch: the plain variant's merged table is
+        *bit-identical* to ingesting the concatenated streams into a single
+        sketch, because each counter is just a sum of its arrivals.
+
+        Conservative update is not linear — which counters an arrival raises
+        depends on the counter values at that moment, so splitting a stream
+        across sketches changes the trajectories.  Summing the tables is
+        still sound: each table upper-bounds the counts of its own substream,
+        so the sum upper-bounds the whole stream and the one-sided
+        (overestimate-only) guarantee survives.  The merged estimates are
+        merely allowed to be larger than what single-sketch conservative
+        ingestion would have produced.
+        """
+        if not isinstance(other, CountMinSketch):
+            raise IncompatibleSketchError(
+                f"cannot merge CountMinSketch with {type(other).__name__}"
+            )
+        if (self.width, self.depth, self.conservative) != (
+            other.width,
+            other.depth,
+            other.conservative,
+        ):
+            raise IncompatibleSketchError(
+                f"shape/variant mismatch: ({self.width}, {self.depth}, "
+                f"conservative={self.conservative}) vs ({other.width}, "
+                f"{other.depth}, conservative={other.conservative})"
+            )
+        if not hash_functions_equal(self._hashes, other._hashes):
+            raise IncompatibleSketchError(
+                "hash functions differ (sketches must be built from the same "
+                "seed and hash scheme to be mergeable)"
+            )
+        self._table += other._table
+        return self
+
+    def to_bytes(self) -> bytes:
+        hash_states, arrays = hash_functions_state(self._hashes)
+        state = {
+            "width": self.width,
+            "depth": self.depth,
+            "conservative": self.conservative,
+            "hashes": hash_states,
+        }
+        arrays["table"] = self._table
+        return pack("count_min", state, arrays)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "CountMinSketch":
+        _, state, arrays = unpack(data, expect_tag="count_min")
+        sketch = cls.__new__(cls)
+        sketch.width = int(state["width"])
+        sketch.depth = int(state["depth"])
+        sketch.conservative = bool(state["conservative"])
+        sketch._table = arrays["table"].astype(np.int64, copy=False)
+        sketch._levels = np.arange(sketch.depth)
+        sketch._hashes = hash_functions_from_state(state["hashes"], arrays)
+        return sketch

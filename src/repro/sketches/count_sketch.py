@@ -13,13 +13,25 @@ from typing import Optional
 
 import numpy as np
 
-from repro.sketches.base import BYTES_PER_BUCKET, FrequencyEstimator, as_key_batch
-from repro.sketches.hashing import UniversalHashFamily
+from repro.sketches.base import (
+    BYTES_PER_BUCKET,
+    FrequencyEstimator,
+    IncompatibleSketchError,
+    as_key_batch,
+)
+from repro.sketches.hashing import (
+    UniversalHashFamily,
+    hash_functions_equal,
+    hash_functions_from_state,
+    hash_functions_state,
+)
+from repro.sketches.serialization import pack, register_sketch, unpack
 from repro.streams.stream import Element
 
 __all__ = ["CountSketch"]
 
 
+@register_sketch("count_sketch")
 class CountSketch(FrequencyEstimator):
     """Count Sketch with ``d`` levels of ``w`` signed counters."""
 
@@ -50,7 +62,8 @@ class CountSketch(FrequencyEstimator):
         return cls(width=total_buckets // depth, depth=depth, seed=seed)
 
     def update(self, element: Element) -> None:
-        self.update_batch([element.key])
+        key_batch, ones = self._scalar_batch(element.key)
+        self._ingest(key_batch, ones)
 
     def estimate(self, element: Element) -> float:
         return float(self.estimate_batch([element.key])[0])
@@ -58,9 +71,8 @@ class CountSketch(FrequencyEstimator):
     # ------------------------------------------------------------------
     # vectorized batch path
     # ------------------------------------------------------------------
-    def update_batch(self, keys, counts=None) -> None:
+    def _ingest(self, key_batch, count_array) -> None:
         """Ingest a key batch: signed, order-independent counter increments."""
-        key_batch, count_array = as_key_batch(keys, counts)
         if len(key_batch) == 0:
             return
         for level, h in enumerate(self._hashes):
@@ -94,3 +106,45 @@ class CountSketch(FrequencyEstimator):
     def counters(self) -> np.ndarray:
         """Return a copy of the counter table (for inspection/testing)."""
         return self._table.copy()
+
+    # ------------------------------------------------------------------
+    # merge / serialization
+    # ------------------------------------------------------------------
+    def merge(self, other: "CountSketch") -> "CountSketch":
+        """Add another Count Sketch's signed counters into this one.
+
+        Count Sketch is linear, so the merged table is bit-identical to
+        single-sketch ingestion of the concatenated streams.
+        """
+        if not isinstance(other, CountSketch):
+            raise IncompatibleSketchError(
+                f"cannot merge CountSketch with {type(other).__name__}"
+            )
+        if (self.width, self.depth) != (other.width, other.depth):
+            raise IncompatibleSketchError(
+                f"shape mismatch: ({self.width}, {self.depth}) vs "
+                f"({other.width}, {other.depth})"
+            )
+        if not hash_functions_equal(self._hashes, other._hashes):
+            raise IncompatibleSketchError(
+                "hash functions differ (sketches must be built from the same "
+                "seed and hash scheme to be mergeable)"
+            )
+        self._table += other._table
+        return self
+
+    def to_bytes(self) -> bytes:
+        hash_states, arrays = hash_functions_state(self._hashes)
+        state = {"width": self.width, "depth": self.depth, "hashes": hash_states}
+        arrays["table"] = self._table
+        return pack("count_sketch", state, arrays)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "CountSketch":
+        _, state, arrays = unpack(data, expect_tag="count_sketch")
+        sketch = cls.__new__(cls)
+        sketch.width = int(state["width"])
+        sketch.depth = int(state["depth"])
+        sketch._table = arrays["table"].astype(np.int64, copy=False)
+        sketch._hashes = hash_functions_from_state(state["hashes"], arrays)
+        return sketch

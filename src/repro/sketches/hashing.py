@@ -28,9 +28,16 @@ millions of elements per second without changing any estimate.
 
 from __future__ import annotations
 
-from typing import Hashable, List, Optional, Sequence, Union
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
+
+from repro.sketches.serialization import (
+    SerializationError,
+    pack,
+    register_sketch,
+    unpack,
+)
 
 __all__ = [
     "fingerprint64",
@@ -38,6 +45,9 @@ __all__ = [
     "UniversalHash",
     "TabulationHash",
     "UniversalHashFamily",
+    "hash_functions_state",
+    "hash_functions_from_state",
+    "hash_functions_equal",
 ]
 
 _MERSENNE_PRIME = (1 << 61) - 1
@@ -187,6 +197,7 @@ def _mulmod_mersenne61(a: int, x: np.ndarray) -> np.ndarray:
     return _mod_mersenne61(high + mid_folded + low_folded)
 
 
+@register_sketch("universal_hash")
 class UniversalHash:
     """A single Carter–Wegman universal hash function onto ``[0, range)``."""
 
@@ -224,7 +235,43 @@ class UniversalHash:
         value = self._carter_wegman_batch(keys, self._seed ^ 0x5A5A5A5A)
         return np.where(value & np.uint64(1), np.int64(1), np.int64(-1))
 
+    # ------------------------------------------------------------------
+    # state / serialization
+    # ------------------------------------------------------------------
+    def state(self) -> dict:
+        """The full drawn state: enough to reproduce every hash value."""
+        return {
+            "kind": "universal",
+            "output_range": self.output_range,
+            "a": self._a,
+            "b": self._b,
+            "seed": self._seed,
+        }
 
+    @classmethod
+    def from_state(
+        cls, state: dict, tables: Optional[np.ndarray] = None
+    ) -> "UniversalHash":
+        """Rebuild a hash function from :meth:`state` without redrawing."""
+        if state.get("kind") != "universal":
+            raise SerializationError(f"not a universal-hash state: {state!r}")
+        function = cls.__new__(cls)
+        function.output_range = int(state["output_range"])
+        function._a = int(state["a"])
+        function._b = int(state["b"])
+        function._seed = int(state["seed"])
+        return function
+
+    def to_bytes(self) -> bytes:
+        return pack("universal_hash", self.state(), {})
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "UniversalHash":
+        _, state, _ = unpack(data, expect_tag="universal_hash")
+        return cls.from_state(state)
+
+
+@register_sketch("tabulation_hash")
 class TabulationHash:
     """Simple tabulation hashing onto ``[0, range)``.
 
@@ -269,6 +316,107 @@ class TabulationHash:
         """Vectorized ``sign``: an int64 array of ±1."""
         x = fingerprint64_batch(keys, self._seed ^ 0x3C3C3C3C)
         return np.where(x & np.uint64(1), np.int64(1), np.int64(-1))
+
+    # ------------------------------------------------------------------
+    # state / serialization
+    # ------------------------------------------------------------------
+    def state(self) -> dict:
+        """Scalar state; the lookup tables travel separately as an array."""
+        return {
+            "kind": "tabulation",
+            "output_range": self.output_range,
+            "seed": self._seed,
+        }
+
+    @classmethod
+    def from_state(
+        cls, state: dict, tables: Optional[np.ndarray] = None
+    ) -> "TabulationHash":
+        """Rebuild from :meth:`state` plus the ``(8, 256)`` uint64 tables."""
+        if state.get("kind") != "tabulation":
+            raise SerializationError(f"not a tabulation-hash state: {state!r}")
+        if tables is None:
+            raise SerializationError("tabulation hash state requires its tables")
+        tables = np.asarray(tables, dtype=np.uint64)
+        if tables.shape != (cls._NUM_TABLES, 256):
+            raise SerializationError(
+                f"tabulation tables must have shape ({cls._NUM_TABLES}, 256), "
+                f"got {tables.shape}"
+            )
+        function = cls.__new__(cls)
+        function.output_range = int(state["output_range"])
+        function._tables = tables.copy()
+        function._seed = int(state["seed"])
+        return function
+
+    def to_bytes(self) -> bytes:
+        return pack("tabulation_hash", self.state(), {"tables": self._tables})
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "TabulationHash":
+        _, state, arrays = unpack(data, expect_tag="tabulation_hash")
+        return cls.from_state(state, arrays.get("tables"))
+
+
+# ----------------------------------------------------------------------
+# state helpers for whole hash-function lists (one per sketch level)
+# ----------------------------------------------------------------------
+def hash_functions_state(
+    hashes: Sequence,
+) -> Tuple[List[dict], Dict[str, np.ndarray]]:
+    """Serialize a list of hash functions into JSON states + stacked tables.
+
+    Tabulation tables are stacked into one ``(n, 8, 256)`` uint64 array under
+    the key ``"hash_tables"`` so they travel as a single NumPy buffer.
+    """
+    states = [function.state() for function in hashes]
+    arrays: Dict[str, np.ndarray] = {}
+    tables = [
+        function._tables for function in hashes if isinstance(function, TabulationHash)
+    ]
+    if tables:
+        arrays["hash_tables"] = np.stack(tables)
+    return states, arrays
+
+
+def hash_functions_from_state(
+    states: Sequence[dict], arrays: Dict[str, np.ndarray]
+) -> List:
+    """Inverse of :func:`hash_functions_state`."""
+    functions: List = []
+    tables = arrays.get("hash_tables")
+    table_index = 0
+    for state in states:
+        if state.get("kind") == "universal":
+            functions.append(UniversalHash.from_state(state))
+        elif state.get("kind") == "tabulation":
+            if tables is None or table_index >= len(tables):
+                raise SerializationError("missing tabulation tables for hash state")
+            functions.append(TabulationHash.from_state(state, tables[table_index]))
+            table_index += 1
+        else:
+            raise SerializationError(f"unknown hash kind in state {state!r}")
+    return functions
+
+
+def hash_functions_equal(first: Sequence, second: Sequence) -> bool:
+    """Whether two hash-function lists compute identical hash values.
+
+    This is the compatibility predicate behind ``merge``: two sketches may
+    only be merged when every level hashes every key to the same position,
+    which (given the schemes are deterministic in their drawn state) reduces
+    to comparing the drawn states.
+    """
+    if len(first) != len(second):
+        return False
+    for a, b in zip(first, second):
+        if type(a) is not type(b):
+            return False
+        if a.state() != b.state():
+            return False
+        if isinstance(a, TabulationHash) and not np.array_equal(a._tables, b._tables):
+            return False
+    return True
 
 
 class UniversalHashFamily:

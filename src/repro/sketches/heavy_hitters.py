@@ -23,20 +23,31 @@ from typing import Dict, Hashable, List, Tuple
 
 import numpy as np
 
-from repro.sketches.base import BYTES_PER_BUCKET, FrequencyEstimator, as_key_batch
+from repro.sketches.base import (
+    BYTES_PER_BUCKET,
+    FrequencyEstimator,
+    IncompatibleSketchError,
+    as_key_batch,
+)
+from repro.sketches.serialization import (
+    decode_counts,
+    encode_counts,
+    pack,
+    register_sketch,
+    unpack,
+)
 from repro.streams.stream import Element
 
 __all__ = ["MisraGries", "SpaceSaving"]
 
 
-def _replay_batch_in_order(summary, keys, counts, tracked: Dict) -> None:
+def _replay_batch_in_order(summary, key_batch, count_array, tracked: Dict) -> None:
     """Shared order-faithful batch replay for the counter summaries.
 
     Tracked keys take an O(1) bulk increment (equivalent to ``counts[i]``
     consecutive scalar updates, since an incremented key stays tracked);
     untracked keys run the summary's full scalar insert/evict logic.
     """
-    key_batch, count_array = as_key_batch(keys, counts)
     for key, count in zip(key_batch, count_array):
         count = int(count)
         if count and key in tracked:
@@ -47,6 +58,7 @@ def _replay_batch_in_order(summary, keys, counts, tracked: Dict) -> None:
                 summary._update_key(key)
 
 
+@register_sketch("misra_gries")
 class MisraGries(FrequencyEstimator):
     """Misra–Gries summary with ``num_counters`` counters.
 
@@ -77,14 +89,61 @@ class MisraGries(FrequencyEstimator):
                 if self._counters[tracked] == 0:
                     del self._counters[tracked]
 
-    def update_batch(self, keys, counts=None) -> None:
+    def _ingest(self, key_batch, count_array) -> None:
         """Replay a batch in arrival order (see :func:`_replay_batch_in_order`).
 
         The summary is inherently sequential (decrements depend on the
         current counter set), so the batch path is an optimized in-order
         replay rather than a vectorized scatter.
         """
-        _replay_batch_in_order(self, keys, counts, self._counters)
+        _replay_batch_in_order(self, key_batch, count_array, self._counters)
+
+    def merge(self, other: "MisraGries") -> "MisraGries":
+        """Merge two summaries with the standard Misra–Gries reduction.
+
+        Counters add pointwise; if the union then tracks more than
+        ``num_counters`` keys, the ``(num_counters + 1)``-th largest counter
+        value is subtracted from every counter and non-positive counters are
+        dropped — the same operation as a run of decrement steps.  Per
+        Agarwal et al. (*Mergeable Summaries*, 2012) the merged summary keeps
+        the Misra–Gries guarantee over the combined stream: every estimate
+        under-estimates by at most ``(N₁ + N₂) / (num_counters + 1)``.
+        """
+        if not isinstance(other, MisraGries):
+            raise IncompatibleSketchError(
+                f"cannot merge MisraGries with {type(other).__name__}"
+            )
+        if self.num_counters != other.num_counters:
+            raise IncompatibleSketchError(
+                f"num_counters mismatch: {self.num_counters} vs {other.num_counters}"
+            )
+        merged = dict(self._counters)
+        for key, count in other._counters.items():
+            merged[key] = merged.get(key, 0) + count
+        if len(merged) > self.num_counters:
+            cutoff = sorted(merged.values(), reverse=True)[self.num_counters]
+            merged = {
+                key: count - cutoff
+                for key, count in merged.items()
+                if count - cutoff > 0
+            }
+        self._counters = merged
+        self._stream_length += other._stream_length
+        return self
+
+    def to_bytes(self) -> bytes:
+        state, arrays = encode_counts(self._counters, "counters")
+        state["num_counters"] = self.num_counters
+        state["stream_length"] = self._stream_length
+        return pack("misra_gries", state, arrays)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "MisraGries":
+        _, state, arrays = unpack(data, expect_tag="misra_gries")
+        summary = cls(int(state["num_counters"]))
+        summary._counters = decode_counts(state, arrays, "counters")
+        summary._stream_length = int(state["stream_length"])
+        return summary
 
     def estimate(self, element: Element) -> float:
         return float(self._counters.get(element.key, 0))
@@ -128,6 +187,7 @@ class MisraGries(FrequencyEstimator):
         return dict(self._counters)
 
 
+@register_sketch("space_saving")
 class SpaceSaving(FrequencyEstimator):
     """Space-Saving summary with ``num_counters`` counters.
 
@@ -165,9 +225,85 @@ class SpaceSaving(FrequencyEstimator):
             self._counts[key] = evicted_count + 1
             self._errors[key] = evicted_count
 
-    def update_batch(self, keys, counts=None) -> None:
+    def _ingest(self, key_batch, count_array) -> None:
         """Replay a batch in arrival order (see :func:`_replay_batch_in_order`)."""
-        _replay_batch_in_order(self, keys, counts, self._counts)
+        _replay_batch_in_order(self, key_batch, count_array, self._counts)
+
+    def merge(self, other: "SpaceSaving") -> "SpaceSaving":
+        """Merge two summaries with the standard Space-Saving combine.
+
+        For every key in either summary the merged count is the sum of what
+        each side knows: its tracked count where tracked, otherwise that
+        side's minimum tracked count (the usual Space-Saving upper bound for
+        an untracked key, 0 while a summary has spare capacity).  Error terms
+        combine the same way, then only the top ``num_counters`` keys by
+        merged count are kept.  Estimates remain over-estimates of the true
+        combined frequencies (cf. Cafaro et al.'s parallel Space-Saving).
+        """
+        if not isinstance(other, SpaceSaving):
+            raise IncompatibleSketchError(
+                f"cannot merge SpaceSaving with {type(other).__name__}"
+            )
+        if self.num_counters != other.num_counters:
+            raise IncompatibleSketchError(
+                f"num_counters mismatch: {self.num_counters} vs {other.num_counters}"
+            )
+        min_self = (
+            self._min_tracked()[1]
+            if len(self._counts) >= self.num_counters
+            else 0
+        )
+        min_other = (
+            other._min_tracked()[1]
+            if len(other._counts) >= other.num_counters
+            else 0
+        )
+        merged_counts: Dict[Hashable, int] = {}
+        merged_errors: Dict[Hashable, int] = {}
+        # Deterministic key order: self's keys first, then other's new ones.
+        for key in list(self._counts) + [
+            key for key in other._counts if key not in self._counts
+        ]:
+            # A side that does not track the key contributes its min tracked
+            # count as both count and error: the key's true count on that
+            # side lies anywhere in [0, min].
+            count_self = self._counts.get(key, min_self)
+            error_self = self._errors.get(key, min_self)
+            count_other = other._counts.get(key, min_other)
+            error_other = other._errors.get(key, min_other)
+            merged_counts[key] = count_self + count_other
+            merged_errors[key] = error_self + error_other
+        if len(merged_counts) > self.num_counters:
+            keep = sorted(
+                merged_counts, key=merged_counts.get, reverse=True
+            )[: self.num_counters]
+            merged_counts = {key: merged_counts[key] for key in keep}
+            merged_errors = {key: merged_errors[key] for key in keep}
+        self._counts = merged_counts
+        self._errors = merged_errors
+        self._stream_length += other._stream_length
+        return self
+
+    def to_bytes(self) -> bytes:
+        count_state, count_arrays = encode_counts(self._counts, "counts")
+        error_state, error_arrays = encode_counts(self._errors, "errors")
+        state = {
+            "num_counters": self.num_counters,
+            "stream_length": self._stream_length,
+            **count_state,
+            **error_state,
+        }
+        arrays = {**count_arrays, **error_arrays}
+        return pack("space_saving", state, arrays)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "SpaceSaving":
+        _, state, arrays = unpack(data, expect_tag="space_saving")
+        summary = cls(int(state["num_counters"]))
+        summary._counts = decode_counts(state, arrays, "counts")
+        summary._errors = decode_counts(state, arrays, "errors")
+        summary._stream_length = int(state["stream_length"])
+        return summary
 
     def estimate(self, element: Element) -> float:
         key = element.key

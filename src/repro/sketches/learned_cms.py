@@ -24,8 +24,23 @@ from typing import Callable, Dict, Hashable, Iterable, List, Optional, Sequence
 
 import numpy as np
 
-from repro.sketches.base import BYTES_PER_BUCKET, FrequencyEstimator, as_key_batch
+from repro.sketches.base import (
+    BYTES_PER_BUCKET,
+    FrequencyEstimator,
+    IncompatibleSketchError,
+    as_key_batch,
+)
 from repro.sketches.count_min import CountMinSketch
+from repro.sketches.serialization import (
+    SerializationError,
+    decode_counts,
+    decode_key,
+    encode_counts,
+    encode_key,
+    pack,
+    register_sketch,
+    unpack,
+)
 from repro.streams.stream import Element
 
 __all__ = [
@@ -142,6 +157,7 @@ class ClassifierHeavyHitterOracle(HeavyHitterOracle):
         return np.asarray(self._classifier.predict(features), dtype=bool)
 
 
+@register_sketch("learned_cms")
 class LearnedCountMinSketch(FrequencyEstimator):
     """LCMS: unique buckets for predicted heavy hitters + CMS for the rest.
 
@@ -183,6 +199,11 @@ class LearnedCountMinSketch(FrequencyEstimator):
         self.num_heavy_buckets = num_heavy_buckets
         self.oracle = oracle
         self._heavy_counts: Dict[Hashable, int] = {}
+        # Heavy-predicted keys that arrived after the unique buckets filled:
+        # their counts live in the CMS.  merge() consults this set — a key
+        # tracked exactly on one side but CMS-held on the other cannot be
+        # combined without losing the CMS-held mass.
+        self._overflow_keys: set = set()
         self._sketch = CountMinSketch.from_total_buckets(
             random_buckets, depth=depth, seed=seed
         )
@@ -193,10 +214,13 @@ class LearnedCountMinSketch(FrequencyEstimator):
         return self.oracle.uses_features
 
     def update(self, element: Element) -> None:
-        if self._route_to_heavy(element):
-            self._heavy_counts[element.key] = self._heavy_counts.get(element.key, 0) + 1
-        else:
-            self._sketch.update(element)
+        if self.oracle.is_heavy(element):
+            key = element.key
+            if key in self._heavy_counts or len(self._heavy_counts) < self.num_heavy_buckets:
+                self._heavy_counts[key] = self._heavy_counts.get(key, 0) + 1
+                return
+            self._overflow_keys.add(key)
+        self._sketch.update(element)
 
     def estimate(self, element: Element) -> float:
         if self._route_to_heavy(element):
@@ -255,13 +279,13 @@ class LearnedCountMinSketch(FrequencyEstimator):
             count = int(count)
             if count == 0:
                 continue
-            if heavy and (
-                key in heavy_counts or len(heavy_counts) < self.num_heavy_buckets
-            ):
-                heavy_counts[key] = heavy_counts.get(key, 0) + count
-            else:
-                light_keys.append(key)
-                light_counts.append(count)
+            if heavy:
+                if key in heavy_counts or len(heavy_counts) < self.num_heavy_buckets:
+                    heavy_counts[key] = heavy_counts.get(key, 0) + count
+                    continue
+                self._overflow_keys.add(key)
+            light_keys.append(key)
+            light_counts.append(count)
         if light_keys:
             self._sketch.update_batch(light_keys, np.asarray(light_counts, dtype=np.int64))
 
@@ -286,12 +310,130 @@ class LearnedCountMinSketch(FrequencyEstimator):
 
     @property
     def size_bytes(self) -> int:
-        # Unique buckets store ID + count (2x cost); the CMS charges per counter.
+        # Unique buckets store ID + count (2x cost); the CMS charges per
+        # counter.  Merging can grow the unique-bucket table past the
+        # configured capacity (disjoint heavy sets from different shards) —
+        # charge what is actually held so size-matched comparisons stay
+        # honest — and tracked overflow IDs cost one bucket-equivalent each.
+        heavy_slots = max(self.num_heavy_buckets, len(self._heavy_counts))
         return (
-            2 * BYTES_PER_BUCKET * self.num_heavy_buckets + self._sketch.size_bytes
+            2 * BYTES_PER_BUCKET * heavy_slots
+            + BYTES_PER_BUCKET * len(self._overflow_keys)
+            + self._sketch.size_bytes
         )
 
     @property
     def num_heavy_tracked(self) -> int:
         """Number of elements currently held in unique buckets."""
         return len(self._heavy_counts)
+
+    # ------------------------------------------------------------------
+    # merge / serialization
+    # ------------------------------------------------------------------
+    def _oracles_compatible(self, other: "LearnedCountMinSketch") -> bool:
+        if self.oracle is other.oracle:
+            return True
+        if (
+            type(self.oracle) is IdealHeavyHitterOracle
+            and type(other.oracle) is IdealHeavyHitterOracle
+        ):
+            return self.oracle.heavy_keys == other.oracle.heavy_keys
+        return False
+
+    def merge(self, other: "LearnedCountMinSketch") -> "LearnedCountMinSketch":
+        """Merge by summing unique buckets and delegating to the backing CMS.
+
+        Exact heavy-key counts add; the light remainder merges through
+        :meth:`CountMinSketch.merge` (linear, bit-identical).  The merged
+        result equals single-sketch ingestion whenever the unique-bucket
+        capacity never bound during either half's ingestion.
+
+        When capacity *did* bind, a key can be tracked exactly on one side
+        while its other-side arrivals sit in that side's CMS.  Point queries
+        route tracked keys to the unique buckets only, so such a key would
+        silently shed its CMS-held mass and *under*-estimate — the one
+        failure mode this sketch family is supposed to exclude.  Those
+        merges are rejected with :class:`IncompatibleSketchError` instead
+        (re-shard by key, or give the sketch more heavy buckets).  Overflow
+        keys that stayed in the CMS on *both* sides are fine: their mass
+        merges linearly and queries keep routing them to the CMS.
+        """
+        if not isinstance(other, LearnedCountMinSketch):
+            raise IncompatibleSketchError(
+                f"cannot merge LearnedCountMinSketch with {type(other).__name__}"
+            )
+        if (self.total_buckets, self.num_heavy_buckets) != (
+            other.total_buckets,
+            other.num_heavy_buckets,
+        ):
+            raise IncompatibleSketchError(
+                f"budget mismatch: ({self.total_buckets}, {self.num_heavy_buckets}) "
+                f"vs ({other.total_buckets}, {other.num_heavy_buckets})"
+            )
+        if not self._oracles_compatible(other):
+            raise IncompatibleSketchError(
+                "oracles differ: merged sketches must route heavy hitters "
+                "identically (same oracle object, or ideal oracles over the "
+                "same key set)"
+            )
+        shadowed = (self._overflow_keys & set(other._heavy_counts)) | (
+            other._overflow_keys & set(self._heavy_counts)
+        )
+        if shadowed:
+            raise IncompatibleSketchError(
+                "unique-bucket capacity bound during ingestion: key(s) "
+                f"{sorted(shadowed, key=repr)[:5]!r} are tracked exactly on "
+                "one side but CMS-held on the other, so merging would drop "
+                "their CMS-held counts (split the stream by key, or increase "
+                "num_heavy_buckets)"
+            )
+        self._sketch.merge(other._sketch)
+        heavy_counts = self._heavy_counts
+        for key, count in other._heavy_counts.items():
+            heavy_counts[key] = heavy_counts.get(key, 0) + count
+        self._overflow_keys |= other._overflow_keys
+        return self
+
+    def to_bytes(self) -> bytes:
+        """Serialize; requires an :class:`IdealHeavyHitterOracle`.
+
+        A classifier-backed oracle wraps an arbitrary fitted model and
+        featurizer closure, which this NumPy-buffer format cannot capture.
+        """
+        if type(self.oracle) is not IdealHeavyHitterOracle:
+            raise SerializationError(
+                "only LearnedCountMinSketch instances with an "
+                "IdealHeavyHitterOracle are serializable, not "
+                f"{type(self.oracle).__name__}"
+            )
+        state, arrays = encode_counts(self._heavy_counts, "heavy")
+        state.update(
+            {
+                "total_buckets": self.total_buckets,
+                "num_heavy_buckets": self.num_heavy_buckets,
+                "oracle_keys": [encode_key(key) for key in sorted(
+                    self.oracle.heavy_keys, key=repr
+                )],
+                "overflow_keys": [encode_key(key) for key in sorted(
+                    self._overflow_keys, key=repr
+                )],
+            }
+        )
+        arrays["sketch"] = np.frombuffer(self._sketch.to_bytes(), dtype=np.uint8)
+        return pack("learned_cms", state, arrays)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "LearnedCountMinSketch":
+        _, state, arrays = unpack(data, expect_tag="learned_cms")
+        sketch = cls.__new__(cls)
+        sketch.total_buckets = int(state["total_buckets"])
+        sketch.num_heavy_buckets = int(state["num_heavy_buckets"])
+        sketch.oracle = IdealHeavyHitterOracle(
+            decode_key(encoded) for encoded in state["oracle_keys"]
+        )
+        sketch._heavy_counts = decode_counts(state, arrays, "heavy")
+        sketch._overflow_keys = {
+            decode_key(encoded) for encoded in state.get("overflow_keys", [])
+        }
+        sketch._sketch = CountMinSketch.from_bytes(arrays["sketch"].tobytes())
+        return sketch

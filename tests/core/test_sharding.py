@@ -1,0 +1,271 @@
+"""Sharded-vs-serial equivalence for :class:`ShardedEstimator`.
+
+The contract: replaying a stream through k shards and collapsing must give
+exactly what one estimator ingesting the whole stream serially would hold —
+for both partition modes, int and string keys, and weighted batches.  The
+process executor additionally exercises the serialization transport
+(blank-shard bytes out, ingested-shard bytes back, merge on arrival).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AdaptiveOptHashEstimator,
+    OptHashEstimator,
+    OptHashScheme,
+    ShardedEstimator,
+    replay_sharded,
+)
+from repro.core.pipeline import replay
+from repro.sketches import CountMinSketch, CountSketch, ExactCounter
+from repro.streams.stream import Element
+
+STREAM_LENGTH = 12_000
+UNIVERSE = 900
+
+
+def make_keys(string_keys: bool, seed: int = 5):
+    rng = np.random.default_rng(seed)
+    keys = rng.integers(0, UNIVERSE, size=STREAM_LENGTH)
+    if string_keys:
+        return [f"item:{value}" for value in keys.tolist()]
+    return keys
+
+
+def make_queries(keys):
+    if isinstance(keys, np.ndarray):
+        return np.unique(keys)
+    return sorted(set(keys))
+
+
+def chunked_replay(estimator, keys, chunk=2048):
+    for start in range(0, len(keys), chunk):
+        estimator.update_batch(keys[start : start + chunk])
+
+
+@pytest.mark.parametrize("mode", ["key-partition", "round-robin"])
+@pytest.mark.parametrize("num_shards", [1, 2, 7])
+@pytest.mark.parametrize("string_keys", [False, True])
+def test_sharded_cms_equals_serial(mode, num_shards, string_keys):
+    keys = make_keys(string_keys)
+    queries = make_queries(keys)
+    factory = lambda: CountMinSketch.from_total_buckets(2048, depth=3, seed=17)
+    serial = factory()
+    chunked_replay(serial, keys)
+    with ShardedEstimator(factory, num_shards, mode=mode) as sharded:
+        chunked_replay(sharded, keys)
+        merged = sharded.collapse()
+        assert (merged.counters() == serial.counters()).all()
+        assert (
+            sharded.estimate_batch(queries) == serial.estimate_batch(queries)
+        ).all()
+
+
+@pytest.mark.parametrize("mode", ["key-partition", "round-robin"])
+def test_sharded_weighted_batches(mode):
+    rng = np.random.default_rng(11)
+    keys = rng.integers(0, UNIVERSE, size=4000)
+    counts = rng.integers(0, 6, size=4000)
+    factory = lambda: CountSketch(512, depth=3, seed=23)
+    serial = factory()
+    serial.update_batch(keys, counts)
+    with ShardedEstimator(factory, 4, mode=mode) as sharded:
+        sharded.update_batch(keys, counts)
+        assert (sharded.collapse().counters() == serial.counters()).all()
+
+
+@pytest.mark.parametrize("executor", ["serial", "thread", "process"])
+def test_executors_agree_bit_identically(executor):
+    keys = make_keys(False)
+    queries = make_queries(keys)
+    factory = lambda: CountMinSketch.from_total_buckets(2048, depth=2, seed=3)
+    serial = factory()
+    chunked_replay(serial, keys)
+    with ShardedEstimator(factory, 4, executor=executor) as sharded:
+        chunked_replay(sharded, keys)
+        assert (sharded.collapse().counters() == serial.counters()).all()
+        assert (
+            sharded.estimate_batch(queries) == serial.estimate_batch(queries)
+        ).all()
+
+
+def test_process_executor_with_string_keys():
+    keys = make_keys(True)
+    factory = lambda: CountMinSketch.from_total_buckets(1024, depth=2, seed=3)
+    serial = factory()
+    serial.update_batch(keys)
+    with ShardedEstimator(factory, 2, executor="process") as sharded:
+        sharded.update_batch(keys)
+        assert (sharded.collapse().counters() == serial.counters()).all()
+
+
+def test_fanout_queries_match_collapse_for_exact_counter():
+    keys = make_keys(False)
+    queries = make_queries(keys)
+    truth = ExactCounter()
+    truth.update_batch(keys)
+    with ShardedEstimator(ExactCounter, 7, query_mode="fanout") as sharded:
+        chunked_replay(sharded, keys)
+        assert (
+            sharded.estimate_batch(queries) == truth.estimate_batch(queries)
+        ).all()
+        assert sharded.estimate(Element(key=int(queries[0]))) == truth.estimate(
+            Element(key=int(queries[0]))
+        )
+
+
+def test_fanout_requires_key_partition():
+    with pytest.raises(ValueError, match="fanout"):
+        ShardedEstimator(ExactCounter, 2, mode="round-robin", query_mode="fanout")
+
+
+def test_process_executor_requires_serializable_shards():
+    scheme = OptHashScheme(num_buckets=4, key_to_bucket={1: 0, 2: 1})
+    factory = lambda: OptHashEstimator(scheme)
+    with pytest.raises(ValueError, match="serializable"):
+        ShardedEstimator(factory, 2, executor="process")
+
+
+def test_invalid_configuration_rejected():
+    with pytest.raises(ValueError):
+        ShardedEstimator(ExactCounter, 0)
+    with pytest.raises(ValueError):
+        ShardedEstimator(ExactCounter, 2, mode="hash-ring")
+    with pytest.raises(ValueError):
+        ShardedEstimator(ExactCounter, 2, executor="mpi")
+    with pytest.raises(ValueError):
+        ShardedEstimator(ExactCounter, 2, query_mode="scatter")
+
+
+class TestOptHashSharding:
+    """The paper's estimators run sharded through the same machinery."""
+
+    def scheme_and_initial(self, keys):
+        distinct = sorted({int(key) for key in np.asarray(keys).tolist()})
+        stored = distinct[: len(distinct) // 2]
+        scheme = OptHashScheme(
+            num_buckets=16,
+            key_to_bucket={key: key % 16 for key in stored},
+        )
+        initial = {key: float(1 + key % 5) for key in stored}
+        return scheme, initial
+
+    def test_static_opt_hash_sharded_equals_serial(self):
+        keys = make_keys(False)
+        scheme, initial = self.scheme_and_initial(keys)
+        serial = OptHashEstimator(scheme, initial_frequencies=initial)
+        replay(serial, keys)
+        factory = lambda: OptHashEstimator(scheme, initial_frequencies=initial)
+        with ShardedEstimator(factory, 4, executor="thread") as sharded:
+            replay(sharded, keys)
+            merged = sharded.collapse()
+            assert (merged.bucket_totals == serial.bucket_totals).all()
+            assert (merged.bucket_counts == serial.bucket_counts).all()
+            queries = make_queries(keys)
+            assert (
+                merged.estimate_batch(queries) == serial.estimate_batch(queries)
+            ).all()
+
+    def test_adaptive_opt_hash_key_partition_equals_serial(self):
+        keys = make_keys(False)
+        scheme, initial = self.scheme_and_initial(keys)
+        serial = AdaptiveOptHashEstimator(scheme, initial_frequencies=initial, seed=7)
+        replay(serial, keys)
+        factory = lambda: AdaptiveOptHashEstimator(
+            scheme, initial_frequencies=initial, seed=7
+        )
+        with ShardedEstimator(factory, 4, mode="key-partition") as sharded:
+            replay(sharded, keys)
+            merged = sharded.collapse()
+            assert (merged.bucket_totals == serial.bucket_totals).all()
+            assert (merged.bucket_counts == serial.bucket_counts).all()
+            assert (
+                merged.bloom_filter._bits == serial.bloom_filter._bits
+            ).all()
+
+    def test_static_opt_hash_with_classifier_collapses(self):
+        # collapse() builds its merge target from the factory, so the
+        # identity-based classifier compatibility check must hold even
+        # though deepcopy/serialization could not reproduce the object.
+        from repro.ml import make_classifier
+
+        keys = make_keys(False)
+        scheme, initial = self.scheme_and_initial(keys)
+        classifier = make_classifier("cart", random_state=0)
+        classifier.fit(np.asarray([[0.0], [1.0]]), np.asarray([0, 1]))
+        scheme.classifier = classifier
+        serial = OptHashEstimator(scheme, initial_frequencies=initial)
+        replay(serial, keys)
+        factory = lambda: OptHashEstimator(scheme, initial_frequencies=initial)
+        with ShardedEstimator(factory, 3) as sharded:
+            replay(sharded, keys)
+            merged = sharded.collapse()
+            assert (merged.bucket_totals == serial.bucket_totals).all()
+            # Queries for stored keys resolve through the exact hash table.
+            stored = list(scheme.key_to_bucket)[:50]
+            assert (
+                merged.estimate_batch(stored) == serial.estimate_batch(stored)
+            ).all()
+
+    def test_sharded_replay_helper_collapses(self):
+        keys = make_keys(False)
+        factory = lambda: CountMinSketch.from_total_buckets(1024, depth=2, seed=9)
+        serial = factory()
+        replay(serial, keys)
+        merged = replay_sharded(factory, keys, num_shards=3, executor="serial")
+        assert isinstance(merged, CountMinSketch)
+        assert (merged.counters() == serial.counters()).all()
+
+    def test_sharded_replay_helper_live_estimator(self):
+        keys = make_keys(False)
+        factory = lambda: CountMinSketch.from_total_buckets(1024, depth=2, seed=9)
+        serial = factory()
+        replay(serial, keys)
+        sharded = replay_sharded(factory, keys, num_shards=3, collapse=False)
+        try:
+            assert isinstance(sharded, ShardedEstimator)
+            queries = make_queries(keys)
+            assert (
+                sharded.estimate_batch(queries) == serial.estimate_batch(queries)
+            ).all()
+            # Still live: keep streaming, stays equivalent.
+            more = np.arange(100)
+            serial.update_batch(more)
+            sharded.update_batch(more)
+            assert (sharded.collapse().counters() == serial.counters()).all()
+        finally:
+            sharded.close()
+
+
+def test_process_backpressure_bounds_pending_queue():
+    """Many small batches must not grow the in-flight backlog unboundedly."""
+    factory = lambda: CountMinSketch.from_total_buckets(512, depth=2, seed=9)
+    keys = make_keys(False)
+    serial = factory()
+    serial.update_batch(keys)
+    with ShardedEstimator(factory, 2, executor="process") as sharded:
+        cap = ShardedEstimator._MAX_PENDING_FACTOR * 2
+        for start in range(0, len(keys), 400):
+            sharded.update_batch(keys[start : start + 400])
+            assert len(sharded._pending) <= cap + 2
+        assert (sharded.collapse().counters() == serial.counters()).all()
+
+
+def test_sharded_merge_shard_wise():
+    keys = make_keys(False)
+    factory = lambda: CountMinSketch.from_total_buckets(1024, depth=2, seed=9)
+    serial = factory()
+    serial.update_batch(keys)
+    first = ShardedEstimator(factory, 3)
+    second = ShardedEstimator(factory, 3)
+    first.update_batch(keys[:6000])
+    second.update_batch(keys[6000:])
+    first.merge(second)
+    assert (first.collapse().counters() == serial.counters()).all()
+
+
+def test_size_bytes_sums_over_shards():
+    factory = lambda: CountMinSketch.from_total_buckets(1024, depth=2, seed=9)
+    with ShardedEstimator(factory, 5) as sharded:
+        assert sharded.size_bytes == 5 * factory().size_bytes

@@ -56,3 +56,82 @@ class TestInterface:
         recorder = Recorder()
         recorder.update_many([Element(key=1), Element(key=2)])
         assert recorder.updates == [1, 2]
+
+
+class TestScalarFastPath:
+    """Regression: scalar updates must not re-normalize through as_key_batch.
+
+    The scalar ``update`` wrappers used to call ``update_batch([key])``,
+    which re-entered :func:`as_key_batch` — a fresh ndarray allocation per
+    arrival.  They now reuse a per-instance cached ``(keys, counts)`` pair
+    and feed ``_ingest`` directly.
+    """
+
+    def _counting_as_key_batch(self, monkeypatch, module):
+        import repro.sketches.base as base_module
+
+        calls = {"count": 0}
+        original = base_module.as_key_batch
+
+        def counting(keys, counts=None):
+            calls["count"] += 1
+            return original(keys, counts)
+
+        monkeypatch.setattr(base_module, "as_key_batch", counting)
+        monkeypatch.setattr(module, "as_key_batch", counting)
+        return calls
+
+    def test_count_min_scalar_update_skips_as_key_batch(self, monkeypatch):
+        import repro.sketches.count_min as module
+        from repro.sketches.count_min import CountMinSketch
+
+        sketch = CountMinSketch(64, depth=2, seed=1)
+        sketch.update(Element(key=0))  # warm the per-instance cache
+        calls = self._counting_as_key_batch(monkeypatch, module)
+        for key in range(50):
+            sketch.update(Element(key=key))
+        assert calls["count"] == 0
+
+    def test_count_sketch_scalar_update_skips_as_key_batch(self, monkeypatch):
+        import repro.sketches.count_sketch as module
+        from repro.sketches.count_sketch import CountSketch
+
+        sketch = CountSketch(64, depth=2, seed=1)
+        sketch.update(Element(key=0))
+        calls = self._counting_as_key_batch(monkeypatch, module)
+        for key in range(50):
+            sketch.update(Element(key=key))
+        assert calls["count"] == 0
+
+    def test_scalar_path_reuses_cached_arrays(self):
+        from repro.sketches.count_min import CountMinSketch
+
+        sketch = CountMinSketch(64, depth=2, seed=1)
+        sketch.update(Element(key=1))
+        keys_first, counts_first = sketch._scalar_cache
+        sketch.update(Element(key=2))
+        keys_second, counts_second = sketch._scalar_cache
+        # Identical objects: no per-element list/ndarray allocation.
+        assert keys_first is keys_second
+        assert counts_first is counts_second
+        assert counts_first.dtype == "int64" and counts_first[0] == 1
+
+    def test_update_many_normalizes_once(self, monkeypatch):
+        import repro.sketches.count_min as module
+        from repro.sketches.count_min import CountMinSketch
+
+        sketch = CountMinSketch(64, depth=2, seed=1)
+        calls = self._counting_as_key_batch(monkeypatch, module)
+        sketch.update_many([Element(key=key) for key in range(100)])
+        assert calls["count"] == 1
+
+    def test_scalar_and_batch_paths_stay_bit_identical(self):
+        from repro.sketches.count_min import CountMinSketch
+
+        scalar = CountMinSketch(64, depth=3, seed=5)
+        batch = CountMinSketch(64, depth=3, seed=5)
+        keys = [key % 17 for key in range(200)]
+        for key in keys:
+            scalar.update(Element(key=key))
+        batch.update_batch(keys)
+        assert (scalar.counters() == batch.counters()).all()

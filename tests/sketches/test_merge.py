@@ -1,0 +1,344 @@
+"""Property-based merge-equivalence suite.
+
+The core property of a mergeable sketch: split a stream into k parts any way
+you like, ingest each part into its own (identically-seeded) sketch, merge,
+and you must get back what a single sketch ingesting the whole stream would
+hold — *bit-identically* for the linear sketches (Count-Min, Count Sketch,
+AMS, Bloom, exact counter), and within the summary guarantees for the
+order-dependent ones (Misra–Gries, Space-Saving, conservative CMS).
+
+Hypothesis drives the stream content and split points; a seeded-random
+parametrized sweep covers the cases hypothesis shrinks away from (many
+shards, string keys).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sketches import (
+    AmsSketch,
+    BloomFilter,
+    CountMinSketch,
+    CountSketch,
+    ExactCounter,
+    IdealHeavyHitterOracle,
+    IncompatibleSketchError,
+    LearnedCountMinSketch,
+    MisraGries,
+    SpaceSaving,
+)
+from repro.streams.stream import Element
+
+
+def split_stream(keys, cut_points):
+    """Split a key list at the (sorted, deduplicated) cut points."""
+    bounds = [0] + sorted({min(cut, len(keys)) for cut in cut_points}) + [len(keys)]
+    return [keys[start:end] for start, end in zip(bounds[:-1], bounds[1:])]
+
+
+def ingest_split_and_merge(factory, parts):
+    """One sketch per part, merged left to right."""
+    sketches = []
+    for part in parts:
+        sketch = factory()
+        if len(part):
+            sketch.update_batch(part)
+        sketches.append(sketch)
+    merged = sketches[0]
+    for sketch in sketches[1:]:
+        merged.merge(sketch)
+    return merged
+
+
+streams = st.lists(st.integers(min_value=0, max_value=60), min_size=1, max_size=400)
+cuts = st.lists(st.integers(min_value=0, max_value=400), min_size=1, max_size=5)
+
+
+class TestLinearSketchesBitIdentical:
+    """Linear sketches: merged state equals single-sketch ingestion exactly."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(keys=streams, cut_points=cuts)
+    def test_count_min(self, keys, cut_points):
+        factory = lambda: CountMinSketch(64, depth=3, seed=7)
+        serial = factory()
+        serial.update_batch(keys)
+        merged = ingest_split_and_merge(factory, split_stream(keys, cut_points))
+        assert (merged.counters() == serial.counters()).all()
+
+    @settings(max_examples=25, deadline=None)
+    @given(keys=streams, cut_points=cuts)
+    def test_count_sketch(self, keys, cut_points):
+        factory = lambda: CountSketch(64, depth=3, seed=7)
+        serial = factory()
+        serial.update_batch(keys)
+        merged = ingest_split_and_merge(factory, split_stream(keys, cut_points))
+        assert (merged.counters() == serial.counters()).all()
+
+    @settings(max_examples=25, deadline=None)
+    @given(keys=streams, cut_points=cuts)
+    def test_ams(self, keys, cut_points):
+        factory = lambda: AmsSketch(16, means_groups=4, seed=7)
+        serial = factory()
+        serial.update_batch(keys)
+        merged = ingest_split_and_merge(factory, split_stream(keys, cut_points))
+        assert (merged._counters == serial._counters).all()
+        assert merged.estimate_second_moment() == serial.estimate_second_moment()
+
+    @settings(max_examples=25, deadline=None)
+    @given(keys=streams, cut_points=cuts)
+    def test_exact_counter(self, keys, cut_points):
+        serial = ExactCounter()
+        serial.update_batch(keys)
+        merged = ingest_split_and_merge(ExactCounter, split_stream(keys, cut_points))
+        queries = sorted(set(keys))
+        assert (merged.estimate_batch(queries) == serial.estimate_batch(queries)).all()
+
+    @settings(max_examples=25, deadline=None)
+    @given(keys=streams, cut_points=cuts)
+    def test_bloom_union(self, keys, cut_points):
+        factory = lambda: BloomFilter(512, num_hashes=3, seed=7)
+        serial = factory()
+        for key in keys:
+            serial.add(key)
+        parts = split_stream(keys, cut_points)
+        filters = []
+        for part in parts:
+            bloom = factory()
+            for key in part:
+                bloom.add(key)
+            filters.append(bloom)
+        merged = filters[0]
+        for bloom in filters[1:]:
+            merged.merge(bloom)
+        assert (merged._bits == serial._bits).all()
+        assert merged.num_inserted == serial.num_inserted
+        # Union never loses a key: no false negatives after merging.
+        assert all(key in merged for key in keys)
+
+
+class TestLearnedCms:
+    @settings(max_examples=20, deadline=None)
+    @given(keys=streams, cut_points=cuts)
+    def test_merge_matches_serial_when_capacity_unbound(self, keys, cut_points):
+        # Heavy capacity >= distinct heavy keys, so routing never overflows
+        # and merged estimates must match serial ones exactly.
+        heavy = [key for key in sorted(set(keys))[:8]]
+        oracle = IdealHeavyHitterOracle(heavy)
+        factory = lambda: LearnedCountMinSketch(
+            128, num_heavy_buckets=8, oracle=oracle, depth=2, seed=7
+        )
+        serial = factory()
+        serial.update_batch(keys)
+        merged = ingest_split_and_merge(factory, split_stream(keys, cut_points))
+        queries = sorted(set(keys))
+        assert (merged.estimate_batch(queries) == serial.estimate_batch(queries)).all()
+
+
+class TestCounterSummariesWithinGuarantees:
+    """MG / Space-Saving merges keep their summary error guarantees."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(keys=streams, cut_points=cuts)
+    def test_misra_gries_merge_guarantee(self, keys, cut_points):
+        num_counters = 8
+        merged = ingest_split_and_merge(
+            lambda: MisraGries(num_counters), split_stream(keys, cut_points)
+        )
+        truth = ExactCounter()
+        truth.update_batch(keys)
+        bound = len(keys) / (num_counters + 1)
+        assert len(merged.tracked_items()) <= num_counters
+        assert merged._stream_length == len(keys)
+        for key in set(keys):
+            true_count = truth.estimate(Element(key=key))
+            estimate = merged.estimate(Element(key=key))
+            # Under-estimate, by at most N / (k + 1).
+            assert estimate <= true_count
+            assert true_count - estimate <= bound + 1e-9
+
+    @settings(max_examples=25, deadline=None)
+    @given(keys=streams, cut_points=cuts)
+    def test_space_saving_merge_guarantee(self, keys, cut_points):
+        num_counters = 8
+        merged = ingest_split_and_merge(
+            lambda: SpaceSaving(num_counters), split_stream(keys, cut_points)
+        )
+        truth = ExactCounter()
+        truth.update_batch(keys)
+        assert len(merged.tracked_items()) <= num_counters
+        assert merged._stream_length == len(keys)
+        for key, count in merged.tracked_items().items():
+            # Tracked estimates never under-estimate the true frequency.
+            assert count >= truth.estimate(Element(key=key))
+
+
+class TestConservativeCms:
+    @settings(max_examples=25, deadline=None)
+    @given(keys=streams, cut_points=cuts)
+    def test_merge_keeps_one_sided_guarantee(self, keys, cut_points):
+        factory = lambda: CountMinSketch(64, depth=3, seed=7, conservative=True)
+        merged = ingest_split_and_merge(factory, split_stream(keys, cut_points))
+        truth = ExactCounter()
+        truth.update_batch(keys)
+        queries = sorted(set(keys))
+        # Merged conservative tables still never under-estimate.
+        assert (
+            merged.estimate_batch(queries) >= truth.estimate_batch(queries)
+        ).all()
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+@pytest.mark.parametrize("num_parts", [2, 4, 9])
+@pytest.mark.parametrize("string_keys", [False, True])
+def test_randomized_multi_way_merge_count_min(seed, num_parts, string_keys):
+    """Many-way merges over larger streams than hypothesis explores."""
+    rng = np.random.default_rng(seed)
+    keys = rng.integers(0, 1000, size=5000)
+    if string_keys:
+        keys = [f"query-{value}" for value in keys.tolist()]
+    factory = lambda: CountMinSketch(256, depth=4, seed=seed, hash_scheme="universal")
+    serial = factory()
+    serial.update_batch(keys)
+    bounds = np.linspace(0, len(keys), num_parts + 1).astype(int)
+    parts = [keys[start:end] for start, end in zip(bounds[:-1], bounds[1:])]
+    merged = ingest_split_and_merge(factory, parts)
+    assert (merged.counters() == serial.counters()).all()
+
+
+@pytest.mark.parametrize("hash_scheme", ["universal", "tabulation"])
+def test_merge_works_for_both_hash_schemes(hash_scheme):
+    rng = np.random.default_rng(3)
+    keys = rng.integers(0, 300, size=2000)
+    factory = lambda: CountMinSketch(128, depth=3, seed=5, hash_scheme=hash_scheme)
+    serial = factory()
+    serial.update_batch(keys)
+    merged = ingest_split_and_merge(factory, [keys[:900], keys[900:]])
+    assert (merged.counters() == serial.counters()).all()
+
+
+def test_weighted_batches_merge_bit_identically():
+    rng = np.random.default_rng(4)
+    keys = rng.integers(0, 100, size=800)
+    counts = rng.integers(0, 5, size=800)
+    factory = lambda: CountSketch(64, depth=3, seed=2)
+    serial = factory()
+    serial.update_batch(keys, counts)
+    first, second = factory(), factory()
+    first.update_batch(keys[:400], counts[:400])
+    second.update_batch(keys[400:], counts[400:])
+    assert (first.merge(second).counters() == serial.counters()).all()
+
+
+class TestIncompatibleConfigs:
+    def test_different_seeds_rejected(self):
+        with pytest.raises(IncompatibleSketchError):
+            CountMinSketch(64, depth=2, seed=1).merge(CountMinSketch(64, depth=2, seed=2))
+
+    def test_different_shapes_rejected(self):
+        with pytest.raises(IncompatibleSketchError):
+            CountMinSketch(64, depth=2, seed=1).merge(CountMinSketch(32, depth=2, seed=1))
+        with pytest.raises(IncompatibleSketchError):
+            CountSketch(64, depth=2, seed=1).merge(CountSketch(64, depth=3, seed=1))
+
+    def test_different_hash_schemes_rejected(self):
+        universal = CountMinSketch(64, depth=2, seed=1, hash_scheme="universal")
+        tabulation = CountMinSketch(64, depth=2, seed=1, hash_scheme="tabulation")
+        with pytest.raises(IncompatibleSketchError):
+            universal.merge(tabulation)
+
+    def test_conservative_flag_mismatch_rejected(self):
+        plain = CountMinSketch(64, depth=2, seed=1)
+        conservative = CountMinSketch(64, depth=2, seed=1, conservative=True)
+        with pytest.raises(IncompatibleSketchError):
+            plain.merge(conservative)
+
+    def test_cross_type_merge_rejected(self):
+        with pytest.raises(IncompatibleSketchError):
+            CountMinSketch(64, depth=2, seed=1).merge(CountSketch(64, depth=2, seed=1))
+        with pytest.raises(IncompatibleSketchError):
+            ExactCounter().merge(MisraGries(4))
+
+    def test_summary_capacity_mismatch_rejected(self):
+        with pytest.raises(IncompatibleSketchError):
+            MisraGries(4).merge(MisraGries(8))
+        with pytest.raises(IncompatibleSketchError):
+            SpaceSaving(4).merge(SpaceSaving(8))
+
+    def test_ams_mismatches_rejected(self):
+        with pytest.raises(IncompatibleSketchError):
+            AmsSketch(16, 4, seed=1).merge(AmsSketch(16, 4, seed=2))
+        with pytest.raises(IncompatibleSketchError):
+            AmsSketch(16, 4, seed=1).merge(AmsSketch(32, 4, seed=1))
+
+    def test_bloom_mismatches_rejected(self):
+        with pytest.raises(IncompatibleSketchError):
+            BloomFilter(128, num_hashes=3, seed=1).merge(
+                BloomFilter(128, num_hashes=3, seed=2)
+            )
+        with pytest.raises(IncompatibleSketchError):
+            BloomFilter(128, num_hashes=3, seed=1).merge(
+                BloomFilter(256, num_hashes=3, seed=1)
+            )
+
+    def test_learned_cms_shadowed_overflow_rejected(self):
+        # num_heavy_buckets=1 over heavy keys {A, B}: shard one tracks B and
+        # overflows 100 arrivals of A into its CMS; shard two tracks A
+        # exactly.  Merging would shadow the CMS-held mass of A behind the
+        # exact count 1 (a silent 100x under-estimate), so it must raise.
+        oracle = IdealHeavyHitterOracle(["A", "B"])
+        first = LearnedCountMinSketch(64, 1, oracle, depth=2, seed=1)
+        first.update_batch(["B"] + ["A"] * 100)
+        second = LearnedCountMinSketch(64, 1, oracle, depth=2, seed=1)
+        second.update_batch(["A"])
+        with pytest.raises(IncompatibleSketchError, match="capacity"):
+            first.merge(second)
+        with pytest.raises(IncompatibleSketchError, match="capacity"):
+            second.merge(first)
+
+    def test_learned_cms_overflow_on_both_sides_merges_exactly(self):
+        # The same overflow key held in the CMS on *both* sides is safe:
+        # queries keep routing it to the (linear) CMS, so the merge matches
+        # serial ingestion exactly.
+        oracle = IdealHeavyHitterOracle(["A", "B"])
+        factory = lambda: LearnedCountMinSketch(64, 1, oracle, depth=2, seed=1)
+        stream = ["B"] + ["A"] * 50
+        serial = factory()
+        serial.update_batch(stream + stream)
+        first, second = factory(), factory()
+        first.update_batch(stream)
+        second.update_batch(stream)
+        first.merge(second)
+        queries = ["A", "B"]
+        assert (
+            first.estimate_batch(queries) == serial.estimate_batch(queries)
+        ).all()
+
+    def test_learned_cms_merged_size_charges_extra_heavy_slots(self):
+        # Disjoint heavy sets merge into more unique buckets than the
+        # configured capacity; size_bytes must charge what is actually held.
+        oracle = IdealHeavyHitterOracle([0, 1, 2, 3])
+        factory = lambda: LearnedCountMinSketch(128, 2, oracle, depth=2, seed=1)
+        first, second = factory(), factory()
+        first.update_batch([0, 1])
+        second.update_batch([2, 3])
+        single_size = factory().size_bytes
+        first.merge(second)
+        assert first.num_heavy_tracked == 4
+        assert first.size_bytes > single_size
+
+    def test_learned_cms_oracle_mismatch_rejected(self):
+        first = LearnedCountMinSketch(
+            128, 4, IdealHeavyHitterOracle([1, 2]), depth=2, seed=1
+        )
+        second = LearnedCountMinSketch(
+            128, 4, IdealHeavyHitterOracle([3, 4]), depth=2, seed=1
+        )
+        with pytest.raises(IncompatibleSketchError):
+            first.merge(second)
+
+    def test_merge_returns_self_for_chaining(self):
+        first = CountMinSketch(64, depth=2, seed=1)
+        second = CountMinSketch(64, depth=2, seed=1)
+        assert first.merge(second) is first

@@ -1,0 +1,237 @@
+"""Round-trip and robustness tests for the sketch serialization layer.
+
+``from_bytes(to_bytes(sketch))`` must preserve every estimate, the reported
+``size_bytes``, and the full hash-function state (so a rehydrated sketch
+keeps ingesting identically to the original).  Malformed buffers — truncated,
+corrupted, or written by a different format version — must raise
+:class:`SerializationError` instead of mis-parsing.
+"""
+
+import struct
+
+import numpy as np
+import pytest
+
+from repro.sketches import (
+    AmsSketch,
+    BloomFilter,
+    CountMinSketch,
+    CountSketch,
+    ExactCounter,
+    IdealHeavyHitterOracle,
+    LearnedCountMinSketch,
+    MisraGries,
+    SpaceSaving,
+    TabulationHash,
+    UniversalHash,
+    loads,
+)
+from repro.sketches.learned_cms import ClassifierHeavyHitterOracle
+from repro.sketches.serialization import (
+    MAGIC,
+    VERSION,
+    SerializationError,
+    pack,
+    unpack,
+)
+
+RNG = np.random.default_rng(42)
+INT_KEYS = RNG.integers(0, 400, size=3000)
+STR_KEYS = [f"query {value}" for value in INT_KEYS.tolist()]
+QUERIES_INT = np.unique(INT_KEYS)
+QUERIES_STR = sorted(set(STR_KEYS))
+
+
+def ingested_sketches():
+    """Every serializable sketch type, pre-loaded with a mixed workload."""
+    frequencies = dict(
+        zip(*(arr.tolist() for arr in np.unique(INT_KEYS, return_counts=True)))
+    )
+    oracle = IdealHeavyHitterOracle.from_frequencies(frequencies, 16)
+    specimens = {
+        "count_min": CountMinSketch(128, depth=3, seed=9),
+        "count_min_conservative": CountMinSketch(
+            128, depth=3, seed=9, conservative=True
+        ),
+        "count_min_tabulation": CountMinSketch(
+            128, depth=3, seed=9, hash_scheme="tabulation"
+        ),
+        "count_sketch": CountSketch(128, depth=3, seed=9),
+        "learned_cms": LearnedCountMinSketch(512, 16, oracle, depth=2, seed=9),
+        "exact_counter": ExactCounter(),
+        "misra_gries": MisraGries(12),
+        "space_saving": SpaceSaving(12),
+    }
+    for sketch in specimens.values():
+        sketch.update_batch(INT_KEYS)
+    string_counter = ExactCounter()
+    string_counter.update_batch(STR_KEYS)
+    specimens["exact_counter_str"] = string_counter
+    string_mg = MisraGries(12)
+    string_mg.update_batch(STR_KEYS)
+    specimens["misra_gries_str"] = string_mg
+    return specimens
+
+
+@pytest.mark.parametrize("name,sketch", sorted(ingested_sketches().items()))
+def test_round_trip_preserves_estimates_and_size(name, sketch):
+    restored = loads(sketch.to_bytes())
+    assert type(restored) is type(sketch)
+    assert restored.size_bytes == sketch.size_bytes
+    queries = QUERIES_STR if name.endswith("_str") else QUERIES_INT
+    original = sketch.estimate_batch(queries)
+    rehydrated = restored.estimate_batch(queries)
+    assert (original == rehydrated).all()
+
+
+@pytest.mark.parametrize("name,sketch", sorted(ingested_sketches().items()))
+def test_round_trip_preserves_future_ingestion(name, sketch):
+    """Hash state survives: both copies must evolve identically."""
+    restored = loads(sketch.to_bytes())
+    extra_keys = (
+        [f"query {value}" for value in range(400, 600)]
+        if name.endswith("_str")
+        else np.arange(400, 600)
+    )
+    sketch.update_batch(extra_keys)
+    restored.update_batch(extra_keys)
+    queries = (
+        list(QUERIES_STR) + list(extra_keys)
+        if name.endswith("_str")
+        else np.concatenate([QUERIES_INT, np.asarray(extra_keys)])
+    )
+    assert (sketch.estimate_batch(queries) == restored.estimate_batch(queries)).all()
+
+
+def test_ams_round_trip():
+    sketch = AmsSketch(32, means_groups=4, seed=9)
+    sketch.update_batch(INT_KEYS)
+    restored = loads(sketch.to_bytes())
+    assert restored.size_bytes == sketch.size_bytes
+    assert restored.estimate_second_moment() == sketch.estimate_second_moment()
+    sketch.update_batch(np.arange(50))
+    restored.update_batch(np.arange(50))
+    assert (restored._counters == sketch._counters).all()
+
+
+@pytest.mark.parametrize("hash_scheme", ["universal", "tabulation"])
+def test_bloom_round_trip(hash_scheme):
+    bloom = BloomFilter(2048, num_hashes=4, seed=9, hash_scheme=hash_scheme)
+    for key in range(300):
+        bloom.add(key)
+    restored = loads(bloom.to_bytes())
+    assert restored.size_bytes == bloom.size_bytes
+    assert restored.num_inserted == bloom.num_inserted
+    probes = np.arange(1000)
+    assert (restored.contains_batch(probes) == bloom.contains_batch(probes)).all()
+
+
+@pytest.mark.parametrize("cls", [UniversalHash, TabulationHash])
+def test_hash_scheme_round_trip(cls):
+    """Both hash families restore their exact drawn state."""
+    function = cls(997, seed=123)
+    restored = cls.from_bytes(function.to_bytes())
+    keys = list(RNG.integers(0, 10**9, size=200)) + ["alpha", "beta", "γ"]
+    assert [restored(key) for key in keys] == [function(key) for key in keys]
+    assert [restored.sign(key) for key in keys] == [function.sign(key) for key in keys]
+    assert (restored.hash_batch(keys) == function.hash_batch(keys)).all()
+    assert (restored.sign_batch(keys) == function.sign_batch(keys)).all()
+
+
+def test_loads_dispatches_hash_functions_too():
+    function = UniversalHash(31, seed=5)
+    restored = loads(function.to_bytes())
+    assert isinstance(restored, UniversalHash)
+    assert restored(1234) == function(1234)
+
+
+def test_classifier_oracle_not_serializable():
+    class FakeClassifier:
+        def predict(self, X):
+            return [0] * len(X)
+
+    sketch = LearnedCountMinSketch(
+        128, 4, ClassifierHeavyHitterOracle(FakeClassifier()), depth=2, seed=1
+    )
+    with pytest.raises(SerializationError):
+        sketch.to_bytes()
+
+
+class TestMalformedBuffers:
+    def payload(self):
+        sketch = CountMinSketch(64, depth=2, seed=3)
+        sketch.update_batch(np.arange(100))
+        return sketch.to_bytes()
+
+    def test_empty_and_short_buffers(self):
+        for data in (b"", b"RP", b"RPSK", b"RPSK\x01\x00"):
+            with pytest.raises(SerializationError):
+                loads(data)
+
+    def test_bad_magic(self):
+        data = b"XXXX" + self.payload()[4:]
+        with pytest.raises(SerializationError, match="magic"):
+            loads(data)
+
+    def test_cross_version_header_rejected(self):
+        data = bytearray(self.payload())
+        struct.pack_into("<H", data, 4, VERSION + 1)
+        with pytest.raises(SerializationError, match="version"):
+            loads(bytes(data))
+        struct.pack_into("<H", data, 4, 0)
+        with pytest.raises(SerializationError, match="version"):
+            loads(bytes(data))
+
+    def test_truncated_metadata(self):
+        data = self.payload()
+        with pytest.raises(SerializationError):
+            loads(data[:14])
+
+    def test_truncated_arrays(self):
+        data = self.payload()
+        with pytest.raises(SerializationError, match="past the end"):
+            loads(data[:-10])
+
+    def test_corrupt_metadata_json(self):
+        data = bytearray(self.payload())
+        # Stomp the first metadata byte ('{') so JSON parsing fails.
+        data[12] = ord("?")
+        with pytest.raises(SerializationError):
+            loads(bytes(data))
+
+    def test_object_dtype_descriptor_rejected(self):
+        # A crafted descriptor with an object dtype must raise
+        # SerializationError, not leak numpy's raw ValueError.
+        import json as json_module
+
+        data = bytearray(self.payload())
+        meta_len = struct.unpack_from("<I", data, 8)[0]
+        meta = json_module.loads(bytes(data[12 : 12 + meta_len]).decode("utf-8"))
+        meta["arrays"][0]["dtype"] = "|O8"
+        new_meta = json_module.dumps(meta, separators=(",", ":")).encode("utf-8")
+        struct.pack_into("<I", data, 8, len(new_meta))
+        crafted = bytes(data[:12]) + new_meta + bytes(data[12 + meta_len :])
+        with pytest.raises(SerializationError, match="non-numeric"):
+            loads(crafted)
+
+    def test_unknown_tag(self):
+        data = pack("no_such_sketch", {}, {})
+        with pytest.raises(SerializationError, match="unknown sketch tag"):
+            loads(data)
+
+    def test_wrong_type_buffer_rejected_by_from_bytes(self):
+        data = CountSketch(64, depth=2, seed=3).to_bytes()
+        with pytest.raises(SerializationError, match="expected"):
+            CountMinSketch.from_bytes(data)
+
+    def test_magic_and_version_constants(self):
+        data = self.payload()
+        magic, version, _flags, _meta_len = struct.unpack_from("<4sHHI", data)
+        assert magic == MAGIC
+        assert version == VERSION
+
+    def test_unpack_expect_tag(self):
+        tag, state, arrays = unpack(self.payload(), expect_tag="count_min")
+        assert tag == "count_min"
+        assert state["width"] == 64 and state["depth"] == 2
+        assert arrays["table"].shape == (2, 64)
