@@ -6,9 +6,11 @@ the bucket the classifier picks.  The adaptive extension (paper Section 5.3)
 adds a Bloom filter so that *every* arrival updates its bucket and first-time
 arrivals also grow the bucket's element count.
 
-This example builds both estimators on a workload where only 20% of each
-element group may appear in the prefix, streams ten times the prefix length,
-and compares the error on the elements the prefix never saw.
+Both variants are one flag apart in the declarative API: the same
+:class:`~repro.api.specs.OptHashSpec` with ``adaptive=True`` builds the
+Bloom-filter extension.  This example opens both on a workload where only
+20% of each element group may appear in the prefix, streams ten times the
+prefix length, and compares the error on the elements the prefix never saw.
 
 Run with::
 
@@ -19,7 +21,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import OptHashConfig, train_opt_hash
+import repro
 from repro.streams.synthetic import SyntheticConfig, SyntheticGenerator
 
 
@@ -34,23 +36,26 @@ def main() -> None:
     )
 
     base = dict(num_buckets=12, lam=0.5, solver="bcd", classifier="cart", seed=4)
-    static = train_opt_hash(prefix, OptHashConfig(**base)).estimator
-    adaptive = train_opt_hash(
-        prefix,
-        OptHashConfig(adaptive=True, expected_distinct=10_000, bloom_bits=40_000, **base),
-    ).estimator
+    static = repro.open(repro.OptHashSpec(**base), prefix=prefix)
+    adaptive = repro.open(
+        repro.OptHashSpec(
+            adaptive=True, expected_distinct=10_000, bloom_bits=40_000, **base
+        ),
+        prefix=prefix,
+    )
 
-    for element in stream:
-        static.update(element)
-        adaptive.update(element)
+    static.ingest(stream)
+    adaptive.ingest(stream)
 
     truth = stream.frequencies()
     prefix_keys = set(prefix.distinct_keys())
     seen = [e for e in stream.distinct_elements() if e.key in prefix_keys]
     unseen = [e for e in stream.distinct_elements() if e.key not in prefix_keys]
 
-    def mean_error(estimator, elements):
-        return float(np.mean([abs(estimator.estimate(e) - truth[e.key]) for e in elements]))
+    def mean_error(session, elements):
+        return float(
+            np.mean([abs(session.estimator.estimate(e) - truth[e.key]) for e in elements])
+        )
 
     print(f"\nelements seen in the prefix ({len(seen)}):")
     print(f"  static   mean |error| = {mean_error(static, seen):8.2f}")
@@ -58,11 +63,14 @@ def main() -> None:
     print(f"elements unseen in the prefix ({len(unseen)}):")
     print(f"  static   mean |error| = {mean_error(static, unseen):8.2f}")
     print(f"  adaptive mean |error| = {mean_error(adaptive, unseen):8.2f}")
+    bloom = adaptive.estimator.bloom_filter
     print(
-        f"\nmemory: static = {static.size_kb:.2f} KB, adaptive = {adaptive.size_kb:.2f} KB "
-        f"(includes a {adaptive.bloom_filter.num_bits}-bit Bloom filter, "
-        f"~{adaptive.bloom_filter.estimated_false_positive_rate():.2%} false-positive rate)"
+        f"\nmemory: static = {static.size_bytes / 1000:.2f} KB, "
+        f"adaptive = {adaptive.size_bytes / 1000:.2f} KB "
+        f"(includes a {bloom.num_bits}-bit Bloom filter, "
+        f"~{bloom.estimated_false_positive_rate():.2%} false-positive rate)"
     )
+    print(f"\nadaptive session describe(): {adaptive.describe()['kind']}")
 
 
 if __name__ == "__main__":

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.sketches import AmsSketch, CountMinSketch, MisraGries, SpaceSaving
+import repro.api as api
 from repro.streams.querylog import QueryLogConfig, QueryLogGenerator
 from repro.streams.stream import Element
 
@@ -43,15 +43,25 @@ def main() -> None:
         f"{len(true_heavy)} true heavy hitters (> {THRESHOLD:.1%} of arrivals)\n"
     )
 
-    misra_gries = MisraGries(num_counters=NUM_COUNTERS)
-    space_saving = SpaceSaving(num_counters=NUM_COUNTERS)
-    count_min = CountMinSketch.from_total_buckets(10 * NUM_COUNTERS, depth=4, seed=3)
-    ams = AmsSketch(num_estimators=128, means_groups=8, seed=3)
-    for element in stream:
-        misra_gries.update(element)
-        space_saving.update(element)
-        count_min.update(element)
-        ams.update(element)
+    # All four single-pass summaries are declarative specs; every session
+    # replays the same stream through the chunked batch path.
+    sessions = {
+        name: api.open(spec)
+        for name, spec in {
+            "misra-gries": api.SketchSpec("misra_gries", num_counters=NUM_COUNTERS),
+            "space-saving": api.SketchSpec("space_saving", num_counters=NUM_COUNTERS),
+            "count-min": api.SketchSpec(
+                "count_min", total_buckets=10 * NUM_COUNTERS, depth=4, seed=3
+            ),
+            "ams": api.SketchSpec("ams", num_estimators=128, means_groups=8, seed=3),
+        }.items()
+    }
+    for session in sessions.values():
+        session.ingest(stream)
+    misra_gries = sessions["misra-gries"].estimator
+    space_saving = sessions["space-saving"].estimator
+    count_min = sessions["count-min"].estimator
+    ams = sessions["ams"].estimator
 
     def report(name, candidates):
         candidates = set(candidates)

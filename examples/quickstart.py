@@ -1,13 +1,15 @@
 """Quickstart: learn a hashing scheme from a stream prefix and answer count queries.
 
 This example walks through the full opt-hash workflow on a small synthetic
-workload:
+workload, driven entirely through the declarative ``repro.api`` layer:
 
 1. generate a group-structured stream (Section 6.1 of the paper);
-2. train the learned hashing scheme on the observed prefix;
-3. process the remaining stream in a single pass;
+2. describe both estimators as specs — the learned scheme as an
+   :class:`~repro.api.specs.OptHashSpec`, the Count-Min baseline as a
+   :class:`~repro.api.specs.SketchSpec` with the same memory budget;
+3. open sessions, ingest the remaining stream in one pass;
 4. answer point (count) queries for seen and unseen elements and compare
-   against a Count-Min Sketch using the same memory budget.
+   the two estimators.
 
 Run with::
 
@@ -16,7 +18,7 @@ Run with::
 
 from __future__ import annotations
 
-from repro import CountMinSketch, OptHashConfig, train_opt_hash
+import repro
 from repro.evaluation.metrics import average_absolute_error, expected_magnitude_error
 from repro.streams.synthetic import SyntheticConfig, SyntheticGenerator
 
@@ -35,31 +37,32 @@ def main() -> None:
     print(f"stream arrivals:  {len(stream):>6}")
 
     # ------------------------------------------------------------------
-    # 2. Learning phase: optimize the bucket assignment of the prefix
-    #    elements (block coordinate descent, lambda = 0.5) and train a CART
-    #    classifier that routes unseen elements to buckets by their features.
+    # 2. Declare both estimators.  The opt-hash spec carries the whole
+    #    learning-phase configuration (solver and classifier by name); the
+    #    learning itself runs when the session opens on the prefix.
     # ------------------------------------------------------------------
-    config = OptHashConfig(num_buckets=16, lam=0.5, solver="bcd", classifier="cart", seed=0)
-    training = train_opt_hash(prefix, config)
-    estimator = training.estimator
+    opt_spec = repro.OptHashSpec(
+        num_buckets=16, lam=0.5, solver="bcd", classifier="cart", seed=0
+    )
+    session = repro.open(opt_spec, prefix=prefix)
+    estimator = session.estimator
     print(
         "learned scheme:   "
-        f"{training.scheme.num_stored_ids} stored IDs -> {config.num_buckets} buckets, "
-        f"objective = {training.solver_result.objective.overall:.1f}"
+        f"{estimator.scheme.num_stored_ids} stored IDs -> {opt_spec.num_buckets} buckets"
     )
 
     # A Count-Min Sketch with the same total budget (stored IDs count as
     # bucket-equivalents, following the paper's accounting).
-    budget = config.num_buckets + training.scheme.num_stored_ids
-    sketch = CountMinSketch.from_total_buckets(budget, depth=2, seed=0)
-    sketch.update_many(prefix)
+    budget = opt_spec.num_buckets + estimator.scheme.num_stored_ids
+    cms_spec = repro.SketchSpec("count_min", total_buckets=budget, depth=2, seed=0)
+    baseline = repro.open(cms_spec)
+    baseline.ingest(prefix)
 
     # ------------------------------------------------------------------
-    # 3. Streaming phase: a single pass over the remaining stream.
+    # 3. Streaming phase: a single chunked pass over the remaining stream.
     # ------------------------------------------------------------------
-    for element in stream:
-        estimator.update(element)
-        sketch.update(element)
+    session.ingest(stream)
+    baseline.ingest(stream)
 
     # ------------------------------------------------------------------
     # 4. Query phase: point queries and aggregate error metrics.
@@ -73,16 +76,28 @@ def main() -> None:
     for element in generator.universe[:3] + generator.universe[-3:]:
         print(
             f"  element {element.key:>5}: {truth[element.key]:>6} -> "
-            f"{estimator.estimate(element):>9.2f} / {sketch.estimate(element):>7.1f}"
+            f"{session.estimator.estimate(element):>9.2f} / "
+            f"{baseline.estimate_key(element.key):>7.1f}"
         )
 
-    opt_avg = average_absolute_error(estimator, truth, element_lookup=lookup)
-    cms_avg = average_absolute_error(sketch, truth, element_lookup=lookup)
-    opt_exp = expected_magnitude_error(estimator, truth, element_lookup=lookup)
-    cms_exp = expected_magnitude_error(sketch, truth, element_lookup=lookup)
+    opt_avg = average_absolute_error(session.estimator, truth, element_lookup=lookup)
+    cms_avg = average_absolute_error(baseline.estimator, truth, element_lookup=lookup)
+    opt_exp = expected_magnitude_error(session.estimator, truth, element_lookup=lookup)
+    cms_exp = expected_magnitude_error(baseline.estimator, truth, element_lookup=lookup)
     print(f"\naverage |error| per element:  opt-hash = {opt_avg:8.2f}   count-min = {cms_avg:8.2f}")
     print(f"expected magnitude of error:  opt-hash = {opt_exp:8.2f}   count-min = {cms_exp:8.2f}")
-    print(f"memory: opt-hash = {estimator.size_kb:.2f} KB, count-min = {sketch.size_kb:.2f} KB")
+    print(
+        f"memory: opt-hash = {session.size_bytes / 1000:.2f} KB, "
+        f"count-min = {baseline.size_bytes / 1000:.2f} KB"
+    )
+
+    # The baseline session snapshots to one buffer (spec + counters) and
+    # resumes bit-identically — the deployment path for linear sketches.
+    resumed = repro.restore(baseline.snapshot())
+    assert resumed.estimate_key(generator.universe[0].key) == baseline.estimate_key(
+        generator.universe[0].key
+    )
+    print("snapshot/restore: OK")
 
 
 if __name__ == "__main__":

@@ -20,11 +20,9 @@ Run with::
 
 from __future__ import annotations
 
-from repro import CountMinSketch, LearnedCountMinSketch, OptHashConfig, train_opt_hash
-from repro.core.pipeline import split_bucket_budget
+import repro
 from repro.evaluation.metrics import average_absolute_error, expected_magnitude_error
-from repro.ml.text import QueryFeaturizer
-from repro.sketches.learned_cms import IdealHeavyHitterOracle
+from repro.evaluation.querylog_experiments import build_estimator, spec_for_method
 from repro.streams.querylog import QueryLogConfig, QueryLogGenerator
 from repro.streams.stream import Element
 
@@ -49,55 +47,51 @@ def main() -> None:
     print(f"day 0 (prefix): {len(prefix)} arrivals, {len(prefix.distinct_elements())} unique queries")
 
     # ------------------------------------------------------------------
-    # opt-hash: split the 4 KB budget between stored IDs and buckets,
-    # featurize query text, learn the scheme on day 0.
-    # ------------------------------------------------------------------
-    total_buckets = int(MEMORY_KB * 1000 / 4)
-    num_stored, num_buckets = split_bucket_budget(total_buckets, ratio=0.3)
-    featurizer = QueryFeaturizer(vocabulary_size=200)
-    featurizer.fit([element.key for element in prefix.distinct_elements()])
-
-    training = train_opt_hash(
-        prefix,
-        OptHashConfig(
-            num_buckets=num_buckets,
-            lam=1.0,
-            solver="dp",
-            solver_options={"center": "median"},
-            classifier="rf",
-            classifier_options={"n_estimators": 10, "max_depth": 12},
-            max_stored_elements=num_stored,
-            seed=1,
-        ),
-        featurizer=lambda element: featurizer.transform_one(str(element.key)),
-    )
-    opt_hash = training.estimator
-    print(
-        f"opt-hash: {num_stored} stored IDs + {num_buckets} buckets "
-        f"({opt_hash.size_kb:.2f} KB), classifier = random forest"
-    )
-
-    # ------------------------------------------------------------------
-    # Baselines with the same memory budget.  The heavy-hitter oracle of the
-    # Learned CMS is ideal: it knows the top queries of the whole period.
+    # All three methods are declarative specs under the same 4 KB budget.
+    # opt-hash splits the budget between stored IDs and buckets (ratio c of
+    # Section 7.3) and trains on day 0 with the bag-of-words featurizer;
+    # the Learned CMS gets an ideal oracle over the whole period's top
+    # queries, exactly as the paper benchmarks it.
     # ------------------------------------------------------------------
     final_day = NUM_DAYS - 1
     truth = dataset.cumulative_frequencies(final_day)
-    oracle = IdealHeavyHitterOracle.from_frequencies(dict(truth.items()), num_heavy=200)
-    learned_cms = LearnedCountMinSketch(
-        total_buckets=total_buckets, num_heavy_buckets=200, oracle=oracle, depth=1, seed=1
+    opt_hash_options = {
+        "ratio": 0.3,
+        "lam": 1.0,
+        "solver": "dp",
+        "solver_options": {"center": "median"},
+        "classifier": "rf",
+        "classifier_options": {"n_estimators": 10, "max_depth": 12},
+    }
+    specs = {
+        "opt-hash": spec_for_method("opt-hash", MEMORY_KB, opt_hash_options, seed=1),
+        "heavy-hitter": spec_for_method(
+            "heavy-hitter",
+            MEMORY_KB,
+            {"depth": 1, "num_heavy_buckets": 200},
+            oracle_frequencies=dict(truth.items()),
+            seed=1,
+        ),
+        "count-min": spec_for_method("count-min", MEMORY_KB, {"depth": 2}, seed=1),
+    }
+    opt_hash = build_estimator(specs["opt-hash"], dataset, vocabulary_size=200)
+    learned_cms = build_estimator(specs["heavy-hitter"])
+    count_min = build_estimator(specs["count-min"])
+    print(
+        f"opt-hash: {opt_hash.scheme.num_stored_ids} stored IDs + "
+        f"{opt_hash.scheme.num_buckets} buckets ({opt_hash.size_kb:.2f} KB), "
+        "classifier = random forest"
     )
-    count_min = CountMinSketch.from_total_buckets(total_buckets, depth=2, seed=1)
 
     # ------------------------------------------------------------------
-    # Stream the remaining days (the baselines also see day 0).
+    # Stream the remaining days (the baselines also see day 0; opt-hash
+    # absorbed it during training).
     # ------------------------------------------------------------------
     count_min.update_many(dataset.days[0])
     learned_cms.update_many(dataset.days[0])
-    for element in dataset.arrivals_after_prefix(final_day):
-        opt_hash.update(element)
-        learned_cms.update(element)
-        count_min.update(element)
+    after_prefix = list(dataset.arrivals_after_prefix(final_day))
+    for estimator in (opt_hash, learned_cms, count_min):
+        estimator.update_many(after_prefix)
 
     # ------------------------------------------------------------------
     # Report both error metrics over every query seen during the period,
@@ -130,11 +124,18 @@ def main() -> None:
     # ------------------------------------------------------------------
     # Interpretability (paper Section 7.4): the random forest's most
     # important features should be the four text counts plus navigational
-    # tokens such as "www"/"com"/"google".
+    # tokens such as "www"/"com"/"google".  Refitting the featurizer on the
+    # same prefix reproduces exactly the vocabulary build_estimator used
+    # (the fit is deterministic), which gives us the feature names back.
     # ------------------------------------------------------------------
-    if training.classifier is not None and hasattr(training.classifier, "feature_importances_"):
+    classifier = opt_hash.scheme.classifier
+    if classifier is not None and hasattr(classifier, "feature_importances_"):
+        from repro.ml.text import QueryFeaturizer
+
+        featurizer = QueryFeaturizer(vocabulary_size=200)
+        featurizer.fit([element.key for element in prefix.distinct_elements()])
         names = featurizer.feature_names()
-        importances = training.classifier.feature_importances_
+        importances = classifier.feature_importances_
         top = sorted(zip(importances, names), reverse=True)[:8]
         print("\nmost important classifier features:")
         for importance, name in top:

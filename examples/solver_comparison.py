@@ -2,10 +2,13 @@
 
 The learning phase can use three solvers (paper Section 4): the exact MILP
 reformulation, the block coordinate descent heuristic, and (for λ = 1) the
-dynamic program.  This example builds one small synthetic instance — small
-enough for the branch-and-bound MILP to certify optimality — and reports
-each solver's estimation / similarity / overall errors and runtime, along
-with the exhaustive-enumeration optimum as ground truth.
+dynamic program.  In the declarative API the solver is just a field of the
+:class:`~repro.api.specs.OptHashSpec`, so the comparison is a spec grid:
+three specs differing only in ``solver``, trained with
+:func:`repro.api.train` on the same small synthetic prefix — small enough
+(12 stored IDs) for the branch-and-bound MILP to certify optimality.  The
+exhaustive-enumeration optimum over the same stored instance is reported as
+ground truth.
 
 Run with::
 
@@ -16,13 +19,8 @@ from __future__ import annotations
 
 import time
 
-import numpy as np
-
-from repro.optimize import (
-    evaluate_assignment,
-    learn_hashing_scheme,
-    solve_exact_enumeration,
-)
+import repro.api as api
+from repro.optimize import evaluate_assignment, solve_exact_enumeration
 from repro.streams.synthetic import SyntheticConfig, SyntheticGenerator
 
 LAM = 0.5
@@ -35,42 +33,50 @@ def main() -> None:
         SyntheticConfig(num_groups=4, fraction_seen=0.5, seed=2)
     )
     prefix = generator.generate_prefix(400)
-    _, features, frequencies = prefix.training_arrays()
 
-    # Keep the most frequent elements so the MILP instance stays tiny.
-    order = np.argsort(frequencies)[::-1][:NUM_ELEMENTS]
-    frequencies = frequencies[order]
-    features = features[order]
-    print(
-        f"instance: {NUM_ELEMENTS} elements -> {NUM_BUCKETS} buckets, lambda = {LAM}\n"
-        f"frequencies: {frequencies.astype(int).tolist()}\n"
-    )
-
-    header = f"{'solver':>12} | {'estimation':>10} | {'similarity':>10} | {'overall':>9} | {'time (s)':>8}"
-    print(header)
-    print("-" * len(header))
-    for solver, options in (
-        ("dp", {}),
-        ("bcd", {"num_restarts": 3}),
-        ("milp", {"time_limit": 30.0}),
-    ):
-        start = time.monotonic()
-        result = learn_hashing_scheme(
-            frequencies,
-            features,
+    # The spec grid: one OptHashSpec per solver, identical otherwise.  The
+    # shared seed makes every spec sample the same 12 stored elements, so
+    # all solvers (and the enumeration) see one problem instance.
+    grid = [
+        api.OptHashSpec(
             num_buckets=NUM_BUCKETS,
             lam=LAM,
             solver=solver,
-            random_state=0,
-            **options,
+            solver_options=options,
+            classifier=None,
+            max_stored_elements=NUM_ELEMENTS,
+            seed=0,
         )
+        for solver, options in (
+            ("dp", {}),
+            ("bcd", {"num_restarts": 3}),
+            ("milp", {"time_limit": 30.0}),
+        )
+    ]
+
+    header = f"{'solver':>12} | {'estimation':>10} | {'similarity':>10} | {'overall':>9} | {'time (s)':>8}"
+    first_training = None
+    for spec in grid:
+        start = time.monotonic()
+        training = api.train(spec, prefix)
         elapsed = time.monotonic() - start
-        objective = result.objective
+        if first_training is None:
+            first_training = training
+            print(
+                f"instance: {NUM_ELEMENTS} elements -> {NUM_BUCKETS} buckets, "
+                f"lambda = {LAM}\n"
+                f"frequencies: {training.stored_frequencies.astype(int).tolist()}\n"
+            )
+            print(header)
+            print("-" * len(header))
+        objective = training.solver_result.objective
         print(
-            f"{solver:>12} | {objective.estimation:10.2f} | {objective.similarity:10.2f} "
+            f"{spec.solver:>12} | {objective.estimation:10.2f} | {objective.similarity:10.2f} "
             f"| {objective.overall:9.2f} | {elapsed:8.2f}"
         )
 
+    frequencies = first_training.stored_frequencies
+    features = first_training.stored_features
     start = time.monotonic()
     best_assignment, best_value = solve_exact_enumeration(
         frequencies, features, NUM_BUCKETS, LAM

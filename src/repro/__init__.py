@@ -15,20 +15,23 @@ The library is organized as:
 * :mod:`repro.optimize` — the hashing-scheme optimizers (MILP, block
   coordinate descent, dynamic programming);
 * :mod:`repro.core` — the opt-hash estimator assembled from the above;
+* :mod:`repro.api` — the declarative layer: estimator specs, the build
+  registry, and the Session facade (ingest / estimate / merge / snapshot);
 * :mod:`repro.evaluation` — error metrics and the runners regenerating every
   figure and table of the paper's evaluation.
 
-Quickstart::
+Quickstart (the declarative API)::
 
-    from repro import OptHashConfig, train_opt_hash
+    import repro
     from repro.streams import SyntheticConfig, SyntheticGenerator
 
     generator = SyntheticGenerator(SyntheticConfig(num_groups=6, seed=0))
     prefix, stream = generator.generate_prefix_and_stream()
-    training = train_opt_hash(prefix, OptHashConfig(num_buckets=10, lam=0.5, seed=0))
-    estimator = training.estimator
-    estimator.update_many(stream)
-    print(estimator.estimate(stream[0]))
+    spec = repro.OptHashSpec(num_buckets=10, lam=0.5, solver="bcd",
+                             classifier="cart", seed=0)
+    with repro.open(spec, prefix=prefix) as session:
+        session.ingest(stream)
+        print(session.estimate_key(stream[0].key))
 """
 
 from repro.core import (
@@ -38,6 +41,18 @@ from repro.core import (
     OptHashScheme,
     TrainingResult,
     train_opt_hash,
+)
+from repro import api
+from repro.api import (
+    EstimatorSpec,
+    OptHashSpec,
+    Session,
+    ShardedSpec,
+    SketchSpec,
+    SpecError,
+    build,
+    open,
+    restore,
 )
 from repro.optimize import (
     BucketAssignment,
@@ -59,6 +74,16 @@ __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
+    "api",
+    "SpecError",
+    "EstimatorSpec",
+    "SketchSpec",
+    "OptHashSpec",
+    "ShardedSpec",
+    "Session",
+    "build",
+    "open",
+    "restore",
     "AdaptiveOptHashEstimator",
     "OptHashConfig",
     "OptHashEstimator",

@@ -1,0 +1,227 @@
+"""The Session facade: one object for ingest / query / merge / snapshot.
+
+``repro.api.open(spec)`` builds the estimator a spec describes and wraps it
+in a :class:`Session`, which subsumes the previous per-task entry points —
+``replay`` / ``replay_sharded`` for ingestion, ``update_batch`` /
+``estimate_batch`` for direct access, ``to_bytes`` + ``loads`` for state
+transfer — behind a small uniform API:
+
+    session = repro.api.open(
+        {"kind": "count_min", "total_buckets": 8192, "depth": 2, "seed": 1}
+    )
+    session.ingest(keys)                  # streams, arrays, weighted batches
+    estimates = session.estimate(keys)    # float64 array
+    blob = session.snapshot()             # spec + estimator state, one buffer
+    twin = repro.api.restore(blob)        # picks up exactly where blob left off
+
+Snapshots carry the spec *and* the estimator state in one versioned buffer
+(the same wire format the sketches use), so a restored session knows its
+own configuration; for linear sketches the restored estimator is
+bit-identical to the snapshotted one.  Sharded sessions snapshot per-shard
+and restore with their layout (including executor pools) rebuilt from the
+spec.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Union
+
+import numpy as np
+
+from repro.api.registry import build, train  # noqa: F401  (train re-exported)
+from repro.api.specs import EstimatorSpec, SpecError, spec_from_dict
+from repro.sketches.serialization import (
+    SerializationError,
+    loads as _loads,
+    pack,
+    register_sketch,
+    unpack,
+)
+
+__all__ = ["Session", "open", "restore"]
+
+_SESSION_TAG = "session"
+
+
+@register_sketch(_SESSION_TAG)
+class Session:
+    """A live estimator plus the spec that built it.
+
+    Construct through :func:`open` (or :func:`restore`); the raw estimator
+    stays reachable through :attr:`estimator` for APIs the facade does not
+    cover (e.g. ``heavy_hitters()`` on the counter summaries).
+    """
+
+    def __init__(self, spec: EstimatorSpec, estimator) -> None:
+        self._spec = spec
+        self._estimator = estimator
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def spec(self) -> EstimatorSpec:
+        return self._spec
+
+    @property
+    def estimator(self):
+        return self._estimator
+
+    @property
+    def kind(self) -> str:
+        return self._spec.kind
+
+    @property
+    def size_bytes(self) -> int:
+        return int(self._estimator.size_bytes)
+
+    def describe(self) -> dict:
+        """The estimator's :meth:`describe` plus the originating spec."""
+        info = self._estimator.describe()
+        info["spec"] = self._spec.to_dict()
+        return info
+
+    def __repr__(self) -> str:
+        return f"Session({self._spec!r}, size_bytes={self.size_bytes})"
+
+    # ------------------------------------------------------------------
+    # ingestion / queries
+    # ------------------------------------------------------------------
+    def ingest(self, keys, counts=None, batch_size: Optional[int] = None) -> int:
+        """Stream arrivals through the estimator's batch path, chunked.
+
+        ``keys`` may be a :class:`~repro.streams.stream.Stream`, a NumPy
+        array of raw keys, or any sequence of keys/elements; ``counts``
+        optionally weights each key.  Returns the number of arrivals
+        processed (positions, not the weighted total).  This subsumes
+        ``repro.core.pipeline.replay`` — same chunking, same fast paths.
+        """
+        from repro.core.pipeline import DEFAULT_REPLAY_BATCH_SIZE, replay
+
+        self._require_capability("update_batch", "ingest")
+        if batch_size is None:
+            batch_size = DEFAULT_REPLAY_BATCH_SIZE
+        if counts is None:
+            return replay(self._estimator, keys, batch_size=batch_size)
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        items = keys if isinstance(keys, np.ndarray) else list(keys)
+        count_array = np.asarray(counts, dtype=np.int64)
+        if count_array.shape != (len(items),):
+            raise ValueError("counts must align one-to-one with keys")
+        for start in range(0, len(items), batch_size):
+            self._estimator.update_batch(
+                items[start : start + batch_size],
+                count_array[start : start + batch_size],
+            )
+        return len(items)
+
+    def _require_capability(self, method: str, operation: str) -> None:
+        """Typed error for kinds outside the frequency-estimator protocol.
+
+        ``bloom`` (membership only) and ``ams`` (second-moment queries only)
+        are buildable kinds but do not speak the full ingest/estimate
+        protocol; surfacing a :class:`SpecError` here keeps the facade's
+        typed-error contract instead of leaking an ``AttributeError``.
+        """
+        if not hasattr(self._estimator, method):
+            raise SpecError(
+                f"kind {self.kind!r} does not support Session.{operation}(): "
+                f"{type(self._estimator).__name__} has no {method}(); use its "
+                "native API via session.estimator"
+            )
+
+    def estimate(self, keys) -> np.ndarray:
+        """Vectorized point queries: a float64 array aligned with ``keys``."""
+        self._require_capability("estimate_batch", "estimate")
+        return self._estimator.estimate_batch(keys)
+
+    def estimate_key(self, key) -> float:
+        """Point query for a single raw key."""
+        return float(self.estimate([key])[0])
+
+    # ------------------------------------------------------------------
+    # merge / snapshot
+    # ------------------------------------------------------------------
+    def merge(self, other: Union["Session", object]) -> "Session":
+        """Fold another session's (or bare estimator's) state into this one."""
+        estimator = other.estimator if isinstance(other, Session) else other
+        self._estimator.merge(estimator)
+        return self
+
+    def snapshot(self) -> bytes:
+        """Serialize spec + estimator state into one versioned buffer.
+
+        Raises :class:`SerializationError` for estimators without a binary
+        form (the trained opt-hash estimators wrap an arbitrary classifier).
+        """
+        to_bytes = getattr(self._estimator, "to_bytes", None)
+        if to_bytes is None:
+            raise SerializationError(
+                f"estimator kind {self.kind!r} has no binary serialization; "
+                "snapshot() is unavailable for it"
+            )
+        blob = to_bytes()
+        return pack(
+            _SESSION_TAG,
+            {"spec": self._spec.to_dict()},
+            {"estimator": np.frombuffer(blob, dtype=np.uint8)},
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Session":
+        """Rehydrate a :meth:`snapshot` buffer (also used by ``loads``)."""
+        _, state, arrays = unpack(data, expect_tag=_SESSION_TAG)
+        spec_dict = state.get("spec")
+        if not isinstance(spec_dict, dict):
+            raise SerializationError("session buffer is missing its spec")
+        try:
+            spec = spec_from_dict(spec_dict)
+        except SpecError as error:
+            raise SerializationError(
+                f"session buffer holds an invalid spec: {error}"
+            ) from error
+        if "estimator" not in arrays:
+            raise SerializationError("session buffer is missing estimator state")
+        estimator = _loads(arrays["estimator"].tobytes(), expect_kind=spec.kind)
+        return cls(spec, estimator)
+
+    def to_bytes(self) -> bytes:
+        """Alias of :meth:`snapshot` (estimator-style serialization API)."""
+        return self.snapshot()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release executor pools (no-op for unsharded estimators)."""
+        close = getattr(self._estimator, "close", None)
+        if close is not None:
+            close()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def open(
+    spec,
+    *,
+    prefix=None,
+    featurizer: Optional[Callable] = None,
+) -> Session:
+    """Build the estimator ``spec`` describes and wrap it in a Session.
+
+    ``spec`` may be any :class:`~repro.api.specs.EstimatorSpec` or its
+    JSON-safe dict form.  Training kinds (``opt_hash`` and friends) take
+    their observed prefix (and optional featurizer) here.
+    """
+    spec = spec_from_dict(spec)
+    return Session(spec, build(spec, prefix=prefix, featurizer=featurizer))
+
+
+def restore(data: bytes) -> Session:
+    """Rebuild a session from a :meth:`Session.snapshot` buffer."""
+    return Session.from_bytes(data)

@@ -23,6 +23,8 @@ from typing import Dict, Hashable, Optional
 
 import numpy as np
 
+from repro.api.registry import register_estimator
+from repro.api.specs import OptHashSpec
 from repro.core.scheme import OptHashScheme
 from repro.sketches.base import (
     BYTES_PER_BUCKET,
@@ -34,6 +36,23 @@ from repro.sketches.bloom import BloomFilter
 from repro.streams.stream import Element
 
 __all__ = ["OptHashEstimator", "AdaptiveOptHashEstimator"]
+
+
+def _build_opt_hash(cls, spec, context):
+    """Registry builder: run the learning phase and return the estimator.
+
+    ``context['prefix']`` (guaranteed non-None by ``build``) is the observed
+    stream prefix; ``context['featurizer']`` optionally maps elements to
+    classifier features.  The spec's ``adaptive`` flag decides which of the
+    two estimator classes comes back, so both kinds share this builder.
+    """
+    from repro.api.registry import config_from_spec
+    from repro.core.pipeline import train_opt_hash
+
+    training = train_opt_hash(
+        context["prefix"], config_from_spec(spec), featurizer=context.get("featurizer")
+    )
+    return training.estimator
 
 
 def _check_mergeable_schemes(first, second) -> None:
@@ -61,6 +80,12 @@ def _check_mergeable_schemes(first, second) -> None:
         )
 
 
+@register_estimator(
+    "opt_hash",
+    spec_cls=OptHashSpec,
+    builder=_build_opt_hash,
+    requires_training=True,
+)
 class OptHashEstimator(FrequencyEstimator):
     """The static opt-hash estimator.
 
@@ -83,8 +108,10 @@ class OptHashEstimator(FrequencyEstimator):
         scheme: OptHashScheme,
         initial_frequencies: Optional[Dict[Hashable, float]] = None,
         count_stored_ids: bool = True,
+        seed: Optional[int] = None,
     ) -> None:
         self.scheme = scheme
+        self.seed = seed
         self._count_stored_ids = count_stored_ids
         self._bucket_totals = np.zeros(scheme.num_buckets)
         self._bucket_counts = np.zeros(scheme.num_buckets)
@@ -197,6 +224,18 @@ class OptHashEstimator(FrequencyEstimator):
     # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
+    def _describe_params(self) -> dict:
+        return {
+            "num_buckets": self.scheme.num_buckets,
+            "num_stored_ids": self.scheme.num_stored_ids,
+            "classifier": (
+                type(self.scheme.classifier).__name__
+                if self.scheme.classifier is not None
+                else None
+            ),
+            "seed": self.seed,
+        }
+
     @property
     def bucket_totals(self) -> np.ndarray:
         """Aggregate frequency ``φ_j`` per bucket."""
@@ -213,6 +252,12 @@ class OptHashEstimator(FrequencyEstimator):
         return float(self._bucket_totals[bucket] / count) if count else 0.0
 
 
+@register_estimator(
+    "adaptive_opt_hash",
+    spec_cls=OptHashSpec,
+    builder=_build_opt_hash,
+    requires_training=True,
+)
 class AdaptiveOptHashEstimator(FrequencyEstimator):
     """The adaptive (Bloom-filter) opt-hash estimator of Section 5.3.
 
@@ -243,6 +288,7 @@ class AdaptiveOptHashEstimator(FrequencyEstimator):
         count_stored_ids: bool = False,
     ) -> None:
         self.scheme = scheme
+        self.seed = seed
         self._count_stored_ids = count_stored_ids
         self._bucket_totals = np.zeros(scheme.num_buckets)
         self._bucket_counts = np.zeros(scheme.num_buckets)
@@ -386,6 +432,19 @@ class AdaptiveOptHashEstimator(FrequencyEstimator):
             BYTES_PER_BUCKET * (2 * self.scheme.num_buckets + stored_ids)
             + self._bloom.size_bytes
         )
+
+    def _describe_params(self) -> dict:
+        return {
+            "num_buckets": self.scheme.num_buckets,
+            "num_stored_ids": self.scheme.num_stored_ids,
+            "classifier": (
+                type(self.scheme.classifier).__name__
+                if self.scheme.classifier is not None
+                else None
+            ),
+            "bloom_bits": self._bloom.num_bits,
+            "seed": self.seed,
+        }
 
     @property
     def bloom_filter(self) -> BloomFilter:

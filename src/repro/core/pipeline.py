@@ -94,10 +94,12 @@ def replay_sharded(
 ):
     """Replay a stream through ``num_shards`` estimator shards.
 
-    ``factory`` is a zero-argument callable producing one (seeded, hence
-    mergeable) estimator per call — e.g.
-    ``lambda: CountMinSketch.from_total_buckets(8192, depth=2, seed=1)`` or a
-    closure re-wrapping a trained :class:`OptHashScheme`.  With
+    ``factory`` is what :class:`ShardedEstimator` accepts: an
+    :class:`~repro.api.specs.EstimatorSpec` (or JSON-safe spec dict, e.g.
+    ``{"kind": "count_min", "total_buckets": 8192, "depth": 2, "seed": 1}``),
+    or a zero-argument callable producing one (seeded, hence mergeable)
+    estimator per call — e.g. a closure re-wrapping a trained
+    :class:`OptHashScheme`.  With
     ``collapse=True`` (default) the shards are merged into one ordinary
     estimator, the pool is shut down, and the merged estimator is returned —
     a drop-in replacement for :func:`replay` into a single instance.  With
@@ -363,7 +365,9 @@ def train_opt_hash(
             seed=config.seed,
         )
     else:
-        estimator = OptHashEstimator(scheme, initial_frequencies=initial)
+        estimator = OptHashEstimator(
+            scheme, initial_frequencies=initial, seed=config.seed
+        )
 
     return TrainingResult(
         estimator=estimator,

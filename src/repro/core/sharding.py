@@ -60,17 +60,25 @@ under-estimates: query those through ``collapse``.
 from __future__ import annotations
 
 import concurrent.futures
-from typing import Callable, Optional
+from typing import Callable, Optional, Union
 
 import numpy as np
 
+from repro.api.registry import register_estimator
+from repro.api.specs import EstimatorSpec, OptHashSpec, ShardedSpec
 from repro.sketches.base import (
     FrequencyEstimator,
     IncompatibleSketchError,
     as_key_batch,
 )
 from repro.sketches.hashing import fingerprint64_batch
-from repro.sketches.serialization import loads
+from repro.sketches.serialization import (
+    SerializationError,
+    loads,
+    pack,
+    register_sketch,
+    unpack,
+)
 from repro.streams.stream import Element
 
 __all__ = ["ShardedEstimator"]
@@ -87,9 +95,22 @@ DEFAULT_PARTITION_SEED = 0x51A2DED
 WORKER_CHUNK_SIZE = 65536
 
 
-def _ingest_into_blank(blank_bytes: bytes, keys, counts) -> bytes:
-    """Process-pool task: rehydrate a blank shard, ingest, ship state back."""
-    shard = loads(blank_bytes)
+def _shard_worker(transport, keys, counts) -> bytes:
+    """Process-pool task: materialize a blank shard, ingest, ship state back.
+
+    ``transport`` is ``("spec", spec_dict)`` for spec-built sharded
+    estimators — the worker constructs the blank from the declarative spec,
+    which is tiny and always picklable — or ``("bytes", blob)`` for the
+    legacy closure-factory path, where the parent ships a cached blank
+    serialization instead.
+    """
+    mode, payload = transport
+    if mode == "spec":
+        from repro.api.registry import build
+
+        shard = build(payload)
+    else:
+        shard = loads(payload)
     for start in range(0, len(keys), WORKER_CHUNK_SIZE):
         shard.update_batch(
             keys[start : start + WORKER_CHUNK_SIZE],
@@ -98,15 +119,76 @@ def _ingest_into_blank(blank_bytes: bytes, keys, counts) -> bytes:
     return shard.to_bytes()
 
 
+def _build_sharded(cls, spec: ShardedSpec, context: dict) -> "ShardedEstimator":
+    """Registry builder for ``{"kind": "sharded", "inner": {...}, ...}``.
+
+    Training-free inner specs construct spec-first (each shard, the collapse
+    target, and process-mode worker blanks are all built from the spec).  An
+    opt-hash inner spec runs its learning phase *once* and every shard wraps
+    the shared trained scheme — retraining per shard would produce distinct
+    classifier objects, which the merge compatibility checks reject.
+    """
+    kwargs = dict(
+        num_shards=spec.num_shards,
+        mode=spec.mode,
+        executor=spec.executor,
+        query_mode=spec.query_mode,
+        partition_seed=(
+            spec.partition_seed
+            if spec.partition_seed is not None
+            else DEFAULT_PARTITION_SEED
+        ),
+    )
+    if isinstance(spec.inner, OptHashSpec):
+        sharded = cls(_trained_shard_factory(spec.inner, context), **kwargs)
+        sharded.estimator_spec = spec.inner
+        return sharded
+    return cls(spec.inner, **kwargs)
+
+
+def _trained_shard_factory(inner: OptHashSpec, context: dict) -> Callable:
+    """Train opt-hash once; return a factory of scheme-sharing shards."""
+    from repro.api.registry import config_from_spec
+    from repro.core.estimator import AdaptiveOptHashEstimator, OptHashEstimator
+    from repro.core.pipeline import train_opt_hash
+
+    training = train_opt_hash(
+        context["prefix"], config_from_spec(inner), featurizer=context.get("featurizer")
+    )
+    scheme = training.scheme
+    initial = {
+        key: float(frequency)
+        for key, frequency in zip(training.stored_keys, training.stored_frequencies)
+    }
+    if inner.adaptive:
+        return lambda: AdaptiveOptHashEstimator(
+            scheme,
+            initial_frequencies=initial,
+            bloom_bits=inner.bloom_bits,
+            expected_distinct=inner.expected_distinct,
+            seed=inner.seed,
+        )
+    return lambda: OptHashEstimator(
+        scheme, initial_frequencies=initial, seed=inner.seed
+    )
+
+
+@register_estimator("sharded", spec_cls=ShardedSpec, builder=_build_sharded)
+@register_sketch("sharded")
 class ShardedEstimator(FrequencyEstimator):
     """N identically-configured estimator shards behind one estimator API.
 
     Parameters
     ----------
     factory:
-        Zero-argument callable producing one shard estimator.  Every call
-        must yield an identically-configured (mergeable) instance — in
-        practice: construct with the same explicit seed.
+        What produces one shard estimator: an
+        :class:`~repro.api.specs.EstimatorSpec` (or its JSON-safe dict
+        form) built once per shard through ``repro.api.build`` — the
+        preferred, picklable transport — or, as a compatibility shim, a
+        zero-argument callable.  Every construction must yield an
+        identically-configured (mergeable) instance; spec construction
+        enforces this by requiring an explicit seed for randomized
+        estimators, while a callable must arrange it itself.
     num_shards:
         Number of shards (``k >= 1``).
     mode:
@@ -132,7 +214,7 @@ class ShardedEstimator(FrequencyEstimator):
 
     def __init__(
         self,
-        factory: Callable[[], FrequencyEstimator],
+        factory: Union[Callable[[], FrequencyEstimator], EstimatorSpec, dict],
         num_shards: int,
         mode: str = "key-partition",
         executor: str = "serial",
@@ -161,22 +243,66 @@ class ShardedEstimator(FrequencyEstimator):
         self.executor = executor
         self.query_mode = query_mode
         self._partition_seed = partition_seed
+        #: Inner-shard spec, when known.  Set either by spec-based
+        #: construction (then shards are rebuildable from it anywhere) or as
+        #: metadata by the registry's trained-factory path.
+        self.estimator_spec: Optional[EstimatorSpec] = None
+        self._spec_constructible = False
+        if not callable(factory):
+            from repro.api.registry import (
+                build as _api_build,
+                check_deterministic_for_sharding,
+            )
+            from repro.api.specs import spec_from_dict
+
+            spec = spec_from_dict(factory)
+            check_deterministic_for_sharding(spec)
+            self.estimator_spec = spec
+            self._spec_constructible = True
+            factory = lambda: _api_build(spec)  # noqa: E731
         self._factory = factory
         self.shards = [factory() for _ in range(num_shards)]
+        # Shards must speak the batch ingestion + merge protocol; rejecting
+        # here turns "bloom cannot shard" into one clear error instead of an
+        # AttributeError mid-stream.
+        for required in ("update_batch", "merge"):
+            if not hasattr(self.shards[0], required):
+                raise ValueError(
+                    f"{type(self.shards[0]).__name__} cannot be sharded: it "
+                    f"has no {required}()"
+                )
         self._round_robin_offset = 0
         self._collapsed: Optional[FrequencyEstimator] = None
         self._pool = None
-        self._blank_bytes = None
+        self._transport = None  # per-shard blank transport for process mode
         self._pending = []  # (shard_index, future) pairs awaiting merge
         if executor == "process":
-            try:
-                self._blank_bytes = [shard.to_bytes() for shard in self.shards]
-            except (AttributeError, NotImplementedError) as error:
+            # Both transports still need to_bytes on the *return* leg (the
+            # worker ships its ingested state back as bytes), so the shard
+            # type must be serializable either way.
+            if not hasattr(self.shards[0], "to_bytes"):
                 raise ValueError(
                     "the process executor needs serializable shards "
                     f"(to_bytes/from_bytes); {type(self.shards[0]).__name__} "
                     "does not provide them — use the thread or serial executor"
-                ) from error
+                )
+            if self._spec_constructible:
+                # Ship the declarative spec: tiny, picklable, and the worker
+                # rebuilds an identical blank from it.
+                spec_dict = self.estimator_spec.to_dict()
+                self._transport = [("spec", spec_dict)] * num_shards
+            else:
+                try:
+                    self._transport = [
+                        ("bytes", shard.to_bytes()) for shard in self.shards
+                    ]
+                except (AttributeError, NotImplementedError) as error:
+                    raise ValueError(
+                        "the process executor needs serializable shards "
+                        f"(to_bytes/from_bytes); {type(self.shards[0]).__name__} "
+                        "does not provide them — use the thread or serial "
+                        "executor"
+                    ) from error
             self._pool = concurrent.futures.ProcessPoolExecutor(
                 max_workers=num_shards
             )
@@ -263,8 +389,8 @@ class ShardedEstimator(FrequencyEstimator):
                     (
                         shard_index,
                         self._pool.submit(
-                            _ingest_into_blank,
-                            self._blank_bytes[shard_index],
+                            _shard_worker,
+                            self._transport[shard_index],
                             part,
                             part_counts,
                         ),
@@ -436,3 +562,92 @@ class ShardedEstimator(FrequencyEstimator):
         folded = other.collapse() if isinstance(other, ShardedEstimator) else other
         self.shards[0].merge(folded)
         return self
+
+    # ------------------------------------------------------------------
+    # spec / describe / serialization
+    # ------------------------------------------------------------------
+    def spec(self) -> Optional[ShardedSpec]:
+        """The full :class:`ShardedSpec` of this estimator, when known.
+
+        Available for spec-based construction (and for the registry's
+        trained opt-hash path, whose inner spec is recorded as metadata);
+        ``None`` when built from an opaque callable factory.
+        """
+        if self.estimator_spec is None:
+            return None
+        return ShardedSpec(
+            self.estimator_spec,
+            num_shards=self.num_shards,
+            mode=self.mode,
+            executor=self.executor,
+            query_mode=self.query_mode,
+            partition_seed=(
+                None
+                if self._partition_seed == DEFAULT_PARTITION_SEED
+                else self._partition_seed
+            ),
+        )
+
+    def _describe_params(self) -> dict:
+        params = {
+            "num_shards": self.num_shards,
+            "mode": self.mode,
+            "executor": self.executor,
+            "query_mode": self.query_mode,
+        }
+        if self.estimator_spec is not None:
+            params["inner"] = self.estimator_spec.to_dict()
+        else:
+            params["inner"] = type(self.shards[0]).__name__
+        return params
+
+    def to_bytes(self) -> bytes:
+        """Serialize layout spec + every shard's state into one buffer.
+
+        Requires spec-based construction: the buffer must carry enough to
+        rebuild the estimator anywhere, and an opaque callable factory
+        cannot travel.
+        """
+        if not self._spec_constructible:
+            raise SerializationError(
+                "only spec-built ShardedEstimators serialize; this one was "
+                "constructed from a callable factory (build it from a "
+                "ShardedSpec / spec dict instead)"
+            )
+        self._drain_pending()
+        arrays = {
+            f"shard_{index}": np.frombuffer(shard.to_bytes(), dtype=np.uint8)
+            for index, shard in enumerate(self.shards)
+        }
+        state = {
+            "spec": self.spec().to_dict(),
+            "round_robin_offset": self._round_robin_offset,
+        }
+        return pack("sharded", state, arrays)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "ShardedEstimator":
+        _, state, arrays = unpack(data, expect_tag="sharded")
+        spec_dict = state.get("spec")
+        if not isinstance(spec_dict, dict):
+            raise SerializationError("sharded buffer is missing its spec")
+        from repro.api.registry import build as _api_build
+        from repro.api.specs import SpecError
+
+        try:
+            sharded = _api_build(spec_dict)
+        except SpecError as error:
+            raise SerializationError(
+                f"sharded buffer holds an invalid spec: {error}"
+            ) from error
+        expect_kind = spec_dict.get("inner", {}).get("kind")
+        for index in range(sharded.num_shards):
+            name = f"shard_{index}"
+            if name not in arrays:
+                raise SerializationError(f"sharded buffer is missing {name!r}")
+            sharded.shards[index] = loads(
+                arrays[name].tobytes(), expect_kind=expect_kind
+            )
+        sharded._round_robin_offset = int(state.get("round_robin_offset", 0))
+        sharded._collapsed = None
+        return sharded

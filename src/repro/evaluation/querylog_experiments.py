@@ -18,30 +18,28 @@ two bucket-equivalents; opt-hash stored IDs cost one bucket-equivalent each.
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
-from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.estimator import OptHashEstimator
-from repro.core.pipeline import (
-    OptHashConfig,
-    replay,
-    split_bucket_budget,
-    train_opt_hash,
+from repro.api import (
+    EstimatorSpec,
+    OptHashSpec,
+    SketchSpec,
+    SpecError,
+    build,
 )
+from repro.core.pipeline import replay, split_bucket_budget
 from repro.evaluation.metrics import errors_over_elements
 from repro.evaluation.results import ExperimentResult
 from repro.ml.text import QueryFeaturizer
 from repro.sketches.base import BYTES_PER_BUCKET, FrequencyEstimator
-from repro.sketches.count_min import CountMinSketch
-from repro.sketches.learned_cms import IdealHeavyHitterOracle, LearnedCountMinSketch
+from repro.sketches.learned_cms import rank_heavy_keys
 from repro.streams.querylog import QueryLogDataset
 from repro.streams.stream import Element, FrequencyVector
 
 __all__ = [
-    "EstimatorSpec",
+    "spec_for_method",
     "build_estimator",
     "run_error_vs_size",
     "run_error_vs_time",
@@ -73,100 +71,90 @@ def default_opt_hash_options() -> Dict:
     }
 
 
-@dataclass
-class EstimatorSpec:
-    """A named estimator configuration used by the runners."""
-
-    method: str
-    options: Dict = field(default_factory=dict)
-
-
 # ----------------------------------------------------------------------
-# estimator construction
+# estimator specs
 # ----------------------------------------------------------------------
 def _total_buckets(size_kb: float) -> int:
     return max(2, int(round(size_kb * 1000.0 / BYTES_PER_BUCKET)))
 
 
-def _build_count_min(size_kb: float, depth: int, seed: Optional[int]) -> CountMinSketch:
-    return CountMinSketch.from_total_buckets(
-        _total_buckets(size_kb), depth=depth, seed=seed
-    )
-
-
-def _build_heavy_hitter(
+def spec_for_method(
+    method: str,
     size_kb: float,
-    depth: int,
-    num_heavy_buckets: int,
-    oracle_frequencies: Dict[Hashable, float],
-    seed: Optional[int],
-) -> LearnedCountMinSketch:
+    options: Optional[Dict] = None,
+    oracle_frequencies: Optional[Dict[Hashable, float]] = None,
+    seed: Optional[int] = None,
+) -> EstimatorSpec:
+    """The declarative spec of one paper method under a memory budget.
+
+    ``method`` is the paper's name (``count-min`` / ``heavy-hitter`` /
+    ``opt-hash``); the returned spec is a plain :mod:`repro.api` spec, so a
+    whole experiment is a grid of JSON-safe specs rather than bespoke
+    constructor wiring.  ``opt-hash`` splits the bucket budget between
+    stored IDs and buckets via the ``ratio`` option (Section 7.3); the
+    ``vocabulary_size`` option belongs to the query featurizer and is
+    consumed by :func:`build_estimator`, not the spec.
+    """
+    options = dict(options or {})
     total = _total_buckets(size_kb)
-    oracle = IdealHeavyHitterOracle.from_frequencies(oracle_frequencies, num_heavy_buckets)
-    return LearnedCountMinSketch(
-        total_buckets=total,
-        num_heavy_buckets=num_heavy_buckets,
-        oracle=oracle,
-        depth=depth,
-        seed=seed,
-    )
+    if method == "count-min":
+        return SketchSpec(
+            "count_min",
+            total_buckets=total,
+            depth=options.get("depth", 2),
+            seed=seed,
+        )
+    if method == "heavy-hitter":
+        if oracle_frequencies is None:
+            raise SpecError("heavy-hitter requires oracle_frequencies")
+        num_heavy = options.get("num_heavy_buckets", 10)
+        return SketchSpec(
+            "learned_cms",
+            total_buckets=total,
+            num_heavy_buckets=num_heavy,
+            heavy_keys=rank_heavy_keys(oracle_frequencies, num_heavy),
+            depth=options.get("depth", 2),
+            seed=seed,
+        )
+    if method == "opt-hash":
+        options = {**default_opt_hash_options(), **options}
+        num_stored, num_buckets = split_bucket_budget(total, options["ratio"])
+        return OptHashSpec(
+            num_buckets=num_buckets,
+            lam=options["lam"],
+            solver=options["solver"],
+            solver_options=dict(options.get("solver_options", {})),
+            classifier=options["classifier"],
+            classifier_options=dict(options["classifier_options"]),
+            max_stored_elements=num_stored,
+            seed=seed,
+        )
+    raise SpecError(f"unknown method '{method}'")
 
 
-def _build_opt_hash(
-    size_kb: float,
-    dataset: QueryLogDataset,
-    options: Dict,
-    seed: Optional[int],
-) -> OptHashEstimator:
-    """Train opt-hash on day 0 of the dataset under the given memory budget."""
-    options = {**default_opt_hash_options(), **options}
-    total = _total_buckets(size_kb)
-    num_stored, num_buckets = split_bucket_budget(total, options["ratio"])
+def build_estimator(
+    spec: EstimatorSpec,
+    dataset: Optional[QueryLogDataset] = None,
+    vocabulary_size: int = 200,
+) -> FrequencyEstimator:
+    """Build one estimator from its spec via :func:`repro.api.build`.
 
+    Opt-hash specs train on day 0 of ``dataset`` with the bag-of-words +
+    counts query featurizer of Section 7.3; every other spec builds
+    directly.
+    """
+    if not isinstance(spec, OptHashSpec):
+        return build(spec)
+    if dataset is None:
+        raise SpecError("opt-hash specs train on a dataset: pass one")
     prefix = dataset.prefix()
-    featurizer_model = QueryFeaturizer(vocabulary_size=options["vocabulary_size"])
+    featurizer_model = QueryFeaturizer(vocabulary_size=vocabulary_size)
     featurizer_model.fit([element.key for element in prefix.distinct_elements()])
 
     def featurize(element: Element) -> np.ndarray:
         return featurizer_model.transform_one(str(element.key))
 
-    config = OptHashConfig(
-        num_buckets=num_buckets,
-        lam=options["lam"],
-        solver=options["solver"],
-        solver_options=dict(options.get("solver_options", {})),
-        classifier=options["classifier"],
-        classifier_options=dict(options["classifier_options"]),
-        max_stored_elements=num_stored,
-        seed=seed,
-    )
-    training = train_opt_hash(prefix, config, featurizer=featurize)
-    return training.estimator
-
-
-def build_estimator(
-    spec: EstimatorSpec,
-    size_kb: float,
-    dataset: QueryLogDataset,
-    oracle_frequencies: Optional[Dict[Hashable, float]] = None,
-    seed: Optional[int] = None,
-) -> FrequencyEstimator:
-    """Build one estimator of the requested method and memory budget."""
-    if spec.method == "count-min":
-        return _build_count_min(size_kb, spec.options.get("depth", 2), seed)
-    if spec.method == "heavy-hitter":
-        if oracle_frequencies is None:
-            raise ValueError("heavy-hitter requires oracle_frequencies")
-        return _build_heavy_hitter(
-            size_kb,
-            spec.options.get("depth", 2),
-            spec.options.get("num_heavy_buckets", 10),
-            oracle_frequencies,
-            seed,
-        )
-    if spec.method == "opt-hash":
-        return _build_opt_hash(size_kb, dataset, spec.options, seed)
-    raise ValueError(f"unknown method '{spec.method}'")
+    return build(spec, prefix=prefix, featurizer=featurize)
 
 
 # ----------------------------------------------------------------------
@@ -220,13 +208,19 @@ def _simulate(
 def _candidate_specs(
     method: str,
     size_kb: float,
+    oracle_frequencies: Optional[Dict[Hashable, float]],
+    seed: Optional[int],
     count_min_depths: Sequence[int],
     heavy_hitter_depths: Sequence[int],
     heavy_hitter_buckets: Sequence[int],
+    opt_hash_options: Dict,
 ) -> List[EstimatorSpec]:
-    """The hyperparameter candidates the paper searches per method."""
+    """The hyperparameter candidates the paper searches, as a spec grid."""
     if method == "count-min":
-        return [EstimatorSpec("count-min", {"depth": depth}) for depth in count_min_depths]
+        return [
+            spec_for_method("count-min", size_kb, {"depth": depth}, seed=seed)
+            for depth in count_min_depths
+        ]
     if method == "heavy-hitter":
         total = _total_buckets(size_kb)
         specs = []
@@ -234,14 +228,28 @@ def _candidate_specs(
             for num_heavy in heavy_hitter_buckets:
                 if 2 * num_heavy + depth <= total:
                     specs.append(
-                        EstimatorSpec(
-                            "heavy-hitter", {"depth": depth, "num_heavy_buckets": num_heavy}
+                        spec_for_method(
+                            "heavy-hitter",
+                            size_kb,
+                            {"depth": depth, "num_heavy_buckets": num_heavy},
+                            oracle_frequencies=oracle_frequencies,
+                            seed=seed,
                         )
                     )
-        return specs or [EstimatorSpec("heavy-hitter", {"depth": 1, "num_heavy_buckets": 0})]
+        return specs or [
+            spec_for_method(
+                "heavy-hitter",
+                size_kb,
+                {"depth": 1, "num_heavy_buckets": 0},
+                oracle_frequencies=oracle_frequencies,
+                seed=seed,
+            )
+        ]
     if method == "opt-hash":
-        return [EstimatorSpec("opt-hash", {})]
-    raise ValueError(f"unknown method '{method}'")
+        return [
+            spec_for_method("opt-hash", size_kb, dict(opt_hash_options), seed=seed)
+        ]
+    raise SpecError(f"unknown method '{method}'")
 
 
 def _best_simulation(
@@ -262,21 +270,27 @@ def _best_simulation(
     mirroring the paper's "we report the best performing version".
     """
     specs = _candidate_specs(
-        method, size_kb, count_min_depths, heavy_hitter_depths, heavy_hitter_buckets
+        method,
+        size_kb,
+        oracle_frequencies,
+        seed,
+        count_min_depths,
+        heavy_hitter_depths,
+        heavy_hitter_buckets,
+        opt_hash_options,
     )
-    if method == "opt-hash":
-        specs = [EstimatorSpec("opt-hash", dict(opt_hash_options))]
+    vocabulary_size = {**default_opt_hash_options(), **opt_hash_options}.get(
+        "vocabulary_size", 200
+    )
     best_results: Optional[Dict[int, Tuple[float, float]]] = None
     last_checkpoint = max(checkpoints)
     for spec in specs:
-        estimator = build_estimator(
-            spec, size_kb, dataset, oracle_frequencies=oracle_frequencies, seed=seed
-        )
+        estimator = build_estimator(spec, dataset, vocabulary_size=vocabulary_size)
         results = _simulate(
             estimator,
             dataset,
             checkpoints,
-            include_day_zero_updates=(method != "opt-hash"),
+            include_day_zero_updates=not isinstance(spec, OptHashSpec),
         )
         if best_results is None or results[last_checkpoint][0] < best_results[last_checkpoint][0]:
             best_results = results
@@ -430,15 +444,15 @@ def run_rank_error_table(
     valid_ranks = [rank for rank in ranks if 1 <= rank <= len(ranked)]
     per_rank: Dict[int, List[float]] = {rank: [] for rank in valid_ranks}
     frequencies_at_rank: Dict[int, float] = {}
+    vocabulary_size = {**default_opt_hash_options(), **opt_hash_options}.get(
+        "vocabulary_size", 200
+    )
     for repetition in range(num_repetitions):
         rep_seed = seed + repetition
-        estimator = build_estimator(
-            EstimatorSpec("opt-hash", dict(opt_hash_options)),
-            size_kb,
-            dataset,
-            oracle_frequencies=None,
-            seed=rep_seed,
+        spec = spec_for_method(
+            "opt-hash", size_kb, dict(opt_hash_options), seed=rep_seed
         )
+        estimator = build_estimator(spec, dataset, vocabulary_size=vocabulary_size)
         _simulate(
             estimator,
             dataset,

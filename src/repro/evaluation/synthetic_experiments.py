@@ -16,7 +16,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.pipeline import OptHashConfig, TrainingResult, train_opt_hash
+from repro.api import OptHashSpec, train
+from repro.core.pipeline import TrainingResult
 from repro.evaluation.results import ExperimentResult
 from repro.optimize.objective import (
     BucketAssignment,
@@ -60,8 +61,12 @@ def _train(
     solver_options: Optional[Dict] = None,
     max_stored_elements: Optional[int] = None,
 ) -> Tuple[TrainingResult, float]:
-    """Train opt-hash on a prefix and return the result plus elapsed seconds."""
-    config = OptHashConfig(
+    """Train opt-hash on a prefix and return the result plus elapsed seconds.
+
+    The configuration travels as a declarative :class:`OptHashSpec`, so a
+    whole figure is a spec grid handed to :func:`repro.api.train`.
+    """
+    spec = OptHashSpec(
         num_buckets=num_buckets,
         lam=lam,
         solver=solver,
@@ -71,7 +76,7 @@ def _train(
         seed=seed,
     )
     start = time.monotonic()
-    result = train_opt_hash(prefix, config)
+    result = train(spec, prefix)
     elapsed = time.monotonic() - start
     return result, elapsed
 
@@ -439,7 +444,7 @@ def run_classifier_comparison(
                 prefix_length=prefix_length, stream_multiplier=stream_multiplier
             )
             for name in classifiers:
-                config = OptHashConfig(
+                spec = OptHashSpec(
                     num_buckets=num_buckets,
                     lam=lam,
                     solver="bcd",
@@ -448,7 +453,7 @@ def run_classifier_comparison(
                     seed=rep_seed,
                 )
                 start = time.monotonic()
-                training = train_opt_hash(prefix, config)
+                training = train(spec, prefix)
                 elapsed = time.monotonic() - start
                 unseen_estimation, unseen_similarity = _unseen_assignment_errors(
                     training, prefix, stream

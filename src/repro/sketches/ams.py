@@ -14,10 +14,14 @@ from typing import Optional
 
 import numpy as np
 
+from repro.api.registry import register_estimator
+from repro.api.specs import SpecError
 from repro.sketches.base import (
     BYTES_PER_BUCKET,
     IncompatibleSketchError,
     as_key_batch,
+    describe_estimator,
+    describe_repr,
 )
 from repro.sketches.hashing import (
     UniversalHashFamily,
@@ -31,6 +35,26 @@ from repro.streams.stream import Element
 __all__ = ["AmsSketch"]
 
 
+def _check_means_groups(params: dict) -> None:
+    groups = params.get("means_groups", 8)
+    estimators = params.get("num_estimators", 64)
+    if estimators % groups != 0:
+        raise SpecError(
+            f"means_groups ({groups}) must evenly divide num_estimators "
+            f"({estimators})"
+        )
+
+
+@register_estimator(
+    "ams",
+    schema={
+        "num_estimators": {"type": "int", "min": 1},
+        "means_groups": {"type": "int", "min": 1},
+        "seed": {"type": "int", "nullable": True},
+        "hash_scheme": {"type": "str", "choices": ("universal", "tabulation")},
+    },
+    check=_check_means_groups,
+)
 @register_sketch("ams")
 class AmsSketch:
     """Estimates the second frequency moment of a stream.
@@ -58,6 +82,8 @@ class AmsSketch:
             raise ValueError("means_groups must evenly divide num_estimators")
         self.num_estimators = num_estimators
         self.means_groups = means_groups
+        self.seed = seed
+        self.hash_scheme = hash_scheme
         self._counters = np.zeros(num_estimators, dtype=np.int64)
         self._hashes = UniversalHashFamily(
             2, seed=seed, scheme=hash_scheme
@@ -90,6 +116,21 @@ class AmsSketch:
     @property
     def size_bytes(self) -> int:
         return BYTES_PER_BUCKET * self.num_estimators
+
+    def _describe_params(self) -> dict:
+        return {
+            "num_estimators": self.num_estimators,
+            "means_groups": self.means_groups,
+            "seed": self.seed,
+            "hash_scheme": self.hash_scheme,
+        }
+
+    def describe(self) -> dict:
+        """Kind, parameters, seed and size_bytes of this sketch."""
+        return describe_estimator(self, self._describe_params())
+
+    def __repr__(self) -> str:
+        return describe_repr(self)
 
     # ------------------------------------------------------------------
     # merge / serialization
@@ -126,6 +167,8 @@ class AmsSketch:
         state = {
             "num_estimators": self.num_estimators,
             "means_groups": self.means_groups,
+            "seed": self.seed,
+            "hash_scheme": self.hash_scheme,
             "hashes": hash_states,
         }
         arrays["counters"] = self._counters
@@ -137,6 +180,8 @@ class AmsSketch:
         sketch = cls.__new__(cls)
         sketch.num_estimators = int(state["num_estimators"])
         sketch.means_groups = int(state["means_groups"])
+        sketch.seed = state.get("seed")
+        sketch.hash_scheme = state.get("hash_scheme", "universal")
         sketch._counters = arrays["counters"].astype(np.int64, copy=False)
         sketch._hashes = hash_functions_from_state(state["hashes"], arrays)
         return sketch

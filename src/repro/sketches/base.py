@@ -27,6 +27,7 @@ from typing import Dict, Hashable, Tuple, Union
 
 import numpy as np
 
+from repro.api.registry import register_estimator
 from repro.sketches.serialization import (
     decode_counts,
     encode_counts,
@@ -42,6 +43,8 @@ __all__ = [
     "IncompatibleSketchError",
     "BYTES_PER_BUCKET",
     "as_key_batch",
+    "describe_estimator",
+    "describe_repr",
 ]
 
 
@@ -92,6 +95,45 @@ def as_key_batch(
 
 #: Memory charged per counter/bucket, as in Section 7.4 of the paper.
 BYTES_PER_BUCKET = 4
+
+
+def describe_estimator(obj, params: dict) -> dict:
+    """Shared ``describe()`` body: kind + parameters + current size.
+
+    ``kind`` is the registry/serialization name when the object has one
+    (they are the same string by construction), else the class name.  The
+    parameter dict is whatever the object's ``_describe_params`` reports —
+    for spec-constructible estimators it round-trips through
+    ``SketchSpec(kind, **params)``.
+    """
+    kind = (
+        getattr(obj, "ESTIMATOR_KIND", None)
+        or getattr(obj, "SERIAL_TAG", None)
+        or type(obj).__name__
+    )
+    return {"kind": kind, "params": params, "size_bytes": int(obj.size_bytes)}
+
+
+def _summarize_value(value) -> str:
+    """Repr of a parameter value, eliding long collections."""
+    if isinstance(value, (list, tuple, set, frozenset)) and len(value) > 6:
+        return f"<{len(value)} values>"
+    if isinstance(value, dict) and len(value) > 6:
+        return f"<{len(value)} entries>"
+    return repr(value)
+
+
+def describe_repr(obj) -> str:
+    """Shared ``__repr__`` body rendered from ``describe()``."""
+    info = obj.describe()
+    rendered = ", ".join(
+        f"{name}={_summarize_value(value)}"
+        for name, value in info["params"].items()
+    )
+    return (
+        f"{type(obj).__name__}({rendered}) "
+        f"[kind={info['kind']}, size_bytes={info['size_bytes']}]"
+    )
 
 
 class FrequencyEstimator(ABC):
@@ -179,7 +221,27 @@ class FrequencyEstimator(ABC):
         """Convenience point query by key only (no features)."""
         return self.estimate(Element(key=key))
 
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def _describe_params(self) -> dict:
+        """Configuration parameters reported by :meth:`describe`.
 
+        Spec-constructible estimators return exactly the parameters that
+        rebuild an equivalent (merge-compatible) instance through
+        ``repro.api.build({"kind": ..., **params})``.
+        """
+        return {}
+
+    def describe(self) -> dict:
+        """Kind, parameters (incl. seed where applicable) and size_bytes."""
+        return describe_estimator(self, self._describe_params())
+
+    def __repr__(self) -> str:
+        return describe_repr(self)
+
+
+@register_estimator("exact_counter", schema={}, seedless=True)
 @register_sketch("exact_counter")
 class ExactCounter(FrequencyEstimator):
     """Exact per-key counting.

@@ -14,7 +14,12 @@ from typing import Hashable, Optional
 
 import numpy as np
 
-from repro.sketches.base import IncompatibleSketchError
+from repro.api.registry import register_estimator
+from repro.sketches.base import (
+    IncompatibleSketchError,
+    describe_estimator,
+    describe_repr,
+)
 from repro.sketches.hashing import (
     UniversalHashFamily,
     hash_functions_equal,
@@ -26,6 +31,16 @@ from repro.sketches.serialization import pack, register_sketch, unpack
 __all__ = ["BloomFilter"]
 
 
+@register_estimator(
+    "bloom",
+    schema={
+        "num_bits": {"type": "int", "min": 1, "required": True},
+        "num_hashes": {"type": "int", "min": 1, "nullable": True},
+        "expected_items": {"type": "int", "min": 1, "nullable": True},
+        "seed": {"type": "int", "nullable": True},
+        "hash_scheme": {"type": "str", "choices": ("universal", "tabulation")},
+    },
+)
 @register_sketch("bloom")
 class BloomFilter:
     """A standard Bloom filter over arbitrary hashable keys.
@@ -63,6 +78,8 @@ class BloomFilter:
             raise ValueError("num_hashes must be positive")
         self.num_bits = num_bits
         self.num_hashes = num_hashes
+        self.seed = seed
+        self.hash_scheme = hash_scheme
         self._bits = np.zeros(num_bits, dtype=bool)
         self._hashes = UniversalHashFamily(
             num_bits, seed=seed, scheme=hash_scheme
@@ -154,6 +171,21 @@ class BloomFilter:
         fill = float(self._bits.mean())
         return fill ** self.num_hashes
 
+    def _describe_params(self) -> dict:
+        return {
+            "num_bits": self.num_bits,
+            "num_hashes": self.num_hashes,
+            "seed": self.seed,
+            "hash_scheme": self.hash_scheme,
+        }
+
+    def describe(self) -> dict:
+        """Kind, parameters (resolved ``num_hashes``), seed and size_bytes."""
+        return describe_estimator(self, self._describe_params())
+
+    def __repr__(self) -> str:
+        return describe_repr(self)
+
     # ------------------------------------------------------------------
     # merge / serialization
     # ------------------------------------------------------------------
@@ -190,6 +222,8 @@ class BloomFilter:
             "num_bits": self.num_bits,
             "num_hashes": self.num_hashes,
             "num_inserted": self._num_inserted,
+            "seed": self.seed,
+            "hash_scheme": self.hash_scheme,
         }
         state["hashes"] = hash_states
         # 8x smaller on the wire than the bool array the filter works on.
@@ -202,6 +236,8 @@ class BloomFilter:
         sketch = cls.__new__(cls)
         sketch.num_bits = int(state["num_bits"])
         sketch.num_hashes = int(state["num_hashes"])
+        sketch.seed = state.get("seed")
+        sketch.hash_scheme = state.get("hash_scheme", "universal")
         sketch._num_inserted = int(state["num_inserted"])
         sketch._bits = (
             np.unpackbits(arrays["bits"])[: sketch.num_bits].astype(bool)

@@ -22,6 +22,8 @@ from typing import Optional
 
 import numpy as np
 
+from repro.api.registry import register_estimator
+from repro.api.specs import SpecError
 from repro.sketches.base import (
     BYTES_PER_BUCKET,
     FrequencyEstimator,
@@ -40,6 +42,42 @@ from repro.streams.stream import Element
 __all__ = ["CountMinSketch"]
 
 
+def require_one_table_size(params: dict) -> None:
+    """Width-style specs must fix the table by exactly one of the two knobs."""
+    if ("width" in params) == ("total_buckets" in params):
+        raise SpecError(
+            "specify exactly one of 'width' (buckets per level) or "
+            "'total_buckets' (width * depth)"
+        )
+
+
+def build_width_sketch(cls, spec, context):
+    """Shared builder for the width/depth table sketches (CMS, Count Sketch)."""
+    params = dict(spec.params)
+    total_buckets = params.pop("total_buckets", None)
+    if total_buckets is not None:
+        return cls.from_total_buckets(total_buckets, **params)
+    return cls(**params)
+
+
+#: Schema shared by the width/depth table sketches; Count Sketch reuses it
+#: minus the conservative-update flag.
+WIDTH_SKETCH_SCHEMA = {
+    "width": {"type": "int", "min": 1},
+    "total_buckets": {"type": "int", "min": 1},
+    "depth": {"type": "int", "min": 1},
+    "seed": {"type": "int", "nullable": True},
+    "conservative": {"type": "bool"},
+    "hash_scheme": {"type": "str", "choices": ("universal", "tabulation")},
+}
+
+
+@register_estimator(
+    "count_min",
+    schema=WIDTH_SKETCH_SCHEMA,
+    builder=build_width_sketch,
+    check=require_one_table_size,
+)
 @register_sketch("count_min")
 class CountMinSketch(FrequencyEstimator):
     """Count-Min Sketch with ``d`` levels of ``w`` buckets.
@@ -74,6 +112,8 @@ class CountMinSketch(FrequencyEstimator):
         self.width = width
         self.depth = depth
         self.conservative = conservative
+        self.seed = seed
+        self.hash_scheme = hash_scheme
         self._table = np.zeros((depth, width), dtype=np.int64)
         self._levels = np.arange(depth)
         family = UniversalHashFamily(width, seed=seed, scheme=hash_scheme)
@@ -176,6 +216,15 @@ class CountMinSketch(FrequencyEstimator):
         """Return a copy of the counter table (for inspection/testing)."""
         return self._table.copy()
 
+    def _describe_params(self) -> dict:
+        return {
+            "width": self.width,
+            "depth": self.depth,
+            "seed": self.seed,
+            "conservative": self.conservative,
+            "hash_scheme": self.hash_scheme,
+        }
+
     # ------------------------------------------------------------------
     # merge / serialization
     # ------------------------------------------------------------------
@@ -223,6 +272,8 @@ class CountMinSketch(FrequencyEstimator):
             "width": self.width,
             "depth": self.depth,
             "conservative": self.conservative,
+            "seed": self.seed,
+            "hash_scheme": self.hash_scheme,
             "hashes": hash_states,
         }
         arrays["table"] = self._table
@@ -235,6 +286,8 @@ class CountMinSketch(FrequencyEstimator):
         sketch.width = int(state["width"])
         sketch.depth = int(state["depth"])
         sketch.conservative = bool(state["conservative"])
+        sketch.seed = state.get("seed")
+        sketch.hash_scheme = state.get("hash_scheme", "universal")
         sketch._table = arrays["table"].astype(np.int64, copy=False)
         sketch._levels = np.arange(sketch.depth)
         sketch._hashes = hash_functions_from_state(state["hashes"], arrays)

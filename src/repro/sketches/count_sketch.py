@@ -13,11 +13,17 @@ from typing import Optional
 
 import numpy as np
 
+from repro.api.registry import register_estimator
 from repro.sketches.base import (
     BYTES_PER_BUCKET,
     FrequencyEstimator,
     IncompatibleSketchError,
     as_key_batch,
+)
+from repro.sketches.count_min import (
+    WIDTH_SKETCH_SCHEMA,
+    build_width_sketch,
+    require_one_table_size,
 )
 from repro.sketches.hashing import (
     UniversalHashFamily,
@@ -31,6 +37,19 @@ from repro.streams.stream import Element
 __all__ = ["CountSketch"]
 
 
+_COUNT_SKETCH_SCHEMA = {
+    name: rule
+    for name, rule in WIDTH_SKETCH_SCHEMA.items()
+    if name != "conservative"
+}
+
+
+@register_estimator(
+    "count_sketch",
+    schema=_COUNT_SKETCH_SCHEMA,
+    builder=build_width_sketch,
+    check=require_one_table_size,
+)
 @register_sketch("count_sketch")
 class CountSketch(FrequencyEstimator):
     """Count Sketch with ``d`` levels of ``w`` signed counters."""
@@ -48,18 +67,20 @@ class CountSketch(FrequencyEstimator):
             raise ValueError("depth must be positive")
         self.width = width
         self.depth = depth
+        self.seed = seed
+        self.hash_scheme = hash_scheme
         self._table = np.zeros((depth, width), dtype=np.int64)
         family = UniversalHashFamily(width, seed=seed, scheme=hash_scheme)
         self._hashes = family.draw(depth)
 
     @classmethod
     def from_total_buckets(
-        cls, total_buckets: int, depth: int = 1, seed: Optional[int] = None
+        cls, total_buckets: int, depth: int = 1, seed: Optional[int] = None, **kwargs
     ) -> "CountSketch":
         """Build a sketch with ``total_buckets = width * depth`` counters."""
         if total_buckets < depth:
             raise ValueError("total_buckets must be at least depth")
-        return cls(width=total_buckets // depth, depth=depth, seed=seed)
+        return cls(width=total_buckets // depth, depth=depth, seed=seed, **kwargs)
 
     def update(self, element: Element) -> None:
         key_batch, ones = self._scalar_batch(element.key)
@@ -107,6 +128,14 @@ class CountSketch(FrequencyEstimator):
         """Return a copy of the counter table (for inspection/testing)."""
         return self._table.copy()
 
+    def _describe_params(self) -> dict:
+        return {
+            "width": self.width,
+            "depth": self.depth,
+            "seed": self.seed,
+            "hash_scheme": self.hash_scheme,
+        }
+
     # ------------------------------------------------------------------
     # merge / serialization
     # ------------------------------------------------------------------
@@ -135,7 +164,13 @@ class CountSketch(FrequencyEstimator):
 
     def to_bytes(self) -> bytes:
         hash_states, arrays = hash_functions_state(self._hashes)
-        state = {"width": self.width, "depth": self.depth, "hashes": hash_states}
+        state = {
+            "width": self.width,
+            "depth": self.depth,
+            "seed": self.seed,
+            "hash_scheme": self.hash_scheme,
+            "hashes": hash_states,
+        }
         arrays["table"] = self._table
         return pack("count_sketch", state, arrays)
 
@@ -145,6 +180,8 @@ class CountSketch(FrequencyEstimator):
         sketch = cls.__new__(cls)
         sketch.width = int(state["width"])
         sketch.depth = int(state["depth"])
+        sketch.seed = state.get("seed")
+        sketch.hash_scheme = state.get("hash_scheme", "universal")
         sketch._table = arrays["table"].astype(np.int64, copy=False)
         sketch._hashes = hash_functions_from_state(state["hashes"], arrays)
         return sketch

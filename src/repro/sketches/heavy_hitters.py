@@ -23,6 +23,7 @@ from typing import Dict, Hashable, List, Tuple
 
 import numpy as np
 
+from repro.api.registry import register_estimator
 from repro.sketches.base import (
     BYTES_PER_BUCKET,
     FrequencyEstimator,
@@ -58,6 +59,13 @@ def _replay_batch_in_order(summary, key_batch, count_array, tracked: Dict) -> No
                 summary._update_key(key)
 
 
+#: Schema shared by the two counter summaries (both fully deterministic).
+_COUNTER_SUMMARY_SCHEMA = {
+    "num_counters": {"type": "int", "min": 1, "required": True},
+}
+
+
+@register_estimator("misra_gries", schema=_COUNTER_SUMMARY_SCHEMA, seedless=True)
 @register_sketch("misra_gries")
 class MisraGries(FrequencyEstimator):
     """Misra–Gries summary with ``num_counters`` counters.
@@ -72,6 +80,9 @@ class MisraGries(FrequencyEstimator):
         self.num_counters = num_counters
         self._counters: Dict[Hashable, int] = {}
         self._stream_length = 0
+
+    def _describe_params(self) -> dict:
+        return {"num_counters": self.num_counters}
 
     def update(self, element: Element) -> None:
         self._update_key(element.key)
@@ -187,6 +198,7 @@ class MisraGries(FrequencyEstimator):
         return dict(self._counters)
 
 
+@register_estimator("space_saving", schema=_COUNTER_SUMMARY_SCHEMA, seedless=True)
 @register_sketch("space_saving")
 class SpaceSaving(FrequencyEstimator):
     """Space-Saving summary with ``num_counters`` counters.
@@ -203,6 +215,9 @@ class SpaceSaving(FrequencyEstimator):
         self._counts: Dict[Hashable, int] = {}
         self._errors: Dict[Hashable, int] = {}
         self._stream_length = 0
+
+    def _describe_params(self) -> dict:
+        return {"num_counters": self.num_counters}
 
     def _min_tracked(self) -> Tuple[Hashable, int]:
         key = min(self._counts, key=self._counts.get)

@@ -24,6 +24,8 @@ from typing import Callable, Dict, Hashable, Iterable, List, Optional, Sequence
 
 import numpy as np
 
+from repro.api.registry import register_estimator
+from repro.api.specs import SpecError
 from repro.sketches.base import (
     BYTES_PER_BUCKET,
     FrequencyEstimator,
@@ -44,11 +46,26 @@ from repro.sketches.serialization import (
 from repro.streams.stream import Element
 
 __all__ = [
+    "rank_heavy_keys",
     "HeavyHitterOracle",
     "IdealHeavyHitterOracle",
     "ClassifierHeavyHitterOracle",
     "LearnedCountMinSketch",
 ]
+
+
+def rank_heavy_keys(frequencies, num_heavy: int) -> List[Hashable]:
+    """Top ``num_heavy`` keys by frequency, in deterministic rank order.
+
+    The single source of truth for heavy-hitter selection: the ideal oracle
+    and the spec-building drivers both rank through here, so a spec's
+    ``heavy_keys`` list always matches what the oracle would have chosen
+    (ties break by the mapping's iteration order, stably).
+    """
+    if num_heavy < 0:
+        raise ValueError("num_heavy must be non-negative")
+    ranked = sorted(frequencies.items(), key=lambda kv: kv[1], reverse=True)
+    return [key for key, _ in ranked[:num_heavy]]
 
 
 class HeavyHitterOracle(ABC):
@@ -90,10 +107,7 @@ class IdealHeavyHitterOracle(HeavyHitterOracle):
     @classmethod
     def from_frequencies(cls, frequencies, num_heavy: int) -> "IdealHeavyHitterOracle":
         """Build the oracle from a frequency mapping, taking the top ``num_heavy``."""
-        if num_heavy < 0:
-            raise ValueError("num_heavy must be non-negative")
-        ranked = sorted(frequencies.items(), key=lambda kv: kv[1], reverse=True)
-        return cls(key for key, _ in ranked[:num_heavy])
+        return cls(rank_heavy_keys(frequencies, num_heavy))
 
     @property
     def uses_features(self) -> bool:
@@ -157,6 +171,34 @@ class ClassifierHeavyHitterOracle(HeavyHitterOracle):
         return np.asarray(self._classifier.predict(features), dtype=bool)
 
 
+def _check_heavy_keys(params: dict) -> None:
+    keys = params.get("heavy_keys", [])
+    for key in keys:
+        if not isinstance(key, (int, float, str, bool)) and key is not None:
+            raise SpecError(
+                f"heavy_keys entries must be scalar keys, got {key!r}"
+            )
+
+
+def _build_learned_cms(cls, spec, context):
+    """Build an LCMS with an ideal oracle over the spec's heavy keys."""
+    params = dict(spec.params)
+    heavy_keys = params.pop("heavy_keys", [])
+    return cls(oracle=IdealHeavyHitterOracle(heavy_keys), **params)
+
+
+@register_estimator(
+    "learned_cms",
+    schema={
+        "total_buckets": {"type": "int", "min": 1, "required": True},
+        "num_heavy_buckets": {"type": "int", "min": 0, "required": True},
+        "heavy_keys": {"type": "list"},
+        "depth": {"type": "int", "min": 1},
+        "seed": {"type": "int", "nullable": True},
+    },
+    builder=_build_learned_cms,
+    check=_check_heavy_keys,
+)
 @register_sketch("learned_cms")
 class LearnedCountMinSketch(FrequencyEstimator):
     """LCMS: unique buckets for predicted heavy hitters + CMS for the rest.
@@ -197,6 +239,8 @@ class LearnedCountMinSketch(FrequencyEstimator):
             )
         self.total_buckets = total_buckets
         self.num_heavy_buckets = num_heavy_buckets
+        self.depth = depth
+        self.seed = seed
         self.oracle = oracle
         self._heavy_counts: Dict[Hashable, int] = {}
         # Heavy-predicted keys that arrived after the unique buckets filled:
@@ -327,6 +371,19 @@ class LearnedCountMinSketch(FrequencyEstimator):
         """Number of elements currently held in unique buckets."""
         return len(self._heavy_counts)
 
+    def _describe_params(self) -> dict:
+        params = {
+            "total_buckets": self.total_buckets,
+            "num_heavy_buckets": self.num_heavy_buckets,
+            "depth": self.depth,
+            "seed": self.seed,
+        }
+        if type(self.oracle) is IdealHeavyHitterOracle:
+            params["heavy_keys"] = sorted(self.oracle.heavy_keys, key=repr)
+        else:
+            params["oracle"] = type(self.oracle).__name__
+        return params
+
     # ------------------------------------------------------------------
     # merge / serialization
     # ------------------------------------------------------------------
@@ -411,6 +468,8 @@ class LearnedCountMinSketch(FrequencyEstimator):
             {
                 "total_buckets": self.total_buckets,
                 "num_heavy_buckets": self.num_heavy_buckets,
+                "depth": self.depth,
+                "seed": self.seed,
                 "oracle_keys": [encode_key(key) for key in sorted(
                     self.oracle.heavy_keys, key=repr
                 )],
@@ -428,6 +487,8 @@ class LearnedCountMinSketch(FrequencyEstimator):
         sketch = cls.__new__(cls)
         sketch.total_buckets = int(state["total_buckets"])
         sketch.num_heavy_buckets = int(state["num_heavy_buckets"])
+        sketch.depth = int(state.get("depth", 1))
+        sketch.seed = state.get("seed")
         sketch.oracle = IdealHeavyHitterOracle(
             decode_key(encoded) for encoded in state["oracle_keys"]
         )

@@ -155,14 +155,48 @@ def unpack(data: bytes, expect_tag: str = None) -> Tuple[str, dict, Dict[str, np
     return tag, meta.get("state", {}), arrays
 
 
-def loads(data: bytes):
-    """Rehydrate any registered sketch/hash from its serialized bytes."""
+def _import_default_registrations() -> None:
+    """Import the modules whose classes register serialization tags."""
+    import repro.sketches  # noqa: F401  (sketch + hash tags)
+    import repro.core.sharding  # noqa: F401  ("sharded")
+    import repro.api.session  # noqa: F401  ("session")
+
+
+def loads(data: bytes, expect_kind: str = None):
+    """Rehydrate any registered sketch/estimator from its serialized bytes.
+
+    Dispatch is *not* by tag alone: the buffer's tag must be the canonical
+    kind name of the class it resolves to (a class re-registered under a
+    second tag, or one whose registry entries disagree, is rejected with a
+    clear :class:`SerializationError` instead of silently rehydrating).
+    Pass ``expect_kind`` to additionally reject buffers holding a different
+    estimator kind than the caller planned for.
+    """
     tag, _, _ = unpack(data)
-    if not _REGISTRY:  # pragma: no cover - registry fills on package import
-        import repro.sketches  # noqa: F401
     cls = _REGISTRY.get(tag)
     if cls is None:
+        _import_default_registrations()
+        cls = _REGISTRY.get(tag)
+    if cls is None:
         raise SerializationError(f"unknown sketch tag {tag!r}")
+    canonical = getattr(cls, "SERIAL_TAG", None)
+    if canonical != tag:
+        raise SerializationError(
+            f"tag {tag!r} resolves to {cls.__name__}, whose canonical kind "
+            f"is {canonical!r}; refusing to dispatch by tag alone (load "
+            f"through the canonical kind instead)"
+        )
+    registered_kind = getattr(cls, "ESTIMATOR_KIND", None)
+    if registered_kind is not None and registered_kind != tag:
+        raise SerializationError(
+            f"tag {tag!r} belongs to {cls.__name__}, which is registered "
+            f"in the estimator registry under kind {registered_kind!r}; "
+            "the build and loads name spaces must agree"
+        )
+    if expect_kind is not None and tag != expect_kind:
+        raise SerializationError(
+            f"buffer holds a {tag!r} estimator, expected kind {expect_kind!r}"
+        )
     return cls.from_bytes(data)
 
 

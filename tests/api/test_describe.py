@@ -1,0 +1,147 @@
+"""describe()/__repr__ on every estimator: kind, params, seed, size_bytes.
+
+Satellite of the api_redesign issue: every estimator reports its kind and
+parameters, and for spec-constructible estimators the reported params
+round-trip through ``build({"kind": ..., **params})`` into a
+merge-compatible twin.
+"""
+
+import numpy as np
+import pytest
+
+import repro.api as api
+from repro.streams.synthetic import SyntheticConfig, SyntheticGenerator
+
+ROUND_TRIP_SPECS = [
+    {"kind": "count_min", "total_buckets": 128, "depth": 2, "seed": 5},
+    {"kind": "count_min", "width": 32, "depth": 1, "seed": 5, "conservative": True},
+    {"kind": "count_sketch", "width": 32, "depth": 3, "seed": 5},
+    {"kind": "bloom", "num_bits": 128, "num_hashes": 3, "seed": 5},
+    {"kind": "ams", "num_estimators": 16, "means_groups": 4, "seed": 5},
+    {"kind": "misra_gries", "num_counters": 8},
+    {"kind": "space_saving", "num_counters": 8},
+    {"kind": "exact_counter"},
+    {
+        "kind": "learned_cms",
+        "total_buckets": 64,
+        "num_heavy_buckets": 3,
+        "heavy_keys": [7, 8, 9],
+        "depth": 1,
+        "seed": 5,
+    },
+]
+
+
+@pytest.mark.parametrize(
+    "spec_dict", ROUND_TRIP_SPECS, ids=[d["kind"] for d in ROUND_TRIP_SPECS][:8] + ["learned_cms2"]
+)
+def test_describe_round_trips_through_build(spec_dict):
+    estimator = api.build(spec_dict)
+    info = estimator.describe()
+    assert info["kind"] == spec_dict["kind"]
+    assert info["size_bytes"] == int(estimator.size_bytes)
+    if "seed" in spec_dict:
+        assert info["params"]["seed"] == spec_dict["seed"]
+    # The reported params rebuild a merge-compatible twin.
+    twin = api.build({"kind": info["kind"], **info["params"]})
+    if hasattr(estimator, "update_batch"):
+        estimator.update_batch([1, 2, 3])
+        twin.update_batch([4])
+    estimator.merge(twin)
+
+
+@pytest.mark.parametrize(
+    "spec_dict", ROUND_TRIP_SPECS, ids=[d["kind"] for d in ROUND_TRIP_SPECS][:8] + ["learned_cms2"]
+)
+def test_repr_reports_kind_and_size(spec_dict):
+    rendered = repr(api.build(spec_dict))
+    assert f"kind={spec_dict['kind']}" in rendered
+    assert "size_bytes=" in rendered
+
+
+def test_describe_count_min_exact_fields():
+    info = api.build({"kind": "count_min", "width": 16, "depth": 2, "seed": 3}).describe()
+    assert info["params"] == {
+        "width": 16,
+        "depth": 2,
+        "seed": 3,
+        "conservative": False,
+        "hash_scheme": "universal",
+    }
+
+
+def test_describe_survives_serialization():
+    estimator = api.build({"kind": "count_min", "width": 16, "depth": 2, "seed": 3})
+    from repro.sketches import loads
+
+    restored = loads(estimator.to_bytes())
+    assert restored.describe() == estimator.describe()
+
+
+def test_long_parameter_lists_are_elided_in_repr():
+    spec = {
+        "kind": "learned_cms",
+        "total_buckets": 128,
+        "num_heavy_buckets": 20,
+        "heavy_keys": list(range(20)),
+        "seed": 0,
+    }
+    rendered = repr(api.build(spec))
+    assert "<20 values>" in rendered
+    assert "[0, 1, 2" not in rendered
+
+
+def test_opt_hash_describe_reports_training_facts():
+    generator = SyntheticGenerator(
+        SyntheticConfig(num_groups=3, fraction_seen=0.5, seed=0)
+    )
+    prefix = generator.generate_prefix(300)
+    static = api.build(
+        {"kind": "opt_hash", "num_buckets": 4, "classifier": "cart", "seed": 7},
+        prefix=prefix,
+    )
+    info = static.describe()
+    assert info["kind"] == "opt_hash"
+    assert info["params"]["num_buckets"] == 4
+    assert info["params"]["seed"] == 7
+    assert info["params"]["classifier"] == "DecisionTreeClassifier"
+    assert info["params"]["num_stored_ids"] == static.scheme.num_stored_ids
+
+    adaptive = api.build(
+        {
+            "kind": "adaptive_opt_hash",
+            "num_buckets": 4,
+            "classifier": None,
+            "bloom_bits": 256,
+            "seed": 7,
+        },
+        prefix=prefix,
+    )
+    info = adaptive.describe()
+    assert info["kind"] == "adaptive_opt_hash"
+    assert info["params"]["bloom_bits"] == 256
+    assert info["params"]["seed"] == 7
+
+
+def test_sharded_describe_embeds_inner_spec():
+    sharded = api.build(
+        {
+            "kind": "sharded",
+            "inner": {"kind": "count_min", "width": 16, "seed": 2},
+            "num_shards": 3,
+            "mode": "round-robin",
+        }
+    )
+    info = sharded.describe()
+    assert info["kind"] == "sharded"
+    assert info["params"]["num_shards"] == 3
+    assert info["params"]["inner"]["kind"] == "count_min"
+    assert "sharded" in repr(sharded)
+
+
+def test_describe_params_are_json_safe():
+    import json
+
+    for spec_dict in ROUND_TRIP_SPECS:
+        info = api.build(spec_dict).describe()
+        json.dumps(info)

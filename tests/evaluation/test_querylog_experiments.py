@@ -7,13 +7,14 @@ memory budgets — enough to verify the mechanics and the qualitative ordering
 
 import pytest
 
+from repro.api import OptHashSpec, SketchSpec, SpecError
 from repro.evaluation.querylog_experiments import (
-    EstimatorSpec,
     build_estimator,
     default_opt_hash_options,
     run_error_vs_size,
     run_error_vs_time,
     run_rank_error_table,
+    spec_for_method,
 )
 from repro.sketches.count_min import CountMinSketch
 from repro.sketches.learned_cms import LearnedCountMinSketch
@@ -46,39 +47,51 @@ def tiny_dataset():
 
 class TestBuildEstimator:
     def test_count_min_budget(self, tiny_dataset):
-        estimator = build_estimator(
-            EstimatorSpec("count-min", {"depth": 2}), 1.0, tiny_dataset, seed=0
-        )
+        spec = spec_for_method("count-min", 1.0, {"depth": 2}, seed=0)
+        assert isinstance(spec, SketchSpec) and spec.kind == "count_min"
+        estimator = build_estimator(spec, tiny_dataset)
         assert isinstance(estimator, CountMinSketch)
         assert estimator.size_kb == pytest.approx(1.0, rel=0.01)
 
     def test_heavy_hitter_requires_oracle(self, tiny_dataset):
         with pytest.raises(ValueError):
-            build_estimator(EstimatorSpec("heavy-hitter", {}), 1.0, tiny_dataset, seed=0)
+            spec_for_method("heavy-hitter", 1.0, {}, seed=0)
 
     def test_heavy_hitter_built_with_oracle(self, tiny_dataset):
         truth = dict(tiny_dataset.cumulative_frequencies(3).items())
-        estimator = build_estimator(
-            EstimatorSpec("heavy-hitter", {"depth": 1, "num_heavy_buckets": 10}),
+        spec = spec_for_method(
+            "heavy-hitter",
             1.0,
-            tiny_dataset,
+            {"depth": 1, "num_heavy_buckets": 10},
             oracle_frequencies=truth,
             seed=0,
         )
+        assert spec.kind == "learned_cms"
+        assert len(spec.params["heavy_keys"]) == 10
+        estimator = build_estimator(spec, tiny_dataset)
         assert isinstance(estimator, LearnedCountMinSketch)
         assert estimator.size_kb <= 1.01
 
     def test_opt_hash_trained_on_prefix(self, tiny_dataset):
+        spec = spec_for_method("opt-hash", 1.0, TINY_OPT_HASH, seed=0)
+        assert isinstance(spec, OptHashSpec)
         estimator = build_estimator(
-            EstimatorSpec("opt-hash", TINY_OPT_HASH), 1.0, tiny_dataset, seed=0
+            spec, tiny_dataset, vocabulary_size=TINY_OPT_HASH["vocabulary_size"]
         )
         assert isinstance(estimator, OptHashEstimator)
         # Memory accounting: stored IDs + buckets stay within ~1 KB.
         assert estimator.size_kb == pytest.approx(1.0, rel=0.05)
 
+    def test_specs_are_json_safe(self, tiny_dataset):
+        import json
+
+        spec = spec_for_method("opt-hash", 1.0, TINY_OPT_HASH, seed=0)
+        round_tripped = json.loads(json.dumps(spec.to_dict()))
+        assert round_tripped == spec.to_dict()
+
     def test_unknown_method_rejected(self, tiny_dataset):
-        with pytest.raises(ValueError):
-            build_estimator(EstimatorSpec("magic", {}), 1.0, tiny_dataset, seed=0)
+        with pytest.raises(SpecError):
+            spec_for_method("magic", 1.0, {}, seed=0)
 
     def test_default_options_complete(self):
         options = default_opt_hash_options()

@@ -1,0 +1,76 @@
+"""The loads() kind cross-check: no dispatch by buffer tag alone.
+
+Bugfix satellite of the api_redesign issue: a buffer whose tag is not the
+canonical kind name of the class it resolves to — a class re-registered
+under a second tag, or registries that disagree — must be rejected with a
+clear error instead of silently rehydrated, and callers can pin the kind
+they expect with ``expect_kind``.
+"""
+
+import pytest
+
+from repro.sketches import CountMinSketch, SerializationError, loads
+from repro.sketches.serialization import _REGISTRY, pack, register_sketch
+
+
+class TestExpectKind:
+    def test_matching_kind_loads(self):
+        sketch = CountMinSketch(width=8, depth=2, seed=1)
+        restored = loads(sketch.to_bytes(), expect_kind="count_min")
+        assert isinstance(restored, CountMinSketch)
+
+    def test_mismatched_kind_rejected(self):
+        sketch = CountMinSketch(width=8, depth=2, seed=1)
+        with pytest.raises(SerializationError, match="expected kind 'bloom'"):
+            loads(sketch.to_bytes(), expect_kind="bloom")
+
+    def test_unknown_tag_still_rejected(self):
+        with pytest.raises(SerializationError, match="unknown sketch tag"):
+            loads(pack("never_registered", {}, {}))
+
+
+class TestNoDispatchByTagAlone:
+    def test_stale_alias_tag_rejected(self):
+        """A class re-registered under a new tag must not load via the old one."""
+
+        class Doomed(CountMinSketch):
+            pass
+
+        register_sketch("doomed_v1")(Doomed)
+        register_sketch("doomed_v2")(Doomed)  # canonical kind moves on
+        try:
+            buffer = pack("doomed_v1", {}, {})
+            with pytest.raises(SerializationError, match="canonical kind"):
+                loads(buffer)
+            # The canonical tag keeps working (from_bytes itself will then
+            # reject the payload tag, which is the count_min wire format).
+            with pytest.raises(SerializationError):
+                loads(pack("doomed_v2", {}, {}))
+        finally:
+            _REGISTRY.pop("doomed_v1", None)
+            _REGISTRY.pop("doomed_v2", None)
+
+    def test_disagreeing_estimator_registry_rejected(self):
+        """A serial tag whose class claims a different build kind is rejected."""
+
+        class Doomed(CountMinSketch):
+            pass
+
+        register_sketch("doomed_tag")(Doomed)
+        Doomed.ESTIMATOR_KIND = "some_other_kind"
+        try:
+            with pytest.raises(SerializationError, match="must agree"):
+                loads(pack("doomed_tag", {}, {}))
+        finally:
+            _REGISTRY.pop("doomed_tag", None)
+
+    def test_every_registered_class_is_canonical(self):
+        """The shipped registry never trips the cross-checks."""
+        import repro.api.session  # noqa: F401
+        import repro.core.sharding  # noqa: F401
+        import repro.sketches  # noqa: F401
+
+        for tag, cls in _REGISTRY.items():
+            assert getattr(cls, "SERIAL_TAG", None) == tag
+            kind = getattr(cls, "ESTIMATOR_KIND", None)
+            assert kind is None or kind == tag
