@@ -217,3 +217,57 @@ def test_sharded_ingestion_speedup_at_least_2x():
             f">= {NUM_SHARDS}; measured {speedup:.2f}x (recorded in BENCH_shard.json)"
         )
     assert speedup >= 2.0
+
+
+# ----------------------------------------------------------------------
+# query-path micro-regressions (PR-4 satellite)
+# ----------------------------------------------------------------------
+def test_estimate_batch_reuses_cached_index_buffers():
+    """`estimate_batch` must not re-materialize its broadcast/scratch arrays.
+
+    Guards the PR-4 micro-optimizations: the `_levels[:, None]` gather index
+    is built once at construction, and `_positions` writes into a
+    preallocated scratch buffer instead of `np.stack`-allocating per call.
+    A regression here silently taxes every query batch.
+    """
+    sketch = CountMinSketch.from_total_buckets(8192, depth=3, seed=1)
+    keys = _zipf_stream(50_000)
+    sketch.update_batch(keys)
+
+    # The cached gather index is a view of the cached levels array.
+    levels_col_before = sketch._levels_col
+    assert levels_col_before.base is sketch._levels
+
+    # Repeated same-size queries reuse one per-thread scratch buffer (no
+    # per-call np.stack allocation)...
+    first = sketch._positions(keys[:4096])
+    buffer_after_first = sketch._position_scratch.buffer
+    second = sketch._positions(keys[:4096])
+    assert sketch._position_scratch.buffer is buffer_after_first
+    assert first.base is second.base is buffer_after_first
+    # ... and querying does not rebuild the cached index either.
+    sketch.estimate_batch(keys[:4096])
+    assert sketch._levels_col is levels_col_before
+
+    # Correctness is untouched: batch estimates equal the scalar path.
+    probe = keys[:256]
+    batch = sketch.estimate_batch(probe)
+    scalar = np.array([sketch.estimate(Element(key=key)) for key in probe])
+    assert (batch == scalar).all()
+
+
+def test_estimate_batch_faster_than_restack_baseline():
+    """Record the measured query throughput of the cached-buffer path."""
+    sketch = CountMinSketch.from_total_buckets(65536, depth=4, seed=1)
+    keys = _zipf_stream(200_000)
+    sketch.update_batch(keys)
+    start = time.perf_counter()
+    for chunk_start in range(0, len(keys), 8192):
+        sketch.estimate_batch(keys[chunk_start : chunk_start + 8192])
+    rate = len(keys) / (time.perf_counter() - start)
+    save_result(
+        "throughput_query_path",
+        f"Count-Min estimate_batch (depth=4, 65,536 buckets, cached index "
+        f"buffers): {rate:,.0f} queries/sec",
+    )
+    assert rate > 0

@@ -40,6 +40,7 @@ __all__ = [
     "estimator_class_for",
     "kind_exists",
     "kind_requires_training",
+    "kind_supports_storage",
     "validate_spec_params",
     "check_deterministic_for_sharding",
     "build",
@@ -191,6 +192,16 @@ def estimator_class_for(kind: str) -> type:
 def kind_requires_training(kind: str) -> bool:
     """Whether building ``kind`` runs a learning phase (needs a prefix)."""
     return _entry(kind).requires_training
+
+
+def kind_supports_storage(kind: str) -> bool:
+    """Whether ``kind`` accepts the pluggable counter-storage fields.
+
+    A kind supports storage exactly when its spec schema declares the
+    ``storage`` parameter (the table sketches merge
+    :data:`repro.core.storage.STORAGE_SCHEMA` into their schemas).
+    """
+    return "storage" in _entry(kind).schema
 
 
 # ----------------------------------------------------------------------

@@ -149,8 +149,19 @@ class Session:
         self._estimator.merge(estimator)
         return self
 
-    def snapshot(self) -> bytes:
+    def snapshot(self, *, embed: Optional[bool] = None) -> bytes:
         """Serialize spec + estimator state into one versioned buffer.
+
+        For mmap-backed estimators the default snapshot is *live*: the
+        counter table is flushed and referenced by path instead of being
+        copied into the buffer — O(1) in the table size — and ``restore``
+        reattaches the file in place.  A live snapshot is a recovery
+        sidecar, **not** a point-in-time copy: later ingestion keeps
+        mutating the file it references, and restoring it aliases the same
+        pages the session writes.  For a frozen, portable checkpoint of an
+        mmap session pass ``embed=True``; ``embed=False`` demands the
+        zero-copy form (raises :class:`SerializationError` for non-mmap
+        estimators).
 
         Raises :class:`SerializationError` for estimators without a binary
         form (the trained opt-hash estimators wrap an arbitrary classifier).
@@ -161,7 +172,15 @@ class Session:
                 f"estimator kind {self.kind!r} has no binary serialization; "
                 "snapshot() is unavailable for it"
             )
-        blob = to_bytes()
+        backend = getattr(self._estimator, "storage_backend", "dense")
+        if embed is None:
+            embed = backend != "mmap"
+        if not embed and backend != "mmap":
+            raise SerializationError(
+                "zero-copy (embed=False) snapshots require an mmap-backed "
+                f"estimator; this one uses {backend!r} storage"
+            )
+        blob = to_bytes() if embed else to_bytes(live=True)
         return pack(
             _SESSION_TAG,
             {"spec": self._spec.to_dict()},

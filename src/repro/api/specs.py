@@ -300,6 +300,7 @@ class ShardedSpec(EstimatorSpec):
     MODES = ("key-partition", "round-robin")
     EXECUTORS = ("serial", "thread", "process")
     QUERY_MODES = ("collapse", "fanout")
+    TRANSPORTS = ("serialization", "shm")
 
     def __init__(
         self,
@@ -308,6 +309,7 @@ class ShardedSpec(EstimatorSpec):
         mode: str = "key-partition",
         executor: str = "serial",
         query_mode: str = "collapse",
+        transport: str = "serialization",
         partition_seed: Optional[int] = None,
     ) -> None:
         if not isinstance(inner, EstimatorSpec):
@@ -322,6 +324,7 @@ class ShardedSpec(EstimatorSpec):
         self.mode = mode
         self.executor = executor
         self.query_mode = query_mode
+        self.transport = transport
         self.partition_seed = partition_seed
         self.validate()
 
@@ -347,6 +350,11 @@ class ShardedSpec(EstimatorSpec):
             )
         if self.query_mode == "fanout" and self.mode != "key-partition":
             raise SpecError("fanout queries require key-partition mode")
+        if self.transport not in self.TRANSPORTS:
+            raise SpecError(
+                f"transport must be one of {self.TRANSPORTS}, got "
+                f"{self.transport!r}"
+            )
         if self.partition_seed is not None and not isinstance(self.partition_seed, int):
             raise SpecError(
                 f"partition_seed must be an int or None, got {self.partition_seed!r}"
@@ -355,9 +363,30 @@ class ShardedSpec(EstimatorSpec):
         from repro.api.registry import (
             check_deterministic_for_sharding,
             kind_requires_training,
+            kind_supports_storage,
         )
 
         check_deterministic_for_sharding(self.inner)
+        if self.transport == "shm":
+            if self.executor != "process":
+                raise SpecError(
+                    "transport='shm' requires executor='process' (the other "
+                    "executors already share memory)"
+                )
+            if not kind_supports_storage(self.inner.kind):
+                raise SpecError(
+                    f"transport='shm' needs an inner kind with pluggable "
+                    f"counter storage; {self.inner.kind!r} has no storage= "
+                    "field"
+                )
+            if (
+                isinstance(self.inner, SketchSpec)
+                and self.inner.params.get("storage") == "mmap"
+            ):
+                raise SpecError(
+                    "mmap-backed shards cannot use the shm transport; pick "
+                    "storage='shm' or the serialization transport"
+                )
         if self.executor == "process" and kind_requires_training(self.inner.kind):
             # Fail before build: trained opt-hash shards have no binary form
             # to ship across the process boundary, and discovering that only
@@ -378,6 +407,8 @@ class ShardedSpec(EstimatorSpec):
             "executor": self.executor,
             "query_mode": self.query_mode,
         }
+        if self.transport != "serialization":
+            data["transport"] = self.transport
         if self.partition_seed is not None:
             data["partition_seed"] = self.partition_seed
         return data
@@ -393,7 +424,14 @@ class ShardedSpec(EstimatorSpec):
             raise SpecError("sharded spec dict is missing its 'inner' spec dict")
         unknown = sorted(
             set(data)
-            - {"num_shards", "mode", "executor", "query_mode", "partition_seed"}
+            - {
+                "num_shards",
+                "mode",
+                "executor",
+                "query_mode",
+                "transport",
+                "partition_seed",
+            }
         )
         if unknown:
             raise SpecError(f"unknown sharded parameter(s) {unknown}")

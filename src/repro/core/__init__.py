@@ -19,6 +19,16 @@ substrates:
 from repro.core.scheme import OptHashScheme
 from repro.core.estimator import OptHashEstimator, AdaptiveOptHashEstimator
 from repro.core.sharding import ShardedEstimator
+from repro.core.storage import (
+    STORAGE_BACKENDS,
+    CounterStorage,
+    DenseStorage,
+    MmapStorage,
+    SharedMemoryStorage,
+    StorageBacked,
+    StorageError,
+)
+from repro.core.workers import ShardWorkerPool
 from repro.core.pipeline import (
     OptHashConfig,
     TrainingResult,
@@ -34,6 +44,14 @@ __all__ = [
     "OptHashEstimator",
     "AdaptiveOptHashEstimator",
     "ShardedEstimator",
+    "ShardWorkerPool",
+    "STORAGE_BACKENDS",
+    "CounterStorage",
+    "DenseStorage",
+    "SharedMemoryStorage",
+    "MmapStorage",
+    "StorageBacked",
+    "StorageError",
     "OptHashConfig",
     "TrainingResult",
     "train_opt_hash",

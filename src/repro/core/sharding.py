@@ -30,20 +30,28 @@ Ingestion runs through a ``concurrent.futures`` pool:
   shard.  Shards are disjoint objects, so no locking is needed; NumPy
   releases the GIL in the hashing kernels, which is where batch ingestion
   spends its time.
-* ``process``: true parallelism via a
-  :class:`~concurrent.futures.ProcessPoolExecutor`.  Each task ships a
-  *blank* clone of the shard (its ``to_bytes()`` serialization, cached at
-  construction) plus the sub-batch to a worker, which rehydrates, ingests,
-  and returns the updated state as bytes; the parent folds the result into
-  the resident shard with ``merge``.  Only the constant-size blank sketch
-  and the keys cross the process boundary, never the accumulated state, so
-  transport cost stays flat as the stream grows.  ``update_batch`` submits
-  and returns immediately — results are drained and merged lazily, right
-  before anything reads shard state — so the parent pipelines batch N+1's
-  routing with batch N's ingestion, with a bounded backlog (it blocks on
-  the oldest outstanding task once too many batches per shard are in
-  flight).  Requires the factory's estimators to implement
-  ``to_bytes``/``merge``.
+* ``process``: true parallelism, with a choice of *transport*:
+
+  - ``transport="serialization"`` (default): a
+    :class:`~concurrent.futures.ProcessPoolExecutor` task per batch.  Each
+    task ships a *blank* clone of the shard (spec dict or cached
+    ``to_bytes()``) plus the sub-batch to a worker, which rehydrates,
+    ingests, and returns the updated state as bytes; the parent folds the
+    result into the resident shard with ``merge``.  The return leg costs
+    one full table serialization + deserialization + merge per batch.
+  - ``transport="shm"``: the shards' counter tables live in shared memory
+    (``storage="shm"`` via :mod:`repro.core.storage`) and a *persistent*
+    worker per shard (:class:`~repro.core.workers.ShardWorkerPool`)
+    attaches to its shard's table once, at spawn.  Each batch then ships
+    only ``(keys, counts)``; the worker scatters directly into the shared
+    table and nothing returns — the return leg is zero-copy, and the
+    parent's resident shards read worker progress live.  Requires
+    spec-built shards whose kind supports pluggable storage.
+
+  Either way ``update_batch`` submits and returns immediately — results
+  are drained lazily, right before anything reads shard state — so the
+  parent pipelines batch N+1's routing with batch N's ingestion, with a
+  bounded backlog.
 
 Queries default to ``collapse``: merge all shards into one estimator (cached
 until the next update) and answer from it — for linear sketches this is
@@ -71,28 +79,50 @@ from repro.sketches.base import (
     IncompatibleSketchError,
     as_key_batch,
 )
+from repro.core.workers import WORKER_CHUNK_SIZE, ShardWorkerPool
 from repro.sketches.hashing import fingerprint64_batch
 from repro.sketches.serialization import (
     SerializationError,
     loads,
     pack,
+    peek_tag,
     register_sketch,
     unpack,
 )
 from repro.streams.stream import Element
 
-__all__ = ["ShardedEstimator"]
+__all__ = ["ShardedEstimator", "WORKER_CHUNK_SIZE"]
 
 #: Seed of the shard-routing fingerprint.  Deliberately distinct from any
 #: sketch-level hash seed so shard routing is independent of bucket hashing.
 DEFAULT_PARTITION_SEED = 0x51A2DED
 
-#: Chunk size of the in-worker ingestion loop.  Callers ship *large*
-#: sub-batches to the process pool (few tasks amortize the submit/pickle
-#: overhead), but vectorized ingestion is fastest when its scatter/gather
-#: temporaries stay cache-resident, so the worker re-chunks locally — same
-#: sweet spot as ``repro.core.pipeline.DEFAULT_REPLAY_BATCH_SIZE``.
-WORKER_CHUNK_SIZE = 65536
+
+def _loads_dense(payload: bytes):
+    """:func:`loads`, but forcing dense storage when the kind supports it.
+
+    Transport blobs rehydrate *transient* clones (worker blanks, return-leg
+    state); letting them allocate the shm segment or mmap file their state
+    records would leak one backend resource per batch.
+    """
+    tag = peek_tag(payload)
+    from repro.api.registry import kind_exists, kind_supports_storage
+
+    if kind_exists(tag) and kind_supports_storage(tag):
+        return loads(payload, storage="dense")
+    return loads(payload)
+
+
+def _release_discarded(estimator) -> None:
+    """Close a replaced/throwaway estimator's storage without the detach
+    copy (it is never used again)."""
+    release = getattr(estimator, "close", None)
+    if release is None:
+        return
+    try:
+        release(detach=False)
+    except TypeError:
+        release()
 
 
 def _shard_worker(transport, keys, counts) -> bytes:
@@ -108,9 +138,15 @@ def _shard_worker(transport, keys, counts) -> bytes:
     if mode == "spec":
         from repro.api.registry import build
 
+        # The blank is transient (ingest, serialize, discard): give it no
+        # backend of its own, whatever the parent-side spec says — an shm/
+        # mmap blank would leak a segment/file in the pool worker per task.
+        payload = dict(payload)
+        payload.pop("storage", None)
+        payload.pop("storage_path", None)
         shard = build(payload)
     else:
-        shard = loads(payload)
+        shard = _loads_dense(payload)
     for start in range(0, len(keys), WORKER_CHUNK_SIZE):
         shard.update_batch(
             keys[start : start + WORKER_CHUNK_SIZE],
@@ -133,6 +169,7 @@ def _build_sharded(cls, spec: ShardedSpec, context: dict) -> "ShardedEstimator":
         mode=spec.mode,
         executor=spec.executor,
         query_mode=spec.query_mode,
+        transport=spec.transport,
         partition_seed=(
             spec.partition_seed
             if spec.partition_seed is not None
@@ -201,6 +238,11 @@ class ShardedEstimator(FrequencyEstimator):
         ``"collapse"`` (default; query the merged estimator) or ``"fanout"``
         (route queries to owning shards; requires key partitioning and is
         only exact for per-key-state estimators — see module docstring).
+    transport:
+        Process-executor transport: ``"serialization"`` (default; state
+        round-trips as bytes per batch) or ``"shm"`` (persistent workers
+        scatter into shared-memory tables, zero-copy return leg — see
+        module docstring).
     partition_seed:
         Seed of the key-routing fingerprint hash.
     """
@@ -208,6 +250,7 @@ class ShardedEstimator(FrequencyEstimator):
     MODES = ("key-partition", "round-robin")
     EXECUTORS = ("serial", "thread", "process")
     QUERY_MODES = ("collapse", "fanout")
+    TRANSPORTS = ("serialization", "shm")
     #: Process-mode backlog cap: at most this many in-flight batches per
     #: shard before update_batch blocks on the oldest outstanding task.
     _MAX_PENDING_FACTOR = 4
@@ -219,6 +262,7 @@ class ShardedEstimator(FrequencyEstimator):
         mode: str = "key-partition",
         executor: str = "serial",
         query_mode: str = "collapse",
+        transport: str = "serialization",
         partition_seed: int = DEFAULT_PARTITION_SEED,
     ) -> None:
         if num_shards <= 0:
@@ -233,6 +277,15 @@ class ShardedEstimator(FrequencyEstimator):
             raise ValueError(
                 f"query_mode must be one of {self.QUERY_MODES}, got {query_mode!r}"
             )
+        if transport not in self.TRANSPORTS:
+            raise ValueError(
+                f"transport must be one of {self.TRANSPORTS}, got {transport!r}"
+            )
+        if transport == "shm" and executor != "process":
+            raise ValueError(
+                "the shm transport rides the process executor (other "
+                "executors share memory by construction)"
+            )
         if query_mode == "fanout" and mode != "key-partition":
             raise ValueError(
                 "fanout queries require key partitioning (round-robin spreads "
@@ -242,6 +295,7 @@ class ShardedEstimator(FrequencyEstimator):
         self.mode = mode
         self.executor = executor
         self.query_mode = query_mode
+        self.transport = transport
         self._partition_seed = partition_seed
         #: Inner-shard spec, when known.  Set either by spec-based
         #: construction (then shards are rebuildable from it anywhere) or as
@@ -261,7 +315,25 @@ class ShardedEstimator(FrequencyEstimator):
             self._spec_constructible = True
             factory = lambda: _api_build(spec)  # noqa: E731
         self._factory = factory
-        self.shards = [factory() for _ in range(num_shards)]
+        # Merge/collapse targets are transient (one per collapse / cached
+        # query estimator): build them dense whatever storage the shards
+        # use, or every query cycle would allocate a fresh shm segment or
+        # orphan an mmap temp file.  Only possible for spec-built shards;
+        # a callable factory is opaque.
+        self._merge_factory = factory
+        if self._spec_constructible:
+            base_dict = self.estimator_spec.to_dict()
+            had_storage = base_dict.pop("storage", None) is not None
+            had_storage = base_dict.pop("storage_path", None) is not None or had_storage
+            if had_storage:
+                from repro.api.registry import build as _build_dense
+
+                self._merge_factory = lambda: _build_dense(base_dict)
+        self._shard_spec_dict = None
+        if transport == "shm":
+            self._init_shm_shards(num_shards)
+        else:
+            self.shards = [factory() for _ in range(num_shards)]
         # Shards must speak the batch ingestion + merge protocol; rejecting
         # here turns "bloom cannot shard" into one clear error instead of an
         # AttributeError mid-stream.
@@ -276,7 +348,14 @@ class ShardedEstimator(FrequencyEstimator):
         self._pool = None
         self._transport = None  # per-shard blank transport for process mode
         self._pending = []  # (shard_index, future) pairs awaiting merge
-        if executor == "process":
+        self._worker_pool: Optional[ShardWorkerPool] = None
+        self._closed = False
+        if executor == "process" and transport == "shm":
+            # The persistent worker pool spawns lazily (first ingest or
+            # warm_up), so deserialized instances can swap their shards in
+            # before any worker attaches a table.
+            pass
+        elif executor == "process":
             # Both transports still need to_bytes on the *return* leg (the
             # worker ships its ingested state back as bytes), so the shard
             # type must be serializable either way.
@@ -310,6 +389,59 @@ class ShardedEstimator(FrequencyEstimator):
             self._pool = concurrent.futures.ThreadPoolExecutor(
                 max_workers=num_shards
             )
+
+    # ------------------------------------------------------------------
+    # shm transport plumbing
+    # ------------------------------------------------------------------
+    def _init_shm_shards(self, num_shards: int) -> None:
+        """Build the shards with shared-memory counter tables.
+
+        The inner spec is re-targeted at ``storage="shm"`` so each shard's
+        table lives in a named segment the persistent workers can attach
+        (collapse/merge targets stay dense — see ``_merge_factory``).
+        """
+        from repro.api.registry import build as _api_build, kind_supports_storage
+
+        if not self._spec_constructible:
+            raise ValueError(
+                "the shm transport requires spec-built shards (pass an "
+                "EstimatorSpec or spec dict, not a callable factory): the "
+                "persistent workers rebuild their blank twin from the spec"
+            )
+        inner_kind = self.estimator_spec.kind
+        if not kind_supports_storage(inner_kind):
+            raise ValueError(
+                f"kind {inner_kind!r} has no pluggable counter storage; use "
+                "the serialization transport"
+            )
+        shard_dict = self.estimator_spec.to_dict()
+        if shard_dict.get("storage") == "mmap":
+            raise ValueError(
+                "mmap-backed shards cannot use the shm transport (one file "
+                "cannot back both); pick storage='shm' or the serialization "
+                "transport"
+            )
+        shard_dict["storage"] = "shm"
+        shard_dict.pop("storage_path", None)
+        self._shard_spec_dict = shard_dict
+        base_dict = self.estimator_spec.to_dict()
+        base_dict.pop("storage", None)
+        base_dict.pop("storage_path", None)
+        self._merge_factory = lambda: _api_build(base_dict)
+        self.shards = [_api_build(shard_dict) for _ in range(num_shards)]
+
+    def _ensure_workers(self) -> ShardWorkerPool:
+        """Spawn the persistent worker pool on first use (shm transport)."""
+        if self._closed:
+            raise RuntimeError("ShardedEstimator is closed")
+        if self._worker_pool is None:
+            manifests = [shard.storage_manifest() for shard in self.shards]
+            self._worker_pool = ShardWorkerPool(
+                self._shard_spec_dict,
+                manifests,
+                max_pending=self._MAX_PENDING_FACTOR,
+            )
+        return self._worker_pool
 
     # ------------------------------------------------------------------
     # routing
@@ -374,7 +506,14 @@ class ShardedEstimator(FrequencyEstimator):
             return
         self._collapsed = None
         jobs = self._partition_jobs(items, key_batch, count_array, n)
-        if self.executor == "process":
+        if self.executor == "process" and self.transport == "shm":
+            # Persistent workers scatter straight into the shared tables;
+            # only (keys, counts) cross the process boundary and nothing
+            # returns.  Backpressure is the pool's bounded task queues.
+            pool = self._ensure_workers()
+            for shard_index, part, part_counts in jobs:
+                pool.submit(shard_index, part, part_counts)
+        elif self.executor == "process":
             # Fire and return: the parent keeps routing the next batch while
             # the workers ingest this one.  Results merge in _drain_pending.
             # Backpressure keeps the backlog (queued key chunks + finished
@@ -431,7 +570,14 @@ class ShardedEstimator(FrequencyEstimator):
         self._pending = still_running
 
     def _drain_pending(self) -> None:
-        """Merge every completed/outstanding process-pool result."""
+        """Wait out / merge every outstanding ingestion task.
+
+        Serialization transport: merge each returned state blob.  Shm
+        transport: block until the workers have acked every submitted batch
+        (their writes land in the shared tables directly).
+        """
+        if self._worker_pool is not None:
+            self._worker_pool.join()
         pending, self._pending = self._pending, []
         for shard_index, future in pending:
             self.shards[shard_index].merge(loads(future.result()))
@@ -479,7 +625,7 @@ class ShardedEstimator(FrequencyEstimator):
         merged-summary guarantees.
         """
         self._drain_pending()
-        merged = self._factory()
+        merged = self._merge_factory()
         for shard in self.shards:
             merged.merge(shard)
         return merged
@@ -490,24 +636,63 @@ class ShardedEstimator(FrequencyEstimator):
             self._collapsed = self.collapse()
         return self._collapsed
 
+    def live_estimate(self, keys) -> np.ndarray:
+        """Point queries against the shards' *current* state, without
+        draining in-flight batches.
+
+        With the shm transport the workers write the shared tables in
+        place, so this observes their progress mid-stream — the reason the
+        backend exists.  (With the other executors it simply skips the
+        drain; estimates lag by whatever is still queued.)  Answers are
+        exact once the stream is drained, monotone under-counts before.
+        """
+        merged = self._merge_factory()
+        for shard in self.shards:
+            merged.merge(shard)
+        return merged.estimate_batch(keys)
+
     def warm_up(self) -> "ShardedEstimator":
         """Eagerly spawn the executor's workers.
 
         A :class:`~concurrent.futures.ProcessPoolExecutor` forks lazily on
         first submit, which would otherwise charge worker startup to the
         first ingested batch; long-lived services warm the pool at deploy
-        time instead.  No-op for the serial executor.
+        time instead.  For the shm transport this spawns the persistent
+        workers and blocks until each has attached its shard's table.
+        No-op for the serial executor.
         """
+        if self.executor == "process" and self.transport == "shm":
+            self._ensure_workers().wait_ready()
+            return self
         if self._pool is not None:
             list(self._pool.map(int, range(self.num_shards), chunksize=1))
         return self
 
     def close(self) -> None:
-        """Drain outstanding work and shut down the executor pool."""
-        self._drain_pending()
-        if self._pool is not None:
-            self._pool.shutdown()
-            self._pool = None
+        """Drain outstanding work and release every backend resource.
+
+        Idempotent.  Shuts down the executor/worker pools and releases the
+        shards' counter storage: owned shm segments are unlinked, mmap
+        handles flushed and closed (files kept).  The shards detach into
+        private dense copies first, so the estimator keeps answering
+        queries after close.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._drain_pending()
+        finally:
+            if self._worker_pool is not None:
+                self._worker_pool.close()
+                self._worker_pool = None
+            if self._pool is not None:
+                self._pool.shutdown()
+                self._pool = None
+            for shard in self.shards:
+                release = getattr(shard, "close", None)
+                if release is not None:
+                    release()
 
     def __enter__(self) -> "ShardedEstimator":
         return self
@@ -581,6 +766,7 @@ class ShardedEstimator(FrequencyEstimator):
             mode=self.mode,
             executor=self.executor,
             query_mode=self.query_mode,
+            transport=self.transport,
             partition_seed=(
                 None
                 if self._partition_seed == DEFAULT_PARTITION_SEED
@@ -594,6 +780,7 @@ class ShardedEstimator(FrequencyEstimator):
             "mode": self.mode,
             "executor": self.executor,
             "query_mode": self.query_mode,
+            "transport": self.transport,
         }
         if self.estimator_spec is not None:
             params["inner"] = self.estimator_spec.to_dict()
@@ -645,9 +832,14 @@ class ShardedEstimator(FrequencyEstimator):
             name = f"shard_{index}"
             if name not in arrays:
                 raise SerializationError(f"sharded buffer is missing {name!r}")
+            replaced = sharded.shards[index]
             sharded.shards[index] = loads(
                 arrays[name].tobytes(), expect_kind=expect_kind
             )
+            # The build-time shard is dropped unused; release its storage
+            # (shm-transport builds allocate one segment per shard) without
+            # the keep-queryable detach copy.
+            _release_discarded(replaced)
         sharded._round_robin_offset = int(state.get("round_robin_offset", 0))
         sharded._collapsed = None
         return sharded

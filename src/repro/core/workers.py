@@ -1,0 +1,211 @@
+"""Persistent per-shard worker processes for the shared-memory transport.
+
+The serialization transport (``repro.core.sharding``) pays a round trip per
+batch: the worker rebuilds a blank shard, ingests, serializes the *entire*
+accumulated table back, and the parent deserializes and merges it.  The
+transport cost scales with the table size, not the batch size — it is the
+hot path once the hashing kernels are vectorized.
+
+The shm transport replaces that with ONE long-lived worker per shard:
+
+* at spawn, the worker builds the shard estimator from its declarative spec
+  (identical hashes — the spec carries an explicit seed) and *adopts* the
+  parent's shared-memory counter table (:meth:`StorageBacked.adopt_storage`);
+* each task is then just ``(keys, counts)`` — the worker scatters directly
+  into shared memory and nothing returns.  The return leg is zero-copy by
+  construction, and the parent's resident shard objects read the same
+  physical pages, so queries observe worker progress live.
+
+Backpressure is the task queue's ``maxsize``; draining is ack-counting (a
+shared counter per worker) so a dead worker surfaces as an error instead of
+a deadlock.  Workers are daemons: an abandoned pool cannot outlive the
+parent.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_module
+import time
+from typing import Any, Dict, List, Sequence
+
+__all__ = ["ShardWorkerPool", "WORKER_CHUNK_SIZE"]
+
+#: Chunk size of the in-worker ingestion loop.  Callers ship *large*
+#: sub-batches (few tasks amortize the submit/pickle overhead), but
+#: vectorized ingestion is fastest when its scatter/gather temporaries stay
+#: cache-resident, so the worker re-chunks locally — same sweet spot as
+#: ``repro.core.pipeline.DEFAULT_REPLAY_BATCH_SIZE``.
+WORKER_CHUNK_SIZE = 65536
+
+#: Poll interval of the ack-counting drain loop.
+_JOIN_POLL_SECONDS = 0.001
+
+
+def _worker_main(spec_dict, manifest, tasks, acked, ready, errors) -> None:
+    """Worker process body: build once, adopt shared storage, ingest forever.
+
+    Every dequeued task is acknowledged (even after an error) so the
+    parent's drain accounting never hangs; failures travel through the
+    ``errors`` queue and are raised parent-side on the next drain.
+    """
+    estimator = None
+    try:
+        from repro.api.registry import build
+
+        blank = dict(spec_dict)
+        # The blank twin needs no backend of its own — its array is replaced
+        # by the attached view immediately (building it shm-backed would
+        # leak one segment per worker).
+        blank.pop("storage", None)
+        blank.pop("storage_path", None)
+        estimator = build(blank)
+        estimator.adopt_storage(manifest)
+    except BaseException as error:  # surfaced parent-side
+        errors.put(f"shard worker failed to start: {error!r}")
+        estimator = None
+    finally:
+        ready.set()
+    while True:
+        job = tasks.get()
+        try:
+            if job is None:
+                break
+            if estimator is None:
+                continue  # init failed; keep acking so the parent can drain
+            keys, counts = job
+            for start in range(0, len(keys), WORKER_CHUNK_SIZE):
+                estimator.update_batch(
+                    keys[start : start + WORKER_CHUNK_SIZE],
+                    counts[start : start + WORKER_CHUNK_SIZE],
+                )
+        except BaseException as error:
+            errors.put(f"shard worker batch failed: {error!r}")
+        finally:
+            with acked.get_lock():
+                acked.value += 1
+    if estimator is not None:
+        try:
+            # Shutdown path: release the attached table without copying it
+            # into a dense array this process is about to discard.
+            estimator.close(detach=False)
+        except TypeError:
+            estimator.close()
+        except Exception:
+            pass
+
+
+class _ShardWorker:
+    __slots__ = ("process", "tasks", "acked", "ready", "submitted")
+
+    def __init__(self, process, tasks, acked, ready) -> None:
+        self.process = process
+        self.tasks = tasks
+        self.acked = acked
+        self.ready = ready
+        self.submitted = 0
+
+
+class ShardWorkerPool:
+    """One persistent daemon process per shard, fed through bounded queues."""
+
+    def __init__(
+        self,
+        spec_dict: Dict[str, Any],
+        manifests: Sequence[Dict[str, Any]],
+        max_pending: int = 4,
+    ) -> None:
+        ctx = multiprocessing.get_context()
+        self._errors = ctx.Queue()
+        self._workers: List[_ShardWorker] = []
+        self._closed = False
+        for manifest in manifests:
+            tasks = ctx.Queue(maxsize=max(1, max_pending))
+            acked = ctx.Value("q", 0)
+            ready = ctx.Event()
+            process = ctx.Process(
+                target=_worker_main,
+                args=(spec_dict, manifest, tasks, acked, ready, self._errors),
+                daemon=True,
+            )
+            process.start()
+            self._workers.append(_ShardWorker(process, tasks, acked, ready))
+
+    def __len__(self) -> int:
+        return len(self._workers)
+
+    def wait_ready(self, timeout: float = 60.0) -> "ShardWorkerPool":
+        """Block until every worker has built its shard and attached."""
+        for index, worker in enumerate(self._workers):
+            if not worker.ready.wait(timeout):
+                raise RuntimeError(f"shard worker {index} failed to start in time")
+        self._raise_errors()
+        return self
+
+    def submit(self, shard_index: int, keys, counts) -> None:
+        """Queue one (keys, counts) batch for a shard.
+
+        Blocks when the shard's queue is full (bounded backlog); a worker
+        that died mid-stream raises instead of deadlocking the put.
+        """
+        if self._closed:
+            raise RuntimeError("shard worker pool is closed")
+        if not self._errors.empty():
+            # Fail fast: a worker that errored (e.g. died during init) keeps
+            # acking-and-discarding; without this check a long ingestion
+            # would silently drop every batch for that shard until the next
+            # drain.
+            self._raise_errors()
+        worker = self._workers[shard_index]
+        while True:
+            if not worker.process.is_alive():
+                self._raise_errors()
+                raise RuntimeError(f"shard worker {shard_index} died")
+            try:
+                worker.tasks.put((keys, counts), timeout=0.05)
+                break
+            except queue_module.Full:
+                continue
+        worker.submitted += 1
+
+    def join(self) -> None:
+        """Block until every submitted batch has been ingested."""
+        for index, worker in enumerate(self._workers):
+            while worker.acked.value < worker.submitted:
+                if not worker.process.is_alive():
+                    self._raise_errors()
+                    raise RuntimeError(
+                        f"shard worker {index} died with batches outstanding"
+                    )
+                time.sleep(_JOIN_POLL_SECONDS)
+        self._raise_errors()
+
+    def _raise_errors(self) -> None:
+        messages = []
+        while True:
+            try:
+                messages.append(self._errors.get_nowait())
+            except queue_module.Empty:
+                break
+        if messages:
+            raise RuntimeError("; ".join(messages))
+
+    def close(self, timeout: float = 10.0) -> None:
+        """Stop the workers (idempotent).  Queued batches finish first."""
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self._workers:
+            try:
+                worker.tasks.put(None, timeout=1.0)
+            except queue_module.Full:
+                pass  # terminate below
+        for worker in self._workers:
+            worker.process.join(timeout=timeout)
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(timeout=5.0)
+            try:
+                worker.tasks.close()
+            except Exception:
+                pass

@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.api.registry import register_estimator
 from repro.api.specs import SpecError
+from repro.core.storage import STORAGE_SCHEMA, StorageBacked, check_storage_params
 from repro.sketches.base import (
     BYTES_PER_BUCKET,
     IncompatibleSketchError,
@@ -43,6 +44,7 @@ def _check_means_groups(params: dict) -> None:
             f"means_groups ({groups}) must evenly divide num_estimators "
             f"({estimators})"
         )
+    check_storage_params(params)
 
 
 @register_estimator(
@@ -52,11 +54,12 @@ def _check_means_groups(params: dict) -> None:
         "means_groups": {"type": "int", "min": 1},
         "seed": {"type": "int", "nullable": True},
         "hash_scheme": {"type": "str", "choices": ("universal", "tabulation")},
+        **STORAGE_SCHEMA,
     },
     check=_check_means_groups,
 )
 @register_sketch("ams")
-class AmsSketch:
+class AmsSketch(StorageBacked):
     """Estimates the second frequency moment of a stream.
 
     Parameters
@@ -69,12 +72,16 @@ class AmsSketch:
         Seed for the sign hashes.
     """
 
+    _STORAGE_FIELD = "_counters"
+
     def __init__(
         self,
         num_estimators: int = 64,
         means_groups: int = 8,
         seed: Optional[int] = None,
         hash_scheme: str = "universal",
+        storage: str = "dense",
+        storage_path: Optional[str] = None,
     ) -> None:
         if num_estimators <= 0:
             raise ValueError("num_estimators must be positive")
@@ -84,7 +91,7 @@ class AmsSketch:
         self.means_groups = means_groups
         self.seed = seed
         self.hash_scheme = hash_scheme
-        self._counters = np.zeros(num_estimators, dtype=np.int64)
+        self._init_storage((num_estimators,), np.int64, storage, storage_path)
         self._hashes = UniversalHashFamily(
             2, seed=seed, scheme=hash_scheme
         ).draw(num_estimators)
@@ -118,12 +125,15 @@ class AmsSketch:
         return BYTES_PER_BUCKET * self.num_estimators
 
     def _describe_params(self) -> dict:
-        return {
+        params = {
             "num_estimators": self.num_estimators,
             "means_groups": self.means_groups,
             "seed": self.seed,
             "hash_scheme": self.hash_scheme,
         }
+        if self.storage_backend != "dense":
+            params["storage"] = self.storage_backend
+        return params
 
     def describe(self) -> dict:
         """Kind, parameters, seed and size_bytes of this sketch."""
@@ -162,7 +172,7 @@ class AmsSketch:
         self._counters += other._counters
         return self
 
-    def to_bytes(self) -> bytes:
+    def to_bytes(self, *, live: bool = False) -> bytes:
         hash_states, arrays = hash_functions_state(self._hashes)
         state = {
             "num_estimators": self.num_estimators,
@@ -171,17 +181,31 @@ class AmsSketch:
             "hash_scheme": self.hash_scheme,
             "hashes": hash_states,
         }
-        arrays["counters"] = self._counters
+        state.update(self._storage_serial_state(live))
+        if not live:
+            arrays["counters"] = self._counters
         return pack("ams", state, arrays)
 
     @classmethod
-    def from_bytes(cls, data: bytes) -> "AmsSketch":
+    def from_bytes(
+        cls,
+        data: bytes,
+        storage: Optional[str] = None,
+        storage_path: Optional[str] = None,
+    ) -> "AmsSketch":
         _, state, arrays = unpack(data, expect_tag="ams")
         sketch = cls.__new__(cls)
         sketch.num_estimators = int(state["num_estimators"])
         sketch.means_groups = int(state["means_groups"])
         sketch.seed = state.get("seed")
         sketch.hash_scheme = state.get("hash_scheme", "universal")
-        sketch._counters = arrays["counters"].astype(np.int64, copy=False)
+        sketch._restore_storage(
+            state,
+            arrays.get("counters"),
+            (sketch.num_estimators,),
+            np.int64,
+            storage=storage,
+            storage_path=storage_path,
+        )
         sketch._hashes = hash_functions_from_state(state["hashes"], arrays)
         return sketch

@@ -15,6 +15,7 @@ from typing import Hashable, Optional
 import numpy as np
 
 from repro.api.registry import register_estimator
+from repro.core.storage import STORAGE_SCHEMA, StorageBacked, check_storage_params
 from repro.sketches.base import (
     IncompatibleSketchError,
     describe_estimator,
@@ -26,7 +27,12 @@ from repro.sketches.hashing import (
     hash_functions_from_state,
     hash_functions_state,
 )
-from repro.sketches.serialization import pack, register_sketch, unpack
+from repro.sketches.serialization import (
+    SerializationError,
+    pack,
+    register_sketch,
+    unpack,
+)
 
 __all__ = ["BloomFilter"]
 
@@ -39,10 +45,12 @@ __all__ = ["BloomFilter"]
         "expected_items": {"type": "int", "min": 1, "nullable": True},
         "seed": {"type": "int", "nullable": True},
         "hash_scheme": {"type": "str", "choices": ("universal", "tabulation")},
+        **STORAGE_SCHEMA,
     },
+    check=check_storage_params,
 )
 @register_sketch("bloom")
-class BloomFilter:
+class BloomFilter(StorageBacked):
     """A standard Bloom filter over arbitrary hashable keys.
 
     Parameters
@@ -59,6 +67,8 @@ class BloomFilter:
         Seed for the hash functions.
     """
 
+    _STORAGE_FIELD = "_bits"
+
     def __init__(
         self,
         num_bits: int,
@@ -66,6 +76,8 @@ class BloomFilter:
         expected_items: Optional[int] = None,
         seed: Optional[int] = None,
         hash_scheme: str = "universal",
+        storage: str = "dense",
+        storage_path: Optional[str] = None,
     ) -> None:
         if num_bits <= 0:
             raise ValueError("num_bits must be positive")
@@ -80,7 +92,7 @@ class BloomFilter:
         self.num_hashes = num_hashes
         self.seed = seed
         self.hash_scheme = hash_scheme
-        self._bits = np.zeros(num_bits, dtype=bool)
+        self._init_storage((num_bits,), bool, storage, storage_path)
         self._hashes = UniversalHashFamily(
             num_bits, seed=seed, scheme=hash_scheme
         ).draw(num_hashes)
@@ -172,12 +184,15 @@ class BloomFilter:
         return fill ** self.num_hashes
 
     def _describe_params(self) -> dict:
-        return {
+        params = {
             "num_bits": self.num_bits,
             "num_hashes": self.num_hashes,
             "seed": self.seed,
             "hash_scheme": self.hash_scheme,
         }
+        if self.storage_backend != "dense":
+            params["storage"] = self.storage_backend
+        return params
 
     def describe(self) -> dict:
         """Kind, parameters (resolved ``num_hashes``), seed and size_bytes."""
@@ -216,7 +231,17 @@ class BloomFilter:
         self._num_inserted += other._num_inserted
         return self
 
-    def to_bytes(self) -> bytes:
+    def to_bytes(self, *, live: bool = False) -> bytes:
+        if live:
+            # The bit table rides the mmap file, but num_inserted is scalar
+            # state outside it: a live (by-reference) snapshot would freeze
+            # the counter while the bits keep mutating, restoring an
+            # inconsistent filter.  Only embedded snapshots are sound.
+            raise SerializationError(
+                "BloomFilter cannot take live (zero-copy) snapshots: "
+                "num_inserted lives outside the bits table; use an embedded "
+                "snapshot (to_bytes() / Session.snapshot(embed=True))"
+            )
         hash_states, arrays = hash_functions_state(self._hashes)
         state = {
             "num_bits": self.num_bits,
@@ -226,12 +251,19 @@ class BloomFilter:
             "hash_scheme": self.hash_scheme,
         }
         state["hashes"] = hash_states
-        # 8x smaller on the wire than the bool array the filter works on.
-        arrays["bits"] = np.packbits(self._bits)
+        state.update(self._storage_serial_state(live))
+        if not live:
+            # 8x smaller on the wire than the bool array the filter works on.
+            arrays["bits"] = np.packbits(self._bits)
         return pack("bloom", state, arrays)
 
     @classmethod
-    def from_bytes(cls, data: bytes) -> "BloomFilter":
+    def from_bytes(
+        cls,
+        data: bytes,
+        storage: Optional[str] = None,
+        storage_path: Optional[str] = None,
+    ) -> "BloomFilter":
         _, state, arrays = unpack(data, expect_tag="bloom")
         sketch = cls.__new__(cls)
         sketch.num_bits = int(state["num_bits"])
@@ -239,8 +271,16 @@ class BloomFilter:
         sketch.seed = state.get("seed")
         sketch.hash_scheme = state.get("hash_scheme", "universal")
         sketch._num_inserted = int(state["num_inserted"])
-        sketch._bits = (
-            np.unpackbits(arrays["bits"])[: sketch.num_bits].astype(bool)
+        bits = None
+        if "bits" in arrays:
+            bits = np.unpackbits(arrays["bits"])[: sketch.num_bits].astype(bool)
+        sketch._restore_storage(
+            state,
+            bits,
+            (sketch.num_bits,),
+            bool,
+            storage=storage,
+            storage_path=storage_path,
         )
         sketch._hashes = hash_functions_from_state(state["hashes"], arrays)
         return sketch

@@ -18,12 +18,14 @@ only tighten the overestimate while keeping the one-sided error guarantee.
 from __future__ import annotations
 
 import math
+import threading
 from typing import Optional
 
 import numpy as np
 
 from repro.api.registry import register_estimator
 from repro.api.specs import SpecError
+from repro.core.storage import STORAGE_SCHEMA, StorageBacked, check_storage_params
 from repro.sketches.base import (
     BYTES_PER_BUCKET,
     FrequencyEstimator,
@@ -49,6 +51,7 @@ def require_one_table_size(params: dict) -> None:
             "specify exactly one of 'width' (buckets per level) or "
             "'total_buckets' (width * depth)"
         )
+    check_storage_params(params)
 
 
 def build_width_sketch(cls, spec, context):
@@ -61,7 +64,8 @@ def build_width_sketch(cls, spec, context):
 
 
 #: Schema shared by the width/depth table sketches; Count Sketch reuses it
-#: minus the conservative-update flag.
+#: minus the conservative-update flag.  The ``storage`` fields make the
+#: counter-table backend (dense / shm / mmap) spec-selectable.
 WIDTH_SKETCH_SCHEMA = {
     "width": {"type": "int", "min": 1},
     "total_buckets": {"type": "int", "min": 1},
@@ -69,6 +73,7 @@ WIDTH_SKETCH_SCHEMA = {
     "seed": {"type": "int", "nullable": True},
     "conservative": {"type": "bool"},
     "hash_scheme": {"type": "str", "choices": ("universal", "tabulation")},
+    **STORAGE_SCHEMA,
 }
 
 
@@ -79,7 +84,7 @@ WIDTH_SKETCH_SCHEMA = {
     check=require_one_table_size,
 )
 @register_sketch("count_min")
-class CountMinSketch(FrequencyEstimator):
+class CountMinSketch(StorageBacked, FrequencyEstimator):
     """Count-Min Sketch with ``d`` levels of ``w`` buckets.
 
     Parameters
@@ -95,7 +100,16 @@ class CountMinSketch(FrequencyEstimator):
         minimum are incremented).
     hash_scheme:
         ``"universal"`` (Carter–Wegman, default) or ``"tabulation"``.
+    storage:
+        Where the counter table lives: ``"dense"`` (process-private NumPy
+        array, default), ``"shm"`` (named shared-memory segment other
+        processes can attach zero-copy), or ``"mmap"`` (file-backed, crash
+        recoverable).  Estimates are bit-identical across backends.
+    storage_path:
+        Backing file for ``storage="mmap"`` (a temp file when omitted).
     """
+
+    _STORAGE_FIELD = "_table"
 
     def __init__(
         self,
@@ -104,6 +118,8 @@ class CountMinSketch(FrequencyEstimator):
         seed: Optional[int] = None,
         conservative: bool = False,
         hash_scheme: str = "universal",
+        storage: str = "dense",
+        storage_path: Optional[str] = None,
     ) -> None:
         if width <= 0:
             raise ValueError("width must be positive")
@@ -114,10 +130,24 @@ class CountMinSketch(FrequencyEstimator):
         self.conservative = conservative
         self.seed = seed
         self.hash_scheme = hash_scheme
-        self._table = np.zeros((depth, width), dtype=np.int64)
-        self._levels = np.arange(depth)
+        self._init_storage((depth, width), np.int64, storage, storage_path)
+        self._init_query_buffers()
         family = UniversalHashFamily(width, seed=seed, scheme=hash_scheme)
         self._hashes = family.draw(depth)
+
+    def _init_query_buffers(self) -> None:
+        """Cache the broadcast index arrays the hot query path reuses.
+
+        ``_levels_col`` is the ``self._levels[:, None]`` gather index that
+        was previously re-materialized on every ``estimate_batch`` call;
+        ``_position_scratch`` holds a growable per-*thread* (depth, n)
+        buffer the ``_positions`` stack writes into instead of allocating
+        per call — per-thread so concurrent read-only queries against one
+        sketch stay safe, as they were with per-call allocation.
+        """
+        self._levels = np.arange(self.depth)
+        self._levels_col = self._levels[:, None]
+        self._position_scratch = threading.local()
 
     # ------------------------------------------------------------------
     # constructors
@@ -164,8 +194,24 @@ class CountMinSketch(FrequencyEstimator):
     # vectorized batch path
     # ------------------------------------------------------------------
     def _positions(self, keys) -> np.ndarray:
-        """Per-level bucket positions of a key batch, as a (depth, n) array."""
-        return np.stack([h.hash_batch(keys) for h in self._hashes])
+        """Per-level bucket positions of a key batch, as a (depth, n) view.
+
+        Writes into a preallocated per-thread scratch buffer (grown
+        geometrically on demand) instead of ``np.stack``-allocating a fresh
+        array per call; each thread's view is consumed before its next
+        ``_positions`` call, so reuse is safe.
+        """
+        n = len(keys)
+        scratch = self._position_scratch
+        buffer = getattr(scratch, "buffer", None)
+        if buffer is None or buffer.shape[1] < n:
+            grown = n if buffer is None else max(n, 2 * buffer.shape[1])
+            buffer = np.empty((self.depth, grown), dtype=np.int64)
+            scratch.buffer = buffer
+        out = buffer[:, :n]
+        for level, h in enumerate(self._hashes):
+            out[level] = h.hash_batch(keys)
+        return out
 
     def _ingest(self, key_batch, count_array) -> None:
         """Ingest ``counts[i]`` arrivals of ``keys[i]``, all at once.
@@ -201,7 +247,7 @@ class CountMinSketch(FrequencyEstimator):
         if len(key_batch) == 0:
             return np.zeros(0, dtype=np.float64)
         positions = self._positions(key_batch)
-        gathered = self._table[self._levels[:, None], positions]
+        gathered = self._table[self._levels_col, positions]
         return gathered.min(axis=0).astype(np.float64)
 
     @property
@@ -217,13 +263,18 @@ class CountMinSketch(FrequencyEstimator):
         return self._table.copy()
 
     def _describe_params(self) -> dict:
-        return {
+        params = {
             "width": self.width,
             "depth": self.depth,
             "seed": self.seed,
             "conservative": self.conservative,
             "hash_scheme": self.hash_scheme,
         }
+        # storage_path is deliberately omitted: a twin rebuilt from these
+        # params must not clobber (or share) this sketch's backing file.
+        if self.storage_backend != "dense":
+            params["storage"] = self.storage_backend
+        return params
 
     # ------------------------------------------------------------------
     # merge / serialization
@@ -266,7 +317,9 @@ class CountMinSketch(FrequencyEstimator):
         self._table += other._table
         return self
 
-    def to_bytes(self) -> bytes:
+    def to_bytes(self, *, live: bool = False) -> bytes:
+        """Serialize; ``live=True`` (mmap only) records the file path instead
+        of embedding the table — an O(1) zero-copy snapshot."""
         hash_states, arrays = hash_functions_state(self._hashes)
         state = {
             "width": self.width,
@@ -276,11 +329,20 @@ class CountMinSketch(FrequencyEstimator):
             "hash_scheme": self.hash_scheme,
             "hashes": hash_states,
         }
-        arrays["table"] = self._table
+        state.update(self._storage_serial_state(live))
+        if not live:
+            arrays["table"] = self._table
         return pack("count_min", state, arrays)
 
     @classmethod
-    def from_bytes(cls, data: bytes) -> "CountMinSketch":
+    def from_bytes(
+        cls,
+        data: bytes,
+        storage: Optional[str] = None,
+        storage_path: Optional[str] = None,
+    ) -> "CountMinSketch":
+        """Rehydrate; ``storage=`` loads the buffer onto a different backend
+        than the one it was serialized from (bit-identical either way)."""
         _, state, arrays = unpack(data, expect_tag="count_min")
         sketch = cls.__new__(cls)
         sketch.width = int(state["width"])
@@ -288,7 +350,14 @@ class CountMinSketch(FrequencyEstimator):
         sketch.conservative = bool(state["conservative"])
         sketch.seed = state.get("seed")
         sketch.hash_scheme = state.get("hash_scheme", "universal")
-        sketch._table = arrays["table"].astype(np.int64, copy=False)
-        sketch._levels = np.arange(sketch.depth)
+        sketch._restore_storage(
+            state,
+            arrays.get("table"),
+            (sketch.depth, sketch.width),
+            np.int64,
+            storage=storage,
+            storage_path=storage_path,
+        )
+        sketch._init_query_buffers()
         sketch._hashes = hash_functions_from_state(state["hashes"], arrays)
         return sketch

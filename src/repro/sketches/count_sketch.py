@@ -14,6 +14,7 @@ from typing import Optional
 import numpy as np
 
 from repro.api.registry import register_estimator
+from repro.core.storage import StorageBacked
 from repro.sketches.base import (
     BYTES_PER_BUCKET,
     FrequencyEstimator,
@@ -51,8 +52,14 @@ _COUNT_SKETCH_SCHEMA = {
     check=require_one_table_size,
 )
 @register_sketch("count_sketch")
-class CountSketch(FrequencyEstimator):
-    """Count Sketch with ``d`` levels of ``w`` signed counters."""
+class CountSketch(StorageBacked, FrequencyEstimator):
+    """Count Sketch with ``d`` levels of ``w`` signed counters.
+
+    ``storage`` / ``storage_path`` select the counter-table backend (dense /
+    shm / mmap) exactly as on :class:`~repro.sketches.count_min.CountMinSketch`.
+    """
+
+    _STORAGE_FIELD = "_table"
 
     def __init__(
         self,
@@ -60,6 +67,8 @@ class CountSketch(FrequencyEstimator):
         depth: int = 1,
         seed: Optional[int] = None,
         hash_scheme: str = "universal",
+        storage: str = "dense",
+        storage_path: Optional[str] = None,
     ) -> None:
         if width <= 0:
             raise ValueError("width must be positive")
@@ -69,7 +78,7 @@ class CountSketch(FrequencyEstimator):
         self.depth = depth
         self.seed = seed
         self.hash_scheme = hash_scheme
-        self._table = np.zeros((depth, width), dtype=np.int64)
+        self._init_storage((depth, width), np.int64, storage, storage_path)
         family = UniversalHashFamily(width, seed=seed, scheme=hash_scheme)
         self._hashes = family.draw(depth)
 
@@ -129,12 +138,15 @@ class CountSketch(FrequencyEstimator):
         return self._table.copy()
 
     def _describe_params(self) -> dict:
-        return {
+        params = {
             "width": self.width,
             "depth": self.depth,
             "seed": self.seed,
             "hash_scheme": self.hash_scheme,
         }
+        if self.storage_backend != "dense":
+            params["storage"] = self.storage_backend
+        return params
 
     # ------------------------------------------------------------------
     # merge / serialization
@@ -162,7 +174,7 @@ class CountSketch(FrequencyEstimator):
         self._table += other._table
         return self
 
-    def to_bytes(self) -> bytes:
+    def to_bytes(self, *, live: bool = False) -> bytes:
         hash_states, arrays = hash_functions_state(self._hashes)
         state = {
             "width": self.width,
@@ -171,17 +183,31 @@ class CountSketch(FrequencyEstimator):
             "hash_scheme": self.hash_scheme,
             "hashes": hash_states,
         }
-        arrays["table"] = self._table
+        state.update(self._storage_serial_state(live))
+        if not live:
+            arrays["table"] = self._table
         return pack("count_sketch", state, arrays)
 
     @classmethod
-    def from_bytes(cls, data: bytes) -> "CountSketch":
+    def from_bytes(
+        cls,
+        data: bytes,
+        storage: Optional[str] = None,
+        storage_path: Optional[str] = None,
+    ) -> "CountSketch":
         _, state, arrays = unpack(data, expect_tag="count_sketch")
         sketch = cls.__new__(cls)
         sketch.width = int(state["width"])
         sketch.depth = int(state["depth"])
         sketch.seed = state.get("seed")
         sketch.hash_scheme = state.get("hash_scheme", "universal")
-        sketch._table = arrays["table"].astype(np.int64, copy=False)
+        sketch._restore_storage(
+            state,
+            arrays.get("table"),
+            (sketch.depth, sketch.width),
+            np.int64,
+            storage=storage,
+            storage_path=storage_path,
+        )
         sketch._hashes = hash_functions_from_state(state["hashes"], arrays)
         return sketch

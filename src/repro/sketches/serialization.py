@@ -32,6 +32,7 @@ __all__ = [
     "SerializationError",
     "pack",
     "unpack",
+    "peek_tag",
     "loads",
     "register_sketch",
     "encode_counts",
@@ -93,13 +94,8 @@ def pack(tag: str, state: dict, arrays: Dict[str, np.ndarray]) -> bytes:
     return b"".join([header, meta] + chunks)
 
 
-def unpack(data: bytes, expect_tag: str = None) -> Tuple[str, dict, Dict[str, np.ndarray]]:
-    """Parse a :func:`pack` buffer into ``(tag, state, arrays)``.
-
-    The returned arrays are fresh writable copies (``np.frombuffer`` views
-    would alias the caller's buffer and be read-only).
-    """
-    data = bytes(data)
+def _parse_meta(data: bytes) -> Tuple[dict, int]:
+    """Validate the header and parse the JSON metadata (no array work)."""
     if len(data) < _HEADER.size:
         raise SerializationError(
             f"buffer too short for header: {len(data)} < {_HEADER.size} bytes"
@@ -120,6 +116,28 @@ def unpack(data: bytes, expect_tag: str = None) -> Tuple[str, dict, Dict[str, np
         raise SerializationError(f"corrupt metadata: {error}") from error
     if not isinstance(meta, dict) or "tag" not in meta:
         raise SerializationError("metadata is not a sketch descriptor")
+    return meta, meta_end
+
+
+def peek_tag(data: bytes) -> str:
+    """The class tag of a packed buffer — header + metadata parse only.
+
+    Cheap dispatch helper: unlike :func:`unpack` it never materializes the
+    array blob, so per-batch transport code can route on the tag without
+    copying a potentially-large table.
+    """
+    meta, _ = _parse_meta(bytes(data))
+    return meta["tag"]
+
+
+def unpack(data: bytes, expect_tag: str = None) -> Tuple[str, dict, Dict[str, np.ndarray]]:
+    """Parse a :func:`pack` buffer into ``(tag, state, arrays)``.
+
+    The returned arrays are fresh writable copies (``np.frombuffer`` views
+    would alias the caller's buffer and be read-only).
+    """
+    data = bytes(data)
+    meta, meta_end = _parse_meta(data)
     tag = meta["tag"]
     if expect_tag is not None and tag != expect_tag:
         raise SerializationError(f"buffer holds a {tag!r}, expected {expect_tag!r}")
@@ -162,7 +180,8 @@ def _import_default_registrations() -> None:
     import repro.api.session  # noqa: F401  ("session")
 
 
-def loads(data: bytes, expect_kind: str = None):
+def loads(data: bytes, expect_kind: str = None, storage: str = None,
+          storage_path: str = None):
     """Rehydrate any registered sketch/estimator from its serialized bytes.
 
     Dispatch is *not* by tag alone: the buffer's tag must be the canonical
@@ -171,8 +190,12 @@ def loads(data: bytes, expect_kind: str = None):
     clear :class:`SerializationError` instead of silently rehydrating).
     Pass ``expect_kind`` to additionally reject buffers holding a different
     estimator kind than the caller planned for.
+
+    ``storage`` / ``storage_path`` override the counter-storage backend the
+    buffer recorded (forwarded to ``from_bytes``); only valid for kinds
+    whose ``from_bytes`` accepts them — the table sketches.
     """
-    tag, _, _ = unpack(data)
+    tag = peek_tag(data)
     cls = _REGISTRY.get(tag)
     if cls is None:
         _import_default_registrations()
@@ -197,6 +220,8 @@ def loads(data: bytes, expect_kind: str = None):
         raise SerializationError(
             f"buffer holds a {tag!r} estimator, expected kind {expect_kind!r}"
         )
+    if storage is not None or storage_path is not None:
+        return cls.from_bytes(data, storage=storage, storage_path=storage_path)
     return cls.from_bytes(data)
 
 

@@ -233,3 +233,69 @@ class TestShardedSessions:
         single = CountMinSketch.from_total_buckets(512, depth=1, seed=4)
         single.update_batch(keys[:20_000])
         assert np.array_equal(merged.counters(), single.counters())
+
+
+class TestStorageBackedSessions:
+    """PR-4: storage= travels through open / snapshot / restore."""
+
+    @pytest.mark.parametrize("backend", ["shm", "mmap"])
+    def test_snapshot_restore_preserves_backend(self, backend, keys):
+        import os
+
+        spec = {**CMS_SPEC, "storage": backend}
+        with api.open(spec) as session:
+            session.ingest(keys[:20_000])
+            blob = session.snapshot(embed=True)
+            expected = session.estimate(np.arange(200)).copy()
+            source_path = session.estimator.storage_path
+        restored = api.restore(blob)
+        assert restored.estimator.storage_backend == backend
+        assert np.array_equal(restored.estimate(np.arange(200)), expected)
+        path = restored.estimator.storage_path
+        restored.close()
+        for table_file in (source_path, path):
+            if table_file:
+                os.unlink(table_file)
+
+    def test_mmap_snapshot_is_zero_copy_by_default(self, keys, tmp_path):
+        spec = {**CMS_SPEC, "storage": "mmap", "storage_path": str(tmp_path / "t.bin")}
+        with api.open(spec) as session:
+            session.ingest(keys[:20_000])
+            live_blob = session.snapshot()
+            embedded_blob = session.snapshot(embed=True)
+            expected = session.estimate(np.arange(200)).copy()
+            # Live snapshot references the file instead of copying the
+            # 8 KB (1024 x int64) table.
+            assert len(embedded_blob) - len(live_blob) > 7_000
+        restored = api.restore(live_blob)
+        assert restored.estimator.storage_path == str(tmp_path / "t.bin")
+        assert np.array_equal(restored.estimate(np.arange(200)), expected)
+        restored.close()
+
+    def test_zero_copy_snapshot_rejected_for_dense(self, keys):
+        with api.open(CMS_SPEC) as session:
+            session.ingest(keys[:1000])
+            with pytest.raises(SerializationError, match="mmap"):
+                session.snapshot(embed=False)
+
+    def test_shm_transport_session_round_trip(self, keys):
+        spec = {
+            "kind": "sharded",
+            "inner": {"kind": "count_min", "total_buckets": 1024, "depth": 2, "seed": 9},
+            "num_shards": 2,
+            "executor": "process",
+            "transport": "shm",
+        }
+        single = api.open({"kind": "count_min", "total_buckets": 1024, "depth": 2, "seed": 9})
+        single.ingest(keys[:30_000])
+        with api.open(spec) as session:
+            session.ingest(keys[:30_000])
+            probe = np.arange(300)
+            assert np.array_equal(session.estimate(probe), single.estimate(probe))
+            blob = session.snapshot()
+        restored = api.restore(blob)
+        try:
+            assert restored.estimator.transport == "shm"
+            assert np.array_equal(restored.estimate(probe), single.estimate(probe))
+        finally:
+            restored.close()

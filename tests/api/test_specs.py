@@ -255,3 +255,67 @@ class TestValidation:
         assert {(s.params["total_buckets"], s.params["depth"]) for s in grid} == {
             (b, d) for b in (64, 128) for d in (1, 2, 4)
         }
+
+
+class TestStorageAndTransportFields:
+    """The PR-4 spec surface: storage= on table sketches, transport= on sharded."""
+
+    def test_storage_field_round_trips(self):
+        spec = SketchSpec(
+            "count_min", total_buckets=128, depth=2, seed=1, storage="shm"
+        )
+        assert json_roundtrip(spec).to_dict() == spec.to_dict()
+        assert spec.to_dict()["storage"] == "shm"
+
+    def test_storage_path_round_trips_for_mmap(self):
+        spec = SketchSpec(
+            "count_min",
+            width=32,
+            seed=1,
+            storage="mmap",
+            storage_path="/tmp/cms-table.bin",
+        )
+        assert json_roundtrip(spec).to_dict() == spec.to_dict()
+
+    def test_storage_path_without_mmap_rejected(self):
+        with pytest.raises(SpecError, match="storage_path"):
+            SketchSpec("count_min", width=32, seed=1, storage_path="/tmp/x")
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SpecError, match="storage"):
+            SketchSpec("ams", num_estimators=8, means_groups=2, seed=1, storage="disk")
+
+    def test_transport_round_trips_and_defaults_out(self):
+        inner = SketchSpec("count_min", total_buckets=128, depth=2, seed=1)
+        default = ShardedSpec(inner, num_shards=2, executor="process")
+        assert "transport" not in default.to_dict()
+        assert json_roundtrip(default).transport == "serialization"
+        shm = ShardedSpec(inner, num_shards=2, executor="process", transport="shm")
+        assert shm.to_dict()["transport"] == "shm"
+        assert json_roundtrip(shm).to_dict() == shm.to_dict()
+
+    def test_shm_transport_requires_process_executor(self):
+        inner = SketchSpec("count_min", total_buckets=128, depth=2, seed=1)
+        with pytest.raises(SpecError, match="process"):
+            ShardedSpec(inner, num_shards=2, executor="thread", transport="shm")
+
+    def test_shm_transport_requires_storage_capable_inner(self):
+        with pytest.raises(SpecError, match="storage"):
+            ShardedSpec(
+                SketchSpec("exact_counter"),
+                num_shards=2,
+                executor="process",
+                transport="shm",
+            )
+
+    def test_shm_transport_rejects_mmap_inner(self):
+        inner = SketchSpec(
+            "count_min", total_buckets=128, depth=2, seed=1, storage="mmap"
+        )
+        with pytest.raises(SpecError, match="mmap"):
+            ShardedSpec(inner, num_shards=2, executor="process", transport="shm")
+
+    def test_unknown_transport_rejected(self):
+        inner = SketchSpec("count_min", total_buckets=128, depth=2, seed=1)
+        with pytest.raises(SpecError, match="transport"):
+            ShardedSpec(inner, num_shards=2, executor="process", transport="tcp")

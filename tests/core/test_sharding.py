@@ -269,3 +269,145 @@ def test_size_bytes_sums_over_shards():
     factory = lambda: CountMinSketch.from_total_buckets(1024, depth=2, seed=9)
     with ShardedEstimator(factory, 5) as sharded:
         assert sharded.size_bytes == 5 * factory().size_bytes
+
+
+# ----------------------------------------------------------------------
+# shm transport (persistent worker pool + shared-memory tables)
+# ----------------------------------------------------------------------
+CMS_SPEC = {"kind": "count_min", "total_buckets": 2048, "depth": 3, "seed": 17}
+
+
+@pytest.mark.parametrize("mode", ["key-partition", "round-robin"])
+@pytest.mark.parametrize("string_keys", [False, True])
+def test_shm_transport_equals_serial(mode, string_keys):
+    """Persistent shm workers must reproduce serial ingestion bit for bit."""
+    keys = make_keys(string_keys)
+    queries = make_queries(keys)
+    serial = CountMinSketch.from_total_buckets(2048, depth=3, seed=17)
+    chunked_replay(serial, keys)
+    with ShardedEstimator(
+        CMS_SPEC, 2, mode=mode, executor="process", transport="shm"
+    ) as sharded:
+        chunked_replay(sharded, keys)
+        assert (sharded.collapse().counters() == serial.counters()).all()
+        assert (
+            sharded.estimate_batch(queries) == serial.estimate_batch(queries)
+        ).all()
+        # live_estimate reads the shared tables directly; after the drain
+        # the collapse() above implies, it is exact.
+        assert (
+            sharded.live_estimate(queries[:20]) == serial.estimate_batch(queries[:20])
+        ).all()
+
+
+def test_shm_transport_weighted_batches():
+    rng = np.random.default_rng(11)
+    keys = rng.integers(0, UNIVERSE, size=4000)
+    counts = rng.integers(0, 6, size=4000)
+    serial = CountMinSketch.from_total_buckets(2048, depth=3, seed=17)
+    serial.update_batch(keys, counts)
+    with ShardedEstimator(
+        CMS_SPEC, 3, executor="process", transport="shm"
+    ) as sharded:
+        sharded.update_batch(keys, counts)
+        assert (sharded.collapse().counters() == serial.counters()).all()
+
+
+def test_shm_transport_parent_reads_worker_writes_live():
+    """The zero-copy property itself: resident shard tables fill up without
+    any drain/merge having copied state back."""
+    keys = make_keys(False)
+    with ShardedEstimator(
+        CMS_SPEC, 2, executor="process", transport="shm"
+    ) as sharded:
+        sharded.warm_up()
+        assert all(shard.counters().sum() == 0 for shard in sharded.shards)
+        sharded.update_batch(keys)
+        sharded._worker_pool.join()  # wait, but never ship state back
+        total = sum(int(shard.counters().sum()) for shard in sharded.shards)
+        assert total == len(keys) * 3  # depth increments per arrival
+
+
+def test_shm_transport_requires_process_executor_and_specs():
+    with pytest.raises(ValueError):
+        ShardedEstimator(CMS_SPEC, 2, executor="thread", transport="shm")
+    factory = lambda: CountMinSketch.from_total_buckets(512, depth=2, seed=1)
+    with pytest.raises(ValueError):
+        ShardedEstimator(factory, 2, executor="process", transport="shm")
+    with pytest.raises(ValueError):
+        ShardedEstimator(
+            {"kind": "exact_counter"}, 2, executor="process", transport="shm"
+        )
+    with pytest.raises(ValueError):
+        ShardedEstimator(
+            {**CMS_SPEC, "storage": "mmap"}, 2, executor="process", transport="shm"
+        )
+
+
+def test_shm_transport_serializes_and_restores():
+    keys = make_keys(False)
+    serial = CountMinSketch.from_total_buckets(2048, depth=3, seed=17)
+    serial.update_batch(keys)
+    with ShardedEstimator(
+        CMS_SPEC, 2, executor="process", transport="shm"
+    ) as sharded:
+        sharded.update_batch(keys)
+        blob = sharded.to_bytes()
+    revived = ShardedEstimator.from_bytes(blob)
+    try:
+        assert revived.transport == "shm"
+        queries = make_queries(keys)
+        assert (
+            revived.estimate_batch(queries) == serial.estimate_batch(queries)
+        ).all()
+        # The revived estimator must keep ingesting through fresh workers.
+        revived.update_batch(keys[:500])
+        serial.update_batch(keys[:500])
+        assert (revived.collapse().counters() == serial.counters()).all()
+    finally:
+        revived.close()
+
+
+def test_close_is_idempotent_and_releases_backends():
+    keys = make_keys(False)[:4000]
+    sharded = ShardedEstimator(CMS_SPEC, 2, executor="process", transport="shm")
+    sharded.update_batch(keys)
+    expected = sharded.estimate_batch(make_queries(keys)).copy()
+    segment_names = [shard.storage_manifest()["name"] for shard in sharded.shards]
+    sharded.close()
+    sharded.close()  # idempotent
+    with sharded:  # __exit__ after close must also be a no-op
+        pass
+    # Segments are unlinked; shards detached into dense copies keep answering.
+    from repro.core.storage import attach, StorageError
+
+    for name in segment_names:
+        with pytest.raises(StorageError):
+            attach({"backend": "shm", "name": name, "shape": [3, 682], "dtype": "<i8"})
+    assert all(shard.storage_backend == "dense" for shard in sharded.shards)
+    assert (sharded.estimate_batch(make_queries(keys)) == expected).all()
+
+
+def test_spec_built_shm_transport_through_build():
+    import repro.api as api
+
+    keys = make_keys(False)[:6000]
+    spec = {
+        "kind": "sharded",
+        "inner": CMS_SPEC,
+        "num_shards": 2,
+        "executor": "process",
+        "transport": "shm",
+    }
+    serial = CountMinSketch.from_total_buckets(2048, depth=3, seed=17)
+    serial.update_batch(keys)
+    estimator = api.build(spec)
+    try:
+        assert estimator.transport == "shm"
+        assert estimator.describe()["params"]["transport"] == "shm"
+        estimator.update_batch(keys)
+        assert (
+            estimator.collapse().counters() == serial.counters()
+        ).all()
+    finally:
+        estimator.close()

@@ -1,0 +1,299 @@
+"""Unit tests for the counter-storage backends (``repro.core.storage``).
+
+Covers the raw backend contract (allocate / attach / close / unlink), the
+:class:`StorageBacked` sketch integration (backend selection, cross-process
+adoption, detach-on-close), and the spec-level plumbing (``storage=`` field
+validation, ``kind_supports_storage``).
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+import repro.api as api
+from repro.api.registry import kind_supports_storage
+from repro.api.specs import SpecError, SketchSpec
+from repro.core.storage import (
+    STORAGE_BACKENDS,
+    DenseStorage,
+    MmapStorage,
+    SharedMemoryStorage,
+    StorageError,
+    allocate,
+    attach,
+)
+from repro.sketches import AmsSketch, BloomFilter, CountMinSketch, CountSketch
+from repro.sketches.serialization import SerializationError
+
+
+def keys_stream(n=5000, universe=300, seed=0):
+    return np.random.default_rng(seed).integers(0, universe, size=n)
+
+
+# ----------------------------------------------------------------------
+# raw backend contract
+# ----------------------------------------------------------------------
+class TestBackends:
+    @pytest.mark.parametrize("backend", STORAGE_BACKENDS)
+    def test_allocate_gives_zeroed_writable_array(self, backend, tmp_path):
+        path = str(tmp_path / "t.bin") if backend == "mmap" else None
+        storage = allocate((3, 7), np.int64, backend, path=path)
+        try:
+            assert storage.backend == backend
+            assert storage.array.shape == (3, 7)
+            assert storage.array.dtype == np.int64
+            assert (np.asarray(storage.array) == 0).all()
+            storage.array[1, 2] = 41
+            np.add.at(storage.array[0], [1, 1, 3], [1, 1, 1])
+            assert storage.array[0, 1] == 2
+        finally:
+            storage.close()
+            storage.unlink()
+
+    def test_allocate_initial_copies_contents(self):
+        initial = np.arange(6, dtype=np.int64).reshape(2, 3)
+        storage = allocate((2, 3), np.int64, "shm", initial=initial)
+        try:
+            assert (np.asarray(storage.array) == initial).all()
+        finally:
+            storage.close()
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(StorageError):
+            allocate((2,), np.int64, "gpu")
+
+    def test_dense_rejects_path_and_attach(self):
+        with pytest.raises(StorageError):
+            allocate((2,), np.int64, "dense", path="/tmp/x")
+        dense = DenseStorage((2,), np.int64)
+        with pytest.raises(StorageError):
+            dense.describe_state()
+        with pytest.raises(StorageError):
+            attach({"backend": "dense", "shape": [2], "dtype": "<i8"})
+
+    def test_shm_attach_sees_live_writes(self):
+        owner = SharedMemoryStorage((4,), np.int64)
+        view = attach(owner.describe_state())
+        try:
+            owner.array[2] = 9
+            assert view.array[2] == 9
+            view.array[0] = 5
+            assert owner.array[0] == 5
+        finally:
+            view.close()
+            owner.close()
+
+    def test_shm_attach_unknown_name_raises(self):
+        with pytest.raises(StorageError):
+            attach(
+                {
+                    "backend": "shm",
+                    "name": "repro-no-such-segment",
+                    "shape": [4],
+                    "dtype": "<i8",
+                }
+            )
+
+    def test_mmap_survives_close_and_reattach(self, tmp_path):
+        path = str(tmp_path / "counters.bin")
+        storage = MmapStorage((5,), np.int64, path=path)
+        storage.array[:] = [1, 2, 3, 4, 5]
+        manifest = storage.describe_state()
+        storage.close()
+        assert os.path.exists(path)  # close keeps the file — it IS the state
+        reopened = attach(manifest)
+        try:
+            assert (np.asarray(reopened.array) == [1, 2, 3, 4, 5]).all()
+        finally:
+            reopened.close()
+            reopened.unlink()
+        assert not os.path.exists(path)
+
+    def test_mmap_attach_missing_or_short_file_raises(self, tmp_path):
+        with pytest.raises(StorageError):
+            MmapStorage((4,), np.int64, path=str(tmp_path / "nope.bin"), create=False)
+        short = tmp_path / "short.bin"
+        short.write_bytes(b"\x00" * 8)
+        with pytest.raises(StorageError):
+            MmapStorage((4,), np.int64, path=str(short), create=False)
+
+    @pytest.mark.parametrize("backend", ["shm", "mmap"])
+    def test_close_is_idempotent(self, backend, tmp_path):
+        path = str(tmp_path / "t.bin") if backend == "mmap" else None
+        storage = allocate((2,), np.int64, backend, path=path)
+        storage.close()
+        storage.close()
+        with pytest.raises(StorageError):
+            storage.array
+        storage.unlink()
+
+
+# ----------------------------------------------------------------------
+# StorageBacked sketch integration
+# ----------------------------------------------------------------------
+class TestSketchStorage:
+    @pytest.mark.parametrize("backend", STORAGE_BACKENDS)
+    def test_cms_counters_identical_across_backends(self, backend, tmp_path):
+        keys = keys_stream()
+        kwargs = (
+            {"storage_path": str(tmp_path / "cms.bin")} if backend == "mmap" else {}
+        )
+        sketch = CountMinSketch(512, 3, seed=1, storage=backend, **kwargs)
+        reference = CountMinSketch(512, 3, seed=1)
+        sketch.update_batch(keys)
+        reference.update_batch(keys)
+        try:
+            assert sketch.storage_backend == backend
+            assert (sketch.counters() == reference.counters()).all()
+            queries = np.unique(keys)
+            assert (
+                sketch.estimate_batch(queries) == reference.estimate_batch(queries)
+            ).all()
+        finally:
+            sketch.close()
+
+    def test_storage_path_requires_mmap(self):
+        with pytest.raises(ValueError):
+            CountMinSketch(16, 1, seed=0, storage="dense", storage_path="/tmp/x")
+        with pytest.raises(SpecError):
+            SketchSpec("count_min", width=16, seed=0, storage_path="/tmp/x")
+
+    def test_adopt_storage_shares_one_table(self):
+        owner = CountSketch(128, 2, seed=5, storage="shm")
+        twin = CountSketch(128, 2, seed=5)
+        twin.adopt_storage(owner.storage_manifest())
+        twin.update_batch(keys_stream(1000))
+        try:
+            assert (owner.counters() == twin.counters()).all()
+            assert np.abs(owner.counters()).sum() > 0
+        finally:
+            twin.close()
+            owner.close()
+
+    def test_adopt_storage_shape_mismatch_rejected(self):
+        owner = CountMinSketch(64, 2, seed=1, storage="shm")
+        other = CountMinSketch(64, 3, seed=1)
+        try:
+            with pytest.raises(StorageError):
+                other.adopt_storage(owner.storage_manifest())
+        finally:
+            owner.close()
+
+    def test_close_detaches_but_keeps_answers(self):
+        keys = keys_stream(2000)
+        sketch = CountMinSketch(256, 2, seed=7, storage="shm")
+        sketch.update_batch(keys)
+        before = sketch.estimate_batch(keys[:50]).copy()
+        sketch.close()
+        sketch.close()  # idempotent
+        assert sketch.storage_backend == "dense"  # detached private copy
+        assert (sketch.estimate_batch(keys[:50]) == before).all()
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda backend: AmsSketch(16, 4, seed=2, storage=backend),
+            lambda backend: BloomFilter(2048, num_hashes=3, seed=2, storage=backend),
+        ],
+        ids=["ams", "bloom"],
+    )
+    @pytest.mark.parametrize("backend", ["shm", "mmap"])
+    def test_ams_and_bloom_match_dense(self, factory, backend):
+        keys = keys_stream(3000)
+        sketch, reference = factory(backend), factory("dense")
+        ingest = getattr(sketch, "update_batch", None) or sketch.add_batch
+        ingest_ref = getattr(reference, "update_batch", None) or reference.add_batch
+        ingest(keys)
+        ingest_ref(keys)
+        field = type(sketch)._STORAGE_FIELD
+        try:
+            assert (
+                np.asarray(getattr(sketch, field))
+                == np.asarray(getattr(reference, field))
+            ).all()
+        finally:
+            path = sketch.storage_path
+            sketch.close()
+            if path:
+                os.unlink(path)
+
+    def test_live_mmap_snapshot_is_table_free_and_reattaches(self, tmp_path):
+        keys = keys_stream(4000)
+        path = str(tmp_path / "live.bin")
+        sketch = CountMinSketch(1024, 2, seed=3, storage="mmap", storage_path=path)
+        sketch.update_batch(keys)
+        live = sketch.to_bytes(live=True)
+        embedded = sketch.to_bytes()
+        # Zero-copy: the live buffer must not carry the 16 KB table.
+        assert len(live) < len(embedded) - 8 * 1024
+        twin = CountMinSketch.from_bytes(live)
+        assert twin.storage_backend == "mmap"
+        assert (twin.counters() == sketch.counters()).all()
+        # Same pages: later writes on one side are visible on the other.
+        sketch.update_batch(keys[:100])
+        assert (twin.counters() == sketch.counters()).all()
+        twin.close()
+        sketch.close()
+
+    def test_live_snapshot_requires_mmap(self):
+        with pytest.raises(SerializationError):
+            CountMinSketch(16, 1, seed=0).to_bytes(live=True)
+        with pytest.raises(SerializationError):
+            CountMinSketch(16, 1, seed=0, storage="shm").to_bytes(live=True)
+
+    def test_bloom_refuses_live_snapshots(self, tmp_path):
+        # num_inserted lives outside the bits table; a by-reference snapshot
+        # would restore an inconsistent filter.
+        bloom = BloomFilter(
+            256, num_hashes=2, seed=1, storage="mmap",
+            storage_path=str(tmp_path / "bits.bin"),
+        )
+        try:
+            with pytest.raises(SerializationError, match="num_inserted"):
+                bloom.to_bytes(live=True)
+            # Embedded snapshots stay available (loaded dense here; the
+            # recorded-mmap default would allocate a fresh temp table).
+            assert BloomFilter.from_bytes(bloom.to_bytes(), storage="dense").num_bits == 256
+        finally:
+            bloom.close()
+
+    def test_blank_mmap_table_refuses_to_clobber_survivor(self, tmp_path):
+        path = str(tmp_path / "survivor.bin")
+        sketch = CountMinSketch(64, 2, seed=1, storage="mmap", storage_path=path)
+        sketch.update_batch(keys_stream(500))
+        sketch.close()  # file survives — that is the point of the backend
+        # Re-running the same spec must not silently zero the table...
+        with pytest.raises(ValueError, match="refusing"):
+            CountMinSketch(64, 2, seed=1, storage="mmap", storage_path=path)
+        # ...but restoring explicit data to the path is a deliberate write.
+        blob = CountMinSketch(64, 2, seed=1).to_bytes()
+        restored = CountMinSketch.from_bytes(blob, storage="mmap", storage_path=path)
+        assert restored.storage_path == path
+        restored.close()
+
+
+# ----------------------------------------------------------------------
+# spec / registry plumbing
+# ----------------------------------------------------------------------
+class TestSpecPlumbing:
+    def test_kind_supports_storage(self):
+        for kind in ("count_min", "count_sketch", "ams", "bloom"):
+            assert kind_supports_storage(kind)
+        for kind in ("exact_counter", "misra_gries", "space_saving", "learned_cms"):
+            assert not kind_supports_storage(kind)
+
+    def test_storage_round_trips_through_spec(self):
+        spec = SketchSpec("count_min", total_buckets=256, depth=2, seed=1, storage="shm")
+        rebuilt = api.SketchSpec.from_dict(spec.to_dict())
+        assert rebuilt.to_dict() == spec.to_dict()
+        estimator = api.build(rebuilt)
+        try:
+            assert estimator.storage_backend == "shm"
+            assert estimator.describe()["params"]["storage"] == "shm"
+        finally:
+            estimator.close()
+
+    def test_bad_storage_value_rejected(self):
+        with pytest.raises(SpecError):
+            SketchSpec("count_min", width=16, seed=0, storage="tape")

@@ -1,0 +1,144 @@
+"""Crash recovery through the mmap backend.
+
+The protocol under test is the one a production deployment would run:
+
+1. open an mmap-backed session, save its *live* snapshot (spec + hash state
+   + table path, no table copy) as the recovery sidecar;
+2. ingest; the counter writes land in the page cache of the backing file;
+3. the process is SIGKILLed mid-ingest — no atexit, no flush, no goodbye;
+4. a fresh process restores from the sidecar, reattaching the table file.
+
+Because every Count-Min counter is monotone non-decreasing, the recovered
+table is a *consistent prefix*: every estimate is at least what the
+last-flushed state guaranteed and at most what the full stream would have
+produced — and queries simply work.
+"""
+
+import os
+import signal
+import time
+
+import multiprocessing
+import numpy as np
+import pytest
+
+import repro
+from repro.sketches import CountMinSketch
+
+STREAM = 60_000
+UNIVERSE = 500
+FIRST_HALF = STREAM // 2
+
+
+def make_keys():
+    return np.random.default_rng(42).integers(0, UNIVERSE, size=STREAM)
+
+
+def _victim(snapshot_blob, keys_path, half_done):
+    """Child process: restore the session, ingest, never exit voluntarily.
+
+    Flushes and signals after the first half, then ingests the second half
+    in small, slow chunks (so the parent's SIGKILL reliably lands
+    mid-ingest), then idles forever — only SIGKILL ends it.
+    """
+    keys = np.load(keys_path)
+    session = repro.restore(bytes(snapshot_blob))
+    session.ingest(keys[:FIRST_HALF])
+    session.estimator.flush_storage()
+    half_done.set()
+    for start in range(FIRST_HALF, len(keys), 1000):
+        session.ingest(keys[start : start + 1000])
+        time.sleep(0.005)
+    while True:
+        time.sleep(1.0)
+
+
+@pytest.fixture
+def mmap_session_blob(tmp_path):
+    spec = {
+        "kind": "count_min",
+        "total_buckets": 4096,
+        "depth": 2,
+        "seed": 21,
+        "storage": "mmap",
+        "storage_path": str(tmp_path / "table.bin"),
+    }
+    session = repro.open(spec)
+    blob = session.snapshot()  # live: spec + hashes + path, no table copy
+    session.close()
+    return blob
+
+
+def test_restore_after_sigkill_mid_ingest(tmp_path, mmap_session_blob):
+    keys = make_keys()
+    keys_path = str(tmp_path / "keys.npy")
+    np.save(keys_path, keys)
+
+    half_done = multiprocessing.Event()
+    victim = multiprocessing.Process(
+        target=_victim, args=(mmap_session_blob, keys_path, half_done), daemon=True
+    )
+    victim.start()
+    assert half_done.wait(timeout=120), "victim never reached the first half"
+    time.sleep(0.05)  # let a few second-half chunks land
+    os.kill(victim.pid, signal.SIGKILL)
+    victim.join(timeout=30)
+    assert victim.exitcode == -signal.SIGKILL
+
+    # Reopen from the same sidecar blob: the table file reattaches with
+    # whatever the victim had written when it died.
+    recovered = repro.restore(mmap_session_blob)
+    assert recovered.kind == "count_min"
+    assert recovered.estimator.storage_backend == "mmap"
+
+    queries = np.arange(UNIVERSE)
+    estimates = recovered.estimate(queries)
+
+    # Lower bound: everything the flushed first half guaranteed.  CMS never
+    # under-estimates, and its counters only grow, so each recovered
+    # estimate must be >= the key's true first-half count.
+    first_half_truth = np.bincount(keys[:FIRST_HALF], minlength=UNIVERSE)
+    assert (estimates >= first_half_truth).all()
+
+    # Upper bound: nothing beyond what the whole stream could have written
+    # (the victim ingests each arrival at most once).  Counter by counter,
+    # the recovered table is between the first-half table and the full one.
+    full = CountMinSketch.from_total_buckets(4096, depth=2, seed=21)
+    full.update_batch(keys)
+    assert (estimates <= full.estimate_batch(queries)).all()
+    recovered_table = recovered.estimator.counters()
+    half_table = CountMinSketch.from_total_buckets(4096, depth=2, seed=21)
+    half_table.update_batch(keys[:FIRST_HALF])
+    assert (recovered_table >= half_table.counters()).all()
+    assert (recovered_table <= full.counters()).all()
+
+    # And the recovered session is not a husk: it keeps ingesting.
+    before = recovered.estimate([0])[0]
+    recovered.ingest(np.zeros(10, dtype=np.int64))
+    assert recovered.estimate([0])[0] == before + 10
+    recovered.close()
+
+
+def test_clean_close_then_restore_is_bit_identical(tmp_path):
+    keys = make_keys()[:20_000]
+    path = str(tmp_path / "table.bin")
+    spec = {
+        "kind": "count_min",
+        "total_buckets": 2048,
+        "depth": 2,
+        "seed": 5,
+        "storage": "mmap",
+        "storage_path": path,
+    }
+    session = repro.open(spec)
+    session.ingest(keys)
+    blob = session.snapshot()
+    expected = session.estimate(np.arange(UNIVERSE)).copy()
+    session.estimator.flush_storage()
+    session.close()
+
+    restored = repro.restore(blob)
+    assert restored.estimator.storage_backend == "mmap"
+    assert restored.estimator.storage_path == path
+    assert (restored.estimate(np.arange(UNIVERSE)) == expected).all()
+    restored.close()

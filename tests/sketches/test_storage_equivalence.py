@@ -1,0 +1,156 @@
+"""Property suite: every storage backend is bit-identical and interchangeable.
+
+For every table sketch and every ordered backend pair (src → dst), hypothesis
+drives a weighted stream; the sketch is ingested on ``src``, serialized, and
+loaded onto ``dst`` — counters, estimates, and subsequent ``merge()`` results
+must all be bit-identical to a dense sketch that saw the same stream.  This
+is the acceptance property of the storage subsystem: *where* the counters
+live never changes *what* they say.
+"""
+
+import itertools
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.storage import STORAGE_BACKENDS
+from repro.sketches import AmsSketch, BloomFilter, CountMinSketch, CountSketch
+
+BACKEND_PAIRS = list(itertools.product(STORAGE_BACKENDS, STORAGE_BACKENDS))
+PAIR_IDS = [f"{src}->{dst}" for src, dst in BACKEND_PAIRS]
+
+streams = st.lists(st.integers(min_value=0, max_value=50), min_size=1, max_size=200)
+weights = st.integers(min_value=1, max_value=4)
+
+
+def release(sketch) -> None:
+    """Close a sketch's storage and delete its mmap file, if any."""
+    path = sketch.storage_path
+    sketch.close()
+    if path is not None:
+        try:
+            os.unlink(path)
+        except FileNotFoundError:
+            pass
+
+
+def roundtrip(sketch, cls, dst):
+    """Serialize on the sketch's backend, load onto ``dst``."""
+    loaded = cls.from_bytes(sketch.to_bytes(), storage=dst)
+    assert loaded.storage_backend == dst
+    return loaded
+
+
+class TestCrossBackendEquivalence:
+    @pytest.mark.parametrize(("src", "dst"), BACKEND_PAIRS, ids=PAIR_IDS)
+    @given(keys=streams, weight=weights)
+    @settings(max_examples=12, deadline=None)
+    def test_count_min(self, src, dst, keys, weight):
+        counts = np.full(len(keys), weight, dtype=np.int64)
+        dense = CountMinSketch(64, 2, seed=9)
+        dense.update_batch(keys, counts)
+        sketch = CountMinSketch(64, 2, seed=9, storage=src)
+        sketch.update_batch(keys, counts)
+        loaded = roundtrip(sketch, CountMinSketch, dst)
+        try:
+            assert (sketch.counters() == dense.counters()).all()
+            assert (loaded.counters() == dense.counters()).all()
+            queries = sorted(set(keys))
+            assert (
+                loaded.estimate_batch(queries) == dense.estimate_batch(queries)
+            ).all()
+            # merge() across backends is bit-identical to dense ⊕ dense.
+            dense_twin = CountMinSketch(64, 2, seed=9)
+            dense_twin.update_batch(keys[::2])
+            expected = CountMinSketch(64, 2, seed=9)
+            expected.update_batch(keys, counts)
+            expected.update_batch(keys[::2])
+            loaded.merge(dense_twin)
+            assert (loaded.counters() == expected.counters()).all()
+        finally:
+            release(sketch)
+            release(loaded)
+
+    @pytest.mark.parametrize(("src", "dst"), BACKEND_PAIRS, ids=PAIR_IDS)
+    @given(keys=streams)
+    @settings(max_examples=10, deadline=None)
+    def test_count_sketch(self, src, dst, keys):
+        dense = CountSketch(64, 3, seed=11)
+        dense.update_batch(keys)
+        sketch = CountSketch(64, 3, seed=11, storage=src)
+        sketch.update_batch(keys)
+        loaded = roundtrip(sketch, CountSketch, dst)
+        try:
+            assert (loaded.counters() == dense.counters()).all()
+            queries = sorted(set(keys))
+            assert (
+                loaded.estimate_batch(queries) == dense.estimate_batch(queries)
+            ).all()
+        finally:
+            release(sketch)
+            release(loaded)
+
+    @pytest.mark.parametrize(("src", "dst"), BACKEND_PAIRS, ids=PAIR_IDS)
+    @given(keys=streams)
+    @settings(max_examples=10, deadline=None)
+    def test_ams(self, src, dst, keys):
+        dense = AmsSketch(16, 4, seed=13)
+        dense.update_batch(keys)
+        sketch = AmsSketch(16, 4, seed=13, storage=src)
+        sketch.update_batch(keys)
+        loaded = roundtrip(sketch, AmsSketch, dst)
+        try:
+            assert (loaded._counters == dense._counters).all()
+            assert loaded.estimate_second_moment() == dense.estimate_second_moment()
+            other = AmsSketch(16, 4, seed=13)
+            other.update_batch(keys[:7])
+            expected = AmsSketch(16, 4, seed=13)
+            expected.update_batch(keys)
+            expected.update_batch(keys[:7])
+            loaded.merge(other)
+            assert (loaded._counters == expected._counters).all()
+        finally:
+            release(sketch)
+            release(loaded)
+
+    @pytest.mark.parametrize(("src", "dst"), BACKEND_PAIRS, ids=PAIR_IDS)
+    @given(keys=streams)
+    @settings(max_examples=10, deadline=None)
+    def test_bloom(self, src, dst, keys):
+        dense = BloomFilter(512, num_hashes=3, seed=15)
+        dense.add_batch(keys)
+        sketch = BloomFilter(512, num_hashes=3, seed=15, storage=src)
+        sketch.add_batch(keys)
+        loaded = roundtrip(sketch, BloomFilter, dst)
+        try:
+            assert (loaded._bits == dense._bits).all()
+            probes = list(range(60))
+            assert (
+                loaded.contains_batch(probes) == dense.contains_batch(probes)
+            ).all()
+            other = BloomFilter(512, num_hashes=3, seed=15)
+            other.add_batch([k + 1 for k in keys])
+            expected = BloomFilter(512, num_hashes=3, seed=15)
+            expected.add_batch(keys)
+            expected.add_batch([k + 1 for k in keys])
+            loaded.merge(other)
+            assert (loaded._bits == expected._bits).all()
+        finally:
+            release(sketch)
+            release(loaded)
+
+
+@pytest.mark.parametrize("live", [False, True], ids=["embedded", "live"])
+def test_mmap_snapshot_forms_agree(tmp_path, live):
+    """Embedded and live (path-reference) mmap buffers restore identically."""
+    keys = np.random.default_rng(1).integers(0, 99, size=3000)
+    path = str(tmp_path / "t.bin")
+    sketch = CountMinSketch(128, 2, seed=4, storage="mmap", storage_path=path)
+    sketch.update_batch(keys)
+    blob = sketch.to_bytes(live=live)
+    loaded = CountMinSketch.from_bytes(blob)
+    assert (loaded.counters() == sketch.counters()).all()
+    release(loaded)
+    release(sketch)
