@@ -51,6 +51,7 @@ from repro.api import (
     SketchSpec,
     SpecError,
     build,
+    load,
     open,
     restore,
 )
@@ -82,6 +83,7 @@ __all__ = [
     "ShardedSpec",
     "Session",
     "build",
+    "load",
     "open",
     "restore",
     "AdaptiveOptHashEstimator",

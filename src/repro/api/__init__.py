@@ -64,6 +64,7 @@ __all__ = [
     "build",
     "train",
     "Session",
+    "load",
     "open",
     "restore",
 ]
@@ -71,7 +72,7 @@ __all__ = [
 # The Session facade imports repro.core (for the replay loop), which imports
 # the sketch modules, which import this package to self-register — so the
 # session module must load lazily to keep that chain acyclic.
-_SESSION_EXPORTS = ("Session", "open", "restore")
+_SESSION_EXPORTS = ("Session", "load", "open", "restore")
 
 
 def __getattr__(name):

@@ -24,6 +24,8 @@ spec.
 
 from __future__ import annotations
 
+import builtins
+import os
 from typing import Callable, Optional, Union
 
 import numpy as np
@@ -38,7 +40,7 @@ from repro.sketches.serialization import (
     unpack,
 )
 
-__all__ = ["Session", "open", "restore"]
+__all__ = ["Session", "load", "open", "restore"]
 
 _SESSION_TAG = "session"
 
@@ -209,6 +211,38 @@ class Session:
         """Alias of :meth:`snapshot` (estimator-style serialization API)."""
         return self.snapshot()
 
+    def drain(self) -> "Session":
+        """Block until every in-flight ingestion batch is in shard state.
+
+        Sharded estimators with a process executor ingest asynchronously
+        (bounded backlog, lazy drain); this forces the consistency point —
+        after it returns, :meth:`estimate` and :meth:`snapshot` reflect
+        every batch previously passed to :meth:`ingest`.  A shard worker
+        that died mid-stream raises here instead of hanging.  No-op for
+        synchronous estimators.
+        """
+        drain = getattr(self._estimator, "drain", None)
+        if drain is not None:
+            drain()
+        return self
+
+    def save(self, path, *, embed: Optional[bool] = None) -> int:
+        """Drain, :meth:`snapshot`, and write the buffer to ``path``.
+
+        The write is atomic (temp file + ``os.replace``), so a crash — or a
+        SIGTERM racing the shutdown snapshot — can never leave a truncated
+        snapshot behind: ``path`` either holds the previous snapshot or the
+        complete new one.  Returns the number of bytes written.
+        """
+        self.drain()
+        blob = self.snapshot(embed=embed)
+        path = os.fspath(path)
+        tmp_path = f"{path}.tmp.{os.getpid()}"
+        with builtins.open(tmp_path, "wb") as handle:
+            handle.write(blob)
+        os.replace(tmp_path, path)
+        return len(blob)
+
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
@@ -244,3 +278,9 @@ def open(
 def restore(data: bytes) -> Session:
     """Rebuild a session from a :meth:`Session.snapshot` buffer."""
     return Session.from_bytes(data)
+
+
+def load(path) -> Session:
+    """Rebuild a session from a :meth:`Session.save` file."""
+    with builtins.open(os.fspath(path), "rb") as handle:
+        return restore(handle.read())

@@ -582,6 +582,19 @@ class ShardedEstimator(FrequencyEstimator):
         for shard_index, future in pending:
             self.shards[shard_index].merge(loads(future.result()))
 
+    def drain(self) -> "ShardedEstimator":
+        """Block until every submitted batch is reflected in shard state.
+
+        The public face of the lazy-drain machinery, for callers that need
+        a consistency point without a query — the streaming service drains
+        before every snapshot, and its ``flush`` op is exactly this.  A
+        worker that died or failed mid-stream raises here instead of
+        hanging.  No-op when nothing is outstanding (serial/thread
+        executors ingest synchronously).
+        """
+        self._drain_pending()
+        return self
+
     # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------
@@ -668,14 +681,16 @@ class ShardedEstimator(FrequencyEstimator):
             list(self._pool.map(int, range(self.num_shards), chunksize=1))
         return self
 
-    def close(self) -> None:
+    def close(self, timeout: float = 10.0) -> None:
         """Drain outstanding work and release every backend resource.
 
         Idempotent.  Shuts down the executor/worker pools and releases the
         shards' counter storage: owned shm segments are unlinked, mmap
         handles flushed and closed (files kept).  The shards detach into
         private dense copies first, so the estimator keeps answering
-        queries after close.
+        queries after close.  ``timeout`` bounds the worker pool's
+        ack-counting shutdown drain (shm transport): workers still
+        undrained at the deadline are terminated.
         """
         if self._closed:
             return
@@ -684,7 +699,7 @@ class ShardedEstimator(FrequencyEstimator):
             self._drain_pending()
         finally:
             if self._worker_pool is not None:
-                self._worker_pool.close()
+                self._worker_pool.close(timeout=timeout)
                 self._worker_pool = None
             if self._pool is not None:
                 self._pool.shutdown()

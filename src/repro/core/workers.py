@@ -17,9 +17,11 @@ The shm transport replaces that with ONE long-lived worker per shard:
   physical pages, so queries observe worker progress live.
 
 Backpressure is the task queue's ``maxsize``; draining is ack-counting (a
-shared counter per worker) so a dead worker surfaces as an error instead of
-a deadlock.  Workers are daemons: an abandoned pool cannot outlive the
-parent.
+shared counter per worker, with a condition variable the worker notifies on
+every ack, so the parent sleeps between acks instead of polling).  Failures
+raise a per-worker event *and* enqueue a message, so the parent fails fast
+without trusting ``Queue.empty()`` (documented as unreliable).  Workers are
+daemons: an abandoned pool cannot outlive the parent.
 """
 
 from __future__ import annotations
@@ -38,16 +40,24 @@ __all__ = ["ShardWorkerPool", "WORKER_CHUNK_SIZE"]
 #: ``repro.core.pipeline.DEFAULT_REPLAY_BATCH_SIZE``.
 WORKER_CHUNK_SIZE = 65536
 
-#: Poll interval of the ack-counting drain loop.
-_JOIN_POLL_SECONDS = 0.001
+#: Upper bound of one condition wait in the drain loops.  Not a poll
+#: interval — the worker's ack notification wakes the parent immediately;
+#: this only bounds how long a *dead* worker can go unnoticed.
+_LIVENESS_CHECK_SECONDS = 0.1
+
+#: How long ``_raise_errors`` waits for a failure *message* once a failure
+#: *event* is already set (the event and the queue entry are raised by the
+#: worker back to back, but the queue feeder thread may lag the event).
+_ERROR_MESSAGE_GRACE_SECONDS = 1.0
 
 
-def _worker_main(spec_dict, manifest, tasks, acked, ready, errors) -> None:
+def _worker_main(spec_dict, manifest, tasks, acked, ack_cond, ready, failed, errors) -> None:
     """Worker process body: build once, adopt shared storage, ingest forever.
 
     Every dequeued task is acknowledged (even after an error) so the
-    parent's drain accounting never hangs; failures travel through the
-    ``errors`` queue and are raised parent-side on the next drain.
+    parent's drain accounting never hangs; failures set the shared
+    ``failed`` event (checked synchronously by ``submit``/``join``) and
+    travel as messages through the ``errors`` queue.
     """
     estimator = None
     try:
@@ -63,6 +73,7 @@ def _worker_main(spec_dict, manifest, tasks, acked, ready, errors) -> None:
         estimator.adopt_storage(manifest)
     except BaseException as error:  # surfaced parent-side
         errors.put(f"shard worker failed to start: {error!r}")
+        failed.set()
         estimator = None
     finally:
         ready.set()
@@ -81,9 +92,11 @@ def _worker_main(spec_dict, manifest, tasks, acked, ready, errors) -> None:
                 )
         except BaseException as error:
             errors.put(f"shard worker batch failed: {error!r}")
+            failed.set()
         finally:
-            with acked.get_lock():
+            with ack_cond:
                 acked.value += 1
+                ack_cond.notify_all()
     if estimator is not None:
         try:
             # Shutdown path: release the attached table without copying it
@@ -96,14 +109,19 @@ def _worker_main(spec_dict, manifest, tasks, acked, ready, errors) -> None:
 
 
 class _ShardWorker:
-    __slots__ = ("process", "tasks", "acked", "ready", "submitted")
+    __slots__ = ("process", "tasks", "acked", "ack_cond", "ready", "failed", "submitted")
 
-    def __init__(self, process, tasks, acked, ready) -> None:
+    def __init__(self, process, tasks, acked, ack_cond, ready, failed) -> None:
         self.process = process
         self.tasks = tasks
         self.acked = acked
+        self.ack_cond = ack_cond
         self.ready = ready
+        self.failed = failed
         self.submitted = 0
+
+    def drained(self) -> bool:
+        return self.acked.value >= self.submitted
 
 
 class ShardWorkerPool:
@@ -121,46 +139,76 @@ class ShardWorkerPool:
         self._closed = False
         for manifest in manifests:
             tasks = ctx.Queue(maxsize=max(1, max_pending))
-            acked = ctx.Value("q", 0)
+            # The ack counter is guarded by the condition's own lock (the
+            # worker increments and notifies under it), so the Value itself
+            # carries no lock of its own.
+            ack_cond = ctx.Condition()
+            acked = ctx.Value("q", 0, lock=False)
             ready = ctx.Event()
+            failed = ctx.Event()
             process = ctx.Process(
                 target=_worker_main,
-                args=(spec_dict, manifest, tasks, acked, ready, self._errors),
+                args=(spec_dict, manifest, tasks, acked, ack_cond, ready, failed, self._errors),
                 daemon=True,
             )
             process.start()
-            self._workers.append(_ShardWorker(process, tasks, acked, ready))
+            self._workers.append(
+                _ShardWorker(process, tasks, acked, ack_cond, ready, failed)
+            )
 
     def __len__(self) -> int:
         return len(self._workers)
 
+    @property
+    def failed(self) -> bool:
+        """True once any worker has raised (init or batch failure)."""
+        return any(worker.failed.is_set() for worker in self._workers)
+
     def wait_ready(self, timeout: float = 60.0) -> "ShardWorkerPool":
-        """Block until every worker has built its shard and attached."""
+        """Block until every worker has built its shard and attached.
+
+        ``timeout`` is ONE deadline shared by the whole pool, not a
+        per-worker allowance — a 16-shard pool cannot stretch a 60 s
+        timeout into 16 minutes.
+        """
+        deadline = time.monotonic() + timeout
         for index, worker in enumerate(self._workers):
-            if not worker.ready.wait(timeout):
-                raise RuntimeError(f"shard worker {index} failed to start in time")
-        self._raise_errors()
+            remaining = deadline - time.monotonic()
+            if remaining <= 0 or not worker.ready.wait(remaining):
+                raise RuntimeError(
+                    f"shard worker {index} failed to start within the pool's "
+                    f"{timeout:g}s deadline"
+                )
+        # A failure event set during init means an error message is on its
+        # way even if the queue's feeder thread has not delivered it yet.
+        self._raise_errors(expect_failure=self.failed)
         return self
 
     def submit(self, shard_index: int, keys, counts) -> None:
         """Queue one (keys, counts) batch for a shard.
 
         Blocks when the shard's queue is full (bounded backlog); a worker
-        that died mid-stream raises instead of deadlocking the put.
+        that died or failed mid-stream raises instead of deadlocking the
+        put.  Failure detection reads the workers' shared ``failed``
+        events — synchronous and reliable, unlike ``Queue.empty()`` on the
+        error queue (documented as approximate), which previously let a
+        worker init failure go unnoticed for many batches.
         """
         if self._closed:
             raise RuntimeError("shard worker pool is closed")
-        if not self._errors.empty():
+        if self.failed:
             # Fail fast: a worker that errored (e.g. died during init) keeps
             # acking-and-discarding; without this check a long ingestion
             # would silently drop every batch for that shard until the next
             # drain.
-            self._raise_errors()
+            self._raise_errors(expect_failure=True)
         worker = self._workers[shard_index]
         while True:
             if not worker.process.is_alive():
                 self._raise_errors()
                 raise RuntimeError(f"shard worker {shard_index} died")
+            if worker.failed.is_set():
+                self._raise_errors(expect_failure=True)
             try:
                 worker.tasks.put((keys, counts), timeout=0.05)
                 break
@@ -169,43 +217,94 @@ class ShardWorkerPool:
         worker.submitted += 1
 
     def join(self) -> None:
-        """Block until every submitted batch has been ingested."""
+        """Block until every submitted batch has been ingested.
+
+        Event-driven: each worker notifies its ack condition per batch, so
+        the parent sleeps between acks instead of burning a core polling —
+        the waits below only wake early to notice a dead worker.
+        """
         for index, worker in enumerate(self._workers):
-            while worker.acked.value < worker.submitted:
-                if not worker.process.is_alive():
-                    self._raise_errors()
-                    raise RuntimeError(
-                        f"shard worker {index} died with batches outstanding"
-                    )
-                time.sleep(_JOIN_POLL_SECONDS)
+            with worker.ack_cond:
+                while not worker.drained():
+                    if worker.failed.is_set():
+                        break
+                    if not worker.process.is_alive():
+                        self._raise_errors()
+                        raise RuntimeError(
+                            f"shard worker {index} died with batches outstanding"
+                        )
+                    worker.ack_cond.wait(_LIVENESS_CHECK_SECONDS)
+            if worker.failed.is_set():
+                self._raise_errors(expect_failure=True)
         self._raise_errors()
 
-    def _raise_errors(self) -> None:
+    def _raise_errors(self, expect_failure: bool = False) -> None:
+        """Drain the error queue and raise its messages, if any.
+
+        With ``expect_failure`` a failure event is known to be set, so an
+        empty queue is a feeder-thread race, not a clean bill of health —
+        wait briefly for the message before raising a generic error.
+        """
         messages = []
         while True:
             try:
                 messages.append(self._errors.get_nowait())
             except queue_module.Empty:
                 break
+        if not messages and expect_failure:
+            try:
+                messages.append(self._errors.get(timeout=_ERROR_MESSAGE_GRACE_SECONDS))
+            except queue_module.Empty:
+                messages.append("shard worker failed (no error message received)")
         if messages:
             raise RuntimeError("; ".join(messages))
 
     def close(self, timeout: float = 10.0) -> None:
-        """Stop the workers (idempotent).  Queued batches finish first."""
+        """Stop the workers (idempotent).
+
+        Queued batches finish first: each worker is drained by ack-counting
+        (bounded by one pool-wide ``timeout`` deadline) before its shutdown
+        sentinel is enqueued, so a full task queue no longer causes queued
+        batches to be silently dropped.  Only workers still undrained at
+        the deadline — or dead/failed ones — are terminated with work
+        outstanding.  Never raises: close runs on error paths too; use
+        :meth:`join` first for a drain that surfaces failures.
+        """
         if self._closed:
             return
         self._closed = True
+        deadline = time.monotonic() + timeout
         for worker in self._workers:
+            with worker.ack_cond:
+                while (
+                    not worker.drained()
+                    and worker.process.is_alive()
+                    and not worker.failed.is_set()
+                ):
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    worker.ack_cond.wait(min(_LIVENESS_CHECK_SECONDS, remaining))
+        for worker in self._workers:
+            # A drained worker's queue has room for the sentinel by
+            # construction; the timeout only covers undrained stragglers.
             try:
-                worker.tasks.put(None, timeout=1.0)
+                worker.tasks.put(None, timeout=max(0.1, deadline - time.monotonic()))
             except queue_module.Full:
                 pass  # terminate below
         for worker in self._workers:
-            worker.process.join(timeout=timeout)
+            worker.process.join(timeout=max(1.0, deadline - time.monotonic()))
             if worker.process.is_alive():
                 worker.process.terminate()
                 worker.process.join(timeout=5.0)
             try:
+                if not worker.process.is_alive() and not worker.drained():
+                    # A dead worker can leave the queue's feeder thread
+                    # blocked on a pipe nobody will ever read; joining that
+                    # thread at interpreter exit would hang the parent.
+                    # The undelivered batches are already lost with the
+                    # worker — don't let them take the process down too.
+                    worker.tasks.cancel_join_thread()
                 worker.tasks.close()
             except Exception:
                 pass

@@ -1,0 +1,43 @@
+"""repro.service — the streaming ingestion service.
+
+A long-running daemon that puts the sharded, shared-memory estimator engine
+behind a socket: many concurrent writers stream arrivals in, readers query
+live estimates against the same tables while ingestion continues, and the
+whole thing drains → snapshots → restarts without losing an acknowledged
+batch.  This is the "millions of users" deployment shape the engine was
+built for — estimates served continuously from live data, not rebuilt per
+experiment.
+
+* **Protocol** (:mod:`repro.service.protocol`): newline-delimited JSON
+  frames over TCP or a Unix socket, with an optional raw-binary payload for
+  int64 key batches (the ingest hot path skips JSON entirely).
+* **Server** (:mod:`repro.service.server`): :class:`StreamingService` — an
+  asyncio front-end that coalesces arrivals into micro-batches (size or
+  deadline triggered) with bounded backpressure, applies them through one
+  ingest thread into the estimator (whose shard workers scatter into shared
+  memory), and serves ``estimate`` / ``top_k`` live.  SIGTERM triggers
+  graceful drain → :meth:`Session.save` → exit; starting with an existing
+  snapshot resumes from it.  :class:`ServiceThread` hosts a service on a
+  background thread for tests and notebooks.
+* **Client** (:mod:`repro.service.client`): :class:`StreamingClient`
+  (blocking sockets, thread-per-stream friendly) and
+  :class:`AsyncStreamingClient` (asyncio) speaking the same protocol.
+
+Run a daemon from the command line::
+
+    python -m repro.service --spec '{"kind": "count_min", ...}' \
+        --unix /tmp/repro.sock --snapshot /tmp/repro.snap
+"""
+
+from repro.service.protocol import ProtocolError, ServiceError
+from repro.service.server import ServiceThread, StreamingService
+from repro.service.client import AsyncStreamingClient, StreamingClient
+
+__all__ = [
+    "ProtocolError",
+    "ServiceError",
+    "ServiceThread",
+    "StreamingService",
+    "StreamingClient",
+    "AsyncStreamingClient",
+]

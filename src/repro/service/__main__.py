@@ -1,0 +1,96 @@
+"""Run a streaming ingestion daemon: ``python -m repro.service``.
+
+    python -m repro.service \\
+        --spec '{"kind": "sharded", "inner": {"kind": "count_min", ...},
+                 "executor": "process", "transport": "shm", "num_shards": 4}' \\
+        --unix /tmp/repro.sock --snapshot /var/lib/repro/tables.snap
+
+``--spec`` takes inline JSON or ``@path/to/spec.json``.  If the snapshot
+file already exists the daemon resumes from it (the spec is then only a
+fallback); on SIGTERM/SIGINT it drains, rewrites the snapshot atomically,
+and exits 0 — the restart loop is just "run the same command again".
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+
+from repro.service.server import (
+    DEFAULT_FLUSH_INTERVAL,
+    DEFAULT_MAX_BUFFERED_KEYS,
+    StreamingService,
+)
+
+
+def _parse_spec(text):
+    if text is None:
+        return None
+    if text.startswith("@"):
+        with open(text[1:], "r", encoding="utf-8") as handle:
+            return json.load(handle)
+    return json.loads(text)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Streaming frequency-estimation ingestion daemon.",
+    )
+    parser.add_argument(
+        "--spec",
+        help="estimator spec as inline JSON, or @FILE to read it from disk",
+    )
+    parser.add_argument("--unix", help="Unix socket path to listen on")
+    parser.add_argument("--host", help="TCP host to listen on")
+    parser.add_argument("--port", type=int, default=0, help="TCP port (0=ephemeral)")
+    parser.add_argument(
+        "--snapshot",
+        help="snapshot path: resumed from at startup if present, rewritten "
+        "atomically on graceful shutdown",
+    )
+    parser.add_argument(
+        "--flush-interval",
+        type=float,
+        default=DEFAULT_FLUSH_INTERVAL,
+        help="micro-batch coalescing deadline in seconds",
+    )
+    parser.add_argument(
+        "--max-buffered-keys",
+        type=int,
+        default=DEFAULT_MAX_BUFFERED_KEYS,
+        help="backpressure bound on accepted-but-unapplied arrivals",
+    )
+    args = parser.parse_args(argv)
+    if args.unix is None and args.host is None:
+        parser.error("pass --unix PATH or --host HOST [--port PORT]")
+
+    service = StreamingService(
+        _parse_spec(args.spec),
+        snapshot_path=args.snapshot,
+        unix_path=args.unix,
+        host=args.host,
+        port=args.port if args.host is not None else None,
+        flush_interval=args.flush_interval,
+        max_buffered_keys=args.max_buffered_keys,
+    )
+
+    async def run():
+        await service.start()
+        service.install_signal_handlers()
+        origin = "restored snapshot" if service.restored else "fresh spec"
+        print(
+            f"repro.service listening on {service.endpoint} "
+            f"(kind={service.session.kind}, {origin})",
+            flush=True,
+        )
+        await service.serve_until_stopped()
+
+    asyncio.run(run())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

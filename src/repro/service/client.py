@@ -1,0 +1,231 @@
+"""Clients of the streaming service: blocking and asyncio flavors.
+
+:class:`StreamingClient` wraps a blocking socket — one instance per thread,
+the natural shape for "N concurrent writer streams" load generators and for
+calling the service from synchronous code.  :class:`AsyncStreamingClient`
+speaks the identical protocol over asyncio streams for callers that already
+live in an event loop.
+
+Both convert ``{"ok": false}`` responses into :class:`ServiceError`, ship
+int64 key batches as raw binary payloads (no JSON on the ingest hot path),
+and return estimates as float64 arrays.
+
+    with StreamingClient.connect(unix_path="/tmp/repro.sock") as client:
+        client.ingest(keys)                  # numpy int64 -> binary frame
+        live = client.estimate([3, 7, 11])   # answered during ingest
+        client.flush()                       # barrier: all acks applied
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.service import protocol
+from repro.service.protocol import ProtocolError, ServiceError
+
+__all__ = ["StreamingClient", "AsyncStreamingClient", "ServiceError"]
+
+
+def _ingest_frame(keys, counts) -> bytes:
+    """Encode one ingest request (header + optional binary payload)."""
+    header: Dict[str, Any] = {"op": "ingest"}
+    if isinstance(keys, np.ndarray) and keys.dtype.kind in "iuf":
+        binary, payload = protocol.binary_ingest_parts(
+            keys, None if counts is None else np.asarray(counts, dtype=np.int64)
+        )
+        header.update(binary)
+        return protocol.encode_frame(header) + payload
+    header["keys"] = protocol.jsonable_keys(keys)
+    if counts is not None:
+        header["counts"] = [int(count) for count in np.asarray(counts)]
+    return protocol.encode_frame(header)
+
+
+def _check(response: Dict[str, Any]) -> Dict[str, Any]:
+    if not response.get("ok"):
+        raise ServiceError(response.get("error", "service returned an error"))
+    return response
+
+
+class StreamingClient:
+    """Blocking socket client; one instance per thread."""
+
+    def __init__(self, sock: socket.socket) -> None:
+        self._sock = sock
+        self._reader = sock.makefile("rb")
+
+    @classmethod
+    def connect(
+        cls,
+        *,
+        unix_path: Optional[str] = None,
+        host: Optional[str] = None,
+        port: Optional[int] = None,
+        timeout: Optional[float] = 60.0,
+    ) -> "StreamingClient":
+        if (unix_path is None) == (host is None):
+            raise ValueError("pass exactly one of unix_path or host/port")
+        if unix_path is not None:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(timeout)
+            sock.connect(unix_path)
+        else:
+            sock = socket.create_connection((host, port), timeout=timeout)
+        return cls(sock)
+
+    def _request(self, frame: bytes) -> Dict[str, Any]:
+        self._sock.sendall(frame)
+        line = self._reader.readline()
+        if not line:
+            raise ServiceError("service closed the connection")
+        return _check(protocol.decode_frame(line))
+
+    # ------------------------------------------------------------------
+    # operations
+    # ------------------------------------------------------------------
+    def ingest(self, keys, counts=None) -> int:
+        """Ship one batch; returns the acknowledged arrival count."""
+        return int(self._request(_ingest_frame(keys, counts))["ingested"])
+
+    def estimate(self, keys) -> np.ndarray:
+        """Live point queries; float64 estimates aligned with ``keys``."""
+        response = self._request(
+            protocol.encode_frame(
+                {"op": "estimate", "keys": protocol.jsonable_keys(keys)}
+            )
+        )
+        return np.asarray(response["estimates"], dtype=np.float64)
+
+    def top_k(
+        self, k: int, candidates: Optional[Sequence] = None
+    ) -> List[Tuple[Any, float]]:
+        """The ``k`` highest-estimate keys (among ``candidates`` if given)."""
+        message: Dict[str, Any] = {"op": "top_k", "k": int(k)}
+        if candidates is not None:
+            message["candidates"] = protocol.jsonable_keys(candidates)
+        response = self._request(protocol.encode_frame(message))
+        return [(key, float(estimate)) for key, estimate in response["top"]]
+
+    def flush(self) -> Dict[str, Any]:
+        """Barrier: returns once every acknowledged batch is in the tables."""
+        return self._request(protocol.encode_frame({"op": "flush"}))
+
+    def stats(self) -> Dict[str, Any]:
+        return self._request(protocol.encode_frame({"op": "stats"}))
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Flush, then write the service's restart snapshot."""
+        return self._request(protocol.encode_frame({"op": "snapshot"}))
+
+    def ping(self) -> bool:
+        return bool(self._request(protocol.encode_frame({"op": "ping"}))["ok"])
+
+    def shutdown(self) -> None:
+        """Ask the service for a graceful drain-snapshot-stop."""
+        self._request(protocol.encode_frame({"op": "shutdown"}))
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Idempotent."""
+        try:
+            self._reader.close()
+        except Exception:
+            pass
+        try:
+            self._sock.close()
+        except Exception:
+            pass
+
+    def __enter__(self) -> "StreamingClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class AsyncStreamingClient:
+    """The same protocol over asyncio streams."""
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+
+    @classmethod
+    async def connect(
+        cls,
+        *,
+        unix_path: Optional[str] = None,
+        host: Optional[str] = None,
+        port: Optional[int] = None,
+    ) -> "AsyncStreamingClient":
+        if (unix_path is None) == (host is None):
+            raise ValueError("pass exactly one of unix_path or host/port")
+        if unix_path is not None:
+            reader, writer = await asyncio.open_unix_connection(unix_path)
+        else:
+            reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    async def _request(self, frame: bytes) -> Dict[str, Any]:
+        self._writer.write(frame)
+        await self._writer.drain()
+        line = await self._reader.readline()
+        if not line:
+            raise ServiceError("service closed the connection")
+        return _check(protocol.decode_frame(line))
+
+    async def ingest(self, keys, counts=None) -> int:
+        return int((await self._request(_ingest_frame(keys, counts)))["ingested"])
+
+    async def estimate(self, keys) -> np.ndarray:
+        response = await self._request(
+            protocol.encode_frame(
+                {"op": "estimate", "keys": protocol.jsonable_keys(keys)}
+            )
+        )
+        return np.asarray(response["estimates"], dtype=np.float64)
+
+    async def top_k(
+        self, k: int, candidates: Optional[Sequence] = None
+    ) -> List[Tuple[Any, float]]:
+        message: Dict[str, Any] = {"op": "top_k", "k": int(k)}
+        if candidates is not None:
+            message["candidates"] = protocol.jsonable_keys(candidates)
+        response = await self._request(protocol.encode_frame(message))
+        return [(key, float(estimate)) for key, estimate in response["top"]]
+
+    async def flush(self) -> Dict[str, Any]:
+        return await self._request(protocol.encode_frame({"op": "flush"}))
+
+    async def stats(self) -> Dict[str, Any]:
+        return await self._request(protocol.encode_frame({"op": "stats"}))
+
+    async def snapshot(self) -> Dict[str, Any]:
+        return await self._request(protocol.encode_frame({"op": "snapshot"}))
+
+    async def ping(self) -> bool:
+        return bool((await self._request(protocol.encode_frame({"op": "ping"})))["ok"])
+
+    async def shutdown(self) -> None:
+        await self._request(protocol.encode_frame({"op": "shutdown"}))
+
+    async def close(self) -> None:
+        try:
+            self._writer.close()
+            await self._writer.wait_closed()
+        except Exception:
+            pass
+
+    async def __aenter__(self) -> "AsyncStreamingClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()

@@ -1,0 +1,176 @@
+"""Wire protocol of the streaming service: NDJSON frames + binary payloads.
+
+Every request and response is one JSON object encoded as UTF-8 on a single
+line, terminated by ``\\n`` — trivially debuggable with ``nc``/``socat``,
+and framing is just ``readline``.  The one place JSON would dominate the
+cost is the ingest hot path (shipping millions of int64 keys), so an ingest
+frame may instead declare a **binary payload**: the JSON header carries
+``{"binary": {"count": N, "dtype": "<i8", "with_counts": true|false}}`` and
+the raw little-endian key (and optional count) bytes follow immediately
+after the newline.  The server reads exactly ``N * itemsize`` bytes per
+declared array — no escaping, no base64, no per-element parsing.
+
+Requests carry ``{"op": ...}``; responses carry ``{"ok": true, ...}`` or
+``{"ok": false, "error": "..."}``.  Ops understood by the server:
+
+``ingest``
+    Keys (+ optional counts) to add.  Acknowledged once the batch is
+    accepted into the service's bounded micro-batch buffer; an
+    acknowledged batch survives any *graceful* shutdown (drain flushes the
+    buffer before the snapshot is written).
+``estimate``
+    Point queries answered **live** — against the shards' current tables,
+    without waiting for in-flight batches (monotone under-counts until a
+    ``flush``).
+``top_k``
+    The ``k`` highest-estimate keys among ``candidates`` (always
+    available), or from the estimator's own ``heavy_hitters`` tracking
+    when it has one and no candidates are given.
+``flush``
+    Barrier: returns once every previously acknowledged batch is reflected
+    in the tables (micro-batch buffer empty + shard workers drained).
+``stats``
+    Service counters (totals, buffered backlog, uptime, spec kind).
+``snapshot``
+    Flush, then write a restart snapshot to the server's configured path.
+``ping`` / ``shutdown``
+    Liveness probe / graceful drain-snapshot-stop.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "ProtocolError",
+    "ServiceError",
+    "encode_frame",
+    "decode_frame",
+    "binary_ingest_parts",
+    "payload_nbytes",
+    "arrays_from_payload",
+    "jsonable_keys",
+]
+
+#: Upper bound on one JSON frame line (headers and JSON-encoded batches).
+#: Binary payloads are bounded separately by their declared byte size.
+MAX_FRAME_BYTES = 64 << 20
+
+#: Dtypes a binary payload may declare.  Little-endian fixed-width only —
+#: the wire format must not depend on either side's native byte order.
+_BINARY_DTYPES = {"<i8", "<u8", "<f8"}
+
+
+class ProtocolError(ValueError):
+    """A malformed frame (bad JSON, missing fields, oversized payload)."""
+
+
+class ServiceError(RuntimeError):
+    """An ``{"ok": false}`` response, raised client-side."""
+
+
+def encode_frame(message: Dict[str, Any]) -> bytes:
+    """One JSON object → one newline-terminated wire line."""
+    return json.dumps(message, separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+def decode_frame(line: bytes) -> Dict[str, Any]:
+    """One wire line → dict, with typed errors for malformed input."""
+    if len(line) > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame exceeds {MAX_FRAME_BYTES} bytes")
+    try:
+        message = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ProtocolError(f"malformed frame: {error}") from error
+    if not isinstance(message, dict):
+        raise ProtocolError("frames must be JSON objects")
+    return message
+
+
+def binary_ingest_parts(
+    keys: np.ndarray, counts: Optional[np.ndarray] = None
+) -> Tuple[Dict[str, Any], bytes]:
+    """Binary-payload header fields + payload bytes for an int key batch.
+
+    The caller merges the returned dict into its ingest header and appends
+    the payload right after the frame's newline.
+    """
+    keys = np.ascontiguousarray(keys)
+    wire = keys.dtype.newbyteorder("<")
+    if wire.str not in _BINARY_DTYPES:
+        raise ProtocolError(
+            f"binary ingest supports dtypes {sorted(_BINARY_DTYPES)}; "
+            f"got {keys.dtype.str!r} (send JSON keys instead)"
+        )
+    header: Dict[str, Any] = {
+        "binary": {
+            "count": int(keys.shape[0]),
+            "dtype": wire.str,
+            "with_counts": counts is not None,
+        }
+    }
+    payload = keys.astype(wire, copy=False).tobytes()
+    if counts is not None:
+        count_array = np.ascontiguousarray(counts, dtype="<i8")
+        if count_array.shape != keys.shape:
+            raise ProtocolError("counts must align one-to-one with keys")
+        payload += count_array.tobytes()
+    return header, payload
+
+
+def payload_nbytes(binary: Dict[str, Any]) -> int:
+    """Total payload size a ``binary`` declaration commits the peer to read."""
+    if not isinstance(binary, dict):
+        raise ProtocolError("'binary' must be an object")
+    dtype = binary.get("dtype")
+    if dtype not in _BINARY_DTYPES:
+        raise ProtocolError(f"unsupported binary dtype {dtype!r}")
+    count = binary.get("count")
+    if not isinstance(count, int) or count < 0:
+        raise ProtocolError("binary count must be a non-negative integer")
+    itemsize = np.dtype(dtype).itemsize
+    total = count * itemsize
+    if binary.get("with_counts"):
+        total += count * np.dtype("<i8").itemsize
+    if total > MAX_FRAME_BYTES:
+        raise ProtocolError(f"binary payload exceeds {MAX_FRAME_BYTES} bytes")
+    return total
+
+
+def arrays_from_payload(
+    binary: Dict[str, Any], payload: bytes
+) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+    """Decode a binary payload back into (keys, counts or None)."""
+    dtype = np.dtype(binary["dtype"])
+    count = int(binary["count"])
+    split = count * dtype.itemsize
+    if len(payload) != payload_nbytes(binary):
+        raise ProtocolError("binary payload length disagrees with its header")
+    keys = np.frombuffer(payload[:split], dtype=dtype).astype(
+        dtype.newbyteorder("="), copy=False
+    )
+    counts = None
+    if binary.get("with_counts"):
+        counts = np.frombuffer(payload[split:], dtype="<i8").astype(
+            np.int64, copy=False
+        )
+    return keys, counts
+
+
+def jsonable_keys(keys) -> list:
+    """A key batch as a JSON-safe list (ints and strings pass through)."""
+    if isinstance(keys, np.ndarray):
+        return keys.tolist()
+    out = []
+    for key in keys:
+        if isinstance(key, (np.integer,)):
+            out.append(int(key))
+        elif isinstance(key, (np.floating,)):
+            out.append(float(key))
+        else:
+            out.append(key)
+    return out

@@ -1,0 +1,659 @@
+"""The asyncio streaming ingestion daemon.
+
+One :class:`StreamingService` owns one :class:`~repro.api.session.Session`
+(built from a spec, or restored from the previous run's snapshot) and puts
+it behind a socket:
+
+* **Accept** — each client connection is an asyncio reader task; frames are
+  newline-delimited JSON with an optional binary payload (see
+  :mod:`repro.service.protocol`).
+* **Coalesce** — ingest batches land in a bounded buffer; a single pump
+  task flushes it into ``estimator.update_batch`` whenever the backlog
+  reaches the worker chunk size *or* a flush deadline expires, whichever
+  comes first.  One partition pass per micro-batch routes the coalesced
+  arrivals to their shards; with the shm transport the shard workers then
+  scatter into shared memory in parallel with everything below.
+* **Backpressure** — when the buffer is at capacity, ingest handlers
+  *await* space instead of acking, which stops reading those sockets; TCP
+  flow control pushes the stall back to the writers.  Bounded end to end.
+* **Serve live** — ``estimate`` answers from the shards' current tables
+  (``live_estimate``) without draining in-flight batches: readers never
+  wait on writers.
+* **Drain / snapshot / restart** — SIGTERM (or ``shutdown``) stops intake,
+  flushes the buffer, drains the shard workers, writes an atomic snapshot
+  via :meth:`Session.save`, and exits; constructing the service with the
+  same ``snapshot_path`` resumes from it.  Every *acknowledged* ingest is
+  in the snapshot by construction.
+
+Estimator access is serialized through a one-thread executor: the pump's
+``update_batch`` (cheap routing — heavy scatters happen in the shard
+worker processes) and queries interleave there without locking the event
+loop or each other.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import contextlib
+import os
+import signal
+import threading
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.api import session as api_session
+from repro.core.workers import WORKER_CHUNK_SIZE
+from repro.service import protocol
+
+__all__ = ["StreamingService", "ServiceThread"]
+
+#: Default coalescing deadline: a micro-batch is flushed at the latest this
+#: many seconds after its first arrival, even when under-full.
+DEFAULT_FLUSH_INTERVAL = 0.05
+
+#: Default buffer bound (keys, not batches): ingest acks stall once this
+#: many arrivals are buffered but not yet handed to the estimator.
+DEFAULT_MAX_BUFFERED_KEYS = 4 * WORKER_CHUNK_SIZE
+
+
+class _IngestBuffer:
+    """The bounded micro-batch buffer between connections and the pump."""
+
+    __slots__ = ("parts", "total_keys", "accepted_keys", "accepted_batches")
+
+    def __init__(self) -> None:
+        self.parts: List[Tuple[Any, Optional[np.ndarray]]] = []
+        self.total_keys = 0
+        self.accepted_keys = 0
+        self.accepted_batches = 0
+
+    def add(self, keys, counts) -> int:
+        n = len(keys)
+        self.parts.append((keys, counts))
+        self.total_keys += n
+        self.accepted_keys += n
+        self.accepted_batches += 1
+        return n
+
+    def take(self) -> List[Tuple[Any, Optional[np.ndarray]]]:
+        parts, self.parts = self.parts, []
+        self.total_keys = 0
+        return parts
+
+
+def _coalesce(parts: List[Tuple[Any, Optional[np.ndarray]]]):
+    """Merge buffered (keys, counts) parts into one update_batch call.
+
+    All-ndarray int batches concatenate (the binary-ingest hot path);
+    anything else falls back to one Python list.  Counts default to ones
+    only where a part omitted them, so weighted and unweighted parts mix.
+    """
+    if len(parts) == 1:
+        return parts[0]
+    if all(isinstance(keys, np.ndarray) for keys, _ in parts):
+        keys = np.concatenate([part_keys for part_keys, _ in parts])
+    else:
+        keys = []
+        for part_keys, _ in parts:
+            keys.extend(
+                part_keys.tolist() if isinstance(part_keys, np.ndarray) else part_keys
+            )
+    if all(part_counts is None for _, part_counts in parts):
+        return keys, None
+    counts = np.concatenate(
+        [
+            part_counts
+            if part_counts is not None
+            else np.ones(len(part_keys), dtype=np.int64)
+            for part_keys, part_counts in parts
+        ]
+    )
+    return keys, counts
+
+
+class StreamingService:
+    """A long-running ingest/query daemon over one estimator session.
+
+    Parameters
+    ----------
+    spec:
+        Estimator spec (or dict) to build when no snapshot exists.  May be
+        ``None`` if ``snapshot_path`` names an existing snapshot.
+    snapshot_path:
+        Where graceful shutdown writes the restart snapshot — and where
+        the service resumes from when the file already exists at startup.
+    unix_path / host, port:
+        Listen endpoint: a Unix socket path, or a TCP host/port (pass
+        ``port=0`` for an ephemeral port, read back from ``endpoint``).
+    flush_interval:
+        Micro-batch coalescing deadline in seconds.
+    max_buffered_keys:
+        Backpressure bound on arrivals accepted but not yet applied.
+    """
+
+    def __init__(
+        self,
+        spec=None,
+        *,
+        snapshot_path: Optional[str] = None,
+        unix_path: Optional[str] = None,
+        host: Optional[str] = None,
+        port: Optional[int] = None,
+        flush_interval: float = DEFAULT_FLUSH_INTERVAL,
+        max_buffered_keys: int = DEFAULT_MAX_BUFFERED_KEYS,
+        prefix=None,
+        featurizer=None,
+    ) -> None:
+        if unix_path is None and host is None:
+            raise ValueError("pass unix_path=... or host=/port= to listen on")
+        if unix_path is not None and host is not None:
+            raise ValueError("pass either unix_path or host/port, not both")
+        if spec is None and not (snapshot_path and os.path.exists(snapshot_path)):
+            raise ValueError(
+                "no spec and no existing snapshot to restore — nothing to serve"
+            )
+        self._spec = spec
+        self._prefix = prefix
+        self._featurizer = featurizer
+        self.snapshot_path = snapshot_path
+        self._unix_path = unix_path
+        self._host = host
+        self._port = port
+        self.flush_interval = float(flush_interval)
+        self.max_buffered_keys = int(max_buffered_keys)
+        self.restored = False
+
+        self.session: Optional[api_session.Session] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._pump_task: Optional[asyncio.Task] = None
+        self._stopped_future: Optional[asyncio.Future] = None
+        self._stop_task: Optional[asyncio.Task] = None
+        # One thread for ALL estimator access: routing-side update_batch,
+        # drains, live queries, snapshots.  Serializing them here (instead
+        # of locking inside the estimator) keeps the estimator single-
+        # threaded by construction; real parallelism lives in the shard
+        # worker processes behind it.
+        self._estimator_executor = concurrent.futures.ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-service-estimator"
+        )
+        self._buffer = _IngestBuffer()
+        self._data_event = asyncio.Event()  # buffer became non-empty / stopping
+        self._chunk_event = asyncio.Event()  # buffer reached the chunk target
+        self._space_event = asyncio.Event()  # buffer dropped below the bound
+        self._applied_event = asyncio.Event()  # pump finished one apply
+        self._space_event.set()
+        self._stopping = False
+        self._failure: Optional[str] = None
+        self._started_at = time.monotonic()
+        self._applied_keys = 0
+        self._applied_batches = 0
+        self._connections = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def endpoint(self):
+        """The bound endpoint: a Unix socket path or a ``(host, port)``."""
+        if self._unix_path is not None:
+            return self._unix_path
+        if self._server is not None and self._server.sockets:
+            return self._server.sockets[0].getsockname()[:2]
+        return (self._host, self._port)
+
+    def _open_session(self) -> api_session.Session:
+        if self.snapshot_path and os.path.exists(self.snapshot_path):
+            session = api_session.load(self.snapshot_path)
+            self.restored = True
+            return session
+        return api_session.open(
+            self._spec, prefix=self._prefix, featurizer=self._featurizer
+        )
+
+    async def start(self) -> "StreamingService":
+        """Open (or restore) the session, bind the socket, start the pump."""
+        if self._server is not None:
+            raise RuntimeError("service already started")
+        self._loop = asyncio.get_running_loop()
+        self._stopped_future = self._loop.create_future()
+        self.session = await self._loop.run_in_executor(
+            self._estimator_executor, self._open_session
+        )
+        warm_up = getattr(self.session.estimator, "warm_up", None)
+        if warm_up is not None:
+            await self._loop.run_in_executor(self._estimator_executor, warm_up)
+        if self._unix_path is not None:
+            with contextlib.suppress(FileNotFoundError):
+                os.unlink(self._unix_path)
+            self._server = await asyncio.start_unix_server(
+                self._handle_connection, path=self._unix_path
+            )
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_connection, host=self._host, port=self._port or 0
+            )
+        self._pump_task = asyncio.ensure_future(self._pump())
+        return self
+
+    def install_signal_handlers(self) -> None:
+        """Route SIGTERM/SIGINT to a graceful drain-snapshot-stop."""
+        assert self._loop is not None, "call start() first"
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            self._loop.add_signal_handler(signum, self.request_stop)
+
+    def request_stop(self) -> None:
+        """Schedule a graceful stop (signal-handler / cross-task safe)."""
+        if self._loop is None or self._stop_task is not None:
+            return
+        self._stop_task = self._loop.create_task(self.stop())
+
+    async def serve_until_stopped(self) -> None:
+        """Block until :meth:`stop` (or a signal routed to it) completes."""
+        assert self._stopped_future is not None, "call start() first"
+        await self._stopped_future
+
+    async def stop(self, *, drain: bool = True, snapshot: bool = True) -> None:
+        """Graceful shutdown: stop intake → flush → drain → snapshot → exit.
+
+        Idempotent (a second call awaits the first).  With ``drain`` every
+        buffered batch is applied and the shard workers are drained before
+        the snapshot is written, so the snapshot contains every
+        acknowledged ingest; ``drain=False`` abandons the backlog (the
+        snapshot then reflects only applied batches).  ``snapshot=False``
+        (or no ``snapshot_path``) skips the save.
+        """
+        if self._stopped_future is None:
+            return
+        if self._stopping:
+            await asyncio.shield(self._stopped_future)
+            return
+        self._stopping = True
+        # Wake everything that might be waiting on buffer state.
+        self._data_event.set()
+        self._chunk_event.set()
+        self._space_event.set()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._pump_task is not None:
+            if drain:
+                await self._pump_task
+            else:
+                self._pump_task.cancel()
+                with contextlib.suppress(asyncio.CancelledError):
+                    await self._pump_task
+        loop = asyncio.get_running_loop()
+        if self.session is not None:
+            if drain and self._failure is None:
+                try:
+                    await loop.run_in_executor(
+                        self._estimator_executor, self.session.drain
+                    )
+                except Exception as error:
+                    self._fail(f"shutdown drain failed: {error}")
+            if snapshot and self.snapshot_path and self._failure is None:
+                # A parked (failed) service skips the snapshot: save() would
+                # re-drain the broken pool, and overwriting the previous good
+                # snapshot with a partial one would make restart worse.
+                await loop.run_in_executor(
+                    self._estimator_executor, self.session.save, self.snapshot_path
+                )
+            with contextlib.suppress(Exception):
+                await loop.run_in_executor(
+                    self._estimator_executor, self.session.close
+                )
+        self._estimator_executor.shutdown(wait=True)
+        if self._unix_path is not None:
+            with contextlib.suppress(FileNotFoundError):
+                os.unlink(self._unix_path)
+        if not self._stopped_future.done():
+            self._stopped_future.set_result(None)
+
+    # ------------------------------------------------------------------
+    # the micro-batching pump
+    # ------------------------------------------------------------------
+    def _apply(self, keys, counts) -> None:
+        """Estimator-thread body: one coalesced update_batch call."""
+        self.session.estimator.update_batch(keys, counts)
+
+    async def _pump(self) -> None:
+        """Single consumer of the ingest buffer.
+
+        Waits for data, then gives the buffer up to ``flush_interval`` to
+        reach the worker chunk size (the ``_chunk_event`` short-circuits
+        the wait when it does), applies the coalesced batch on the
+        estimator thread, and repeats.  A failure (e.g. a shard worker
+        died) parks the service in an erroring state instead of hanging
+        its clients.
+        """
+        assert self._loop is not None
+        while True:
+            if not self._buffer.parts:
+                if self._stopping:
+                    break
+                self._data_event.clear()
+                if not self._buffer.parts and not self._stopping:
+                    await self._data_event.wait()
+                continue
+            if self._buffer.total_keys < WORKER_CHUNK_SIZE and not self._stopping:
+                self._chunk_event.clear()
+                if self._buffer.total_keys < WORKER_CHUNK_SIZE:
+                    with contextlib.suppress(asyncio.TimeoutError):
+                        await asyncio.wait_for(
+                            self._chunk_event.wait(), self.flush_interval
+                        )
+            parts = self._buffer.take()
+            self._space_event.set()
+            keys, counts = _coalesce(parts)
+            try:
+                await self._loop.run_in_executor(
+                    self._estimator_executor, self._apply, keys, counts
+                )
+            except BaseException as error:  # noqa: BLE001 — park, don't die
+                self._fail(f"ingestion failed: {error}")
+                break
+            self._applied_keys += len(keys)
+            self._applied_batches += 1
+            self._applied_event.set()
+
+    def _fail(self, message: str) -> None:
+        """Park the service in an erroring state and wake every waiter.
+
+        Connections stay open: subsequent requests get ``ok: false`` with
+        this message — a dead shard worker must surface to clients as an
+        error response, never as a hang.
+        """
+        if self._failure is None:
+            self._failure = message
+        self._space_event.set()
+        self._applied_event.set()
+
+    async def _wait_applied(self) -> None:
+        """Barrier: buffer empty and the pump idle (or the service failed)."""
+        while (
+            self._buffer.parts or self._buffer.total_keys
+        ) and self._failure is None:
+            self._applied_event.clear()
+            if self._buffer.parts and self._failure is None:
+                await self._applied_event.wait()
+        if self._failure is not None:
+            raise RuntimeError(self._failure)
+
+    # ------------------------------------------------------------------
+    # request handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._connections += 1
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ConnectionResetError, asyncio.IncompleteReadError):
+                    break
+                if not line:
+                    break
+                if len(line) > protocol.MAX_FRAME_BYTES:
+                    break  # unframeable peer; drop the connection
+                try:
+                    response = await self._dispatch(reader, line)
+                except protocol.ProtocolError as error:
+                    response = {"ok": False, "error": str(error)}
+                except Exception as error:  # noqa: BLE001 — per-request fault wall
+                    response = {"ok": False, "error": f"{type(error).__name__}: {error}"}
+                writer.write(protocol.encode_frame(response))
+                try:
+                    await writer.drain()
+                except (ConnectionResetError, BrokenPipeError):
+                    break
+                if response.get("bye"):
+                    break
+        finally:
+            self._connections -= 1
+            with contextlib.suppress(Exception):
+                writer.close()
+
+    async def _dispatch(
+        self, reader: asyncio.StreamReader, line: bytes
+    ) -> Dict[str, Any]:
+        message = protocol.decode_frame(line)
+        op = message.get("op")
+        if op == "ingest":
+            return await self._op_ingest(reader, message)
+        if op == "estimate":
+            return await self._op_estimate(message)
+        if op == "top_k":
+            return await self._op_top_k(message)
+        if op == "flush":
+            return await self._op_flush()
+        if op == "stats":
+            return self._op_stats()
+        if op == "snapshot":
+            return await self._op_snapshot()
+        if op == "ping":
+            return {"ok": True, "op": "ping"}
+        if op == "shutdown":
+            self.request_stop()
+            return {"ok": True, "op": "shutdown", "bye": True}
+        raise protocol.ProtocolError(f"unknown op {op!r}")
+
+    async def _read_ingest_arrays(self, reader, message):
+        binary = message.get("binary")
+        if binary is not None:
+            payload = await reader.readexactly(protocol.payload_nbytes(binary))
+            return protocol.arrays_from_payload(binary, payload)
+        keys = message.get("keys")
+        if not isinstance(keys, list):
+            raise protocol.ProtocolError("ingest needs 'keys' (list) or 'binary'")
+        counts = message.get("counts")
+        if counts is not None:
+            if not isinstance(counts, list) or len(counts) != len(keys):
+                raise protocol.ProtocolError("counts must align one-to-one with keys")
+            counts = np.asarray(counts, dtype=np.int64)
+        if keys and all(isinstance(key, int) for key in keys):
+            return np.asarray(keys, dtype=np.int64), counts
+        return keys, counts
+
+    async def _op_ingest(self, reader, message) -> Dict[str, Any]:
+        # The payload must leave the socket even if the batch is refused,
+        # or the stream desynchronizes — read before any rejection.
+        keys, counts = await self._read_ingest_arrays(reader, message)
+        if self._failure is not None:
+            raise RuntimeError(self._failure)
+        if self._stopping:
+            raise RuntimeError("service is shutting down")
+        while self._buffer.total_keys >= self.max_buffered_keys:
+            # Bounded backpressure: hold the ack (and stop reading this
+            # socket) until the pump frees buffer space.
+            self._space_event.clear()
+            if self._buffer.total_keys < self.max_buffered_keys:
+                break
+            await self._space_event.wait()
+            if self._failure is not None:
+                raise RuntimeError(self._failure)
+            if self._stopping:
+                raise RuntimeError("service is shutting down")
+        n = self._buffer.add(keys, counts)
+        self._data_event.set()
+        if self._buffer.total_keys >= WORKER_CHUNK_SIZE:
+            self._chunk_event.set()
+        return {
+            "ok": True,
+            "op": "ingest",
+            "ingested": n,
+            "seq": self._buffer.accepted_batches,
+        }
+
+    def _live_estimate(self, keys) -> np.ndarray:
+        estimator = self.session.estimator
+        live = getattr(estimator, "live_estimate", None)
+        if live is not None:
+            return live(keys)
+        return self.session.estimate(keys)
+
+    async def _op_estimate(self, message) -> Dict[str, Any]:
+        if self._failure is not None:
+            raise RuntimeError(self._failure)
+        keys = message.get("keys")
+        if not isinstance(keys, list) or not keys:
+            raise protocol.ProtocolError("estimate needs a non-empty 'keys' list")
+        if all(isinstance(key, int) for key in keys):
+            keys = np.asarray(keys, dtype=np.int64)
+        estimates = await self._loop.run_in_executor(
+            self._estimator_executor, self._live_estimate, keys
+        )
+        return {
+            "ok": True,
+            "op": "estimate",
+            "estimates": np.asarray(estimates, dtype=np.float64).tolist(),
+        }
+
+    def _top_k_sync(self, k: int, candidates) -> List[List[Any]]:
+        estimator = self.session.estimator
+        if candidates is None:
+            tracker = getattr(estimator, "heavy_hitters", None)
+            if tracker is None:
+                raise protocol.ProtocolError(
+                    f"kind {self.session.kind!r} keeps no per-key tracking; "
+                    "pass 'candidates' to rank"
+                )
+            ranked = sorted(tracker(0.0), key=lambda pair: -pair[1])[:k]
+            return [[key, float(count)] for key, count in ranked]
+        keys = candidates
+        if all(isinstance(key, int) for key in keys):
+            keys = np.asarray(keys, dtype=np.int64)
+        estimates = np.asarray(self._live_estimate(keys), dtype=np.float64)
+        order = np.argsort(-estimates, kind="stable")[:k]
+        return [[candidates[int(i)], float(estimates[int(i)])] for i in order]
+
+    async def _op_top_k(self, message) -> Dict[str, Any]:
+        if self._failure is not None:
+            raise RuntimeError(self._failure)
+        k = message.get("k")
+        if not isinstance(k, int) or k <= 0:
+            raise protocol.ProtocolError("top_k needs a positive integer 'k'")
+        candidates = message.get("candidates")
+        if candidates is not None and (
+            not isinstance(candidates, list) or not candidates
+        ):
+            raise protocol.ProtocolError("'candidates' must be a non-empty list")
+        top = await self._loop.run_in_executor(
+            self._estimator_executor, self._top_k_sync, k, candidates
+        )
+        return {"ok": True, "op": "top_k", "top": top}
+
+    async def _op_flush(self) -> Dict[str, Any]:
+        await self._wait_applied()
+        try:
+            await self._loop.run_in_executor(
+                self._estimator_executor, self.session.drain
+            )
+        except BaseException as error:
+            # A drain failure (e.g. a shard worker died between micro-
+            # batches) is permanent: park the service so every later
+            # request errors out too, instead of hanging or lying.
+            self._fail(f"drain failed: {error}")
+            raise
+        if self._failure is not None:
+            raise RuntimeError(self._failure)
+        return {
+            "ok": True,
+            "op": "flush",
+            "applied_keys": self._applied_keys,
+            "applied_batches": self._applied_batches,
+        }
+
+    def _op_stats(self) -> Dict[str, Any]:
+        return {
+            "ok": True,
+            "op": "stats",
+            "kind": self.session.kind,
+            "restored": self.restored,
+            "uptime_seconds": round(time.monotonic() - self._started_at, 3),
+            "connections": self._connections,
+            "accepted_keys": self._buffer.accepted_keys,
+            "accepted_batches": self._buffer.accepted_batches,
+            "applied_keys": self._applied_keys,
+            "applied_batches": self._applied_batches,
+            "buffered_keys": self._buffer.total_keys,
+            "failure": self._failure,
+        }
+
+    async def _op_snapshot(self) -> Dict[str, Any]:
+        if not self.snapshot_path:
+            raise protocol.ProtocolError(
+                "the service was started without a snapshot_path"
+            )
+        await self._wait_applied()
+        nbytes = await self._loop.run_in_executor(
+            self._estimator_executor, self.session.save, self.snapshot_path
+        )
+        return {
+            "ok": True,
+            "op": "snapshot",
+            "path": self.snapshot_path,
+            "bytes": nbytes,
+        }
+
+
+class ServiceThread:
+    """Host a :class:`StreamingService` on a background thread.
+
+    For tests, notebooks, and the bundled example: the calling thread gets
+    a running endpoint without owning an event loop.  ``stop()`` performs
+    the same graceful drain-snapshot-stop as SIGTERM on the daemon form.
+    """
+
+    def __init__(self, service: StreamingService) -> None:
+        self.service = service
+        self._thread: Optional[threading.Thread] = None
+        self._started = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+
+    def _main(self) -> None:
+        async def body():
+            self._loop = asyncio.get_running_loop()
+            try:
+                await self.service.start()
+            except BaseException as error:  # surfaced to start()'s caller
+                self._startup_error = error
+                self._started.set()
+                return
+            self._started.set()
+            await self.service.serve_until_stopped()
+
+        asyncio.run(body())
+
+    def start(self, timeout: float = 60.0) -> "ServiceThread":
+        self._thread = threading.Thread(
+            target=self._main, name="repro-service", daemon=True
+        )
+        self._thread.start()
+        if not self._started.wait(timeout):
+            raise RuntimeError("service failed to start in time")
+        if self._startup_error is not None:
+            raise RuntimeError("service failed to start") from self._startup_error
+        return self
+
+    def stop(self, *, drain: bool = True, snapshot: bool = True, timeout: float = 60.0) -> None:
+        """Graceful stop; idempotent and safe to call from any thread."""
+        if self._thread is None or not self._thread.is_alive():
+            return
+        assert self._loop is not None
+        future = asyncio.run_coroutine_threadsafe(
+            self.service.stop(drain=drain, snapshot=snapshot), self._loop
+        )
+        future.result(timeout=timeout)
+        self._thread.join(timeout=timeout)
+
+    def __enter__(self) -> "ServiceThread":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -1,0 +1,91 @@
+"""Unit tests of the service wire protocol (framing + binary payloads)."""
+
+import numpy as np
+import pytest
+
+from repro.service import protocol
+from repro.service.protocol import ProtocolError
+
+
+def test_frame_round_trip():
+    message = {"op": "ingest", "keys": [1, 2, 3], "counts": [1, 1, 2]}
+    line = protocol.encode_frame(message)
+    assert line.endswith(b"\n")
+    assert line.count(b"\n") == 1  # one frame, one line
+    assert protocol.decode_frame(line) == message
+
+
+@pytest.mark.parametrize(
+    "line",
+    [b"not json\n", b"[1, 2, 3]\n", b'"a string"\n', b"\xff\xfe\n"],
+)
+def test_malformed_frames_raise(line):
+    with pytest.raises(ProtocolError):
+        protocol.decode_frame(line)
+
+
+def test_binary_round_trip_keys_only():
+    keys = np.arange(1000, dtype=np.int64) * 7
+    header, payload = protocol.binary_ingest_parts(keys)
+    assert header["binary"]["count"] == 1000
+    assert len(payload) == protocol.payload_nbytes(header["binary"])
+    decoded_keys, decoded_counts = protocol.arrays_from_payload(
+        header["binary"], payload
+    )
+    assert decoded_counts is None
+    assert (decoded_keys == keys).all()
+    assert decoded_keys.dtype == np.dtype("<i8").newbyteorder("=")
+
+
+def test_binary_round_trip_with_counts():
+    keys = np.arange(64, dtype=np.int64)
+    counts = np.arange(64, dtype=np.int64) % 5
+    header, payload = protocol.binary_ingest_parts(keys, counts)
+    decoded_keys, decoded_counts = protocol.arrays_from_payload(
+        header["binary"], payload
+    )
+    assert (decoded_keys == keys).all()
+    assert (decoded_counts == counts).all()
+
+
+def test_binary_rejects_object_dtype():
+    with pytest.raises(ProtocolError):
+        protocol.binary_ingest_parts(np.array(["a", "b"], dtype=object))
+
+
+def test_binary_rejects_misaligned_counts():
+    with pytest.raises(ProtocolError):
+        protocol.binary_ingest_parts(
+            np.arange(4, dtype=np.int64), np.ones(3, dtype=np.int64)
+        )
+
+
+@pytest.mark.parametrize(
+    "binary",
+    [
+        {"count": 4, "dtype": "O"},
+        {"count": -1, "dtype": "<i8"},
+        {"count": "four", "dtype": "<i8"},
+        "not an object",
+        {"count": (protocol.MAX_FRAME_BYTES // 8) + 1, "dtype": "<i8"},
+    ],
+)
+def test_bad_binary_declarations_raise(binary):
+    with pytest.raises(ProtocolError):
+        protocol.payload_nbytes(binary)
+
+
+def test_payload_length_mismatch_raises():
+    keys = np.arange(16, dtype=np.int64)
+    header, payload = protocol.binary_ingest_parts(keys)
+    with pytest.raises(ProtocolError):
+        protocol.arrays_from_payload(header["binary"], payload[:-8])
+
+
+def test_jsonable_keys_handles_numpy_scalars():
+    assert protocol.jsonable_keys([np.int64(3), "q", np.float64(2.5)]) == [
+        3,
+        "q",
+        2.5,
+    ]
+    assert protocol.jsonable_keys(np.arange(3)) == [0, 1, 2]
