@@ -25,6 +25,7 @@ spec.
 from __future__ import annotations
 
 import builtins
+import contextlib
 import os
 from typing import Callable, Optional, Union
 
@@ -32,6 +33,7 @@ import numpy as np
 
 from repro.api.registry import build, train  # noqa: F401  (train re-exported)
 from repro.api.specs import EstimatorSpec, SpecError, spec_from_dict
+from repro.obs import MetricsRegistry
 from repro.sketches.serialization import (
     SerializationError,
     loads as _loads,
@@ -54,9 +56,44 @@ class Session:
     cover (e.g. ``heavy_hitters()`` on the counter summaries).
     """
 
-    def __init__(self, spec: EstimatorSpec, estimator) -> None:
+    def __init__(
+        self,
+        spec: EstimatorSpec,
+        estimator,
+        *,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
         self._spec = spec
         self._estimator = estimator
+        self._metrics: Optional[MetricsRegistry] = None
+        self._m_stage = None
+        if metrics is not None:
+            self.instrument(metrics)
+
+    def instrument(self, metrics: MetricsRegistry) -> "Session":
+        """Record per-stage timings (and the estimator's own metrics) here.
+
+        Registers ``repro_session_stage_seconds{stage=...}`` and cascades to
+        the estimator's ``instrument()`` when it has one (the sharded
+        estimator forwards further to its worker pool), so one registry
+        observes the whole tree.  Instrumentation is opt-in: an
+        un-instrumented session has zero overhead on the ingest path.
+        """
+        self._metrics = metrics
+        self._m_stage = metrics.histogram(
+            "repro_session_stage_seconds",
+            "Session stage latency (ingest/estimate/drain/snapshot).",
+            labels=("stage",),
+        )
+        cascade = getattr(self._estimator, "instrument", None)
+        if cascade is not None:
+            cascade(metrics)
+        return self
+
+    def _timed(self, stage: str):
+        if self._m_stage is None:
+            return contextlib.nullcontext()
+        return self._m_stage.labels(stage=stage).time()
 
     # ------------------------------------------------------------------
     # introspection
@@ -103,20 +140,26 @@ class Session:
         self._require_capability("update_batch", "ingest")
         if batch_size is None:
             batch_size = DEFAULT_REPLAY_BATCH_SIZE
-        if counts is None:
-            return replay(self._estimator, keys, batch_size=batch_size)
-        if batch_size <= 0:
-            raise ValueError("batch_size must be positive")
-        items = keys if isinstance(keys, np.ndarray) else list(keys)
-        count_array = np.asarray(counts, dtype=np.int64)
-        if count_array.shape != (len(items),):
-            raise ValueError("counts must align one-to-one with keys")
-        for start in range(0, len(items), batch_size):
-            self._estimator.update_batch(
-                items[start : start + batch_size],
-                count_array[start : start + batch_size],
-            )
-        return len(items)
+        with self._timed("ingest"):
+            if counts is None:
+                return replay(
+                    self._estimator,
+                    keys,
+                    batch_size=batch_size,
+                    metrics=self._metrics,
+                )
+            if batch_size <= 0:
+                raise ValueError("batch_size must be positive")
+            items = keys if isinstance(keys, np.ndarray) else list(keys)
+            count_array = np.asarray(counts, dtype=np.int64)
+            if count_array.shape != (len(items),):
+                raise ValueError("counts must align one-to-one with keys")
+            for start in range(0, len(items), batch_size):
+                self._estimator.update_batch(
+                    items[start : start + batch_size],
+                    count_array[start : start + batch_size],
+                )
+            return len(items)
 
     def _require_capability(self, method: str, operation: str) -> None:
         """Typed error for kinds outside the frequency-estimator protocol.
@@ -136,7 +179,8 @@ class Session:
     def estimate(self, keys) -> np.ndarray:
         """Vectorized point queries: a float64 array aligned with ``keys``."""
         self._require_capability("estimate_batch", "estimate")
-        return self._estimator.estimate_batch(keys)
+        with self._timed("estimate"):
+            return self._estimator.estimate_batch(keys)
 
     def estimate_key(self, key) -> float:
         """Point query for a single raw key."""
@@ -223,7 +267,8 @@ class Session:
         """
         drain = getattr(self._estimator, "drain", None)
         if drain is not None:
-            drain()
+            with self._timed("drain"):
+                drain()
         return self
 
     def save(self, path, *, embed: Optional[bool] = None) -> int:
@@ -235,12 +280,13 @@ class Session:
         complete new one.  Returns the number of bytes written.
         """
         self.drain()
-        blob = self.snapshot(embed=embed)
-        path = os.fspath(path)
-        tmp_path = f"{path}.tmp.{os.getpid()}"
-        with builtins.open(tmp_path, "wb") as handle:
-            handle.write(blob)
-        os.replace(tmp_path, path)
+        with self._timed("snapshot"):
+            blob = self.snapshot(embed=embed)
+            path = os.fspath(path)
+            tmp_path = f"{path}.tmp.{os.getpid()}"
+            with builtins.open(tmp_path, "wb") as handle:
+                handle.write(blob)
+            os.replace(tmp_path, path)
         return len(blob)
 
     # ------------------------------------------------------------------
@@ -264,23 +310,31 @@ def open(
     *,
     prefix=None,
     featurizer: Optional[Callable] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> Session:
     """Build the estimator ``spec`` describes and wrap it in a Session.
 
     ``spec`` may be any :class:`~repro.api.specs.EstimatorSpec` or its
     JSON-safe dict form.  Training kinds (``opt_hash`` and friends) take
-    their observed prefix (and optional featurizer) here.
+    their observed prefix (and optional featurizer) here.  Pass ``metrics``
+    (a :class:`~repro.obs.MetricsRegistry`) to instrument the session —
+    see :meth:`Session.instrument`.
     """
     spec = spec_from_dict(spec)
-    return Session(spec, build(spec, prefix=prefix, featurizer=featurizer))
+    return Session(
+        spec, build(spec, prefix=prefix, featurizer=featurizer), metrics=metrics
+    )
 
 
-def restore(data: bytes) -> Session:
+def restore(data: bytes, *, metrics: Optional[MetricsRegistry] = None) -> Session:
     """Rebuild a session from a :meth:`Session.snapshot` buffer."""
-    return Session.from_bytes(data)
+    session = Session.from_bytes(data)
+    if metrics is not None:
+        session.instrument(metrics)
+    return session
 
 
-def load(path) -> Session:
+def load(path, *, metrics: Optional[MetricsRegistry] = None) -> Session:
     """Rebuild a session from a :meth:`Session.save` file."""
     with builtins.open(os.fspath(path), "rb") as handle:
-        return restore(handle.read())
+        return restore(handle.read(), metrics=metrics)

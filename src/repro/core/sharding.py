@@ -68,6 +68,7 @@ under-estimates: query those through ``collapse``.
 from __future__ import annotations
 
 import concurrent.futures
+import time
 from typing import Callable, Optional, Union
 
 import numpy as np
@@ -345,6 +346,10 @@ class ShardedEstimator(FrequencyEstimator):
                 )
         self._round_robin_offset = 0
         self._collapsed: Optional[FrequencyEstimator] = None
+        self._obs = None
+        self._m_routing = None
+        self._m_shard_keys = None
+        self._m_pending = None
         self._pool = None
         self._transport = None  # per-shard blank transport for process mode
         self._pending = []  # (shard_index, future) pairs awaiting merge
@@ -441,7 +446,53 @@ class ShardedEstimator(FrequencyEstimator):
                 manifests,
                 max_pending=self._MAX_PENDING_FACTOR,
             )
+            if self._obs is not None:
+                self._worker_pool.instrument(self._obs)
         return self._worker_pool
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def instrument(self, metrics) -> "ShardedEstimator":
+        """Register routing/skew/backlog metrics on a registry.
+
+        Opt-in: an un-instrumented estimator's ingest path carries no
+        timing calls at all.  Cascades to the persistent worker pool (now
+        or when it spawns) so one registry covers routing *and* scatter.
+        """
+        self._obs = metrics
+        self._m_routing = metrics.histogram(
+            "repro_sharded_routing_seconds",
+            "Per-batch key-to-shard partitioning latency.",
+        )
+        self._m_shard_keys = metrics.counter(
+            "repro_sharded_keys_total",
+            "Arrivals routed to each shard (per-shard key skew).",
+            labels=("shard",),
+        )
+        self._m_pending = metrics.gauge(
+            "repro_sharded_pending_batches",
+            "Submitted-but-unacked ingestion batches (process executors).",
+        )
+        if self._worker_pool is not None:
+            self._worker_pool.instrument(metrics)
+        return self
+
+    def _pending_batches(self) -> int:
+        if self._worker_pool is not None:
+            return sum(
+                max(0, worker.submitted - worker.acked.value)
+                for worker in self._worker_pool._workers
+            )
+        return len(self._pending)
+
+    def sync_metrics(self) -> None:
+        """Refresh the backlog gauge and the pool's mirrored counters."""
+        if self._obs is None:
+            return
+        if self._worker_pool is not None:
+            self._worker_pool.sync_metrics()
+        self._m_pending.set(self._pending_batches())
 
     # ------------------------------------------------------------------
     # routing
@@ -505,7 +556,14 @@ class ShardedEstimator(FrequencyEstimator):
         if n == 0:
             return
         self._collapsed = None
-        jobs = self._partition_jobs(items, key_batch, count_array, n)
+        if self._obs is not None:
+            route_start = time.perf_counter()
+            jobs = self._partition_jobs(items, key_batch, count_array, n)
+            self._m_routing.observe(time.perf_counter() - route_start)
+            for shard_index, part, _ in jobs:
+                self._m_shard_keys.labels(shard=str(shard_index)).inc(len(part))
+        else:
+            jobs = self._partition_jobs(items, key_batch, count_array, n)
         if self.executor == "process" and self.transport == "shm":
             # Persistent workers scatter straight into the shared tables;
             # only (keys, counts) cross the process boundary and nothing

@@ -51,13 +51,18 @@ _LIVENESS_CHECK_SECONDS = 0.1
 _ERROR_MESSAGE_GRACE_SECONDS = 1.0
 
 
-def _worker_main(spec_dict, manifest, tasks, acked, ack_cond, ready, failed, errors) -> None:
+def _worker_main(
+    spec_dict, manifest, tasks, acked, ack_cond, ready, failed, errors, scatter_seconds
+) -> None:
     """Worker process body: build once, adopt shared storage, ingest forever.
 
     Every dequeued task is acknowledged (even after an error) so the
     parent's drain accounting never hangs; failures set the shared
     ``failed`` event (checked synchronously by ``submit``/``join``) and
-    travel as messages through the ``errors`` queue.
+    travel as messages through the ``errors`` queue.  Per-task scatter time
+    accumulates into the shared ``scatter_seconds`` (written under the ack
+    condition's lock, alongside the ack it accounts for) so the parent can
+    report where ingestion wall-clock actually goes.
     """
     estimator = None
     try:
@@ -79,23 +84,27 @@ def _worker_main(spec_dict, manifest, tasks, acked, ack_cond, ready, failed, err
         ready.set()
     while True:
         job = tasks.get()
+        elapsed = 0.0
         try:
             if job is None:
                 break
             if estimator is None:
                 continue  # init failed; keep acking so the parent can drain
             keys, counts = job
+            scatter_start = time.perf_counter()
             for start in range(0, len(keys), WORKER_CHUNK_SIZE):
                 estimator.update_batch(
                     keys[start : start + WORKER_CHUNK_SIZE],
                     counts[start : start + WORKER_CHUNK_SIZE],
                 )
+            elapsed = time.perf_counter() - scatter_start
         except BaseException as error:
             errors.put(f"shard worker batch failed: {error!r}")
             failed.set()
         finally:
             with ack_cond:
                 acked.value += 1
+                scatter_seconds.value += elapsed
                 ack_cond.notify_all()
     if estimator is not None:
         try:
@@ -109,9 +118,20 @@ def _worker_main(spec_dict, manifest, tasks, acked, ack_cond, ready, failed, err
 
 
 class _ShardWorker:
-    __slots__ = ("process", "tasks", "acked", "ack_cond", "ready", "failed", "submitted")
+    __slots__ = (
+        "process",
+        "tasks",
+        "acked",
+        "ack_cond",
+        "ready",
+        "failed",
+        "submitted",
+        "scatter_seconds",
+    )
 
-    def __init__(self, process, tasks, acked, ack_cond, ready, failed) -> None:
+    def __init__(
+        self, process, tasks, acked, ack_cond, ready, failed, scatter_seconds
+    ) -> None:
         self.process = process
         self.tasks = tasks
         self.acked = acked
@@ -119,6 +139,7 @@ class _ShardWorker:
         self.ready = ready
         self.failed = failed
         self.submitted = 0
+        self.scatter_seconds = scatter_seconds
 
     def drained(self) -> bool:
         return self.acked.value >= self.submitted
@@ -137,23 +158,42 @@ class ShardWorkerPool:
         self._errors = ctx.Queue()
         self._workers: List[_ShardWorker] = []
         self._closed = False
+        self._obs = None
+        self._m_submitted = None
+        self._m_acked = None
+        self._m_scatter = None
+        self._m_queue_wait = None
+        self._m_deaths = None
         for manifest in manifests:
             tasks = ctx.Queue(maxsize=max(1, max_pending))
             # The ack counter is guarded by the condition's own lock (the
             # worker increments and notifies under it), so the Value itself
-            # carries no lock of its own.
+            # carries no lock of its own; ditto the scatter-time accumulator.
             ack_cond = ctx.Condition()
             acked = ctx.Value("q", 0, lock=False)
+            scatter_seconds = ctx.Value("d", 0.0, lock=False)
             ready = ctx.Event()
             failed = ctx.Event()
             process = ctx.Process(
                 target=_worker_main,
-                args=(spec_dict, manifest, tasks, acked, ack_cond, ready, failed, self._errors),
+                args=(
+                    spec_dict,
+                    manifest,
+                    tasks,
+                    acked,
+                    ack_cond,
+                    ready,
+                    failed,
+                    self._errors,
+                    scatter_seconds,
+                ),
                 daemon=True,
             )
             process.start()
             self._workers.append(
-                _ShardWorker(process, tasks, acked, ack_cond, ready, failed)
+                _ShardWorker(
+                    process, tasks, acked, ack_cond, ready, failed, scatter_seconds
+                )
             )
 
     def __len__(self) -> int:
@@ -163,6 +203,70 @@ class ShardWorkerPool:
     def failed(self) -> bool:
         """True once any worker has raised (init or batch failure)."""
         return any(worker.failed.is_set() for worker in self._workers)
+
+    def instrument(self, metrics) -> "ShardWorkerPool":
+        """Register pool metrics on a :class:`~repro.obs.MetricsRegistry`.
+
+        Per-batch cost when instrumented is one ``perf_counter`` pair and a
+        histogram observe in :meth:`submit`; the per-shard submitted/acked/
+        scatter counters mirror the shared state lazily, in
+        :meth:`sync_metrics`, so the workers' hot loop is untouched.
+        """
+        self._obs = metrics
+        self._m_submitted = metrics.counter(
+            "repro_pool_submitted_batches_total",
+            "Batches submitted to each shard worker.",
+            labels=("shard",),
+        )
+        self._m_acked = metrics.counter(
+            "repro_pool_acked_batches_total",
+            "Batches each shard worker has acknowledged (ingested).",
+            labels=("shard",),
+        )
+        self._m_scatter = metrics.counter(
+            "repro_pool_scatter_seconds_total",
+            "In-worker scatter (update_batch) wall-clock per shard.",
+            labels=("shard",),
+        )
+        self._m_queue_wait = metrics.histogram(
+            "repro_pool_queue_wait_seconds",
+            "Time submit() spent enqueueing one batch (blocks when the "
+            "shard's bounded queue is full).",
+        )
+        self._m_deaths = metrics.counter(
+            "repro_pool_worker_deaths_total",
+            "Shard worker processes observed dead by the parent.",
+        )
+        return self
+
+    def sync_metrics(self) -> None:
+        """Mirror the shared per-worker state into the registry (if any)."""
+        if self._obs is None:
+            return
+        for index, worker in enumerate(self._workers):
+            shard = str(index)
+            self._m_submitted.labels(shard=shard).inc_to(worker.submitted)
+            self._m_acked.labels(shard=shard).inc_to(worker.acked.value)
+            self._m_scatter.labels(shard=shard).inc_to(worker.scatter_seconds.value)
+        self._m_deaths.inc_to(
+            sum(1 for worker in self._workers if not worker.process.is_alive())
+        )
+
+    def stats(self) -> Dict[str, Any]:
+        """Point-in-time per-worker accounting (no registry required)."""
+        return {
+            "workers": [
+                {
+                    "shard": index,
+                    "alive": worker.process.is_alive(),
+                    "failed": worker.failed.is_set(),
+                    "submitted": worker.submitted,
+                    "acked": worker.acked.value,
+                    "scatter_seconds": round(worker.scatter_seconds.value, 6),
+                }
+                for index, worker in enumerate(self._workers)
+            ]
+        }
 
     def wait_ready(self, timeout: float = 60.0) -> "ShardWorkerPool":
         """Block until every worker has built its shard and attached.
@@ -203,6 +307,7 @@ class ShardWorkerPool:
             # drain.
             self._raise_errors(expect_failure=True)
         worker = self._workers[shard_index]
+        wait_start = time.perf_counter() if self._obs is not None else 0.0
         while True:
             if not worker.process.is_alive():
                 self._raise_errors()
@@ -215,6 +320,8 @@ class ShardWorkerPool:
             except queue_module.Full:
                 continue
         worker.submitted += 1
+        if self._obs is not None:
+            self._m_queue_wait.observe(time.perf_counter() - wait_start)
 
     def join(self) -> None:
         """Block until every submitted batch has been ingested.

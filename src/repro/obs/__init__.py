@@ -1,0 +1,41 @@
+"""repro.obs — dependency-free observability: metrics + structured logging.
+
+The visibility layer of the serving stack (ROADMAP: "metrics/export
+endpoint" + the observability half of the config-driven runner):
+
+* :mod:`repro.obs.metrics` — :class:`MetricsRegistry` with
+  :class:`Counter` / :class:`Gauge` / :class:`Histogram` (fixed log-spaced
+  buckets), Prometheus text exposition and :func:`parse_exposition`.
+* :mod:`repro.obs.logging` — :class:`StructuredLogger` (JSON lines) with
+  per-stage :meth:`~StructuredLogger.stage` timers.
+
+One registry threads through the runtime layers: the streaming service
+creates it and hands it to the session, which hands it to the sharded
+estimator, which hands it to the shard worker pool — so one ``metrics``
+op (or one ``GET /metrics`` scrape) reads the whole tree.
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    DEFAULT_SIZE_BUCKETS,
+    EXPOSITION_CONTENT_TYPE,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    parse_exposition,
+)
+from repro.obs.logging import StageTimer, StructuredLogger
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_SIZE_BUCKETS",
+    "EXPOSITION_CONTENT_TYPE",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "parse_exposition",
+    "StageTimer",
+    "StructuredLogger",
+]

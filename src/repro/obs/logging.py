@@ -1,0 +1,112 @@
+"""Structured (JSON-lines) logging with per-stage wall-clock timers.
+
+A :class:`StructuredLogger` writes one JSON object per line — machine
+parseable, greppable, and safe to interleave from multiple threads (each
+line is a single ``write`` call).  It is disabled by default (``stream=None``
+→ every call is a cheap no-op), so library code can log unconditionally and
+the daemon turns it on with ``--log-json``.
+
+The per-stage timer bridges logs and metrics::
+
+    log = StructuredLogger("repro.service", stream=sys.stderr)
+    with log.stage("drain", histogram=stage_seconds.labels(stage="drain")):
+        session.drain()
+
+emits ``{"event": "drain", "seconds": 0.018, ...}`` *and* observes the
+duration into the histogram; if the block raises, the stage is logged at
+``error`` level with the exception attached, and the exception propagates.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import Any, IO, Optional
+
+__all__ = ["StructuredLogger", "StageTimer"]
+
+_LEVELS = ("debug", "info", "warning", "error")
+
+
+class StageTimer:
+    """Times one named stage; logs (and optionally observes) on exit."""
+
+    __slots__ = ("_logger", "stage", "fields", "_histogram", "_start", "seconds")
+
+    def __init__(self, logger: "StructuredLogger", stage: str, histogram=None, **fields) -> None:
+        self._logger = logger
+        self.stage = stage
+        self.fields = fields
+        self._histogram = histogram
+        self._start = 0.0
+        self.seconds: Optional[float] = None
+
+    def __enter__(self) -> "StageTimer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.seconds = time.perf_counter() - self._start
+        if self._histogram is not None:
+            self._histogram.observe(self.seconds)
+        fields = dict(self.fields, seconds=round(self.seconds, 6))
+        if exc is not None:
+            self._logger.error(self.stage, error=f"{type(exc).__name__}: {exc}", **fields)
+        else:
+            self._logger.info(self.stage, **fields)
+
+
+class StructuredLogger:
+    """One JSON object per line; disabled (no-op) unless given a stream."""
+
+    def __init__(
+        self,
+        name: str,
+        stream: Optional[IO[str]] = None,
+        *,
+        clock=time.time,
+    ) -> None:
+        self.name = name
+        self._stream = stream
+        self._clock = clock
+        self._lock = threading.Lock()
+
+    @property
+    def enabled(self) -> bool:
+        return self._stream is not None
+
+    def log(self, level: str, event: str, **fields: Any) -> None:
+        if self._stream is None:
+            return
+        if level not in _LEVELS:
+            raise ValueError(f"level must be one of {_LEVELS}, got {level!r}")
+        record = {
+            "ts": round(self._clock(), 6),
+            "level": level,
+            "logger": self.name,
+            "event": event,
+        }
+        record.update(fields)
+        line = json.dumps(record, separators=(",", ":"), default=str) + "\n"
+        with self._lock:
+            self._stream.write(line)
+            flush = getattr(self._stream, "flush", None)
+            if flush is not None:
+                flush()
+
+    def debug(self, event: str, **fields: Any) -> None:
+        self.log("debug", event, **fields)
+
+    def info(self, event: str, **fields: Any) -> None:
+        self.log("info", event, **fields)
+
+    def warning(self, event: str, **fields: Any) -> None:
+        self.log("warning", event, **fields)
+
+    def error(self, event: str, **fields: Any) -> None:
+        self.log("error", event, **fields)
+
+    def stage(self, stage: str, histogram=None, **fields: Any) -> StageTimer:
+        """``with log.stage("drain"): ...`` — time, log, and observe a stage."""
+        return StageTimer(self, stage, histogram=histogram, **fields)

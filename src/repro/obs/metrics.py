@@ -1,0 +1,490 @@
+"""Dependency-free metrics primitives: counters, gauges, histograms.
+
+One :class:`MetricsRegistry` holds every metric of a component tree (the
+streaming service creates one and threads it through the shard pool, the
+sharded estimator, and the session).  The design goals, in order:
+
+1. **Cheap on the hot path.**  An increment is one lock acquire and one
+   float add; a histogram observation adds a ``bisect`` over a dozen fixed
+   bucket bounds.  Instrumentation happens at *batch* granularity (one
+   request, one micro-batch, one shard sub-batch), never per key — the
+   service-level overhead gate holds it to ≤5% of ingest throughput
+   (``benchmarks/test_obs_overhead.py``).
+2. **Disableable to nothing.**  ``MetricsRegistry(enabled=False)`` hands
+   out shared null metrics whose methods are no-ops, so call sites stay
+   unconditional and the disabled cost is one no-op method call.
+3. **Prometheus text exposition.**  :meth:`MetricsRegistry.exposition`
+   renders the standard ``text/plain; version=0.0.4`` format (HELP/TYPE
+   comments, cumulative ``_bucket{le=...}`` histogram series);
+   :func:`parse_exposition` round-trips it back into a flat sample dict,
+   which is also what :meth:`MetricsRegistry.samples` returns directly.
+
+Metrics are get-or-create by name: asking twice for the same name (with the
+same type and label names) returns the same object, so independent
+components can share a registry without coordination.  A name re-used with
+a different type or label set raises ``ValueError``.
+
+No third-party dependencies — stdlib only.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+import time
+from bisect import bisect_left
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_SIZE_BUCKETS",
+    "EXPOSITION_CONTENT_TYPE",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_COUNTER",
+    "NULL_GAUGE",
+    "NULL_HISTOGRAM",
+    "parse_exposition",
+]
+
+#: Content type of the Prometheus text exposition format.
+EXPOSITION_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Fixed log-spaced latency buckets (seconds): half-decade steps from 10µs
+#: to 10s.  Fixed so every timing histogram in the tree is comparable and
+#: the per-observation cost (a bisect over 13 floats) is constant.
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = tuple(
+    round(10.0 ** (exponent / 2.0), 10) for exponent in range(-10, 3)
+)
+
+#: Fixed log-spaced size buckets (counts/bytes): decades from 1 to 10^7.
+DEFAULT_SIZE_BUCKETS: Tuple[float, ...] = tuple(
+    float(10**exponent) for exponent in range(8)
+)
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    """Render a sample value losslessly (``float(...)`` round-trips it)."""
+    value = float(value)
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _label_suffix(label_names: Sequence[str], label_values: Sequence[str]) -> str:
+    if not label_names:
+        return ""
+    pairs = ",".join(
+        f'{name}="{_escape_label_value(value)}"'
+        for name, value in zip(label_names, label_values)
+    )
+    return "{" + pairs + "}"
+
+
+class _Timer:
+    """Context manager observing its wall-clock duration into a histogram."""
+
+    __slots__ = ("_histogram", "_start")
+
+    def __init__(self, histogram: "Histogram") -> None:
+        self._histogram = histogram
+        self._start = 0.0
+
+    def __enter__(self) -> "_Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._histogram.observe(time.perf_counter() - self._start)
+
+
+class _LabeledChildren:
+    """Shared labels() plumbing for metric families declared with labels."""
+
+    __slots__ = ()
+
+    def _new_child(self):  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def labels(self, **label_values: str):
+        """The child metric for one concrete label-value combination."""
+        if not self.label_names:
+            raise ValueError(f"metric {self.name!r} was declared without labels")
+        try:
+            key = tuple(str(label_values[name]) for name in self.label_names)
+        except KeyError as error:
+            raise ValueError(
+                f"metric {self.name!r} needs labels {self.label_names}"
+            ) from error
+        if len(label_values) != len(self.label_names):
+            raise ValueError(
+                f"metric {self.name!r} needs exactly labels {self.label_names}"
+            )
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                child = self._children[key] = self._new_child()
+            return child
+
+    def _iter_children(self) -> Iterable[Tuple[Tuple[str, ...], object]]:
+        with self._lock:
+            return list(self._children.items())
+
+
+class Counter(_LabeledChildren):
+    """A monotonically non-decreasing total."""
+
+    kind = "counter"
+    __slots__ = ("name", "help", "label_names", "_value", "_children", "_lock")
+
+    def __init__(self, name: str, help: str = "", label_names: Sequence[str] = ()) -> None:
+        self.name = name
+        self.help = help
+        self.label_names = tuple(label_names)
+        self._value = 0.0
+        self._children: Dict[Tuple[str, ...], Counter] = {}
+        self._lock = threading.Lock()
+
+    def _new_child(self) -> "Counter":
+        return Counter(self.name, self.help)
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge for deltas")
+        with self._lock:
+            self._value += amount
+
+    def inc_to(self, value: float) -> None:
+        """Raise the counter to ``value`` if it is above the current total.
+
+        For mirroring an externally-maintained monotonic count (a shard
+        worker's shared ack counter) without double counting: calling with
+        a stale or repeated reading is a no-op.
+        """
+        with self._lock:
+            if value > self._value:
+                self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Gauge(_LabeledChildren):
+    """A value that can go up and down."""
+
+    kind = "gauge"
+    __slots__ = ("name", "help", "label_names", "_value", "_children", "_lock")
+
+    def __init__(self, name: str, help: str = "", label_names: Sequence[str] = ()) -> None:
+        self.name = name
+        self.help = help
+        self.label_names = tuple(label_names)
+        self._value = 0.0
+        self._children: Dict[Tuple[str, ...], Gauge] = {}
+        self._lock = threading.Lock()
+
+    def _new_child(self) -> "Gauge":
+        return Gauge(self.name, self.help)
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Histogram(_LabeledChildren):
+    """Observations bucketed against fixed (log-spaced) upper bounds.
+
+    ``buckets`` are the finite ``le`` upper bounds; an implicit ``+Inf``
+    bucket catches everything above the last one.  Exposition follows the
+    Prometheus convention: cumulative ``_bucket`` series plus ``_sum`` and
+    ``_count``.
+    """
+
+    kind = "histogram"
+    __slots__ = (
+        "name",
+        "help",
+        "label_names",
+        "buckets",
+        "_bucket_counts",
+        "_sum",
+        "_count",
+        "_children",
+        "_lock",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        label_names: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> None:
+        bounds = tuple(float(bound) for bound in buckets)
+        if not bounds or any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError("histogram buckets must be strictly increasing")
+        self.name = name
+        self.help = help
+        self.label_names = tuple(label_names)
+        self.buckets = bounds
+        self._bucket_counts = [0] * (len(bounds) + 1)  # [..., +Inf overflow]
+        self._sum = 0.0
+        self._count = 0
+        self._children: Dict[Tuple[str, ...], Histogram] = {}
+        self._lock = threading.Lock()
+
+    def _new_child(self) -> "Histogram":
+        return Histogram(self.name, self.help, buckets=self.buckets)
+
+    def observe(self, value: float) -> None:
+        index = bisect_left(self.buckets, value)
+        with self._lock:
+            self._bucket_counts[index] += 1
+            self._sum += value
+            self._count += 1
+
+    def time(self) -> _Timer:
+        """``with histogram.time(): ...`` observes the block's duration."""
+        return _Timer(self)
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    def cumulative_buckets(self) -> List[Tuple[str, int]]:
+        """``(le, cumulative_count)`` pairs, ending with ``+Inf``."""
+        with self._lock:
+            counts = list(self._bucket_counts)
+        out: List[Tuple[str, int]] = []
+        running = 0
+        for bound, count in zip(self.buckets, counts):
+            running += count
+            out.append((_format_value(bound), running))
+        out.append(("+Inf", running + counts[-1]))
+        return out
+
+
+class _NullMetric:
+    """Shared no-op stand-in handed out by a disabled registry."""
+
+    kind = "null"
+    label_names: Tuple[str, ...] = ()
+
+    def labels(self, **label_values: str) -> "_NullMetric":
+        return self
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def inc_to(self, value: float) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def time(self) -> "_NullTimer":
+        return _NULL_TIMER
+
+    @property
+    def value(self) -> float:
+        return 0.0
+
+    @property
+    def count(self) -> int:
+        return 0
+
+    @property
+    def sum(self) -> float:
+        return 0.0
+
+
+class _NullTimer:
+    def __enter__(self) -> "_NullTimer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        pass
+
+
+_NULL_TIMER = _NullTimer()
+NULL_COUNTER = _NullMetric()
+NULL_GAUGE = _NullMetric()
+NULL_HISTOGRAM = _NullMetric()
+
+
+class MetricsRegistry:
+    """Named metrics with get-or-create semantics and text exposition.
+
+    Parameters
+    ----------
+    enabled:
+        With ``False`` every factory returns a shared no-op metric and
+        :meth:`exposition` renders nothing — the zero-overhead off switch
+        the service's ``instrument=False`` mode uses.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = bool(enabled)
+        self._metrics: Dict[str, object] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # factories
+    # ------------------------------------------------------------------
+    def _get_or_create(self, cls, name: str, help: str, label_names, **kwargs):
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        label_names = tuple(label_names)
+        for label in label_names:
+            if not _LABEL_RE.match(label):
+                raise ValueError(f"invalid label name {label!r}")
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if type(existing) is not cls or existing.label_names != label_names:
+                    raise ValueError(
+                        f"metric {name!r} already registered as a "
+                        f"{existing.kind} with labels {existing.label_names}"
+                    )
+                return existing
+            metric = cls(name, help, label_names=label_names, **kwargs)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(
+        self, name: str, help: str = "", labels: Sequence[str] = ()
+    ) -> Counter:
+        if not self.enabled:
+            return NULL_COUNTER  # type: ignore[return-value]
+        return self._get_or_create(Counter, name, help, labels)
+
+    def gauge(self, name: str, help: str = "", labels: Sequence[str] = ()) -> Gauge:
+        if not self.enabled:
+            return NULL_GAUGE  # type: ignore[return-value]
+        return self._get_or_create(Gauge, name, help, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labels: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> Histogram:
+        if not self.enabled:
+            return NULL_HISTOGRAM  # type: ignore[return-value]
+        return self._get_or_create(Histogram, name, help, labels, buckets=buckets)
+
+    def get(self, name: str) -> Optional[object]:
+        with self._lock:
+            return self._metrics.get(name)
+
+    # ------------------------------------------------------------------
+    # collection
+    # ------------------------------------------------------------------
+    def _ordered(self):
+        with self._lock:
+            return sorted(self._metrics.items())
+
+    @staticmethod
+    def _instances(metric):
+        """``(label_values, leaf)`` pairs: the children, or the metric itself."""
+        if metric.label_names:
+            return metric._iter_children()
+        return [((), metric)]
+
+    def samples(self) -> Dict[str, float]:
+        """Flat ``'name{label="value"}' -> value`` snapshot.
+
+        Histograms expand into their ``_bucket`` / ``_sum`` / ``_count``
+        series.  The keys match :func:`parse_exposition` of
+        :meth:`exposition` exactly (round-trip tested).
+        """
+        out: Dict[str, float] = {}
+        for name, metric in self._ordered():
+            for label_values, leaf in self._instances(metric):
+                suffix = _label_suffix(metric.label_names, label_values)
+                if isinstance(leaf, Histogram):
+                    for le, cumulative in leaf.cumulative_buckets():
+                        bucket_labels = _label_suffix(
+                            metric.label_names + ("le",), label_values + (le,)
+                        )
+                        out[f"{name}_bucket{bucket_labels}"] = float(cumulative)
+                    out[f"{name}_sum{suffix}"] = leaf.sum
+                    out[f"{name}_count{suffix}"] = float(leaf.count)
+                else:
+                    out[f"{name}{suffix}"] = float(leaf.value)
+        return out
+
+    def exposition(self) -> str:
+        """The Prometheus text exposition format (version 0.0.4)."""
+        lines: List[str] = []
+        for name, metric in self._ordered():
+            if metric.help:
+                lines.append(f"# HELP {name} {metric.help}")
+            lines.append(f"# TYPE {name} {metric.kind}")
+            for label_values, leaf in self._instances(metric):
+                suffix = _label_suffix(metric.label_names, label_values)
+                if isinstance(leaf, Histogram):
+                    for le, cumulative in leaf.cumulative_buckets():
+                        bucket_labels = _label_suffix(
+                            metric.label_names + ("le",), label_values + (le,)
+                        )
+                        lines.append(f"{name}_bucket{bucket_labels} {cumulative}")
+                    lines.append(f"{name}_sum{suffix} {_format_value(leaf.sum)}")
+                    lines.append(f"{name}_count{suffix} {leaf.count}")
+                else:
+                    lines.append(f"{name}{suffix} {_format_value(leaf.value)}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def parse_exposition(text: str) -> Dict[str, float]:
+    """Parse exposition text back into the flat sample dict.
+
+    The inverse of :meth:`MetricsRegistry.exposition` (up to float
+    formatting, which :func:`_format_value` keeps lossless); clients use it
+    to turn a scraped ``/metrics`` body or the ``metrics`` op's ``text``
+    field into comparable numbers.
+    """
+    samples: Dict[str, float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            key, value = line.rsplit(" ", 1)
+            samples[key] = float(value)
+        except ValueError as error:
+            raise ValueError(f"malformed exposition line {line!r}") from error
+    return samples

@@ -4,9 +4,9 @@ With λ = 1 the similarity term vanishes and Problem (1) reduces to a
 one-dimensional clustering problem over the observed frequencies: partition
 the (sorted) frequencies into at most ``b`` groups minimizing the sum, over
 groups, of absolute deviations from the group's *mean* (the centre is the
-mean because that is what the streaming estimator will answer with).  An
-optimal partition uses contiguous ranges of the sorted frequencies, so a
-layered dynamic program solves the problem exactly:
+mean because that is what the streaming estimator will answer with).  A
+layered dynamic program finds the best partition into contiguous ranges of
+the sorted frequencies exactly:
 
 ``D[k][i] = min_{j ≤ i} D[k−1][j−1] + cost(j, i)``
 
@@ -23,13 +23,24 @@ evaluation strategies are provided:
 paper uses for the problem); the default ``center="mean"`` matches the
 formulation as written.
 
-A subtlety the paper glosses over: the linear-time matrix-searching
-accelerations require the segment cost to satisfy the concave quadrangle
-(Monge) inequality.  The *median*-centre cost does; the *mean*-centre cost —
-the one Problem (3) literally uses — does not (counter-examples are easy to
-generate), so for ``center="mean"`` only the quadratic DP is exact and the
-fast methods are rejected.  The optimal partition is still contiguous in
-sorted order in both cases, which is what makes the DP exact at all.
+Two subtleties the paper glosses over:
+
+* The linear-time matrix-searching accelerations require the segment cost
+  to satisfy the concave quadrangle (Monge) inequality.  The
+  *median*-centre cost does; the *mean*-centre cost — the one Problem (3)
+  literally uses — does not (counter-examples are easy to generate), so for
+  ``center="mean"`` only the quadratic DP evaluates every contiguous
+  partition and the fast methods are rejected.
+* The DP searches **contiguous** partitions of the sorted values.  For
+  ``center="median"`` (classic 1-D k-median) some optimal partition is
+  always contiguous, so the DP is globally optimal.  For ``center="mean"``
+  contiguity can fail: with frequencies ``[0, 11, 11, 11, 17, 17, 21]`` and
+  ``b = 2``, the best contiguous split ``{0,11,11,11} | {17,17,21}`` costs
+  131/6 ≈ 21.83 while the non-contiguous ``{0,11,11,11,21} | {17,17}``
+  costs 21.6 — the outlier 21 is cheaper to absorb into the large bucket
+  than to let it drag the small bucket's mean.  The DP is therefore the
+  contiguous optimum (and an upper bound on the global one) under the mean
+  centre; ``tests/optimize/test_dp.py`` pins both facts.
 """
 
 from __future__ import annotations
@@ -225,7 +236,13 @@ def dynamic_programming(
     center: str = "mean",
     method: str = "auto",
 ) -> DpResult:
-    """Solve the λ=1 bucket-assignment problem exactly.
+    """Solve the λ=1 bucket-assignment problem over sorted contiguous groups.
+
+    Exact over partitions of the sorted frequencies into contiguous ranges —
+    which is the global optimum for ``center="median"``; for
+    ``center="mean"`` a non-contiguous partition can (rarely) do better, so
+    the result is the contiguous optimum and an upper bound on the global
+    one (see the module docstring for a counterexample).
 
     Parameters
     ----------

@@ -18,6 +18,7 @@ import asyncio
 import json
 import sys
 
+from repro.obs import StructuredLogger
 from repro.service.server import (
     DEFAULT_FLUSH_INTERVAL,
     DEFAULT_MAX_BUFFERED_KEYS,
@@ -63,6 +64,24 @@ def main(argv=None) -> int:
         default=DEFAULT_MAX_BUFFERED_KEYS,
         help="backpressure bound on accepted-but-unapplied arrivals",
     )
+    parser.add_argument(
+        "--metrics-port",
+        type=int,
+        help="serve Prometheus text at GET /metrics on this HTTP port "
+        "(0=ephemeral); omit to disable the HTTP listener (the in-protocol "
+        "'metrics' op is always available)",
+    )
+    parser.add_argument(
+        "--metrics-host",
+        default="127.0.0.1",
+        help="bind address of the /metrics listener (default: 127.0.0.1)",
+    )
+    parser.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit structured JSON-lines logs (lifecycle events, per-stage "
+        "shutdown timings) on stderr",
+    )
     args = parser.parse_args(argv)
     if args.unix is None and args.host is None:
         parser.error("pass --unix PATH or --host HOST [--port PORT]")
@@ -75,6 +94,9 @@ def main(argv=None) -> int:
         port=args.port if args.host is not None else None,
         flush_interval=args.flush_interval,
         max_buffered_keys=args.max_buffered_keys,
+        metrics_host=args.metrics_host,
+        metrics_port=args.metrics_port,
+        log=StructuredLogger("repro.service", sys.stderr) if args.log_json else None,
     )
 
     async def run():
@@ -86,6 +108,9 @@ def main(argv=None) -> int:
             f"(kind={service.session.kind}, {origin})",
             flush=True,
         )
+        if args.metrics_port is not None:
+            host, port = service.metrics_endpoint
+            print(f"metrics at http://{host}:{port}/metrics", flush=True)
         await service.serve_until_stopped()
 
     asyncio.run(run())

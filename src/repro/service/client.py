@@ -117,6 +117,11 @@ class StreamingClient:
     def stats(self) -> Dict[str, Any]:
         return self._request(protocol.encode_frame({"op": "stats"}))
 
+    def metrics(self) -> Dict[str, Any]:
+        """The service's metrics registry: Prometheus ``text`` + flat
+        ``samples`` map (see the ``metrics`` op in the protocol docs)."""
+        return self._request(protocol.encode_frame({"op": "metrics"}))
+
     def snapshot(self) -> Dict[str, Any]:
         """Flush, then write the service's restart snapshot."""
         return self._request(protocol.encode_frame({"op": "snapshot"}))
@@ -207,6 +212,9 @@ class AsyncStreamingClient:
 
     async def stats(self) -> Dict[str, Any]:
         return await self._request(protocol.encode_frame({"op": "stats"}))
+
+    async def metrics(self) -> Dict[str, Any]:
+        return await self._request(protocol.encode_frame({"op": "metrics"}))
 
     async def snapshot(self) -> Dict[str, Any]:
         return await self._request(protocol.encode_frame({"op": "snapshot"}))

@@ -31,10 +31,24 @@ Requests carry ``{"op": ...}``; responses carry ``{"ok": true, ...}`` or
     in the tables (micro-batch buffer empty + shard workers drained).
 ``stats``
     Service counters (totals, buffered backlog, uptime, spec kind).
+``metrics``
+    The full metrics registry: Prometheus text exposition (``text`` +
+    ``content_type``) and the same values as a flat ``samples`` map.  The
+    identical exposition is served over plain HTTP at ``GET /metrics``
+    when the service was started with a ``metrics_port``.
 ``snapshot``
     Flush, then write a restart snapshot to the server's configured path.
 ``ping`` / ``shutdown``
     Liveness probe / graceful drain-snapshot-stop.
+
+**Frame-size limits.**  One JSON frame line may be at most
+:data:`MAX_FRAME_BYTES` (64 MiB); the server's stream readers are sized to
+match (``limit=MAX_FRAME_BYTES + 1``), so an oversized frame gets an
+``ok: false`` error response — after which the connection is dropped,
+because ``readline`` discards the overrunning bytes and framing is lost.
+Binary payloads are bounded separately: :func:`payload_nbytes` rejects any
+declaration over :data:`MAX_FRAME_BYTES`.  Batches larger than either bound
+must be split into smaller ingest requests client-side.
 """
 
 from __future__ import annotations
@@ -130,7 +144,9 @@ def payload_nbytes(binary: Dict[str, Any]) -> int:
     if dtype not in _BINARY_DTYPES:
         raise ProtocolError(f"unsupported binary dtype {dtype!r}")
     count = binary.get("count")
-    if not isinstance(count, int) or count < 0:
+    # isinstance(True, int) holds, and True * 8 == 8: a boolean "count"
+    # would commit the server to a phantom 8-byte read and desync framing.
+    if not isinstance(count, int) or isinstance(count, bool) or count < 0:
         raise ProtocolError("binary count must be a non-negative integer")
     itemsize = np.dtype(dtype).itemsize
     total = count * itemsize

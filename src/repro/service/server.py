@@ -46,9 +46,25 @@ import numpy as np
 
 from repro.api import session as api_session
 from repro.core.workers import WORKER_CHUNK_SIZE
+from repro.obs import (
+    DEFAULT_SIZE_BUCKETS,
+    EXPOSITION_CONTENT_TYPE,
+    MetricsRegistry,
+    StructuredLogger,
+)
 from repro.service import protocol
 
 __all__ = ["StreamingService", "ServiceThread"]
+
+
+def _is_strict_int(value) -> bool:
+    """True for real integers only — JSON booleans are ints to isinstance."""
+    return isinstance(value, int) and not isinstance(value, bool)
+
+
+def _all_int_keys(keys) -> bool:
+    """True when every key is a genuine int (bool keys stay Python objects)."""
+    return bool(keys) and all(_is_strict_int(key) for key in keys)
 
 #: Default coalescing deadline: a micro-batch is flushed at the latest this
 #: many seconds after its first arrival, even when under-full.
@@ -132,6 +148,20 @@ class StreamingService:
         Micro-batch coalescing deadline in seconds.
     max_buffered_keys:
         Backpressure bound on arrivals accepted but not yet applied.
+    metrics_host / metrics_port:
+        When ``metrics_port`` is given, a plain-HTTP listener additionally
+        serves ``GET /metrics`` in Prometheus text format (pass ``0`` for
+        an ephemeral port, read back from ``metrics_endpoint``).  The same
+        exposition is always available in-protocol through the ``metrics``
+        op.
+    instrument:
+        ``False`` swaps the registry for no-op metrics — the baseline the
+        ≤5% overhead gate (``benchmarks/test_obs_overhead.py``) compares
+        against.
+    log:
+        Optional :class:`~repro.obs.StructuredLogger` for JSON-lines
+        lifecycle events (start/stop/failure, per-stage shutdown timings).
+        Defaults to a disabled logger.
     """
 
     def __init__(
@@ -144,6 +174,10 @@ class StreamingService:
         port: Optional[int] = None,
         flush_interval: float = DEFAULT_FLUSH_INTERVAL,
         max_buffered_keys: int = DEFAULT_MAX_BUFFERED_KEYS,
+        metrics_host: Optional[str] = None,
+        metrics_port: Optional[int] = None,
+        instrument: bool = True,
+        log: Optional[StructuredLogger] = None,
         prefix=None,
         featurizer=None,
     ) -> None:
@@ -192,6 +226,78 @@ class StreamingService:
         self._applied_keys = 0
         self._applied_batches = 0
         self._connections = 0
+        #: True from the moment the pump takes a micro-batch out of the
+        #: buffer until its apply has completed — the barrier in
+        #: :meth:`_wait_applied` must cover this window, or a snapshot can
+        #: race a mid-apply batch (and miss it if the apply then fails).
+        self._pump_busy = False
+        self._metrics_host = metrics_host
+        self._metrics_port = metrics_port
+        self._metrics_server: Optional[asyncio.AbstractServer] = None
+        self.log = log if log is not None else StructuredLogger("repro.service")
+        self.metrics = MetricsRegistry(enabled=instrument)
+        self._init_metrics()
+
+    def _init_metrics(self) -> None:
+        metrics = self.metrics
+        self._m_requests = metrics.counter(
+            "repro_service_requests_total", "Requests handled, by op.", labels=("op",)
+        )
+        self._m_request_errors = metrics.counter(
+            "repro_service_request_errors_total",
+            "Requests answered with ok=false, by op.",
+            labels=("op",),
+        )
+        self._m_request_seconds = metrics.histogram(
+            "repro_service_request_seconds",
+            "Request handling latency, by op.",
+            labels=("op",),
+        )
+        self._m_ingest_keys = metrics.counter(
+            "repro_service_ingest_keys_total", "Arrivals accepted into the buffer."
+        )
+        self._m_ingest_batches = metrics.counter(
+            "repro_service_ingest_batches_total", "Ingest requests accepted."
+        )
+        self._m_ingest_bytes = metrics.counter(
+            "repro_service_ingest_bytes_total",
+            "Wire bytes of accepted ingest requests (frame + binary payload).",
+        )
+        self._m_applied_keys = metrics.counter(
+            "repro_service_applied_keys_total",
+            "Arrivals the pump has handed to the estimator.",
+        )
+        self._m_applied_batches = metrics.counter(
+            "repro_service_applied_batches_total",
+            "Coalesced micro-batches applied by the pump.",
+        )
+        self._m_batch_keys = metrics.histogram(
+            "repro_service_coalesced_batch_keys",
+            "Keys per coalesced micro-batch.",
+            buckets=DEFAULT_SIZE_BUCKETS,
+        )
+        self._m_buffered_keys = metrics.gauge(
+            "repro_service_buffered_keys",
+            "Arrivals accepted but not yet handed to the estimator.",
+        )
+        self._m_stall_seconds = metrics.counter(
+            "repro_service_backpressure_stall_seconds_total",
+            "Total time ingest acks were withheld waiting for buffer space.",
+        )
+        self._m_stalls = metrics.counter(
+            "repro_service_backpressure_stalls_total",
+            "Ingest requests that hit the backpressure bound.",
+        )
+        self._m_connections = metrics.gauge(
+            "repro_service_connections", "Open client connections."
+        )
+        self._m_failure = metrics.gauge(
+            "repro_service_failure",
+            "1 once the service is parked on an unrecoverable failure.",
+        )
+        self._m_uptime = metrics.gauge(
+            "repro_service_uptime_seconds", "Seconds since service start."
+        )
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -205,13 +311,25 @@ class StreamingService:
             return self._server.sockets[0].getsockname()[:2]
         return (self._host, self._port)
 
+    @property
+    def metrics_endpoint(self) -> Optional[Tuple[str, int]]:
+        """The bound ``GET /metrics`` HTTP endpoint, or ``None``."""
+        if self._metrics_server is not None and self._metrics_server.sockets:
+            return self._metrics_server.sockets[0].getsockname()[:2]
+        if self._metrics_port is None:
+            return None
+        return (self._metrics_host or "127.0.0.1", self._metrics_port)
+
     def _open_session(self) -> api_session.Session:
         if self.snapshot_path and os.path.exists(self.snapshot_path):
-            session = api_session.load(self.snapshot_path)
+            session = api_session.load(self.snapshot_path, metrics=self.metrics)
             self.restored = True
             return session
         return api_session.open(
-            self._spec, prefix=self._prefix, featurizer=self._featurizer
+            self._spec,
+            prefix=self._prefix,
+            featurizer=self._featurizer,
+            metrics=self.metrics,
         )
 
     async def start(self) -> "StreamingService":
@@ -226,17 +344,40 @@ class StreamingService:
         warm_up = getattr(self.session.estimator, "warm_up", None)
         if warm_up is not None:
             await self._loop.run_in_executor(self._estimator_executor, warm_up)
+        # The StreamReader's default 64 KiB limit would contradict
+        # MAX_FRAME_BYTES: readline() on any larger JSON frame raises
+        # before the handler ever sees it.  The +1 leaves room for the
+        # newline terminator of a maximum-size frame.
+        frame_limit = protocol.MAX_FRAME_BYTES + 1
         if self._unix_path is not None:
             with contextlib.suppress(FileNotFoundError):
                 os.unlink(self._unix_path)
             self._server = await asyncio.start_unix_server(
-                self._handle_connection, path=self._unix_path
+                self._handle_connection, path=self._unix_path, limit=frame_limit
             )
         else:
             self._server = await asyncio.start_server(
-                self._handle_connection, host=self._host, port=self._port or 0
+                self._handle_connection,
+                host=self._host,
+                port=self._port or 0,
+                limit=frame_limit,
+            )
+        if self._metrics_port is not None:
+            self._metrics_server = await asyncio.start_server(
+                self._handle_metrics_http,
+                host=self._metrics_host or "127.0.0.1",
+                port=self._metrics_port,
             )
         self._pump_task = asyncio.ensure_future(self._pump())
+        self.log.info(
+            "service_started",
+            endpoint=str(self.endpoint),
+            kind=self.session.kind,
+            restored=self.restored,
+            metrics_endpoint=(
+                str(self.metrics_endpoint) if self._metrics_server else None
+            ),
+        )
         return self
 
     def install_signal_handlers(self) -> None:
@@ -272,6 +413,7 @@ class StreamingService:
             await asyncio.shield(self._stopped_future)
             return
         self._stopping = True
+        self.log.info("service_stopping", drain=drain, snapshot=snapshot)
         # Wake everything that might be waiting on buffer state.
         self._data_event.set()
         self._chunk_event.set()
@@ -279,6 +421,9 @@ class StreamingService:
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
+        if self._metrics_server is not None:
+            self._metrics_server.close()
+            await self._metrics_server.wait_closed()
         if self._pump_task is not None:
             if drain:
                 await self._pump_task
@@ -290,18 +435,20 @@ class StreamingService:
         if self.session is not None:
             if drain and self._failure is None:
                 try:
-                    await loop.run_in_executor(
-                        self._estimator_executor, self.session.drain
-                    )
+                    with self.log.stage("shutdown_drain"):
+                        await loop.run_in_executor(
+                            self._estimator_executor, self.session.drain
+                        )
                 except Exception as error:
                     self._fail(f"shutdown drain failed: {error}")
             if snapshot and self.snapshot_path and self._failure is None:
                 # A parked (failed) service skips the snapshot: save() would
                 # re-drain the broken pool, and overwriting the previous good
                 # snapshot with a partial one would make restart worse.
-                await loop.run_in_executor(
-                    self._estimator_executor, self.session.save, self.snapshot_path
-                )
+                with self.log.stage("shutdown_snapshot", path=self.snapshot_path):
+                    await loop.run_in_executor(
+                        self._estimator_executor, self.session.save, self.snapshot_path
+                    )
             with contextlib.suppress(Exception):
                 await loop.run_in_executor(
                     self._estimator_executor, self.session.close
@@ -310,6 +457,11 @@ class StreamingService:
         if self._unix_path is not None:
             with contextlib.suppress(FileNotFoundError):
                 os.unlink(self._unix_path)
+        self.log.info(
+            "service_stopped",
+            applied_keys=self._applied_keys,
+            failure=self._failure,
+        )
         if not self._stopped_future.done():
             self._stopped_future.set_result(None)
 
@@ -346,18 +498,29 @@ class StreamingService:
                         await asyncio.wait_for(
                             self._chunk_event.wait(), self.flush_interval
                         )
+            # The in-flight window opens BEFORE the buffer is emptied:
+            # between take() and the end of _apply the batch is in neither
+            # the buffer nor the tables, and the _wait_applied barrier must
+            # keep waiting through it.
+            self._pump_busy = True
             parts = self._buffer.take()
+            self._m_buffered_keys.set(0)
             self._space_event.set()
             keys, counts = _coalesce(parts)
+            self._m_batch_keys.observe(len(keys))
             try:
                 await self._loop.run_in_executor(
                     self._estimator_executor, self._apply, keys, counts
                 )
             except BaseException as error:  # noqa: BLE001 — park, don't die
+                self._pump_busy = False
                 self._fail(f"ingestion failed: {error}")
                 break
             self._applied_keys += len(keys)
             self._applied_batches += 1
+            self._m_applied_keys.inc(len(keys))
+            self._m_applied_batches.inc()
+            self._pump_busy = False
             self._applied_event.set()
 
     def _fail(self, message: str) -> None:
@@ -369,16 +532,27 @@ class StreamingService:
         """
         if self._failure is None:
             self._failure = message
+            self._m_failure.set(1)
+            self.log.error("service_failure", error=message)
         self._space_event.set()
         self._applied_event.set()
 
     async def _wait_applied(self) -> None:
-        """Barrier: buffer empty and the pump idle (or the service failed)."""
+        """Barrier: buffer empty AND the pump idle (or the service failed).
+
+        Checking the buffer alone is not enough: the pump ``take()``s the
+        buffer *before* ``_apply`` runs, so an empty buffer can coexist
+        with an acked micro-batch that is mid-apply — and if that apply
+        then fails, a snapshot taken past the barrier would be missing
+        acked keys.  ``_pump_busy`` covers exactly that window.
+        """
         while (
-            self._buffer.parts or self._buffer.total_keys
+            self._buffer.parts or self._buffer.total_keys or self._pump_busy
         ) and self._failure is None:
             self._applied_event.clear()
-            if self._buffer.parts and self._failure is None:
+            if (
+                self._buffer.parts or self._pump_busy
+            ) and self._failure is None:
                 await self._applied_event.wait()
         if self._failure is not None:
             raise RuntimeError(self._failure)
@@ -390,22 +564,53 @@ class StreamingService:
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         self._connections += 1
+        self._m_connections.inc()
         try:
             while True:
                 try:
                     line = await reader.readline()
                 except (ConnectionResetError, asyncio.IncompleteReadError):
                     break
+                except (asyncio.LimitOverrunError, ValueError):
+                    # The frame overran the reader's limit (it admits any
+                    # frame up to MAX_FRAME_BYTES, so this one is over the
+                    # protocol bound).  readline() has already discarded
+                    # buffered bytes, so framing is lost: answer with a
+                    # protocol error, then drop the connection.
+                    line = None
+                if line is None or len(line) > protocol.MAX_FRAME_BYTES:
+                    if line is None or line:
+                        response = {
+                            "ok": False,
+                            "error": (
+                                f"frame exceeds {protocol.MAX_FRAME_BYTES} "
+                                "bytes (use a binary ingest payload for "
+                                "large batches)"
+                            ),
+                        }
+                        self._m_request_errors.labels(op="invalid").inc()
+                        writer.write(protocol.encode_frame(response))
+                        with contextlib.suppress(
+                            ConnectionResetError, BrokenPipeError
+                        ):
+                            await writer.drain()
+                    break
                 if not line:
                     break
-                if len(line) > protocol.MAX_FRAME_BYTES:
-                    break  # unframeable peer; drop the connection
+                start = time.perf_counter()
+                op = "invalid"
                 try:
-                    response = await self._dispatch(reader, line)
+                    op, response = await self._dispatch(reader, line)
                 except protocol.ProtocolError as error:
                     response = {"ok": False, "error": str(error)}
                 except Exception as error:  # noqa: BLE001 — per-request fault wall
                     response = {"ok": False, "error": f"{type(error).__name__}: {error}"}
+                self._m_requests.labels(op=op).inc()
+                self._m_request_seconds.labels(op=op).observe(
+                    time.perf_counter() - start
+                )
+                if not response.get("ok"):
+                    self._m_request_errors.labels(op=op).inc()
                 writer.write(protocol.encode_frame(response))
                 try:
                     await writer.drain()
@@ -415,38 +620,50 @@ class StreamingService:
                     break
         finally:
             self._connections -= 1
+            self._m_connections.dec()
             with contextlib.suppress(Exception):
                 writer.close()
+                await writer.wait_closed()
 
     async def _dispatch(
         self, reader: asyncio.StreamReader, line: bytes
-    ) -> Dict[str, Any]:
+    ) -> Tuple[str, Dict[str, Any]]:
         message = protocol.decode_frame(line)
         op = message.get("op")
-        if op == "ingest":
-            return await self._op_ingest(reader, message)
-        if op == "estimate":
-            return await self._op_estimate(message)
-        if op == "top_k":
-            return await self._op_top_k(message)
-        if op == "flush":
-            return await self._op_flush()
-        if op == "stats":
-            return self._op_stats()
-        if op == "snapshot":
-            return await self._op_snapshot()
-        if op == "ping":
-            return {"ok": True, "op": "ping"}
-        if op == "shutdown":
-            self.request_stop()
-            return {"ok": True, "op": "shutdown", "bye": True}
-        raise protocol.ProtocolError(f"unknown op {op!r}")
+        label = op if isinstance(op, str) else "invalid"
+        try:
+            if op == "ingest":
+                return label, await self._op_ingest(reader, message, len(line))
+            if op == "estimate":
+                return label, await self._op_estimate(message)
+            if op == "top_k":
+                return label, await self._op_top_k(message)
+            if op == "flush":
+                return label, await self._op_flush()
+            if op == "stats":
+                return label, self._op_stats()
+            if op == "metrics":
+                return label, self._op_metrics()
+            if op == "snapshot":
+                return label, await self._op_snapshot()
+            if op == "ping":
+                return label, {"ok": True, "op": "ping"}
+            if op == "shutdown":
+                self.request_stop()
+                return label, {"ok": True, "op": "shutdown", "bye": True}
+            raise protocol.ProtocolError(f"unknown op {op!r}")
+        except protocol.ProtocolError as error:
+            return label, {"ok": False, "error": str(error)}
+        except Exception as error:  # noqa: BLE001 — per-request fault wall
+            return label, {"ok": False, "error": f"{type(error).__name__}: {error}"}
 
     async def _read_ingest_arrays(self, reader, message):
         binary = message.get("binary")
         if binary is not None:
-            payload = await reader.readexactly(protocol.payload_nbytes(binary))
-            return protocol.arrays_from_payload(binary, payload)
+            nbytes = protocol.payload_nbytes(binary)
+            payload = await reader.readexactly(nbytes)
+            keys, counts = protocol.arrays_from_payload(binary, payload)
+            return keys, counts, nbytes
         keys = message.get("keys")
         if not isinstance(keys, list):
             raise protocol.ProtocolError("ingest needs 'keys' (list) or 'binary'")
@@ -454,31 +671,45 @@ class StreamingService:
         if counts is not None:
             if not isinstance(counts, list) or len(counts) != len(keys):
                 raise protocol.ProtocolError("counts must align one-to-one with keys")
+            if any(isinstance(count, bool) for count in counts):
+                raise protocol.ProtocolError(
+                    "counts must be integers (JSON true/false is not a count)"
+                )
             counts = np.asarray(counts, dtype=np.int64)
-        if keys and all(isinstance(key, int) for key in keys):
-            return np.asarray(keys, dtype=np.int64), counts
-        return keys, counts
+        if _all_int_keys(keys):
+            return np.asarray(keys, dtype=np.int64), counts, 0
+        return keys, counts, 0
 
-    async def _op_ingest(self, reader, message) -> Dict[str, Any]:
+    async def _op_ingest(self, reader, message, frame_nbytes: int) -> Dict[str, Any]:
         # The payload must leave the socket even if the batch is refused,
         # or the stream desynchronizes — read before any rejection.
-        keys, counts = await self._read_ingest_arrays(reader, message)
+        keys, counts, payload_nbytes = await self._read_ingest_arrays(reader, message)
         if self._failure is not None:
             raise RuntimeError(self._failure)
         if self._stopping:
             raise RuntimeError("service is shutting down")
-        while self._buffer.total_keys >= self.max_buffered_keys:
+        if self._buffer.total_keys >= self.max_buffered_keys:
             # Bounded backpressure: hold the ack (and stop reading this
             # socket) until the pump frees buffer space.
-            self._space_event.clear()
-            if self._buffer.total_keys < self.max_buffered_keys:
-                break
-            await self._space_event.wait()
-            if self._failure is not None:
-                raise RuntimeError(self._failure)
-            if self._stopping:
-                raise RuntimeError("service is shutting down")
+            stall_start = time.perf_counter()
+            self._m_stalls.inc()
+            while self._buffer.total_keys >= self.max_buffered_keys:
+                self._space_event.clear()
+                if self._buffer.total_keys < self.max_buffered_keys:
+                    break
+                await self._space_event.wait()
+                if self._failure is not None:
+                    self._m_stall_seconds.inc(time.perf_counter() - stall_start)
+                    raise RuntimeError(self._failure)
+                if self._stopping:
+                    self._m_stall_seconds.inc(time.perf_counter() - stall_start)
+                    raise RuntimeError("service is shutting down")
+            self._m_stall_seconds.inc(time.perf_counter() - stall_start)
         n = self._buffer.add(keys, counts)
+        self._m_ingest_keys.inc(n)
+        self._m_ingest_batches.inc()
+        self._m_ingest_bytes.inc(frame_nbytes + payload_nbytes)
+        self._m_buffered_keys.set(self._buffer.total_keys)
         self._data_event.set()
         if self._buffer.total_keys >= WORKER_CHUNK_SIZE:
             self._chunk_event.set()
@@ -502,7 +733,7 @@ class StreamingService:
         keys = message.get("keys")
         if not isinstance(keys, list) or not keys:
             raise protocol.ProtocolError("estimate needs a non-empty 'keys' list")
-        if all(isinstance(key, int) for key in keys):
+        if _all_int_keys(keys):
             keys = np.asarray(keys, dtype=np.int64)
         estimates = await self._loop.run_in_executor(
             self._estimator_executor, self._live_estimate, keys
@@ -525,7 +756,7 @@ class StreamingService:
             ranked = sorted(tracker(0.0), key=lambda pair: -pair[1])[:k]
             return [[key, float(count)] for key, count in ranked]
         keys = candidates
-        if all(isinstance(key, int) for key in keys):
+        if _all_int_keys(keys):
             keys = np.asarray(keys, dtype=np.int64)
         estimates = np.asarray(self._live_estimate(keys), dtype=np.float64)
         order = np.argsort(-estimates, kind="stable")[:k]
@@ -535,7 +766,7 @@ class StreamingService:
         if self._failure is not None:
             raise RuntimeError(self._failure)
         k = message.get("k")
-        if not isinstance(k, int) or k <= 0:
+        if not _is_strict_int(k) or k <= 0:
             raise protocol.ProtocolError("top_k needs a positive integer 'k'")
         candidates = message.get("candidates")
         if candidates is not None and (
@@ -584,6 +815,66 @@ class StreamingService:
             "failure": self._failure,
         }
 
+    def _refresh_gauges(self) -> None:
+        """Bring point-in-time gauges up to date before an exposition."""
+        self._m_uptime.set(round(time.monotonic() - self._started_at, 3))
+        self._m_buffered_keys.set(self._buffer.total_keys)
+        self._m_connections.set(self._connections)
+        self._m_failure.set(0 if self._failure is None else 1)
+        if self.session is not None:
+            sync = getattr(self.session.estimator, "sync_metrics", None)
+            if sync is not None:
+                sync()
+
+    def _op_metrics(self) -> Dict[str, Any]:
+        self._refresh_gauges()
+        return {
+            "ok": True,
+            "op": "metrics",
+            "content_type": EXPOSITION_CONTENT_TYPE,
+            "text": self.metrics.exposition(),
+            "samples": self.metrics.samples(),
+        }
+
+    async def _handle_metrics_http(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Minimal HTTP/1.0 responder for Prometheus scrapes of /metrics."""
+        try:
+            request_line = await reader.readline()
+            while True:  # drain request headers up to the blank line
+                header = await reader.readline()
+                if header in (b"", b"\r\n", b"\n"):
+                    break
+            parts = request_line.decode("latin-1", "replace").split()
+            if len(parts) >= 2 and parts[0] == "GET" and (
+                parts[1] == "/metrics" or parts[1].startswith("/metrics?")
+            ):
+                self._refresh_gauges()
+                body = self.metrics.exposition().encode("utf-8")
+                head = (
+                    "HTTP/1.0 200 OK\r\n"
+                    f"Content-Type: {EXPOSITION_CONTENT_TYPE}\r\n"
+                    f"Content-Length: {len(body)}\r\n"
+                    "Connection: close\r\n\r\n"
+                )
+            else:
+                body = b"not found\n"
+                head = (
+                    "HTTP/1.0 404 Not Found\r\n"
+                    "Content-Type: text/plain\r\n"
+                    f"Content-Length: {len(body)}\r\n"
+                    "Connection: close\r\n\r\n"
+                )
+            writer.write(head.encode("latin-1") + body)
+            await writer.drain()
+        except (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            with contextlib.suppress(Exception):
+                writer.close()
+                await writer.wait_closed()
+
     async def _op_snapshot(self) -> Dict[str, Any]:
         if not self.snapshot_path:
             raise protocol.ProtocolError(
@@ -593,6 +884,11 @@ class StreamingService:
         nbytes = await self._loop.run_in_executor(
             self._estimator_executor, self.session.save, self.snapshot_path
         )
+        # The save serializes behind any in-flight apply on the estimator
+        # thread; if that apply failed while we queued, the file on disk is
+        # missing acked keys — report the failure instead of a false ok.
+        if self._failure is not None:
+            raise RuntimeError(self._failure)
         return {
             "ok": True,
             "op": "snapshot",
@@ -642,14 +938,30 @@ class ServiceThread:
         return self
 
     def stop(self, *, drain: bool = True, snapshot: bool = True, timeout: float = 60.0) -> None:
-        """Graceful stop; idempotent and safe to call from any thread."""
+        """Graceful stop; idempotent and safe to call from any thread.
+
+        A no-op when the service never (fully) started: after a failed or
+        timed-out ``start()`` there may be no loop, no running server, or a
+        thread still wedged in startup — scheduling ``service.stop()`` there
+        would hang or raise, and there is nothing to drain anyway.
+        """
         if self._thread is None or not self._thread.is_alive():
             return
-        assert self._loop is not None
-        future = asyncio.run_coroutine_threadsafe(
-            self.service.stop(drain=drain, snapshot=snapshot), self._loop
-        )
-        future.result(timeout=timeout)
+        if (
+            not self._started.is_set()
+            or self._startup_error is not None
+            or self._loop is None
+        ):
+            return
+        try:
+            future = asyncio.run_coroutine_threadsafe(
+                self.service.stop(drain=drain, snapshot=snapshot), self._loop
+            )
+            future.result(timeout=timeout)
+        except RuntimeError:
+            # The loop shut down between the liveness check and the call —
+            # the thread is already on its way out; just join it.
+            pass
         self._thread.join(timeout=timeout)
 
     def __enter__(self) -> "ServiceThread":

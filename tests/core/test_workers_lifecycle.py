@@ -171,7 +171,7 @@ def _fake_pool(ready_events):
     pool._closed = True  # nothing real to close
     pool._errors = queue.Queue()
     pool._workers = [
-        _ShardWorker(_StuckProcess(), None, None, None, event, threading.Event())
+        _ShardWorker(_StuckProcess(), None, None, None, event, threading.Event(), None)
         for event in ready_events
     ]
     return pool

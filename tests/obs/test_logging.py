@@ -1,0 +1,76 @@
+"""Unit tests of the structured JSON-lines logger and its stage timers."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs import Histogram, StructuredLogger
+
+
+def _lines(stream):
+    return [json.loads(line) for line in stream.getvalue().splitlines()]
+
+
+def test_one_json_object_per_line():
+    stream = io.StringIO()
+    log = StructuredLogger("test", stream, clock=lambda: 123.456)
+    log.info("started", port=8080)
+    log.error("boom", detail="bad")
+    first, second = _lines(stream)
+    assert first == {
+        "ts": 123.456,
+        "level": "info",
+        "logger": "test",
+        "event": "started",
+        "port": 8080,
+    }
+    assert second["level"] == "error"
+    assert second["detail"] == "bad"
+
+
+def test_disabled_logger_is_a_noop():
+    log = StructuredLogger("test")  # no stream
+    assert not log.enabled
+    log.info("ignored", anything=object())  # non-JSON field: still no error
+
+
+def test_rejects_unknown_level():
+    log = StructuredLogger("test", io.StringIO())
+    with pytest.raises(ValueError):
+        log.log("loud", "event")
+
+
+def test_non_json_fields_are_stringified():
+    stream = io.StringIO()
+    log = StructuredLogger("test", stream)
+    log.info("event", obj={1, 2})  # sets are not JSON; default=str covers it
+    (record,) = _lines(stream)
+    assert isinstance(record["obj"], str)
+
+
+def test_stage_timer_logs_and_observes():
+    stream = io.StringIO()
+    log = StructuredLogger("test", stream)
+    hist = Histogram("stage_seconds")
+    with log.stage("drain", histogram=hist, path="/x") as timer:
+        pass
+    assert hist.count == 1
+    assert timer.seconds is not None and timer.seconds >= 0
+    (record,) = _lines(stream)
+    assert record["event"] == "drain"
+    assert record["level"] == "info"
+    assert record["path"] == "/x"
+    assert record["seconds"] == pytest.approx(timer.seconds, abs=1e-5)
+
+
+def test_stage_timer_logs_error_and_propagates():
+    stream = io.StringIO()
+    log = StructuredLogger("test", stream)
+    with pytest.raises(RuntimeError, match="kaboom"):
+        with log.stage("snapshot"):
+            raise RuntimeError("kaboom")
+    (record,) = _lines(stream)
+    assert record["level"] == "error"
+    assert record["error"] == "RuntimeError: kaboom"
+    assert "seconds" in record

@@ -1,0 +1,222 @@
+"""Unit tests of the metrics registry: semantics, exposition, round-trip."""
+
+import threading
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_LATENCY_BUCKETS,
+    DEFAULT_SIZE_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    parse_exposition,
+)
+from repro.obs.metrics import NULL_COUNTER, NULL_GAUGE, NULL_HISTOGRAM
+
+
+# ----------------------------------------------------------------------
+# counter / gauge / histogram semantics
+# ----------------------------------------------------------------------
+def test_counter_monotone():
+    counter = Counter("c_total")
+    counter.inc()
+    counter.inc(2.5)
+    assert counter.value == 3.5
+    with pytest.raises(ValueError):
+        counter.inc(-1)
+    assert counter.value == 3.5
+
+
+def test_counter_inc_to_is_set_to_max():
+    counter = Counter("c_total")
+    counter.inc_to(10)
+    assert counter.value == 10
+    counter.inc_to(7)  # stale reading: no-op, never goes down
+    assert counter.value == 10
+    counter.inc_to(12)
+    assert counter.value == 12
+
+
+def test_gauge_moves_both_ways():
+    gauge = Gauge("g")
+    gauge.set(5)
+    gauge.inc(2)
+    gauge.dec(4)
+    assert gauge.value == 3.0
+
+
+def test_histogram_buckets_and_totals():
+    hist = Histogram("h", buckets=(0.001, 0.01, 0.1, 1.0))
+    for value in (0.0005, 0.001, 0.05, 0.5, 5.0):
+        hist.observe(value)
+    assert hist.count == 5
+    assert hist.sum == pytest.approx(5.5515)
+    # observe(bound) lands in that bucket (le is an inclusive upper bound)
+    cumulative = dict(hist.cumulative_buckets())
+    assert cumulative["0.001"] == 2
+    assert cumulative["0.01"] == 2
+    assert cumulative["0.1"] == 3
+    assert cumulative["1"] == 4
+    assert cumulative["+Inf"] == 5
+
+
+def test_histogram_rejects_bad_buckets():
+    with pytest.raises(ValueError):
+        Histogram("h", buckets=())
+    with pytest.raises(ValueError):
+        Histogram("h", buckets=(1.0, 1.0, 2.0))
+
+
+def test_histogram_timer_observes_duration():
+    hist = Histogram("h_seconds")
+    with hist.time():
+        pass
+    assert hist.count == 1
+    assert 0.0 <= hist.sum < 1.0
+
+
+def test_default_buckets_are_strictly_increasing():
+    for buckets in (DEFAULT_LATENCY_BUCKETS, DEFAULT_SIZE_BUCKETS):
+        assert all(b2 > b1 for b1, b2 in zip(buckets, buckets[1:]))
+    assert DEFAULT_LATENCY_BUCKETS[0] == pytest.approx(1e-5)
+    assert DEFAULT_LATENCY_BUCKETS[-1] == pytest.approx(10.0)
+
+
+# ----------------------------------------------------------------------
+# labels
+# ----------------------------------------------------------------------
+def test_labels_create_and_cache_children():
+    counter = Counter("req_total", label_names=("op",))
+    counter.labels(op="ingest").inc(3)
+    counter.labels(op="estimate").inc()
+    assert counter.labels(op="ingest") is counter.labels(op="ingest")
+    assert counter.labels(op="ingest").value == 3
+    assert counter.labels(op="estimate").value == 1
+
+
+def test_labels_validation():
+    counter = Counter("req_total", label_names=("op",))
+    with pytest.raises(ValueError):
+        counter.labels()  # missing
+    with pytest.raises(ValueError):
+        counter.labels(op="x", extra="y")  # extraneous
+    unlabeled = Counter("plain_total")
+    with pytest.raises(ValueError):
+        unlabeled.labels(op="x")
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+def test_registry_get_or_create_returns_same_object():
+    registry = MetricsRegistry()
+    first = registry.counter("a_total", "help text")
+    second = registry.counter("a_total")
+    assert first is second
+
+
+def test_registry_rejects_type_and_label_conflicts():
+    registry = MetricsRegistry()
+    registry.counter("a_total")
+    with pytest.raises(ValueError):
+        registry.gauge("a_total")
+    registry.counter("b_total", labels=("op",))
+    with pytest.raises(ValueError):
+        registry.counter("b_total", labels=("shard",))
+
+
+def test_registry_validates_names():
+    registry = MetricsRegistry()
+    with pytest.raises(ValueError):
+        registry.counter("bad name")
+    with pytest.raises(ValueError):
+        registry.counter("ok_total", labels=("bad-label",))
+
+
+def test_disabled_registry_hands_out_null_metrics():
+    registry = MetricsRegistry(enabled=False)
+    assert registry.counter("a_total") is NULL_COUNTER
+    assert registry.gauge("g") is NULL_GAUGE
+    assert registry.histogram("h") is NULL_HISTOGRAM
+    # every call is a no-op, including labels() and the timer
+    NULL_COUNTER.labels(op="x").inc(5)
+    NULL_GAUGE.set(3)
+    with NULL_HISTOGRAM.time():
+        pass
+    assert NULL_COUNTER.value == 0.0
+    assert registry.exposition() == ""
+    assert registry.samples() == {}
+
+
+def test_counter_thread_safety():
+    counter = Counter("c_total")
+    barrier = threading.Barrier(4)
+
+    def work():
+        barrier.wait()
+        for _ in range(10_000):
+            counter.inc()
+
+    threads = [threading.Thread(target=work) for _ in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert counter.value == 40_000
+
+
+# ----------------------------------------------------------------------
+# exposition format + round-trip
+# ----------------------------------------------------------------------
+def test_exposition_format():
+    registry = MetricsRegistry()
+    registry.counter("req_total", "Requests.", labels=("op",)).labels(op="ingest").inc(
+        7
+    )
+    registry.gauge("depth", "Buffer depth.").set(3)
+    text = registry.exposition()
+    assert "# HELP req_total Requests.\n" in text
+    assert "# TYPE req_total counter\n" in text
+    assert 'req_total{op="ingest"} 7\n' in text
+    assert "# TYPE depth gauge\n" in text
+    assert "depth 3\n" in text
+
+
+def test_exposition_histogram_series():
+    registry = MetricsRegistry()
+    hist = registry.histogram("lat_seconds", "Latency.", buckets=(0.1, 1.0))
+    hist.observe(0.05)
+    hist.observe(0.5)
+    hist.observe(2.0)
+    text = registry.exposition()
+    assert 'lat_seconds_bucket{le="0.1"} 1\n' in text
+    assert 'lat_seconds_bucket{le="1"} 2\n' in text
+    assert 'lat_seconds_bucket{le="+Inf"} 3\n' in text
+    assert "lat_seconds_count 3\n" in text
+    assert "lat_seconds_sum 2.55" in text
+
+
+def test_exposition_escapes_label_values():
+    registry = MetricsRegistry()
+    registry.counter("c_total", labels=("path",)).labels(path='a"b\\c\nd').inc()
+    text = registry.exposition()
+    assert 'c_total{path="a\\"b\\\\c\\nd"} 1\n' in text
+
+
+def test_samples_match_parsed_exposition_exactly():
+    registry = MetricsRegistry()
+    registry.counter("req_total", "Requests.", labels=("op",)).labels(op="ingest").inc(
+        41
+    )
+    registry.gauge("depth").set(2.5)
+    hist = registry.histogram("lat_seconds", buckets=(0.001, 0.1, 10.0))
+    for value in (0.0001, 0.05, 0.0999, 3.0, 100.0):
+        hist.observe(value)
+    assert parse_exposition(registry.exposition()) == registry.samples()
+
+
+def test_parse_exposition_rejects_garbage():
+    with pytest.raises(ValueError):
+        parse_exposition("just-one-token\n")

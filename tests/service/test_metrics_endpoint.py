@@ -1,0 +1,106 @@
+"""End-to-end tests of the observability surface of the streaming service:
+the ``metrics`` protocol op, the plain-HTTP ``GET /metrics`` listener, and
+agreement between the metrics registry and the ``stats`` counters.
+"""
+
+import http.client
+import os
+import tempfile
+import uuid
+
+import numpy as np
+
+from repro.obs import EXPOSITION_CONTENT_TYPE, parse_exposition
+from repro.service import ServiceThread, StreamingClient, StreamingService
+
+CMS_SPEC = {"kind": "count_min", "total_buckets": 1 << 14, "depth": 2, "seed": 11}
+
+
+def _socket_path() -> str:
+    return os.path.join(tempfile.gettempdir(), f"repro-{uuid.uuid4().hex[:12]}.sock")
+
+
+def test_metrics_op_agrees_with_stats_after_known_workload():
+    sock = _socket_path()
+    keys = np.arange(10_000, dtype=np.int64)
+    with ServiceThread(StreamingService(CMS_SPEC, unix_path=sock)):
+        with StreamingClient.connect(unix_path=sock) as client:
+            for _ in range(3):
+                client.ingest(keys)  # binary frames
+            client.ingest(list(range(100)))  # one JSON frame
+            client.flush()
+            client.estimate([1, 2, 3])
+            stats = client.stats()
+            response = client.metrics()
+
+    assert response["ok"] and response["op"] == "metrics"
+    assert response["content_type"] == EXPOSITION_CONTENT_TYPE
+    samples = response["samples"]
+    # the registry and the legacy stats counters must tell the same story
+    assert samples["repro_service_ingest_keys_total"] == stats["accepted_keys"]
+    assert samples["repro_service_ingest_batches_total"] == stats["accepted_batches"]
+    assert samples["repro_service_applied_keys_total"] == stats["applied_keys"]
+    assert samples["repro_service_applied_batches_total"] == stats["applied_batches"]
+    assert samples["repro_service_buffered_keys"] == stats["buffered_keys"] == 0
+    assert samples["repro_service_failure"] == 0
+    assert samples["repro_service_uptime_seconds"] > 0
+    assert samples['repro_service_requests_total{op="ingest"}'] == 4
+    assert samples['repro_service_requests_total{op="flush"}'] == 1
+    assert samples['repro_service_requests_total{op="estimate"}'] == 1
+    assert samples['repro_service_request_seconds_count{op="ingest"}'] == 4
+    # wire accounting: 3 binary payloads of 10k int64 keys + all the frames
+    assert samples["repro_service_ingest_bytes_total"] > 3 * 10_000 * 8
+    # the text exposition carries exactly the same values
+    assert parse_exposition(response["text"]) == samples
+
+
+def test_http_metrics_listener():
+    sock = _socket_path()
+    service = StreamingService(CMS_SPEC, unix_path=sock, metrics_port=0)
+    with ServiceThread(service):
+        host, port = service.metrics_endpoint
+        with StreamingClient.connect(unix_path=sock) as client:
+            client.ingest(np.arange(500, dtype=np.int64))
+            client.flush()
+
+        conn = http.client.HTTPConnection(host, port, timeout=10)
+        conn.request("GET", "/metrics")
+        response = conn.getresponse()
+        body = response.read().decode("utf-8")
+        assert response.status == 200
+        assert response.getheader("Content-Type") == EXPOSITION_CONTENT_TYPE
+        conn.close()
+        scraped = parse_exposition(body)
+        assert scraped["repro_service_ingest_keys_total"] == 500
+        assert scraped['repro_service_requests_total{op="ingest"}'] == 1
+
+        conn = http.client.HTTPConnection(host, port, timeout=10)
+        conn.request("GET", "/nope")
+        assert conn.getresponse().status == 404
+        conn.close()
+
+
+def test_instrument_false_serves_empty_metrics():
+    sock = _socket_path()
+    with ServiceThread(StreamingService(CMS_SPEC, unix_path=sock, instrument=False)):
+        with StreamingClient.connect(unix_path=sock) as client:
+            client.ingest(np.arange(100, dtype=np.int64))
+            response = client.metrics()
+            stats = client.stats()
+    assert response["ok"]
+    assert response["text"] == ""
+    assert response["samples"] == {}
+    assert stats["accepted_keys"] == 100  # legacy counters still work
+
+
+def test_request_errors_are_counted_per_op():
+    sock = _socket_path()
+    with ServiceThread(StreamingService(CMS_SPEC, unix_path=sock)):
+        with StreamingClient.connect(unix_path=sock) as client:
+            try:
+                client.estimate([])  # protocol error: empty keys
+            except Exception:
+                pass
+            samples = client.metrics()["samples"]
+    assert samples['repro_service_request_errors_total{op="estimate"}'] == 1
+    assert samples['repro_service_requests_total{op="estimate"}'] == 1

@@ -75,6 +75,15 @@ def test_bad_binary_declarations_raise(binary):
         protocol.payload_nbytes(binary)
 
 
+@pytest.mark.parametrize("count", [True, False])
+def test_boolean_count_is_rejected(count):
+    # isinstance(True, int) is True and True * 8 == 8: before the explicit
+    # bool check a {"count": true} header committed the server to reading
+    # 8 phantom payload bytes, desyncing the stream.
+    with pytest.raises(ProtocolError, match="count"):
+        protocol.payload_nbytes({"count": count, "dtype": "<i8"})
+
+
 def test_payload_length_mismatch_raises():
     keys = np.arange(16, dtype=np.int64)
     header, payload = protocol.binary_ingest_parts(keys)

@@ -1,0 +1,143 @@
+"""Regression tests for the service correctness sweep.
+
+Each test fails on the pre-fix code:
+
+1. JSON frames over 64 KiB killed the connection (StreamReader's default
+   64 KiB limit contradicted ``MAX_FRAME_BYTES``).
+2. ``snapshot`` could pass the applied barrier while the last acked
+   micro-batch was mid-apply — and return ok even though that apply failed,
+   leaving a snapshot missing acked keys.
+3. ``isinstance(True, int)`` let booleans through integer validation
+   (``binary.count``, ``top_k.k``): a ``count: true`` header committed the
+   server to a phantom 8-byte read and hung the connection.
+4. ``ServiceThread.stop()`` after a failed ``start()`` scheduled a stop on
+   a loop wedged in startup and hung until its own timeout.
+"""
+
+import os
+import tempfile
+import threading
+import uuid
+
+import numpy as np
+import pytest
+
+from repro.service import ServiceThread, StreamingClient, StreamingService
+from repro.service import protocol
+from repro.service.protocol import ServiceError
+
+CMS_SPEC = {"kind": "count_min", "total_buckets": 1 << 14, "depth": 2, "seed": 7}
+
+
+def _socket_path() -> str:
+    return os.path.join(tempfile.gettempdir(), f"repro-{uuid.uuid4().hex[:12]}.sock")
+
+
+def test_json_frames_over_64kib_are_accepted():
+    """Bug 1: a >64 KiB JSON ingest frame must ingest, not kill the socket."""
+    sock = _socket_path()
+    keys = list(range(20_000))  # JSON frame well past the old 64 KiB reader cap
+    with ServiceThread(StreamingService(CMS_SPEC, unix_path=sock)):
+        with StreamingClient.connect(unix_path=sock) as client:
+            assert client.ingest(keys) == len(keys)
+            client.flush()
+            assert client.estimate([5])[0] >= 1.0
+
+
+def test_frames_over_the_protocol_bound_get_an_error_response():
+    """Past MAX_FRAME_BYTES the server answers ok=false before dropping."""
+    sock = _socket_path()
+    with ServiceThread(StreamingService(CMS_SPEC, unix_path=sock)):
+        with StreamingClient.connect(unix_path=sock, timeout=30.0) as client:
+            line = b'{"op": "ping", "pad": "' + b"x" * protocol.MAX_FRAME_BYTES
+            line += b'"}\n'
+            with pytest.raises(ServiceError, match="frame exceeds"):
+                client._request(line)
+
+
+def test_snapshot_fails_when_the_mid_apply_batch_is_lost(tmp_path):
+    """Bug 2: an acked batch whose apply fails must fail the snapshot too."""
+    sock = _socket_path()
+    snap = str(tmp_path / "service.snap")
+    service = StreamingService(
+        CMS_SPEC, unix_path=sock, snapshot_path=snap, flush_interval=0.01
+    )
+    apply_started = threading.Event()
+    release_apply = threading.Event()
+
+    def blocked_failing_apply(keys, counts):
+        apply_started.set()
+        release_apply.wait(30.0)
+        raise RuntimeError("shard worker died mid-apply")
+
+    service._apply = blocked_failing_apply
+    with ServiceThread(service):
+        with StreamingClient.connect(unix_path=sock) as client:
+            client.ingest(np.arange(256, dtype=np.int64))  # acked into the buffer
+            assert apply_started.wait(10.0)
+            # The batch is now in-flight: buffer empty, apply still running.
+            # Pre-fix, snapshot sails through the barrier, queues its save
+            # behind the blocked apply, and reports ok for a snapshot that
+            # is missing the acked batch.
+            threading.Timer(0.3, release_apply.set).start()
+            with pytest.raises(ServiceError, match="ingestion failed"):
+                client.snapshot()
+
+
+def test_boolean_binary_count_is_rejected_not_hung():
+    """Bug 3: {"count": true} must get an error response, not desync framing."""
+    sock = _socket_path()
+    with ServiceThread(StreamingService(CMS_SPEC, unix_path=sock)):
+        # Short socket timeout: pre-fix the server blocks in readexactly(8)
+        # waiting for a phantom payload and this client call times out.
+        with StreamingClient.connect(unix_path=sock, timeout=5.0) as client:
+            frame = protocol.encode_frame(
+                {
+                    "op": "ingest",
+                    "binary": {"count": True, "dtype": "<i8", "with_counts": False},
+                }
+            )
+            with pytest.raises(ServiceError, match="count"):
+                client._request(frame)
+            assert client.ping()  # connection survived
+
+
+def test_boolean_top_k_is_rejected():
+    """Bug 3 (audit): {"k": true} is not a positive integer."""
+    sock = _socket_path()
+    with ServiceThread(StreamingService(CMS_SPEC, unix_path=sock)):
+        with StreamingClient.connect(unix_path=sock) as client:
+            frame = protocol.encode_frame(
+                {"op": "top_k", "k": True, "candidates": [1, 2, 3]}
+            )
+            with pytest.raises(ServiceError, match="positive integer"):
+                client._request(frame)
+
+
+def test_service_thread_stop_after_failed_start_is_a_noop():
+    """Bug 4: stop() after a timed-out start() returns instead of hanging."""
+    service = StreamingService(CMS_SPEC, unix_path=_socket_path())
+    release_startup = threading.Event()
+
+    def stuck_open_session():
+        release_startup.wait(30.0)
+        raise RuntimeError("startup aborted by test")
+
+    service._open_session = stuck_open_session
+    thread = ServiceThread(service)
+    with pytest.raises(RuntimeError, match="failed to start in time"):
+        thread.start(timeout=0.3)
+    # Pre-fix this scheduled service.stop() onto the loop wedged inside
+    # startup and blocked until future.result(timeout=...) raised.
+    thread.stop(timeout=5.0)
+    release_startup.set()
+    thread._thread.join(timeout=10.0)
+    assert not thread._thread.is_alive()
+    service._estimator_executor.shutdown(wait=False)
+
+
+def test_service_thread_stop_before_start_is_a_noop():
+    service = StreamingService(CMS_SPEC, unix_path=_socket_path())
+    thread = ServiceThread(service)
+    thread.stop(timeout=1.0)  # never started: must return immediately
+    service._estimator_executor.shutdown(wait=False)
