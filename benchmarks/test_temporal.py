@@ -1,0 +1,107 @@
+"""Temporal gate: windowed ingestion must stay within 2x of a plain CMS.
+
+The sliding-window ring defers all merge work to query time (updates
+touch only the head pane and set a dirty bit), so batch ingestion through
+the window should cost about the same as ingesting into the underlying
+sketch directly.  The gate is deliberately loose — windowed batch ingest
+must sustain at least 0.5x the plain-CMS rate on the same stream — to
+catch an accidental eager-merge (or per-update pane scan) sneaking into
+the hot path, not to benchmark the hardware.
+
+Also measured, recorded but not gated: query-side overhead (the merged
+cache amortizes the pane merge across queries) and tick cost.  Results
+land in ``benchmarks/results/BENCH_temporal.json``.
+
+Run explicitly (benchmarks are opt-in):
+``PYTHONPATH=src pytest benchmarks/test_temporal.py -s``
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.api import SketchSpec, WindowedSpec, build
+from repro.streams.zipf import ZipfSampler
+
+from conftest import benchmark_scale, save_result
+
+STREAM_LENGTH = 1_000_000
+ZIPF_SUPPORT = 100_000
+CHUNK = 8_192
+CMS = {"kind": "count_min", "total_buckets": 1 << 16, "depth": 2, "seed": 17}
+NUM_PANES = 8
+#: Windowed batch ingest must sustain at least this fraction of the plain
+#: CMS rate on the identical stream.
+GATE_RELATIVE_RATE = 0.5
+
+
+def _zipf_stream(length: int) -> np.ndarray:
+    sampler = ZipfSampler(ZIPF_SUPPORT, exponent=1.0, rng=np.random.default_rng(17))
+    return sampler.sample(length).astype(np.int64)
+
+
+def _ingest_rate(sketch, keys: np.ndarray) -> float:
+    start = time.perf_counter()
+    for begin in range(0, len(keys), CHUNK):
+        sketch.update_batch(keys[begin : begin + CHUNK])
+    return len(keys) / (time.perf_counter() - start)
+
+
+def test_windowed_ingest_keeps_pace_with_plain_cms():
+    length = max(50_000, int(STREAM_LENGTH * benchmark_scale()))
+    keys = _zipf_stream(length)
+    probe = np.unique(keys)[:4_096]
+
+    inner = SketchSpec(CMS["kind"], **{k: v for k, v in CMS.items() if k != "kind"})
+    plain = build(inner)
+    plain_rate = _ingest_rate(plain, keys)
+
+    windowed = build(WindowedSpec(inner, num_panes=NUM_PANES))
+    windowed_rate = _ingest_rate(windowed, keys)
+
+    # query-side: first query pays the pane merge, repeats hit the cache
+    start = time.perf_counter()
+    windowed.estimate_batch(probe)
+    first_query_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    for _ in range(10):
+        windowed.estimate_batch(probe)
+    cached_query_seconds = (time.perf_counter() - start) / 10
+
+    start = time.perf_counter()
+    windowed.tick()
+    tick_seconds = time.perf_counter() - start
+
+    relative = windowed_rate / plain_rate
+    record = {
+        "stream_length": length,
+        "num_panes": NUM_PANES,
+        "plain_cms_elements_per_sec": round(plain_rate),
+        "windowed_elements_per_sec": round(windowed_rate),
+        "relative_rate": round(relative, 3),
+        "gate": f">= {GATE_RELATIVE_RATE}x plain CMS batch ingest",
+        "first_query_seconds": round(first_query_seconds, 6),
+        "cached_query_seconds": round(cached_query_seconds, 6),
+        "tick_seconds": round(tick_seconds, 6),
+    }
+    results_dir = Path(__file__).parent / "results"
+    results_dir.mkdir(exist_ok=True)
+    (results_dir / "BENCH_temporal.json").write_text(
+        json.dumps(record, indent=2) + "\n", encoding="utf-8"
+    )
+    lines = [
+        f"Windowed ingestion ({NUM_PANES}-pane ring over Count-Min)",
+        f"  stream length     : {length:,} elements",
+        f"  plain CMS         : {plain_rate:>12,.0f} elements/sec",
+        f"  windowed          : {windowed_rate:>12,.0f} elements/sec",
+        f"  relative          : {relative:>12,.2f}x (gate: >= {GATE_RELATIVE_RATE}x)",
+        f"  first query       : {first_query_seconds * 1e3:>12,.2f} ms (pays the pane merge)",
+        f"  cached query      : {cached_query_seconds * 1e3:>12,.2f} ms",
+        f"  tick              : {tick_seconds * 1e3:>12,.2f} ms",
+    ]
+    save_result("temporal_throughput", "\n".join(lines))
+    assert relative >= GATE_RELATIVE_RATE

@@ -17,6 +17,9 @@ The library is organized as:
 * :mod:`repro.core` — the opt-hash estimator assembled from the above;
 * :mod:`repro.api` — the declarative layer: estimator specs, the build
   registry, and the Session facade (ingest / estimate / merge / snapshot);
+* :mod:`repro.temporal` — sliding-window / time-decayed estimators over any
+  mergeable base, drift detection for the learned scheme, and online
+  re-optimization (retrain + hot-swap into a live session or service);
 * :mod:`repro.evaluation` — error metrics and the runners regenerating every
   figure and table of the paper's evaluation.
 
@@ -50,10 +53,17 @@ from repro.api import (
     ShardedSpec,
     SketchSpec,
     SpecError,
+    WindowedSpec,
     build,
     load,
     open,
     restore,
+)
+from repro.temporal import (
+    DecayedSketch,
+    DriftDetector,
+    ReOptimizer,
+    SlidingWindowSketch,
 )
 from repro.optimize import (
     BucketAssignment,
@@ -81,7 +91,12 @@ __all__ = [
     "SketchSpec",
     "OptHashSpec",
     "ShardedSpec",
+    "WindowedSpec",
     "Session",
+    "SlidingWindowSketch",
+    "DecayedSketch",
+    "DriftDetector",
+    "ReOptimizer",
     "build",
     "load",
     "open",

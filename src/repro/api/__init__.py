@@ -31,6 +31,7 @@ from repro.api.specs import (
     ShardedSpec,
     SketchSpec,
     SpecError,
+    WindowedSpec,
     iter_spec_grid,
     spec_from_dict,
 )
@@ -52,6 +53,7 @@ __all__ = [
     "SketchSpec",
     "OptHashSpec",
     "ShardedSpec",
+    "WindowedSpec",
     "spec_from_dict",
     "iter_spec_grid",
     "register_estimator",

@@ -31,6 +31,7 @@ from repro.api.specs import (
     ShardedSpec,
     SketchSpec,
     SpecError,
+    WindowedSpec,
     spec_from_dict,
 )
 
@@ -156,6 +157,7 @@ def _ensure_registered() -> None:
         return
     import repro.sketches  # noqa: F401  (registers the sketch kinds)
     import repro.core  # noqa: F401  (registers opt-hash + sharded)
+    import repro.temporal  # noqa: F401  (registers sliding_window + decayed)
 
     _CORE_MODULES_LOADED = True
 
@@ -317,8 +319,12 @@ def build(
     spec = spec_from_dict(spec)
     spec.validate()
     entry = _entry(spec.kind)
+    inner = getattr(spec, "inner", None)
+    if isinstance(inner, WindowedSpec):
+        inner = inner.inner  # sharded-over-windowed: the training kind is inside
     needs_training = entry.requires_training or (
-        isinstance(spec, ShardedSpec) and _entry(spec.inner.kind).requires_training
+        isinstance(spec, (ShardedSpec, WindowedSpec))
+        and _entry(inner.kind).requires_training
     )
     if needs_training and prefix is None:
         raise SpecError(

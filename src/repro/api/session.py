@@ -289,6 +289,31 @@ class Session:
             os.replace(tmp_path, path)
         return len(blob)
 
+    def hot_swap(self, spec, estimator, *, close_old: bool = True):
+        """Replace the live estimator (and its spec) in place; returns the old.
+
+        This is the session half of online re-optimization (see
+        :mod:`repro.temporal.reopt`): a freshly trained estimator takes
+        over while the session object — and every reference callers hold
+        to it — stays valid.  The new estimator inherits the session's
+        instrumentation.  With ``close_old=False`` the previous estimator
+        is returned still-live (not closed) so the caller can audit or
+        archive it; otherwise its pools/storage are released first.
+        """
+        spec = spec_from_dict(spec)
+        old = self._estimator
+        self._spec = spec
+        self._estimator = estimator
+        if self._metrics is not None:
+            cascade = getattr(estimator, "instrument", None)
+            if cascade is not None:
+                cascade(self._metrics)
+        if close_old:
+            close = getattr(old, "close", None)
+            if close is not None:
+                close()
+        return old
+
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------

@@ -12,7 +12,10 @@ Three spec shapes cover every estimator in the library:
   ``adaptive_opt_hash``), carrying the full learning-phase configuration
   (bucket count, λ, solver and classifier *by name*, tuning, sampling);
 * :class:`ShardedSpec` — a sharded estimator wrapping any inner spec with a
-  shard layout (count, partition mode, executor, query mode).
+  shard layout (count, partition mode, executor, query mode);
+* :class:`WindowedSpec` — a temporal wrapper (``sliding_window`` /
+  ``decayed``) putting any mergeable inner spec behind a ring of rotating
+  panes (see :mod:`repro.temporal`).
 
 Every spec round-trips losslessly through ``to_dict()`` / ``from_dict()``:
 the dict is JSON-serializable (``json.dumps(spec.to_dict())`` always works),
@@ -34,6 +37,7 @@ __all__ = [
     "SketchSpec",
     "OptHashSpec",
     "ShardedSpec",
+    "WindowedSpec",
     "spec_from_dict",
     "iter_spec_grid",
 ]
@@ -350,6 +354,14 @@ class ShardedSpec(EstimatorSpec):
             )
         if self.query_mode == "fanout" and self.mode != "key-partition":
             raise SpecError("fanout queries require key-partition mode")
+        # The training-kind restrictions below must see through a temporal
+        # wrapper: a windowed spec over opt-hash still runs a learning phase
+        # inside each worker-side build.
+        effective_inner_kind = (
+            self.inner.inner.kind
+            if isinstance(self.inner, WindowedSpec)
+            else self.inner.kind
+        )
         if self.transport not in self.TRANSPORTS:
             raise SpecError(
                 f"transport must be one of {self.TRANSPORTS}, got "
@@ -387,7 +399,7 @@ class ShardedSpec(EstimatorSpec):
                     "mmap-backed shards cannot use the shm transport; pick "
                     "storage='shm' or the serialization transport"
                 )
-        if self.executor == "process" and kind_requires_training(self.inner.kind):
+        if self.executor == "process" and kind_requires_training(effective_inner_kind):
             # Fail before build: trained opt-hash shards have no binary form
             # to ship across the process boundary, and discovering that only
             # after the (expensive) learning phase would waste the run.
@@ -438,6 +450,121 @@ class ShardedSpec(EstimatorSpec):
         return cls(spec_from_dict(inner), **data)
 
 
+class WindowedSpec(EstimatorSpec):
+    """Spec of a temporal (sliding-window / time-decayed) estimator.
+
+    Wraps any mergeable inner spec in a ring of ``num_panes`` sub-sketches
+    (see :mod:`repro.temporal.windowed`).  ``decay=None`` describes a
+    :class:`~repro.temporal.windowed.SlidingWindowSketch` (kind
+    ``"sliding_window"``); a decay factor in ``(0, 1]`` describes a
+    :class:`~repro.temporal.windowed.DecayedSketch` (kind ``"decayed"``).
+    ``pane_items=None`` rotates only on explicit ``tick()`` calls (the
+    wall-clock mode the streaming service drives); a positive value rotates
+    every ``pane_items`` weighted arrivals.
+
+    The inner spec must construct deterministically (an explicit seed for
+    every randomized estimator): panes are built independently from it at
+    every rotation and must stay merge-compatible.
+    """
+
+    KINDS = ("sliding_window", "decayed")
+
+    def __init__(
+        self,
+        inner: EstimatorSpec,
+        num_panes: int = 8,
+        pane_items: Optional[int] = None,
+        decay: Optional[float] = None,
+    ) -> None:
+        if not isinstance(inner, EstimatorSpec):
+            raise SpecError(
+                f"inner must be an EstimatorSpec, got {type(inner).__name__} "
+                "(use spec_from_dict to lift a plain dict)"
+            )
+        if isinstance(inner, (ShardedSpec, WindowedSpec)):
+            raise SpecError(
+                "windowed specs wrap a plain estimator spec; nest the "
+                "windowed spec *inside* a sharded spec instead of the "
+                "other way around"
+            )
+        self.inner = inner
+        self.num_panes = num_panes
+        self.pane_items = pane_items
+        self.decay = decay
+        self.validate()
+
+    @property
+    def kind(self) -> str:
+        return "decayed" if self.decay is not None else "sliding_window"
+
+    @property
+    def seed(self) -> Optional[int]:
+        """The inner spec's seed (the wrapper itself draws no randomness)."""
+        seed = getattr(self.inner, "seed", None)
+        if seed is None and isinstance(self.inner, SketchSpec):
+            seed = self.inner.params.get("seed")
+        return seed
+
+    def validate(self) -> "WindowedSpec":
+        if not isinstance(self.num_panes, int) or self.num_panes < 2:
+            raise SpecError(
+                f"num_panes must be an int >= 2, got {self.num_panes!r}"
+            )
+        if self.pane_items is not None and (
+            not isinstance(self.pane_items, int) or self.pane_items <= 0
+        ):
+            raise SpecError(
+                f"pane_items must be a positive int or None, got "
+                f"{self.pane_items!r}"
+            )
+        if self.decay is not None:
+            if not isinstance(self.decay, (int, float)) or not (
+                0.0 < float(self.decay) <= 1.0
+            ):
+                raise SpecError(
+                    f"decay must lie in (0, 1], got {self.decay!r}"
+                )
+            self.decay = float(self.decay)
+        self.inner.validate()
+        from repro.api.registry import check_deterministic_for_sharding
+
+        # Same reproducibility requirement as sharding: every rotation
+        # rebuilds a pane from the spec, and all panes must merge.
+        check_deterministic_for_sharding(self.inner)
+        return self
+
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {
+            "kind": self.kind,
+            "inner": self.inner.to_dict(),
+            "num_panes": self.num_panes,
+        }
+        if self.pane_items is not None:
+            data["pane_items"] = self.pane_items
+        if self.decay is not None:
+            data["decay"] = self.decay
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "WindowedSpec":
+        data = dict(data)
+        kind = data.pop("kind", None)
+        if kind not in cls.KINDS:
+            raise SpecError(f"not a windowed spec dict (kind={kind!r})")
+        inner = data.pop("inner", None)
+        if not isinstance(inner, Mapping):
+            raise SpecError("windowed spec dict is missing its 'inner' spec dict")
+        unknown = sorted(set(data) - {"num_panes", "pane_items", "decay"})
+        if unknown:
+            raise SpecError(f"unknown windowed parameter(s) {unknown}")
+        decay = data.get("decay")
+        if kind == "decayed" and decay is None:
+            raise SpecError("kind 'decayed' requires a 'decay' factor")
+        if kind == "sliding_window" and decay is not None:
+            raise SpecError("kind 'sliding_window' must not carry a 'decay'")
+        return cls(spec_from_dict(inner), **data)
+
+
 def spec_from_dict(data: Mapping[str, Any]) -> EstimatorSpec:
     """Rebuild any spec from its :meth:`EstimatorSpec.to_dict` form.
 
@@ -457,6 +584,8 @@ def spec_from_dict(data: Mapping[str, Any]) -> EstimatorSpec:
         raise SpecError(f"spec dict is missing a string 'kind' entry: {data!r}")
     if kind == "sharded":
         return ShardedSpec.from_dict(data)
+    if kind in WindowedSpec.KINDS:
+        return WindowedSpec.from_dict(data)
     if kind in ("opt_hash", "adaptive_opt_hash"):
         return OptHashSpec.from_dict(data)
     return SketchSpec.from_dict(data)

@@ -146,6 +146,15 @@ class StreamingService:
         ``port=0`` for an ephemeral port, read back from ``endpoint``).
     flush_interval:
         Micro-batch coalescing deadline in seconds.
+    rotation_interval:
+        Wall-clock pane rotation period in seconds for temporal estimators
+        (``sliding_window`` / ``decayed`` specs built with
+        ``pane_items=None``).  The tick rides the pump's existing flush
+        timer — no extra task or polling loop — and runs on the estimator
+        thread, so it always lands between micro-batches.  Monotonic: a
+        pump stalled past several deadlines catches up with multiple
+        ticks (capped at the ring size; beyond that every pane is already
+        blank).  Requires an estimator exposing ``tick()``.
     max_buffered_keys:
         Backpressure bound on arrivals accepted but not yet applied.
     metrics_host / metrics_port:
@@ -173,6 +182,7 @@ class StreamingService:
         host: Optional[str] = None,
         port: Optional[int] = None,
         flush_interval: float = DEFAULT_FLUSH_INTERVAL,
+        rotation_interval: Optional[float] = None,
         max_buffered_keys: int = DEFAULT_MAX_BUFFERED_KEYS,
         metrics_host: Optional[str] = None,
         metrics_port: Optional[int] = None,
@@ -197,6 +207,13 @@ class StreamingService:
         self._host = host
         self._port = port
         self.flush_interval = float(flush_interval)
+        if rotation_interval is not None and not rotation_interval > 0:
+            raise ValueError(
+                f"rotation_interval must be positive, got {rotation_interval!r}"
+            )
+        self.rotation_interval = (
+            float(rotation_interval) if rotation_interval is not None else None
+        )
         self.max_buffered_keys = int(max_buffered_keys)
         self.restored = False
 
@@ -226,6 +243,10 @@ class StreamingService:
         self._applied_keys = 0
         self._applied_batches = 0
         self._connections = 0
+        self._rotations = 0  # service-driven ticks (count-based rotations live in the estimator)
+        self._rotation_stamps: List[float] = []  # monotonic times of recent ticks
+        self._next_rotation: Optional[float] = None
+        self._hot_swaps = 0
         #: True from the moment the pump takes a micro-batch out of the
         #: buffer until its apply has completed — the barrier in
         #: :meth:`_wait_applied` must cover this window, or a snapshot can
@@ -298,6 +319,28 @@ class StreamingService:
         self._m_uptime = metrics.gauge(
             "repro_service_uptime_seconds", "Seconds since service start."
         )
+        self._m_rotations = metrics.counter(
+            "repro_service_window_rotations_total",
+            "Pane rotations driven by the service's rotation_interval timer.",
+        )
+        self._m_hot_swaps = metrics.counter(
+            "repro_service_hot_swaps_total",
+            "Live estimator replacements applied between micro-batches.",
+        )
+        self._m_window_head_fill = metrics.gauge(
+            "repro_service_window_head_fill",
+            "Arrivals absorbed by the head pane since its last rotation.",
+        )
+        self._m_window_pane_arrivals = metrics.gauge(
+            "repro_service_window_pane_arrivals",
+            "Arrivals held per live pane, youngest first.",
+            labels=("age",),
+        )
+        self._m_window_pane_age = metrics.gauge(
+            "repro_service_window_pane_age_seconds",
+            "Seconds each live pane has been filling (tick-driven services).",
+            labels=("age",),
+        )
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -344,6 +387,18 @@ class StreamingService:
         warm_up = getattr(self.session.estimator, "warm_up", None)
         if warm_up is not None:
             await self._loop.run_in_executor(self._estimator_executor, warm_up)
+        if self.rotation_interval is not None:
+            if getattr(self.session.estimator, "tick", None) is None:
+                kind = self.session.kind
+                await self._loop.run_in_executor(
+                    self._estimator_executor, self.session.close
+                )
+                self.session = None
+                raise RuntimeError(
+                    f"rotation_interval requires an estimator with tick() — "
+                    f"kind {kind!r} has none (use a sliding_window/decayed spec)"
+                )
+            self._next_rotation = time.monotonic() + self.rotation_interval
         # The StreamReader's default 64 KiB limit would contradict
         # MAX_FRAME_BYTES: readline() on any larger JSON frame raises
         # before the handler ever sees it.  The +1 leaves room for the
@@ -472,6 +527,80 @@ class StreamingService:
         """Estimator-thread body: one coalesced update_batch call."""
         self.session.estimator.update_batch(keys, counts)
 
+    def _tick(self, ticks: int) -> None:
+        """Estimator-thread body: advance the pane ring ``ticks`` times."""
+        tick = self.session.estimator.tick
+        for _ in range(ticks):
+            tick()
+
+    def _window_state(self) -> Optional[Dict[str, Any]]:
+        """The estimator's pane-ring state, or ``None`` for flat kinds."""
+        if self.session is None:
+            return None
+        state = getattr(self.session.estimator, "window_state", None)
+        return state() if state is not None else None
+
+    def _pane_ages(self, now: float, num_panes: int) -> List[float]:
+        """Seconds each live pane has been filling, youngest first.
+
+        Anchored to this service's tick stamps: the pane of age ``a``
+        became the head at the ``(a+1)``-th most recent tick; panes that
+        pre-date every recorded tick fall back to the service start.
+        Only meaningful for tick-driven windows — count-based rotations
+        happen inside the estimator and leave no timestamp here.
+        """
+        stamps = self._rotation_stamps
+        ages = []
+        for age in range(num_panes):
+            if age < len(stamps):
+                anchor = stamps[-(age + 1)]
+            else:
+                anchor = self._started_at
+            ages.append(round(now - anchor, 3))
+        return ages
+
+    async def _maybe_rotate(self) -> bool:
+        """Rotate the pane ring if the wall-clock deadline has passed.
+
+        Runs on the estimator thread, so ticks serialize between
+        micro-batches.  Monotonic catch-up: a pump stalled through ``n``
+        deadlines issues ``min(n, num_panes)`` ticks — past the ring size
+        every pane is already blank, so further ticks are redundant.
+        Returns ``False`` when a tick raised (the service is parked).
+        """
+        if (
+            self._next_rotation is None
+            or self._failure is not None
+            or self._stopping
+        ):
+            return True
+        now = time.monotonic()
+        if now < self._next_rotation:
+            return True
+        due = 1 + int((now - self._next_rotation) // self.rotation_interval)
+        state = self._window_state()
+        num_panes = int(state["num_panes"]) if state else due
+        ticks = min(due, num_panes)
+        try:
+            await self._loop.run_in_executor(
+                self._estimator_executor, self._tick, ticks
+            )
+        except BaseException as error:  # noqa: BLE001 — park, don't die
+            self._fail(f"pane rotation failed: {error}")
+            return False
+        self._rotations += ticks
+        self._m_rotations.inc(ticks)
+        self._rotation_stamps.extend([now] * ticks)
+        del self._rotation_stamps[:-num_panes]
+        # Advance by whole periods from the previous deadline, not from
+        # `now`: the schedule stays phase-locked instead of drifting by
+        # the pump's scheduling latency every tick.
+        self._next_rotation += due * self.rotation_interval
+        self.log.info(
+            "window_rotated", ticks=ticks, total_rotations=self._rotations
+        )
+        return True
+
     async def _pump(self) -> None:
         """Single consumer of the ingest buffer.
 
@@ -484,12 +613,23 @@ class StreamingService:
         """
         assert self._loop is not None
         while True:
+            if not await self._maybe_rotate():
+                break  # rotation failed: park, same as a failed apply
             if not self._buffer.parts:
                 if self._stopping:
                     break
                 self._data_event.clear()
                 if not self._buffer.parts and not self._stopping:
-                    await self._data_event.wait()
+                    if self._next_rotation is None:
+                        await self._data_event.wait()
+                    else:
+                        # The idle wait doubles as the rotation timer: wake
+                        # at the pane deadline instead of adding a second
+                        # polling task.  (Under load the per-iteration
+                        # _maybe_rotate check above covers the deadline.)
+                        delay = max(0.0, self._next_rotation - time.monotonic())
+                        with contextlib.suppress(asyncio.TimeoutError):
+                            await asyncio.wait_for(self._data_event.wait(), delay)
                 continue
             if self._buffer.total_keys < WORKER_CHUNK_SIZE and not self._stopping:
                 self._chunk_event.clear()
@@ -556,6 +696,52 @@ class StreamingService:
                 await self._applied_event.wait()
         if self._failure is not None:
             raise RuntimeError(self._failure)
+
+    # ------------------------------------------------------------------
+    # live re-optimization
+    # ------------------------------------------------------------------
+    async def hot_swap(self, spec, estimator, *, close_old: bool = True):
+        """Replace the live estimator between micro-batches.
+
+        The swap runs on the single estimator thread, so it serializes
+        behind any in-flight ``_apply`` — no micro-batch is ever split
+        across the old and new estimator.  Buffered-but-unapplied
+        arrivals land in the new estimator (acked keys are applied, never
+        lost; whether a given key counts toward the old or new tables
+        depends only on which side of the swap its micro-batch ran).
+
+        This is the ``swap(spec, estimator, close_old=)`` protocol that
+        :meth:`repro.temporal.ReOptimizer.reoptimize` targets.  Returns
+        the old estimator (closed when ``close_old``).
+        """
+        if self.session is None:
+            raise RuntimeError("service not started")
+        if self._failure is not None:
+            raise RuntimeError(self._failure)
+        if self._next_rotation is not None and getattr(estimator, "tick", None) is None:
+            raise ValueError(
+                "this service rotates panes on a timer; the replacement "
+                "estimator must expose tick()"
+            )
+        warm_up = getattr(estimator, "warm_up", None)
+        if warm_up is not None:
+            # Warm the incoming estimator on the default executor so the
+            # live one keeps serving while pools spin up.
+            await self._loop.run_in_executor(None, warm_up)
+
+        def _swap():
+            return self.session.hot_swap(spec, estimator, close_old=close_old)
+
+        old = await self._loop.run_in_executor(self._estimator_executor, _swap)
+        self._hot_swaps += 1
+        self._m_hot_swaps.inc()
+        self.log.info(
+            "estimator_hot_swapped",
+            kind=self.session.kind,
+            close_old=close_old,
+            hot_swaps=self._hot_swaps,
+        )
+        return old
 
     # ------------------------------------------------------------------
     # request handling
@@ -800,7 +986,7 @@ class StreamingService:
         }
 
     def _op_stats(self) -> Dict[str, Any]:
-        return {
+        stats = {
             "ok": True,
             "op": "stats",
             "kind": self.session.kind,
@@ -812,8 +998,24 @@ class StreamingService:
             "applied_keys": self._applied_keys,
             "applied_batches": self._applied_batches,
             "buffered_keys": self._buffer.total_keys,
+            "hot_swaps": self._hot_swaps,
             "failure": self._failure,
         }
+        window = self._window_state()
+        if window is not None:
+            now = time.monotonic()
+            window["rotation_interval"] = self.rotation_interval
+            window["service_rotations"] = self._rotations
+            if self.rotation_interval is not None:
+                window["pane_age_seconds"] = self._pane_ages(
+                    now, int(window["num_panes"])
+                )
+                if self._next_rotation is not None:
+                    window["next_rotation_seconds"] = round(
+                        max(0.0, self._next_rotation - now), 3
+                    )
+        stats["window"] = window
+        return stats
 
     def _refresh_gauges(self) -> None:
         """Bring point-in-time gauges up to date before an exposition."""
@@ -821,6 +1023,19 @@ class StreamingService:
         self._m_buffered_keys.set(self._buffer.total_keys)
         self._m_connections.set(self._connections)
         self._m_failure.set(0 if self._failure is None else 1)
+        window = self._window_state()
+        if window is not None:
+            self._m_window_head_fill.set(int(window["head_fill"]))
+            now = time.monotonic()
+            ages = (
+                self._pane_ages(now, int(window["num_panes"]))
+                if self.rotation_interval is not None
+                else None
+            )
+            for age, arrivals in enumerate(window["pane_arrivals"]):
+                self._m_window_pane_arrivals.labels(age=str(age)).set(int(arrivals))
+                if ages is not None:
+                    self._m_window_pane_age.labels(age=str(age)).set(ages[age])
         if self.session is not None:
             sync = getattr(self.session.estimator, "sync_metrics", None)
             if sync is not None:
@@ -963,6 +1178,18 @@ class ServiceThread:
             # the thread is already on its way out; just join it.
             pass
         self._thread.join(timeout=timeout)
+
+    def hot_swap(self, spec, estimator, *, close_old: bool = True, timeout: float = 60.0):
+        """Thread-safe :meth:`StreamingService.hot_swap` — the ``swap``
+        target :class:`repro.temporal.ReOptimizer` calls from its
+        background retraining thread.  Returns the old estimator."""
+        if self._loop is None or not self._started.is_set():
+            raise RuntimeError("service not started")
+        future = asyncio.run_coroutine_threadsafe(
+            self.service.hot_swap(spec, estimator, close_old=close_old),
+            self._loop,
+        )
+        return future.result(timeout=timeout)
 
     def __enter__(self) -> "ServiceThread":
         return self.start()

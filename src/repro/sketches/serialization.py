@@ -178,6 +178,7 @@ def _import_default_registrations() -> None:
     import repro.sketches  # noqa: F401  (sketch + hash tags)
     import repro.core.sharding  # noqa: F401  ("sharded")
     import repro.api.session  # noqa: F401  ("session")
+    import repro.temporal  # noqa: F401  ("sliding_window" + "decayed")
 
 
 def loads(data: bytes, expect_kind: str = None, storage: str = None,

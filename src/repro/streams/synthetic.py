@@ -25,7 +25,12 @@ import numpy as np
 
 from repro.streams.stream import Element, Stream, StreamPrefix
 
-__all__ = ["SyntheticConfig", "SyntheticGenerator"]
+__all__ = [
+    "SyntheticConfig",
+    "SyntheticGenerator",
+    "DriftingZipfConfig",
+    "DriftingStreamGenerator",
+]
 
 
 @dataclass
@@ -200,3 +205,175 @@ class SyntheticGenerator:
         prefix = self.generate_prefix(prefix_length)
         stream = self.generate_stream(stream_multiplier * len(prefix))
         return prefix, stream
+
+
+@dataclass
+class DriftingZipfConfig:
+    """Configuration of the piecewise-Zipf drifting workload.
+
+    The stream is a sequence of ``num_segments`` segments of
+    ``segment_length`` arrivals each.  Within a segment, arrivals are
+    i.i.d. Zipf(``alpha``) over the key universe through a rank-to-key
+    permutation; at every change-point (segment boundary) that permutation
+    rotates by ``rotation`` positions, so the heavy hitters migrate to
+    keys that were previously cold.  ``rotation`` is the drift knob: 0
+    reduces to a stationary Zipf stream, ``universe_size // 2`` makes
+    consecutive segments nearly disjoint in their heavy keys.
+
+    Each element's features encode its *initial* Zipf rank (log-rank plus
+    Gaussian jitter).  Features are per-element attributes and therefore
+    do not move when the permutation rotates — which is exactly what makes
+    this workload ground truth for drift detection: a scheme trained on
+    segment 0 keeps routing by stale rank information.
+    """
+
+    universe_size: int = 1024
+    alpha: float = 1.1
+    segment_length: int = 10_000
+    num_segments: int = 4
+    rotation: Optional[int] = None
+    feature_dim: int = 2
+    feature_noise: float = 0.1
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.universe_size <= 1:
+            raise ValueError("universe_size must exceed 1")
+        if self.alpha <= 0:
+            raise ValueError("alpha must be positive")
+        if self.segment_length <= 0:
+            raise ValueError("segment_length must be positive")
+        if self.num_segments <= 0:
+            raise ValueError("num_segments must be positive")
+        if self.rotation is not None and not (
+            0 <= self.rotation < self.universe_size
+        ):
+            raise ValueError(
+                "rotation must lie in [0, universe_size) or be None"
+            )
+        if self.feature_dim <= 0:
+            raise ValueError("feature_dim must be positive")
+        if self.feature_noise < 0:
+            raise ValueError("feature_noise must be non-negative")
+
+    @property
+    def effective_rotation(self) -> int:
+        """The per-change-point permutation shift (default: a quarter turn)."""
+        if self.rotation is not None:
+            return self.rotation
+        return max(1, self.universe_size // 4)
+
+    @property
+    def total_length(self) -> int:
+        return self.segment_length * self.num_segments
+
+    @property
+    def change_points(self) -> List[int]:
+        """Arrival indices at which the key permutation rotates."""
+        return [
+            self.segment_length * segment
+            for segment in range(1, self.num_segments)
+        ]
+
+
+class DriftingStreamGenerator:
+    """Piecewise-Zipf streams with rotating key permutations (ground-truth drift).
+
+    >>> generator = DriftingStreamGenerator(DriftingZipfConfig(seed=0))
+    >>> prefix = generator.generate_prefix(5_000)   # segment-0 distribution
+    >>> stream = generator.generate_stream()        # all segments, in order
+    >>> generator.key_probabilities(0)              # exact per-key P, segment 0
+    """
+
+    def __init__(self, config: DriftingZipfConfig) -> None:
+        self.config = config
+        self._rng = np.random.default_rng(config.seed)
+        size = config.universe_size
+        ranks = np.arange(1, size + 1, dtype=np.float64)
+        weights = ranks ** (-config.alpha)
+        self._rank_probabilities = weights / weights.sum()
+        # rank -> key for segment 0; segment s rotates this by s * rotation.
+        self._base_permutation = self._rng.permutation(size)
+        rank_of_key = np.empty(size, dtype=np.int64)
+        rank_of_key[self._base_permutation] = np.arange(size)
+        jitter = self._rng.normal(
+            0.0, config.feature_noise, size=(size, config.feature_dim)
+        )
+        log_rank = np.log1p(rank_of_key).reshape(size, 1)
+        features = jitter + log_rank
+        self._elements = [
+            Element.with_features(int(key), features[key])
+            for key in range(size)
+        ]
+
+    # ------------------------------------------------------------------
+    # ground truth
+    # ------------------------------------------------------------------
+    def segment_permutation(self, segment: int) -> np.ndarray:
+        """The rank-to-key permutation in force during ``segment``."""
+        shift = (segment * self.config.effective_rotation) % (
+            self.config.universe_size
+        )
+        return np.roll(self._base_permutation, shift)
+
+    def key_probabilities(self, segment: int) -> np.ndarray:
+        """Exact per-key arrival probabilities during ``segment``."""
+        probabilities = np.zeros(self.config.universe_size)
+        probabilities[self.segment_permutation(segment)] = (
+            self._rank_probabilities
+        )
+        return probabilities
+
+    def segment_of_arrival(self, index: int) -> int:
+        """Which segment the ``index``-th stream arrival belongs to."""
+        if not 0 <= index < self.config.total_length:
+            raise IndexError(
+                f"arrival index must lie in [0, {self.config.total_length})"
+            )
+        return index // self.config.segment_length
+
+    @property
+    def universe(self) -> List[Element]:
+        return list(self._elements)
+
+    # ------------------------------------------------------------------
+    # stream generation
+    # ------------------------------------------------------------------
+    def _sample_segment(self, segment: int, length: int) -> List[Element]:
+        permutation = self.segment_permutation(segment)
+        rank_draws = self._rng.choice(
+            self.config.universe_size, size=length, p=self._rank_probabilities
+        )
+        keys = permutation[rank_draws]
+        return [self._elements[key] for key in keys]
+
+    def generate_prefix(self, length: Optional[int] = None) -> StreamPrefix:
+        """An observed prefix drawn from the segment-0 distribution."""
+        if length is None:
+            length = self.config.segment_length
+        return StreamPrefix(arrivals=self._sample_segment(0, length))
+
+    def generate_segment(
+        self, segment: int, length: Optional[int] = None
+    ) -> Stream:
+        """One segment's worth of arrivals under that segment's permutation."""
+        if not 0 <= segment < self.config.num_segments:
+            raise IndexError(
+                f"segment must lie in [0, {self.config.num_segments})"
+            )
+        if length is None:
+            length = self.config.segment_length
+        return Stream(arrivals=self._sample_segment(segment, length))
+
+    def generate_stream(self) -> Stream:
+        """The full drifting stream: every segment, change-points in order."""
+        arrivals: List[Element] = []
+        for segment in range(self.config.num_segments):
+            arrivals.extend(
+                self._sample_segment(segment, self.config.segment_length)
+            )
+        return Stream(arrivals=arrivals)
+
+    def generate_prefix_and_stream(self, prefix_length: Optional[int] = None):
+        """``(S0, S)`` where S0 is pre-drift and S crosses every change-point."""
+        return self.generate_prefix(prefix_length), self.generate_stream()

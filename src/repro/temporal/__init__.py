@@ -1,0 +1,32 @@
+"""Temporal estimators: sliding windows, exponential decay, drift, reopt.
+
+Importing this package registers the ``"sliding_window"`` and
+``"decayed"`` estimator kinds (described by
+:class:`~repro.api.specs.WindowedSpec`) in the shared build/loads name
+space; :mod:`repro.api.registry` and
+:mod:`repro.sketches.serialization` both import it lazily for exactly
+that side effect.
+"""
+
+from repro.temporal.drift import BucketErrorProfile, DriftDetector, DriftSignal
+from repro.temporal.reopt import (
+    BackgroundReOptimizer,
+    ReOptimizationResult,
+    ReOptimizer,
+    WeightedPrefix,
+    prefix_from_counts,
+)
+from repro.temporal.windowed import DecayedSketch, SlidingWindowSketch
+
+__all__ = [
+    "SlidingWindowSketch",
+    "DecayedSketch",
+    "BucketErrorProfile",
+    "DriftDetector",
+    "DriftSignal",
+    "WeightedPrefix",
+    "prefix_from_counts",
+    "ReOptimizer",
+    "ReOptimizationResult",
+    "BackgroundReOptimizer",
+]

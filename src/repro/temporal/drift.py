@@ -1,0 +1,230 @@
+"""Drift detection for a learned hashing scheme.
+
+The opt-hash estimator's error guarantee rests on an assumption the paper
+never has to defend: the frequency profile the scheme was trained on keeps
+describing the stream.  Under drift that breaks in two distinguishable
+ways, and this module scores both:
+
+* **mass shift** — traffic migrates between buckets, so the per-bucket
+  share of total mass moves away from the training profile (measured as
+  total-variation distance between the two share vectors);
+* **error growth** — keys *inside* a bucket stop having similar
+  frequencies, so the bucket-average estimate degrades (measured as the
+  within-bucket relative MAE, ``sum_b sum_{k in b} |f_k - mean_b| /
+  sum_k f_k`` — exactly the scale-free form of the objective the solver
+  minimized at training time).
+
+Both statistics are scale-free, so a profile built from prefix counts is
+comparable with one built from a recent pane regardless of volume.  The
+:class:`DriftDetector` accumulates recent observations (typically one
+window pane's worth — call :meth:`~DriftDetector.reset` on rotation),
+scores them against the training reference and raises a
+:class:`DriftSignal` past a threshold; :mod:`repro.temporal.reopt` turns
+that signal into a retrain + hot-swap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Optional
+
+import numpy as np
+
+from repro.sketches.base import as_key_batch
+
+__all__ = ["BucketErrorProfile", "DriftDetector", "DriftSignal"]
+
+
+@dataclass(frozen=True)
+class BucketErrorProfile:
+    """Scale-free summary of how a frequency profile sits in the buckets.
+
+    ``mass_share[b]`` is the fraction of total mass routed to bucket ``b``;
+    ``relative_mae`` is the within-bucket mean absolute deviation summed
+    over all keys, divided by the total mass.
+    """
+
+    num_buckets: int
+    mass_share: np.ndarray
+    relative_mae: float
+    total_mass: float
+    num_keys: int
+
+    @classmethod
+    def from_frequencies(cls, scheme, keys, frequencies) -> "BucketErrorProfile":
+        """Profile an aligned ``(keys, frequencies)`` pair under ``scheme``.
+
+        Keys absent from the exact hash table route through the scheme's
+        classifier, exactly as live queries would.
+        """
+        keys = list(keys)
+        frequencies = np.asarray(frequencies, dtype=np.float64)
+        if len(keys) != len(frequencies):
+            raise ValueError("frequencies must align one-to-one with keys")
+        num_buckets = scheme.num_buckets
+        if len(keys) == 0:
+            return cls(num_buckets, np.zeros(num_buckets), 0.0, 0.0, 0)
+        buckets = scheme.buckets_batch(keys)
+        totals = np.zeros(num_buckets)
+        counts = np.zeros(num_buckets)
+        np.add.at(totals, buckets, frequencies)
+        np.add.at(counts, buckets, 1.0)
+        total_mass = float(totals.sum())
+        means = np.divide(
+            totals, counts, out=np.zeros_like(totals), where=counts != 0
+        )
+        deviation = float(np.abs(frequencies - means[buckets]).sum())
+        share = totals / total_mass if total_mass > 0 else np.zeros(num_buckets)
+        relative_mae = deviation / total_mass if total_mass > 0 else 0.0
+        return cls(num_buckets, share, relative_mae, total_mass, len(keys))
+
+    @classmethod
+    def from_training(cls, training) -> "BucketErrorProfile":
+        """Profile a :class:`~repro.core.pipeline.TrainingResult`."""
+        return cls.from_frequencies(
+            training.scheme, training.stored_keys, training.stored_frequencies
+        )
+
+    @classmethod
+    def from_counts(cls, scheme, counts: Dict[Hashable, float]) -> "BucketErrorProfile":
+        """Profile an observed ``key -> count`` mapping (e.g. one pane)."""
+        keys = list(counts)
+        frequencies = np.fromiter(
+            (counts[key] for key in keys), dtype=np.float64, count=len(keys)
+        )
+        return cls.from_frequencies(scheme, keys, frequencies)
+
+
+@dataclass(frozen=True)
+class DriftSignal:
+    """One drift check: the score, its decomposition, and the verdict.
+
+    ``score = mass_shift + error_growth`` where ``mass_shift`` is the
+    total-variation distance between bucket mass shares (in ``[0, 1]``)
+    and ``error_growth`` is the increase (never decrease — an improving
+    profile is not drift) in within-bucket relative MAE.
+    """
+
+    score: float
+    mass_shift: float
+    error_growth: float
+    drifted: bool
+    threshold: float
+    observed_keys: int
+    observed_mass: float
+
+    def __bool__(self) -> bool:
+        return self.drifted
+
+
+class DriftDetector:
+    """Score recent arrivals against a scheme's training profile.
+
+    Parameters
+    ----------
+    scheme:
+        The live :class:`~repro.core.scheme.OptHashScheme` whose routing is
+        being monitored.
+    reference:
+        What the stream looked like at training time: a
+        :class:`BucketErrorProfile`, or a
+        :class:`~repro.core.pipeline.TrainingResult` (profiled via
+        :meth:`BucketErrorProfile.from_training`).
+    threshold:
+        Drift is signalled when the combined score exceeds this.  The mass
+        component alone is bounded by 1, so thresholds in ``(0, 1)`` are
+        the useful range.
+    min_keys:
+        Checks observe at least this many distinct keys before they may
+        signal drift — tiny samples make both statistics noisy.
+    """
+
+    def __init__(self, scheme, reference, threshold: float = 0.25, min_keys: int = 32):
+        if not 0 < float(threshold):
+            raise ValueError(f"threshold must be positive, got {threshold!r}")
+        if hasattr(reference, "stored_keys") and hasattr(reference, "scheme"):
+            reference = BucketErrorProfile.from_training(reference)
+        if not isinstance(reference, BucketErrorProfile):
+            raise TypeError(
+                "reference must be a BucketErrorProfile or a TrainingResult, "
+                f"got {type(reference).__name__}"
+            )
+        if reference.num_buckets != scheme.num_buckets:
+            raise ValueError(
+                f"reference profiles {reference.num_buckets} buckets, the "
+                f"scheme has {scheme.num_buckets}"
+            )
+        self.scheme = scheme
+        self.reference = reference
+        self.threshold = float(threshold)
+        self.min_keys = int(min_keys)
+        self._counts: Dict[Hashable, int] = {}
+        self._items: Dict[Hashable, Hashable] = {}  # key -> routing handle
+
+    def observe(self, keys, counts=None) -> None:
+        """Accumulate a batch of recent arrivals (same inputs as ingest).
+
+        When the batch carries :class:`~repro.streams.stream.Element`\\ s,
+        the first element seen per key is kept as that key's routing
+        handle — feature-based schemes need the features again at
+        :meth:`check` time to bucket keys absent from the exact table.
+        """
+        items = keys.tolist() if isinstance(keys, np.ndarray) else list(keys)
+        key_batch, count_array = as_key_batch(items, counts)
+        table = self._counts
+        handles = self._items
+        for item, key, count in zip(items, key_batch, count_array):
+            table[key] = table.get(key, 0) + int(count)
+            if key not in handles:
+                handles[key] = item
+
+    def reset(self) -> None:
+        """Drop the accumulated observations (call on pane rotation)."""
+        self._counts = {}
+        self._items = {}
+
+    @property
+    def observed_counts(self) -> Dict[Hashable, int]:
+        """The accumulated ``key -> count`` observations (a copy)."""
+        return dict(self._counts)
+
+    @property
+    def observed_features(self) -> Dict[Hashable, tuple]:
+        """``key -> features`` for observations that arrived as Elements."""
+        return {
+            key: tuple(item.features)
+            for key, item in self._items.items()
+            if hasattr(item, "features") and len(item.features) > 0
+        }
+
+    def check(self, reset: bool = False) -> DriftSignal:
+        """Score the accumulated observations against the reference.
+
+        With ``reset=True`` the observation buffer is cleared afterwards,
+        making consecutive checks independent pane-sized samples.
+        """
+        keys = list(self._counts)
+        items = [self._items.get(key, key) for key in keys]
+        frequencies = [self._counts[key] for key in keys]
+        observed = BucketErrorProfile.from_frequencies(
+            self.scheme, items, frequencies
+        )
+        mass_shift = 0.5 * float(
+            np.abs(observed.mass_share - self.reference.mass_share).sum()
+        )
+        error_growth = max(
+            0.0, observed.relative_mae - self.reference.relative_mae
+        )
+        score = mass_shift + error_growth
+        drifted = score > self.threshold and observed.num_keys >= self.min_keys
+        if reset:
+            self.reset()
+        return DriftSignal(
+            score=score,
+            mass_shift=mass_shift,
+            error_growth=error_growth,
+            drifted=drifted,
+            threshold=self.threshold,
+            observed_keys=observed.num_keys,
+            observed_mass=observed.total_mass,
+        )

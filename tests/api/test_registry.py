@@ -67,6 +67,18 @@ SAMPLE_DICTS = {
         "inner": {"kind": "count_min", "total_buckets": 64, "depth": 2, "seed": 1},
         "num_shards": 2,
     },
+    "sliding_window": {
+        "kind": "sliding_window",
+        "inner": {"kind": "count_min", "total_buckets": 64, "depth": 2, "seed": 1},
+        "num_panes": 3,
+        "pane_items": 100,
+    },
+    "decayed": {
+        "kind": "decayed",
+        "inner": {"kind": "count_min", "total_buckets": 64, "depth": 2, "seed": 1},
+        "num_panes": 3,
+        "decay": 0.5,
+    },
     "session": None,  # not an estimator kind: sessions wrap estimators
 }
 

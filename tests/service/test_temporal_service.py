@@ -1,0 +1,237 @@
+"""Temporal behavior of the streaming service: timed pane rotation and
+live estimator hot-swaps.
+
+Two acceptance stories:
+
+* a service started with ``rotation_interval`` rotates the pane ring off
+  the pump's own flush timer — counts expire on wall-clock schedule, the
+  ``stats`` op and ``/metrics`` expose the window configuration and pane
+  ages, and a flat (non-windowed) spec is rejected at startup;
+* a hot-swap against a live, actively-ingesting service loses nothing:
+  every acknowledged key is applied to exactly one of the old and new
+  estimators (exact counters on both sides make the audit exact).
+"""
+
+import os
+import tempfile
+import threading
+import time
+import urllib.request
+import uuid
+
+import numpy as np
+import pytest
+
+import repro
+from repro.api import SketchSpec, WindowedSpec
+from repro.service import ServiceThread, StreamingClient, StreamingService
+from repro.sketches import ExactCounter
+from repro.temporal import ReOptimizer, prefix_from_counts
+
+
+def _socket_path() -> str:
+    return os.path.join(tempfile.gettempdir(), f"repro-{uuid.uuid4().hex[:12]}.sock")
+
+
+WINDOWED_CMS = WindowedSpec(
+    SketchSpec("count_min", total_buckets=1024, depth=2, seed=3), num_panes=4
+)
+
+
+class TestTimedRotation:
+    def test_counts_expire_on_schedule(self):
+        sock = _socket_path()
+        service = StreamingService(
+            WINDOWED_CMS,
+            unix_path=sock,
+            rotation_interval=0.15,
+            flush_interval=0.02,
+        )
+        with ServiceThread(service):
+            with StreamingClient.connect(unix_path=sock) as client:
+                client.ingest(["a"] * 10 + ["b"] * 3)
+                client.flush()
+                assert client.estimate(["a"])[0] >= 10.0
+                stats = client.stats()
+                assert stats["window"]["num_panes"] == 4
+                assert stats["window"]["rotation_interval"] == 0.15
+                assert len(stats["window"]["pane_age_seconds"]) == 4
+                # > num_panes rotations: everything ingested above expires
+                deadline = time.monotonic() + 10.0
+                while time.monotonic() < deadline:
+                    stats = client.stats()
+                    if stats["window"]["service_rotations"] >= 5:
+                        break
+                    time.sleep(0.05)
+                assert stats["window"]["service_rotations"] >= 5
+                assert client.estimate(["a", "b"]).tolist() == [0.0, 0.0]
+
+    def test_rotation_keeps_recent_panes_live(self):
+        sock = _socket_path()
+        service = StreamingService(
+            WINDOWED_CMS,
+            unix_path=sock,
+            rotation_interval=60.0,  # never fires during the test
+            flush_interval=0.02,
+        )
+        with ServiceThread(service):
+            with StreamingClient.connect(unix_path=sock) as client:
+                client.ingest(np.arange(100, dtype=np.int64))
+                client.flush()
+                assert (client.estimate(np.arange(100, dtype=np.int64)) >= 1).all()
+                stats = client.stats()
+                assert stats["window"]["service_rotations"] == 0
+                assert stats["window"]["next_rotation_seconds"] > 0
+
+    def test_metrics_expose_the_pane_ring(self):
+        sock = _socket_path()
+        service = StreamingService(
+            WINDOWED_CMS,
+            unix_path=sock,
+            rotation_interval=0.2,
+            flush_interval=0.02,
+            metrics_port=0,
+        )
+        with ServiceThread(service):
+            with StreamingClient.connect(unix_path=sock) as client:
+                client.ingest(["x"] * 7)
+                client.flush()
+                exposition = client.metrics()["text"]
+            assert "repro_service_window_rotations_total" in exposition
+            assert 'repro_service_window_pane_arrivals{age="0"}' in exposition
+            assert 'repro_service_window_pane_age_seconds{age="0"}' in exposition
+            assert "repro_service_window_head_fill" in exposition
+            host, port = service.metrics_endpoint
+            scraped = urllib.request.urlopen(
+                f"http://{host}:{port}/metrics", timeout=10
+            ).read().decode()
+            assert "repro_service_window_head_fill" in scraped
+
+    def test_flat_spec_with_rotation_interval_fails_to_start(self):
+        service = StreamingService(
+            SketchSpec("count_min", total_buckets=64, depth=1, seed=0),
+            unix_path=_socket_path(),
+            rotation_interval=1.0,
+        )
+        with pytest.raises(RuntimeError):
+            ServiceThread(service).start(timeout=60)
+
+    def test_rotation_interval_must_be_positive(self):
+        with pytest.raises(ValueError):
+            StreamingService(
+                WINDOWED_CMS, unix_path=_socket_path(), rotation_interval=0.0
+            )
+
+    def test_stats_omit_window_for_flat_kinds(self):
+        sock = _socket_path()
+        service = StreamingService(
+            SketchSpec("count_min", total_buckets=64, depth=1, seed=0), unix_path=sock
+        )
+        with ServiceThread(service):
+            with StreamingClient.connect(unix_path=sock) as client:
+                assert client.stats()["window"] is None
+
+
+class TestHotSwap:
+    def test_zero_loss_swap_under_active_ingest(self):
+        """Acceptance: swap mid-stream, audit that acked == old + new.
+
+        Exact counters serve on both sides of the swap, so 'no key was
+        acked then lost' is checked by exact arithmetic, not estimates.
+        """
+        sock = _socket_path()
+        total_keys = 60_000
+        batch = 500
+        service = StreamingService(
+            SketchSpec("exact_counter"), unix_path=sock, flush_interval=0.01
+        )
+        with ServiceThread(service) as thread:
+            errors = []
+            acked = []
+
+            def writer():
+                try:
+                    with StreamingClient.connect(unix_path=sock) as client:
+                        rng = np.random.default_rng(7)
+                        sent = 0
+                        while sent < total_keys:
+                            keys = rng.integers(0, 1000, size=batch)
+                            acked.append(client.ingest(keys))
+                            sent += batch
+                            time.sleep(0.001)  # keep the stream mid-flight
+                except BaseException as error:
+                    errors.append(error)
+
+            pump = threading.Thread(target=writer)
+            pump.start()
+            # swap mid-stream, after the old estimator has provably
+            # absorbed some of the acked keys
+            while service._applied_keys < total_keys // 3:
+                time.sleep(0.002)
+            old = thread.hot_swap(
+                SketchSpec("exact_counter"), ExactCounter(), close_old=False
+            )
+            # a post-swap tranche from this thread guarantees the new
+            # estimator sees traffic even if the writer raced to the end
+            post_swap = 1_000
+            with StreamingClient.connect(unix_path=sock) as client:
+                acked.append(client.ingest(np.arange(post_swap, dtype=np.int64)))
+            pump.join()
+            assert not errors, errors
+            with StreamingClient.connect(unix_path=sock) as client:
+                client.flush()
+                stats = client.stats()
+            assert stats["hot_swaps"] == 1
+            assert sum(acked) == total_keys + post_swap
+            old_applied = sum(old._counts.values())
+            new_applied = sum(service.session.estimator._counts.values())
+            # zero loss, zero duplication: every acked key applied exactly
+            # once, to exactly one side of the swap
+            assert old_applied + new_applied == total_keys + post_swap
+            assert old_applied > 0 and new_applied >= post_swap
+
+    def test_reoptimizer_drives_the_service_swap(self, toy_prefix, toy_stream):
+        spec = repro.OptHashSpec(
+            num_buckets=3, lam=0.5, solver="bcd", classifier="cart", seed=4
+        )
+        sock = _socket_path()
+        service = StreamingService(
+            spec, unix_path=sock, prefix=toy_prefix, flush_interval=0.01
+        )
+        with ServiceThread(service) as thread:
+            with StreamingClient.connect(unix_path=sock) as client:
+                client.ingest([element.key for element in toy_stream.arrivals])
+                client.flush()
+                counts = {}
+                for element in toy_stream.arrivals:
+                    counts[element.key] = counts.get(element.key, 0) + 1
+                features = {
+                    element.key: tuple(element.features)
+                    for element in toy_stream.arrivals
+                }
+                result = ReOptimizer(spec).reoptimize(
+                    thread, counts, features, close_old=True
+                )
+                assert service.session.estimator is result.estimator
+                assert client.stats()["hot_swaps"] == 1
+                # the swapped-in estimator serves immediately
+                client.ingest([toy_stream.arrivals[0].key])
+                client.flush()
+                assert client.estimate([toy_stream.arrivals[0].key])[0] > 0
+
+    def test_swap_rejects_tickless_estimator_on_rotating_service(self):
+        sock = _socket_path()
+        service = StreamingService(
+            WINDOWED_CMS, unix_path=sock, rotation_interval=60.0
+        )
+        with ServiceThread(service) as thread:
+            with pytest.raises(ValueError):
+                thread.hot_swap(SketchSpec("exact_counter"), ExactCounter())
+
+    def test_swap_on_stopped_thread_raises(self):
+        service = StreamingService(
+            SketchSpec("exact_counter"), unix_path=_socket_path()
+        )
+        thread = ServiceThread(service)
+        with pytest.raises(RuntimeError):
+            thread.hot_swap(SketchSpec("exact_counter"), ExactCounter())

@@ -1,0 +1,133 @@
+"""The piecewise-Zipf drifting workload.
+
+Fences: per-segment distributions are valid and genuinely different
+(rotation moves the heavy ranks onto previously-cold keys), features
+encode the *initial* rank and stay put under rotation (that staleness is
+the whole point — it is what a drift detector must catch), and
+generation is deterministic under a seed.
+"""
+
+import numpy as np
+import pytest
+
+from repro.streams.stream import Stream, StreamPrefix
+from repro.streams.synthetic import DriftingStreamGenerator, DriftingZipfConfig
+
+
+def small_config(**overrides):
+    defaults = dict(
+        universe_size=64, segment_length=500, num_segments=3, seed=42
+    )
+    defaults.update(overrides)
+    return DriftingZipfConfig(**defaults)
+
+
+class TestConfig:
+    def test_defaults_validate(self):
+        config = DriftingZipfConfig()
+        assert config.total_length == 40_000
+        assert config.change_points == [10_000, 20_000, 30_000]
+        assert config.effective_rotation == 256
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"universe_size": 1},
+            {"alpha": 0.0},
+            {"segment_length": 0},
+            {"num_segments": 0},
+            {"rotation": -1},
+            {"rotation": 64},
+            {"feature_dim": 0},
+            {"feature_noise": -0.1},
+        ],
+    )
+    def test_rejects_invalid(self, overrides):
+        with pytest.raises(ValueError):
+            small_config(**overrides)
+
+    def test_explicit_rotation_wins(self):
+        assert small_config(rotation=5).effective_rotation == 5
+
+    def test_zero_rotation_means_stationary(self):
+        generator = DriftingStreamGenerator(small_config(rotation=0))
+        np.testing.assert_array_equal(
+            generator.segment_permutation(0), generator.segment_permutation(2)
+        )
+
+
+class TestDistributions:
+    def test_probabilities_are_distributions(self):
+        generator = DriftingStreamGenerator(small_config())
+        for segment in range(3):
+            p = generator.key_probabilities(segment)
+            assert p.shape == (64,)
+            assert (p > 0).all()
+            assert p.sum() == pytest.approx(1.0)
+
+    def test_rotation_is_a_relabeling_not_a_reshaping(self):
+        """Each segment has the same sorted probability profile — only
+        the assignment of probabilities to keys moves."""
+        generator = DriftingStreamGenerator(small_config())
+        base = np.sort(generator.key_probabilities(0))
+        for segment in (1, 2):
+            np.testing.assert_allclose(
+                np.sort(generator.key_probabilities(segment)), base
+            )
+
+    def test_segments_differ_in_total_variation(self):
+        generator = DriftingStreamGenerator(small_config())
+        p0 = generator.key_probabilities(0)
+        p2 = generator.key_probabilities(2)
+        tv = 0.5 * np.abs(p0 - p2).sum()
+        assert tv > 0.3
+
+    def test_segment_of_arrival_tracks_change_points(self):
+        generator = DriftingStreamGenerator(small_config())
+        assert generator.segment_of_arrival(0) == 0
+        assert generator.segment_of_arrival(499) == 0
+        assert generator.segment_of_arrival(500) == 1
+        assert generator.segment_of_arrival(1499) == 2
+
+
+class TestGeneration:
+    def test_prefix_and_stream_shapes(self):
+        generator = DriftingStreamGenerator(small_config())
+        prefix, stream = generator.generate_prefix_and_stream()
+        assert isinstance(prefix, StreamPrefix)
+        assert isinstance(stream, Stream)
+        assert len(prefix.arrivals) == 500
+        assert len(stream.arrivals) == 1500
+
+    def test_deterministic_under_seed(self):
+        first = DriftingStreamGenerator(small_config()).generate_stream()
+        second = DriftingStreamGenerator(small_config()).generate_stream()
+        assert [e.key for e in first.arrivals] == [e.key for e in second.arrivals]
+
+    def test_features_encode_initial_rank_and_do_not_rotate(self):
+        """The same key carries the same features in every segment,
+        even after the permutation moved its rank — stale by design."""
+        generator = DriftingStreamGenerator(small_config(feature_noise=0.0))
+        by_key = {}
+        for segment in range(3):
+            for element in generator.generate_segment(segment, 400).arrivals:
+                seen = by_key.setdefault(element.key, element.features)
+                assert tuple(seen) == tuple(element.features)
+        config = generator.config
+        example = next(iter(by_key.values()))
+        assert len(example) == config.feature_dim
+
+    def test_heavy_keys_migrate_between_segments(self):
+        generator = DriftingStreamGenerator(small_config())
+        def heavy(segment):
+            counts = {}
+            for element in generator.generate_segment(segment, 2000).arrivals:
+                counts[element.key] = counts.get(element.key, 0) + 1
+            return max(counts, key=counts.get)
+        assert heavy(0) != heavy(2)
+
+    def test_universe_covers_every_key_once(self):
+        generator = DriftingStreamGenerator(small_config())
+        universe = generator.universe
+        assert len(universe) == 64
+        assert len({element.key for element in universe}) == 64

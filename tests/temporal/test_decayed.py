@@ -1,0 +1,105 @@
+"""Time-decayed estimation: geometric down-weighting by pane age.
+
+A :class:`DecayedSketch` never rescales counters — it weights each pane's
+*estimate* by ``decay ** age`` at query time, which keeps the one-sided
+CMS guarantee intact inside every pane.  These tests pin the arithmetic
+to hand-computable cases and fence the parts that cannot decompose
+(second moments are quadratic in the counters, so F2 over a decayed
+mixture is undefined and must refuse loudly).
+"""
+
+import numpy as np
+import pytest
+
+from repro.api import SketchSpec, WindowedSpec, build, spec_from_dict
+from repro.sketches.serialization import loads
+from repro.temporal import DecayedSketch
+
+
+def decayed(decay=0.5, num_panes=4, base=None):
+    inner = spec_from_dict(base or {"kind": "exact_counter"})
+    return build(WindowedSpec(inner, num_panes=num_panes, decay=decay))
+
+
+class TestDecayArithmetic:
+    def test_exact_geometric_weighting(self):
+        sketch = decayed(decay=0.5, num_panes=4)
+        sketch.update_batch(["k"] * 8)  # age 0 at first, then pushed back
+        sketch.tick()
+        sketch.update_batch(["k"] * 4)
+        sketch.tick()
+        sketch.update_batch(["k"] * 2)
+        # ages: 0 -> 2 arrivals, 1 -> 4, 2 -> 8; weights 1, .5, .25
+        assert sketch.estimate_batch(["k"])[0] == pytest.approx(2 + 2.0 + 2.0)
+
+    def test_fresh_mass_counts_in_full(self):
+        sketch = decayed(decay=0.25)
+        sketch.update_batch(["a"] * 10)
+        assert sketch.estimate_batch(["a"])[0] == 10.0
+
+    def test_expired_mass_is_gone_not_just_small(self):
+        sketch = decayed(decay=0.9, num_panes=3)
+        sketch.update_batch(["a"] * 100)
+        for _ in range(3):
+            sketch.tick()
+        assert sketch.estimate_batch(["a"])[0] == 0.0
+
+    def test_each_tick_multiplies_old_mass_by_decay(self):
+        sketch = decayed(decay=0.5, num_panes=8)
+        sketch.update_batch(["a"] * 16)
+        values = [sketch.estimate_batch(["a"])[0]]
+        for _ in range(4):
+            sketch.tick()
+            values.append(sketch.estimate_batch(["a"])[0])
+        assert values == [16.0, 8.0, 4.0, 2.0, 1.0]
+
+    def test_cms_panes_keep_the_one_sided_guarantee(self):
+        base = {"kind": "count_min", "total_buckets": 512, "depth": 2, "seed": 4}
+        approx = decayed(decay=0.5, num_panes=3, base=base)
+        exact = decayed(decay=0.5, num_panes=3)
+        rng = np.random.default_rng(0)
+        for _ in range(3):
+            batch = rng.integers(0, 100, size=400)
+            approx.update_batch(batch)
+            exact.update_batch(batch)
+            approx.tick(), exact.tick()
+        probe = np.arange(100)
+        assert (approx.estimate_batch(probe) >= exact.estimate_batch(probe)).all()
+
+
+class TestDecayedSurface:
+    def test_second_moment_refuses(self):
+        base = {"kind": "ams", "num_estimators": 16, "means_groups": 4, "seed": 1}
+        sketch = decayed(decay=0.5, base=base)
+        sketch.update_batch([1, 2, 3])
+        with pytest.raises(TypeError):
+            sketch.estimate_second_moment()
+
+    def test_serialization_preserves_decay(self):
+        sketch = decayed(decay=0.5, num_panes=3)
+        sketch.update_batch(["x"] * 4)
+        sketch.tick()
+        restored = loads(sketch.to_bytes())
+        assert type(restored) is DecayedSketch
+        assert restored.decay == 0.5
+        assert restored.estimate_batch(["x"])[0] == 2.0
+
+    def test_merge_requires_matching_decay(self):
+        from repro.sketches.base import IncompatibleSketchError
+
+        left = decayed(decay=0.5)
+        right = decayed(decay=0.25)
+        with pytest.raises(IncompatibleSketchError):
+            left.merge(right)
+
+    def test_scalar_estimate_matches_batch(self):
+        from repro.streams.stream import Element
+
+        sketch = decayed(decay=0.5, num_panes=3)
+        sketch.update_batch(["k"] * 6)
+        sketch.tick()
+        assert sketch.estimate(Element(key="k")) == sketch.estimate_batch(["k"])[0]
+
+    def test_window_state_reports_decay(self):
+        sketch = decayed(decay=0.75, num_panes=5)
+        assert sketch.window_state()["decay"] == 0.75

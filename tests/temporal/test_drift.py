@@ -1,0 +1,145 @@
+"""Drift detection: the learned scheme must notice its own staleness.
+
+The detector scores two failure modes of a trained hashing scheme —
+bucket mass migrating (total-variation on the share vectors) and
+within-bucket dispersion growing (relative MAE, the scale-free form of
+the training objective).  The fences here: an unchanged distribution
+scores ~0, a key permutation scores high, tiny samples cannot trigger,
+and feature-carrying Elements keep their features for routing unseen
+keys through the classifier.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.streams.stream import Element
+from repro.streams.synthetic import DriftingStreamGenerator, DriftingZipfConfig
+from repro.temporal import DriftDetector
+from repro.temporal.drift import BucketErrorProfile, DriftSignal
+
+
+@pytest.fixture(scope="module")
+def trained():
+    """An opt-hash training run over a drifting stream's stable prefix."""
+    generator = DriftingStreamGenerator(
+        DriftingZipfConfig(
+            universe_size=150, segment_length=3000, num_segments=3, seed=11
+        )
+    )
+    prefix = generator.generate_prefix()
+    spec = repro.OptHashSpec(
+        num_buckets=8, lam=0.5, solver="bcd", classifier="cart", seed=2
+    )
+    training = repro.api.train(spec, prefix)
+    return generator, training
+
+
+class TestBucketErrorProfile:
+    def test_shares_sum_to_one(self, trained):
+        _, training = trained
+        profile = BucketErrorProfile.from_training(training)
+        assert profile.mass_share.sum() == pytest.approx(1.0)
+        assert profile.num_buckets == training.scheme.num_buckets
+        assert profile.relative_mae >= 0.0
+
+    def test_empty_profile_is_all_zero(self, trained):
+        _, training = trained
+        profile = BucketErrorProfile.from_frequencies(training.scheme, [], [])
+        assert profile.total_mass == 0.0
+        assert profile.num_keys == 0
+        assert (profile.mass_share == 0).all()
+
+    def test_from_counts_matches_from_frequencies(self, trained):
+        generator, training = trained
+        counts = {}
+        for element in generator.generate_prefix(500):
+            counts[element] = counts.get(element, 0) + 1
+        via_counts = BucketErrorProfile.from_counts(training.scheme, counts)
+        via_freq = BucketErrorProfile.from_frequencies(
+            training.scheme, list(counts), list(counts.values())
+        )
+        np.testing.assert_allclose(via_counts.mass_share, via_freq.mass_share)
+        assert via_counts.relative_mae == pytest.approx(via_freq.relative_mae)
+
+    def test_misaligned_inputs_raise(self, trained):
+        _, training = trained
+        with pytest.raises(ValueError):
+            BucketErrorProfile.from_frequencies(training.scheme, ["a"], [1.0, 2.0])
+
+
+class TestDriftDetector:
+    def test_stable_distribution_scores_near_zero(self, trained):
+        generator, training = trained
+        detector = DriftDetector(training.scheme, training, threshold=0.25)
+        detector.observe(generator.generate_segment(0, 3000))
+        signal = detector.check()
+        assert signal.score < 0.15
+        assert not signal.drifted
+        assert not signal  # __bool__ is the verdict
+
+    def test_rotated_permutation_drifts(self, trained):
+        generator, training = trained
+        detector = DriftDetector(training.scheme, training, threshold=0.25)
+        detector.observe(generator.generate_segment(2, 3000))
+        signal = detector.check()
+        assert signal.score > 0.25
+        assert signal.drifted
+        assert signal.mass_shift <= 1.0
+
+    def test_min_keys_gates_the_verdict(self, trained):
+        generator, training = trained
+        detector = DriftDetector(
+            training.scheme, training, threshold=0.01, min_keys=10_000
+        )
+        detector.observe(generator.generate_segment(2, 3000))
+        signal = detector.check()
+        assert not signal.drifted  # high score, too few distinct keys
+        assert signal.observed_keys < 10_000
+
+    def test_reset_and_check_reset_clear_the_buffer(self, trained):
+        generator, training = trained
+        detector = DriftDetector(training.scheme, training)
+        detector.observe(generator.generate_segment(2, 500))
+        assert detector.observed_counts
+        detector.check(reset=True)
+        assert not detector.observed_counts
+        assert not detector.observed_features
+
+    def test_observe_accumulates_weighted_counts(self, trained):
+        _, training = trained
+        detector = DriftDetector(training.scheme, training)
+        keys = list(training.stored_keys)[:3]
+        detector.observe(keys, [5, 2, 1])
+        detector.observe(keys[:1], [4])
+        assert detector.observed_counts[keys[0]] == 9
+
+    def test_elements_keep_their_features_for_routing(self, trained):
+        generator, training = trained
+        detector = DriftDetector(training.scheme, training)
+        segment = generator.generate_segment(1, 800)
+        detector.observe(segment)
+        features = detector.observed_features
+        assert features  # drifting elements carry rank features
+        example = next(iter(features.values()))
+        assert len(example) == generator.config.feature_dim
+        # check() routes through the classifier without blowing up on
+        # keys the exact table has never seen
+        assert isinstance(detector.check(), DriftSignal)
+
+    def test_bucket_count_mismatch_raises(self, trained):
+        _, training = trained
+        wrong = BucketErrorProfile(
+            num_buckets=training.scheme.num_buckets + 1,
+            mass_share=np.zeros(training.scheme.num_buckets + 1),
+            relative_mae=0.0,
+            total_mass=0.0,
+            num_keys=0,
+        )
+        with pytest.raises(ValueError):
+            DriftDetector(training.scheme, wrong)
+
+    def test_reference_must_be_profile_or_training(self, trained):
+        _, training = trained
+        with pytest.raises(TypeError):
+            DriftDetector(training.scheme, {"not": "a profile"})
