@@ -42,9 +42,41 @@ from repro.sketches.serialization import (
     unpack,
 )
 
-__all__ = ["Session", "load", "open", "restore"]
+__all__ = ["Session", "atomic_write", "load", "open", "restore"]
 
 _SESSION_TAG = "session"
+
+
+def atomic_write(path, blob: bytes) -> None:
+    """Durably replace ``path`` with ``blob`` (temp file + fsync + rename).
+
+    The temp file is fsynced before the rename and the parent directory is
+    fsynced after it, so after this returns the new contents survive a power
+    cut — not just a process crash.  A crash at any point leaves ``path``
+    holding either the previous contents or the complete new ones, never a
+    truncated mix.
+    """
+    from repro.resilience import failpoints
+
+    path = os.fspath(path)
+    tmp_path = f"{path}.tmp.{os.getpid()}"
+    try:
+        with builtins.open(tmp_path, "wb") as handle:
+            handle.write(blob)
+            handle.flush()
+            os.fsync(handle.fileno())
+        failpoints.fire("session.save")
+        os.replace(tmp_path, path)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            os.unlink(tmp_path)
+        raise
+    parent = os.path.dirname(path) or "."
+    dir_fd = os.open(parent, os.O_RDONLY)
+    try:
+        os.fsync(dir_fd)
+    finally:
+        os.close(dir_fd)
 
 
 @register_sketch(_SESSION_TAG)
@@ -65,6 +97,9 @@ class Session:
     ) -> None:
         self._spec = spec
         self._estimator = estimator
+        #: JSON-safe sidecar state carried inside snapshots (e.g. the WAL
+        #: coverage marks the service embeds); populated by ``from_bytes``.
+        self.extra_state: dict = {}
         self._metrics: Optional[MetricsRegistry] = None
         self._m_stage = None
         if metrics is not None:
@@ -195,8 +230,19 @@ class Session:
         self._estimator.merge(estimator)
         return self
 
-    def snapshot(self, *, embed: Optional[bool] = None) -> bytes:
+    def snapshot(
+        self,
+        *,
+        embed: Optional[bool] = None,
+        extra_state: Optional[dict] = None,
+    ) -> bytes:
         """Serialize spec + estimator state into one versioned buffer.
+
+        ``extra_state`` — extra JSON-safe keys packed alongside ``"spec"``
+        (and surfaced as :attr:`extra_state` on restore).  The service uses
+        this to embed the WAL positions a snapshot covers *inside* the
+        snapshot itself, so coverage and state can never disagree after a
+        crash between the two writes.
 
         For mmap-backed estimators the default snapshot is *live*: the
         counter table is flushed and referenced by path instead of being
@@ -227,9 +273,17 @@ class Session:
                 f"estimator; this one uses {backend!r} storage"
             )
         blob = to_bytes() if embed else to_bytes(live=True)
+        state = {"spec": self._spec.to_dict()}
+        if extra_state:
+            for key in extra_state:
+                if key == "spec":
+                    raise SerializationError(
+                        "extra_state may not shadow the 'spec' key"
+                    )
+            state.update(extra_state)
         return pack(
             _SESSION_TAG,
-            {"spec": self._spec.to_dict()},
+            state,
             {"estimator": np.frombuffer(blob, dtype=np.uint8)},
         )
 
@@ -249,7 +303,11 @@ class Session:
         if "estimator" not in arrays:
             raise SerializationError("session buffer is missing estimator state")
         estimator = _loads(arrays["estimator"].tobytes(), expect_kind=spec.kind)
-        return cls(spec, estimator)
+        session = cls(spec, estimator)
+        session.extra_state = {
+            key: value for key, value in state.items() if key != "spec"
+        }
+        return session
 
     def to_bytes(self) -> bytes:
         """Alias of :meth:`snapshot` (estimator-style serialization API)."""
@@ -271,22 +329,26 @@ class Session:
                 drain()
         return self
 
-    def save(self, path, *, embed: Optional[bool] = None) -> int:
+    def save(
+        self,
+        path,
+        *,
+        embed: Optional[bool] = None,
+        extra_state: Optional[dict] = None,
+    ) -> int:
         """Drain, :meth:`snapshot`, and write the buffer to ``path``.
 
-        The write is atomic (temp file + ``os.replace``), so a crash — or a
-        SIGTERM racing the shutdown snapshot — can never leave a truncated
-        snapshot behind: ``path`` either holds the previous snapshot or the
-        complete new one.  Returns the number of bytes written.
+        The write is durable and atomic (:func:`atomic_write`: temp file,
+        fsync, ``os.replace``, directory fsync), so a crash — or a SIGTERM
+        racing the shutdown snapshot, or a power cut right after — can never
+        leave a truncated or unpersisted snapshot behind: ``path`` either
+        holds the previous snapshot or the complete new one.  Returns the
+        number of bytes written.
         """
         self.drain()
         with self._timed("snapshot"):
-            blob = self.snapshot(embed=embed)
-            path = os.fspath(path)
-            tmp_path = f"{path}.tmp.{os.getpid()}"
-            with builtins.open(tmp_path, "wb") as handle:
-                handle.write(blob)
-            os.replace(tmp_path, path)
+            blob = self.snapshot(embed=embed, extra_state=extra_state)
+            atomic_write(path, blob)
         return len(blob)
 
     def hot_swap(self, spec, estimator, *, close_old: bool = True):

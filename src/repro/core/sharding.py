@@ -80,7 +80,7 @@ from repro.sketches.base import (
     IncompatibleSketchError,
     as_key_batch,
 )
-from repro.core.workers import WORKER_CHUNK_SIZE, ShardWorkerPool
+from repro.core.workers import WORKER_CHUNK_SIZE, ShardWorkerPool, WorkerDeadError
 from repro.sketches.hashing import fingerprint64_batch
 from repro.sketches.serialization import (
     SerializationError,
@@ -355,6 +355,13 @@ class ShardedEstimator(FrequencyEstimator):
         self._pending = []  # (shard_index, future) pairs awaiting merge
         self._worker_pool: Optional[ShardWorkerPool] = None
         self._closed = False
+        #: Supervision (opt-in, shm transport only): a dead worker marks its
+        #: shard down instead of failing the whole estimator, ingestion and
+        #: queries continue on the survivors, and a supervisor calls
+        #: :meth:`rebuild_shard` to bring the shard back.  See
+        #: :meth:`enable_supervision`.
+        self.supervised = False
+        self._down_shards: set = set()
         if executor == "process" and transport == "shm":
             # The persistent worker pool spawns lazily (first ingest or
             # warm_up), so deserialized instances can swap their shards in
@@ -445,10 +452,101 @@ class ShardedEstimator(FrequencyEstimator):
                 self._shard_spec_dict,
                 manifests,
                 max_pending=self._MAX_PENDING_FACTOR,
+                supervised=self.supervised,
             )
             if self._obs is not None:
                 self._worker_pool.instrument(self._obs)
         return self._worker_pool
+
+    # ------------------------------------------------------------------
+    # supervision (shm transport)
+    # ------------------------------------------------------------------
+    def enable_supervision(self) -> "ShardedEstimator":
+        """Switch to localized failure handling (shm transport only).
+
+        After this, a dead or failed worker no longer poisons the whole
+        estimator: its shard joins :attr:`down_shards`, batches routed to it
+        are dropped (the service's write-ahead log re-supplies them during
+        :meth:`rebuild_shard`), and queries/drains proceed on the
+        survivors.  Only meaningful for key-partition routing — round-robin
+        spreads every key over all shards, so no single shard can be
+        rebuilt from a key-determined log slice.
+        """
+        if self.transport != "shm":
+            raise ValueError("supervision requires the shm transport")
+        if self.mode != "key-partition":
+            raise ValueError(
+                "supervision requires key-partition routing (round-robin "
+                "shard content is not determined by the keys)"
+            )
+        self.supervised = True
+        if self._worker_pool is not None:
+            self._worker_pool.supervised = True
+        return self
+
+    @property
+    def down_shards(self) -> frozenset:
+        """Shards currently awaiting rebuild (supervised mode)."""
+        return frozenset(self._down_shards)
+
+    def check_workers(self) -> set:
+        """Detect dead/failed workers; returns the *newly* down shard set.
+
+        Cheap (one ``is_alive`` + one event check per shard) and safe to
+        call from a poll loop.  Error messages the dead workers left behind
+        are drained without raising — the death is already attributed.
+        """
+        if not self.supervised or self._worker_pool is None:
+            return set()
+        newly: set = set()
+        for index, worker in enumerate(self._worker_pool._workers):
+            if index in self._down_shards:
+                continue
+            if not worker.process.is_alive() or worker.failed.is_set():
+                self._down_shards.add(index)
+                newly.add(index)
+        if newly:
+            self._worker_pool.drain_errors()
+            self._collapsed = None
+        return newly
+
+    def rebuild_shard(
+        self, shard_index: int, *, restored=None, records=(), timeout: float = 30.0
+    ) -> "ShardedEstimator":
+        """Bring a down shard back: restore counters, revive, replay.
+
+        The shard's shared table is *discarded* (the dead worker may have
+        died mid-scatter, leaving a partially-applied batch) and rebuilt
+        from ``restored`` — the table from the last snapshot, or zeros when
+        none exists — then the worker process is replaced and ``records``
+        (the shard's WAL slice since that snapshot) are re-ingested through
+        it.  Blocks until the replay is fully acknowledged, so on return
+        the shard is exact again.
+        """
+        if not self.supervised:
+            raise RuntimeError("rebuild_shard requires supervision")
+        pool = self._ensure_workers()
+        shard = self.shards[shard_index]
+        field = getattr(shard, "_STORAGE_FIELD", None)
+        if field is None:
+            raise RuntimeError("supervised shards must be storage-backed")
+        table = getattr(shard, field)
+        if restored is not None:
+            np.copyto(table, np.asarray(restored, dtype=table.dtype))
+        else:
+            table[...] = 0
+        pool.revive(shard_index, shard.storage_manifest(), timeout=timeout)
+        for record in records:
+            keys = record.keys
+            items = keys if isinstance(keys, np.ndarray) else list(keys)
+            _, count_array = as_key_batch(items, record.counts)
+            pool.submit(shard_index, items, count_array)
+        # Drain just this worker (exclude the others: a concurrently-down
+        # sibling must not fail the rebuild of this shard).
+        pool.join(exclude=frozenset(range(self.num_shards)) - {shard_index})
+        self._collapsed = None
+        self._down_shards.discard(shard_index)
+        return self
 
     # ------------------------------------------------------------------
     # observability
@@ -570,7 +668,18 @@ class ShardedEstimator(FrequencyEstimator):
             # returns.  Backpressure is the pool's bounded task queues.
             pool = self._ensure_workers()
             for shard_index, part, part_counts in jobs:
-                pool.submit(shard_index, part, part_counts)
+                if self.supervised and shard_index in self._down_shards:
+                    # Dropped, not lost: the supervisor re-supplies the
+                    # shard's arrivals from the write-ahead log on rebuild.
+                    continue
+                try:
+                    pool.submit(shard_index, part, part_counts)
+                except WorkerDeadError as error:
+                    if not self.supervised:
+                        raise
+                    self._down_shards.add(error.shard_index)
+                    self._collapsed = None
+                    pool.drain_errors()
         elif self.executor == "process":
             # Fire and return: the parent keeps routing the next batch while
             # the workers ingest this one.  Results merge in _drain_pending.
@@ -635,7 +744,21 @@ class ShardedEstimator(FrequencyEstimator):
         (their writes land in the shared tables directly).
         """
         if self._worker_pool is not None:
-            self._worker_pool.join()
+            if self.supervised:
+                # Survivors drain; a down shard's backlog is unreachable
+                # until rebuild (and re-supplied by the WAL then).  A worker
+                # dying *during* this drain joins the down set instead of
+                # failing the consistency point for the healthy shards.
+                while True:
+                    try:
+                        self._worker_pool.join(exclude=frozenset(self._down_shards))
+                        break
+                    except WorkerDeadError as error:
+                        self._down_shards.add(error.shard_index)
+                        self._collapsed = None
+                        self._worker_pool.drain_errors()
+            else:
+                self._worker_pool.join()
         pending, self._pending = self._pending, []
         for shard_index, future in pending:
             self.shards[shard_index].merge(loads(future.result()))
@@ -718,7 +841,11 @@ class ShardedEstimator(FrequencyEstimator):
         exact once the stream is drained, monotone under-counts before.
         """
         merged = self._merge_factory()
-        for shard in self.shards:
+        for index, shard in enumerate(self.shards):
+            if self.supervised and index in self._down_shards:
+                # A down shard's table may hold a torn, partially-scattered
+                # batch; degraded answers come from the survivors only.
+                continue
             merged.merge(shard)
         return merged.estimate_batch(keys)
 

@@ -31,7 +31,7 @@ import queue as queue_module
 import time
 from typing import Any, Dict, List, Sequence
 
-__all__ = ["ShardWorkerPool", "WORKER_CHUNK_SIZE"]
+__all__ = ["ShardWorkerPool", "WorkerDeadError", "WORKER_CHUNK_SIZE"]
 
 #: Chunk size of the in-worker ingestion loop.  Callers ship *large*
 #: sub-batches (few tasks amortize the submit/pickle overhead), but
@@ -51,8 +51,30 @@ _LIVENESS_CHECK_SECONDS = 0.1
 _ERROR_MESSAGE_GRACE_SECONDS = 1.0
 
 
+class WorkerDeadError(RuntimeError):
+    """One specific shard worker is dead or failed.
+
+    Carries the shard index so a supervised caller can mark *that* shard
+    down and keep the survivors serving, instead of treating any worker
+    trouble as a pool-wide failure.
+    """
+
+    def __init__(self, shard_index: int, message: str) -> None:
+        super().__init__(message)
+        self.shard_index = shard_index
+
+
 def _worker_main(
-    spec_dict, manifest, tasks, acked, ack_cond, ready, failed, errors, scatter_seconds
+    spec_dict,
+    manifest,
+    tasks,
+    acked,
+    ack_cond,
+    ready,
+    failed,
+    errors,
+    scatter_seconds,
+    shard_index=None,
 ) -> None:
     """Worker process body: build once, adopt shared storage, ingest forever.
 
@@ -65,8 +87,14 @@ def _worker_main(
     report where ingestion wall-clock actually goes.
     """
     estimator = None
+    label = "shard worker" if shard_index is None else f"shard worker {shard_index}"
     try:
         from repro.api.registry import build
+        from repro.resilience import failpoints
+
+        # Chaos tests arm injection sites in workers through the
+        # environment (works under every multiprocessing start method).
+        failpoints.arm_from_env()
 
         blank = dict(spec_dict)
         # The blank twin needs no backend of its own — its array is replaced
@@ -77,11 +105,13 @@ def _worker_main(
         estimator = build(blank)
         estimator.adopt_storage(manifest)
     except BaseException as error:  # surfaced parent-side
-        errors.put(f"shard worker failed to start: {error!r}")
+        errors.put(f"{label} failed to start: {error!r}")
         failed.set()
         estimator = None
     finally:
         ready.set()
+    from repro.resilience import failpoints
+
     while True:
         job = tasks.get()
         elapsed = 0.0
@@ -90,6 +120,7 @@ def _worker_main(
                 break
             if estimator is None:
                 continue  # init failed; keep acking so the parent can drain
+            failpoints.fire("worker.ingest")
             keys, counts = job
             scatter_start = time.perf_counter()
             for start in range(0, len(keys), WORKER_CHUNK_SIZE):
@@ -99,7 +130,7 @@ def _worker_main(
                 )
             elapsed = time.perf_counter() - scatter_start
         except BaseException as error:
-            errors.put(f"shard worker batch failed: {error!r}")
+            errors.put(f"{label} batch failed: {error!r}")
             failed.set()
         finally:
             with ack_cond:
@@ -153,8 +184,12 @@ class ShardWorkerPool:
         spec_dict: Dict[str, Any],
         manifests: Sequence[Dict[str, Any]],
         max_pending: int = 4,
+        supervised: bool = False,
     ) -> None:
         ctx = multiprocessing.get_context()
+        self._ctx = ctx
+        self._spec_dict = spec_dict
+        self._max_pending = max_pending
         self._errors = ctx.Queue()
         self._workers: List[_ShardWorker] = []
         self._closed = False
@@ -164,37 +199,89 @@ class ShardWorkerPool:
         self._m_scatter = None
         self._m_queue_wait = None
         self._m_deaths = None
-        for manifest in manifests:
-            tasks = ctx.Queue(maxsize=max(1, max_pending))
-            # The ack counter is guarded by the condition's own lock (the
-            # worker increments and notifies under it), so the Value itself
-            # carries no lock of its own; ditto the scatter-time accumulator.
-            ack_cond = ctx.Condition()
-            acked = ctx.Value("q", 0, lock=False)
-            scatter_seconds = ctx.Value("d", 0.0, lock=False)
-            ready = ctx.Event()
-            failed = ctx.Event()
-            process = ctx.Process(
-                target=_worker_main,
-                args=(
-                    spec_dict,
-                    manifest,
-                    tasks,
-                    acked,
-                    ack_cond,
-                    ready,
-                    failed,
-                    self._errors,
-                    scatter_seconds,
-                ),
-                daemon=True,
+        self._m_restarts = None
+        #: Supervised pools localize failure: one dead worker raises
+        #: :class:`WorkerDeadError` for *its* shard only, and the pool keeps
+        #: accepting batches for the survivors while a supervisor revives
+        #: it.  Unsupervised pools keep the original park-on-first-death
+        #: fail-fast behavior.
+        self.supervised = bool(supervised)
+        self.restarts = 0
+        for shard_index, manifest in enumerate(manifests):
+            self._workers.append(self._spawn(manifest, shard_index))
+
+    def _spawn(self, manifest: Dict[str, Any], shard_index: int) -> _ShardWorker:
+        ctx = self._ctx
+        tasks = ctx.Queue(maxsize=max(1, self._max_pending))
+        # The ack counter is guarded by the condition's own lock (the
+        # worker increments and notifies under it), so the Value itself
+        # carries no lock of its own; ditto the scatter-time accumulator.
+        ack_cond = ctx.Condition()
+        acked = ctx.Value("q", 0, lock=False)
+        scatter_seconds = ctx.Value("d", 0.0, lock=False)
+        ready = ctx.Event()
+        failed = ctx.Event()
+        process = ctx.Process(
+            target=_worker_main,
+            args=(
+                self._spec_dict,
+                manifest,
+                tasks,
+                acked,
+                ack_cond,
+                ready,
+                failed,
+                self._errors,
+                scatter_seconds,
+                shard_index,
+            ),
+            daemon=True,
+        )
+        process.start()
+        return _ShardWorker(
+            process, tasks, acked, ack_cond, ready, failed, scatter_seconds
+        )
+
+    def revive(
+        self, shard_index: int, manifest: Dict[str, Any], timeout: float = 30.0
+    ) -> None:
+        """Replace a dead worker with a fresh process attached to ``manifest``.
+
+        The replacement starts from a *blank* shard adopted onto the given
+        (parent-owned) storage — restoring counter state into that storage
+        first is the supervisor's job, not the pool's.  Stale state of the
+        old worker (queued tasks, failure event, unread error messages) is
+        discarded; ack/submit accounting restarts from zero.
+        """
+        if self._closed:
+            raise RuntimeError("shard worker pool is closed")
+        old = self._workers[shard_index]
+        if old.process.is_alive():
+            old.process.terminate()
+            old.process.join(timeout=5.0)
+        try:
+            if not old.drained():
+                old.tasks.cancel_join_thread()
+            old.tasks.close()
+        except Exception:
+            pass
+        self.drain_errors()
+        worker = self._spawn(manifest, shard_index)
+        self._workers[shard_index] = worker
+        if not worker.ready.wait(timeout):
+            raise WorkerDeadError(
+                shard_index,
+                f"shard worker {shard_index} failed to start within the "
+                f"revive deadline ({timeout:g}s)",
             )
-            process.start()
-            self._workers.append(
-                _ShardWorker(
-                    process, tasks, acked, ack_cond, ready, failed, scatter_seconds
-                )
+        if worker.failed.is_set():
+            messages = self.drain_errors()
+            raise WorkerDeadError(
+                shard_index,
+                "; ".join(messages)
+                or f"shard worker {shard_index} failed to start",
             )
+        self.restarts += 1
 
     def __len__(self) -> int:
         return len(self._workers)
@@ -237,6 +324,10 @@ class ShardWorkerPool:
             "repro_pool_worker_deaths_total",
             "Shard worker processes observed dead by the parent.",
         )
+        self._m_restarts = metrics.counter(
+            "repro_pool_worker_restarts_total",
+            "Shard worker processes revived by a supervisor.",
+        )
         return self
 
     def sync_metrics(self) -> None:
@@ -251,10 +342,13 @@ class ShardWorkerPool:
         self._m_deaths.inc_to(
             sum(1 for worker in self._workers if not worker.process.is_alive())
         )
+        self._m_restarts.inc_to(self.restarts)
 
     def stats(self) -> Dict[str, Any]:
         """Point-in-time per-worker accounting (no registry required)."""
         return {
+            "supervised": self.supervised,
+            "restarts": self.restarts,
             "workers": [
                 {
                     "shard": index,
@@ -300,19 +394,30 @@ class ShardWorkerPool:
         """
         if self._closed:
             raise RuntimeError("shard worker pool is closed")
-        if self.failed:
+        if not self.supervised and self.failed:
             # Fail fast: a worker that errored (e.g. died during init) keeps
             # acking-and-discarding; without this check a long ingestion
             # would silently drop every batch for that shard until the next
-            # drain.
+            # drain.  Supervised pools localize instead: the per-worker
+            # checks below raise WorkerDeadError for the affected shard
+            # only, so batches for healthy shards keep flowing while the
+            # supervisor rebuilds the dead one.
             self._raise_errors(expect_failure=True)
         worker = self._workers[shard_index]
         wait_start = time.perf_counter() if self._obs is not None else 0.0
         while True:
             if not worker.process.is_alive():
+                if self.supervised:
+                    raise WorkerDeadError(
+                        shard_index, f"shard worker {shard_index} died"
+                    )
                 self._raise_errors()
-                raise RuntimeError(f"shard worker {shard_index} died")
+                raise WorkerDeadError(shard_index, f"shard worker {shard_index} died")
             if worker.failed.is_set():
+                if self.supervised:
+                    raise WorkerDeadError(
+                        shard_index, f"shard worker {shard_index} failed"
+                    )
                 self._raise_errors(expect_failure=True)
             try:
                 worker.tasks.put((keys, counts), timeout=0.05)
@@ -323,27 +428,55 @@ class ShardWorkerPool:
         if self._obs is not None:
             self._m_queue_wait.observe(time.perf_counter() - wait_start)
 
-    def join(self) -> None:
+    def join(self, exclude=frozenset()) -> None:
         """Block until every submitted batch has been ingested.
 
         Event-driven: each worker notifies its ack condition per batch, so
         the parent sleeps between acks instead of burning a core polling —
         the waits below only wake early to notice a dead worker.
+
+        ``exclude`` names shard indices to skip — a supervised caller
+        drains the *survivors* while a dead shard awaits rebuild.  With a
+        non-empty exclude set, stale error messages from the excluded
+        (dead) workers are discarded instead of raised.
         """
         for index, worker in enumerate(self._workers):
+            if index in exclude:
+                continue
             with worker.ack_cond:
                 while not worker.drained():
                     if worker.failed.is_set():
                         break
                     if not worker.process.is_alive():
-                        self._raise_errors()
-                        raise RuntimeError(
-                            f"shard worker {index} died with batches outstanding"
+                        if not exclude:
+                            self._raise_errors()
+                        raise WorkerDeadError(
+                            index,
+                            f"shard worker {index} died with batches outstanding",
                         )
                     worker.ack_cond.wait(_LIVENESS_CHECK_SECONDS)
             if worker.failed.is_set():
+                if exclude:
+                    raise WorkerDeadError(index, f"shard worker {index} failed")
                 self._raise_errors(expect_failure=True)
-        self._raise_errors()
+        if exclude:
+            self.drain_errors()
+        else:
+            self._raise_errors()
+
+    def drain_errors(self) -> List[str]:
+        """Collect (without raising) any queued worker error messages.
+
+        The supervised path uses this after a worker death is already
+        attributed: the messages go to logs/metrics, and must not poison
+        the next healthy operation the way :meth:`_raise_errors` would.
+        """
+        messages: List[str] = []
+        while True:
+            try:
+                messages.append(self._errors.get_nowait())
+            except queue_module.Empty:
+                return messages
 
     def _raise_errors(self, expect_failure: bool = False) -> None:
         """Drain the error queue and raise its messages, if any.

@@ -1,0 +1,44 @@
+"""Fault tolerance for the streaming stack: WAL, supervision, retry, chaos.
+
+Four pieces, composed by the service and clients:
+
+- :mod:`repro.resilience.wal` — per-shard write-ahead log of acked ingest
+  batches; snapshot + replay recovers every acked key after SIGKILL.
+- :mod:`repro.resilience.supervisor` — restart budget / circuit breaker
+  policy and the snapshot shard-state loader used to rebuild a single
+  crashed shard worker.
+- :mod:`repro.resilience.retry` — client retry policy (exponential
+  backoff + jitter + budget); paired with idempotency IDs and the
+  service's dedup window so retries never double-count.
+- :mod:`repro.resilience.failpoints` — named fault-injection sites
+  powering the chaos test suite.
+"""
+
+from repro.resilience.failpoints import (
+    FailPointError,
+    arm,
+    arm_from_env,
+    disarm,
+    disarm_all,
+    fire,
+)
+from repro.resilience.retry import DEFAULT_RETRY_POLICY, RetryPolicy
+from repro.resilience.supervisor import RestartBudget, load_shard_state
+from repro.resilience.wal import ServiceWAL, ShardWAL, WALError, WALRecord
+
+__all__ = [
+    "DEFAULT_RETRY_POLICY",
+    "FailPointError",
+    "RestartBudget",
+    "RetryPolicy",
+    "ServiceWAL",
+    "ShardWAL",
+    "WALError",
+    "WALRecord",
+    "arm",
+    "arm_from_env",
+    "disarm",
+    "disarm_all",
+    "fire",
+    "load_shard_state",
+]

@@ -1,0 +1,174 @@
+"""Named fault-injection sites (fail points) for the chaos test suite.
+
+Production code calls :func:`fire` at the places failures actually happen —
+WAL record writes, worker ingest loops, connection accept, snapshot rename.
+In normal operation every ``fire`` is a dictionary truthiness check and a
+return; a test *arms* a site first, by API in-process or through the
+``REPRO_FAILPOINTS`` environment variable for subprocesses (the shard
+workers re-arm from the environment at spawn, so a parent-set variable
+reaches them under any multiprocessing start method):
+
+    REPRO_FAILPOINTS="wal.append.mid=3*kill,service.accept=2*raise"
+
+The spec grammar is ``name=action`` entries separated by ``,`` (or ``;``),
+where ``action`` is one of
+
+``kill``
+    ``SIGKILL`` the calling process — no atexit, no flush, the honest
+    crash the durability tests need.
+``exit``
+    ``os._exit(1)`` — a hard exit that still skips cleanup but reports a
+    code instead of a signal.
+``raise``
+    Raise :class:`FailPointError` at the site (exercises error paths:
+    refused connections, failed worker batches, WAL I/O errors).
+``sleep:SECONDS``
+    Delay the site (races, timeouts, staleness windows).
+
+An action may be prefixed ``N*`` to trigger on the *N-th* hit of the site
+(1-based) instead of the first; earlier hits pass through untouched.  Every
+trigger disarms the site, so one armed fail point induces exactly one
+fault — the recovery that follows runs against healthy code.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+import time
+from typing import Dict, Optional
+
+__all__ = [
+    "ENV_VAR",
+    "FailPointError",
+    "arm",
+    "arm_from_env",
+    "armed",
+    "disarm",
+    "disarm_all",
+    "fire",
+    "parse_spec",
+]
+
+#: Environment variable the spawn-side :func:`arm_from_env` reads.
+ENV_VAR = "REPRO_FAILPOINTS"
+
+_ACTIONS = ("kill", "exit", "raise", "sleep")
+
+
+class FailPointError(RuntimeError):
+    """The induced failure an armed ``raise`` fail point throws."""
+
+
+class _FailPoint:
+    __slots__ = ("name", "action", "hit", "seconds", "hits")
+
+    def __init__(self, name: str, action: str, hit: int, seconds: float) -> None:
+        self.name = name
+        self.action = action
+        self.hit = hit
+        self.seconds = seconds
+        self.hits = 0
+
+
+# The armed registry.  ``fire`` reads it without the lock — arming happens
+# in test setup, firing on hot paths, and a stale read during arming is a
+# non-event (the next hit sees it) — while arm/disarm serialize writes.
+_ARMED: Dict[str, _FailPoint] = {}
+_LOCK = threading.Lock()
+
+
+def parse_spec(text: str) -> Dict[str, tuple]:
+    """Parse an ``ENV_VAR`` spec into ``{name: (action, hit, seconds)}``."""
+    parsed: Dict[str, tuple] = {}
+    for raw in text.replace(";", ",").split(","):
+        entry = raw.strip()
+        if not entry:
+            continue
+        if "=" not in entry:
+            raise ValueError(f"fail point entry {entry!r} is missing '='")
+        name, action = entry.split("=", 1)
+        name = name.strip()
+        action = action.strip()
+        hit = 1
+        if "*" in action:
+            count_text, action = action.split("*", 1)
+            try:
+                hit = int(count_text)
+            except ValueError as error:
+                raise ValueError(
+                    f"fail point {name!r}: bad hit count {count_text!r}"
+                ) from error
+            if hit < 1:
+                raise ValueError(f"fail point {name!r}: hit count must be >= 1")
+        seconds = 0.0
+        if action.startswith("sleep:"):
+            seconds = float(action.split(":", 1)[1])
+            action = "sleep"
+        if action not in _ACTIONS:
+            raise ValueError(
+                f"fail point {name!r}: unknown action {action!r} "
+                f"(expected one of {_ACTIONS})"
+            )
+        parsed[name] = (action, hit, seconds)
+    return parsed
+
+
+def arm(name: str, action: str, *, hit: int = 1, seconds: float = 0.0) -> None:
+    """Arm one site.  ``hit`` is the 1-based call on which it triggers."""
+    if action not in _ACTIONS:
+        raise ValueError(f"unknown fail point action {action!r}")
+    if hit < 1:
+        raise ValueError("hit count must be >= 1")
+    with _LOCK:
+        _ARMED[name] = _FailPoint(name, action, hit, seconds)
+
+
+def arm_from_env(environ=None) -> int:
+    """Arm every site the ``ENV_VAR`` spec names; returns how many."""
+    text = (environ if environ is not None else os.environ).get(ENV_VAR, "")
+    if not text:
+        return 0
+    entries = parse_spec(text)
+    for name, (action, hit, seconds) in entries.items():
+        arm(name, action, hit=hit, seconds=seconds)
+    return len(entries)
+
+
+def disarm(name: str) -> None:
+    with _LOCK:
+        _ARMED.pop(name, None)
+
+
+def disarm_all() -> None:
+    with _LOCK:
+        _ARMED.clear()
+
+
+def armed() -> Dict[str, str]:
+    """Snapshot of armed sites (for stats/debugging)."""
+    with _LOCK:
+        return {point.name: point.action for point in _ARMED.values()}
+
+
+def fire(name: str) -> None:
+    """Hit a site.  A no-op unless a test armed this exact name."""
+    if not _ARMED:  # the hot-path guard: one dict truthiness check
+        return
+    point = _ARMED.get(name)
+    if point is None:
+        return
+    point.hits += 1
+    if point.hits < point.hit:
+        return
+    disarm(name)
+    if point.action == "kill":
+        os.kill(os.getpid(), signal.SIGKILL)
+        time.sleep(60.0)  # pragma: no cover — the signal is not survivable
+    elif point.action == "exit":
+        os._exit(1)
+    elif point.action == "sleep":
+        time.sleep(point.seconds)
+    else:
+        raise FailPointError(f"fail point {name!r} triggered")

@@ -1,0 +1,123 @@
+"""Client-side retry policy: bounded exponential backoff with jitter.
+
+A :class:`RetryPolicy` is a small value object the streaming clients
+consult when a *transport* failure interrupts a request — connection
+refused while the service restarts, a connection the service dropped
+mid-flight, a socket reset when a worker crash parked and un-parked the
+listener.  Application-level errors (the service answered ``ok: false``)
+are never retried: the service saw the request and judged it, and
+retrying a judged request is how duplicates happen.
+
+Retried *ingests* are made safe by idempotency IDs: the client stamps
+each batch with a unique request id, the service keeps a dedup window of
+recently applied ids (rebuilt from the WAL on restart), and a retransmit
+of an already-applied batch is acknowledged without being re-counted.
+
+The policy is deterministic given its ``rng`` — tests inject a seeded
+``random.Random`` to pin jitter.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Iterator, Optional
+
+__all__ = ["RetryPolicy", "DEFAULT_RETRY_POLICY"]
+
+
+class RetryPolicy:
+    """How many times, and how patiently, to retry transport failures.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total tries including the first (``3`` means one original request
+        plus up to two retries).
+    base_delay / max_delay:
+        Backoff sleeps grow ``base_delay * multiplier**i`` capped at
+        ``max_delay``.
+    jitter:
+        Fraction of each sleep drawn uniformly at random (``0.5`` means a
+        sleep is uniform in ``[0.5*d, d]``) — avoids reconnect stampedes
+        when many clients lost the same service.
+    budget_seconds:
+        Optional wall-clock cap over the whole retry sequence; once spent,
+        no further retries even if attempts remain.
+    """
+
+    __slots__ = (
+        "max_attempts",
+        "base_delay",
+        "max_delay",
+        "multiplier",
+        "jitter",
+        "budget_seconds",
+        "_rng",
+    )
+
+    def __init__(
+        self,
+        *,
+        max_attempts: int = 4,
+        base_delay: float = 0.05,
+        max_delay: float = 2.0,
+        multiplier: float = 2.0,
+        jitter: float = 0.5,
+        budget_seconds: Optional[float] = None,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if base_delay < 0 or max_delay < 0:
+            raise ValueError("delays must be non-negative")
+        if not 0.0 <= jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+        if multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        self.max_attempts = int(max_attempts)
+        self.base_delay = float(base_delay)
+        self.max_delay = float(max_delay)
+        self.multiplier = float(multiplier)
+        self.jitter = float(jitter)
+        self.budget_seconds = budget_seconds
+        self._rng = rng if rng is not None else random.Random()
+
+    def delay(self, attempt: int) -> float:
+        """Jittered sleep before retry number ``attempt`` (1-based)."""
+        raw = min(self.max_delay, self.base_delay * self.multiplier ** (attempt - 1))
+        if self.jitter:
+            low = raw * (1.0 - self.jitter)
+            return low + (raw - low) * self._rng.random()
+        return raw
+
+    def delays(self) -> Iterator[float]:
+        """Yield one sleep per permitted retry, honoring the time budget.
+
+        The sequence is bounded by ``max_attempts - 1`` entries; with a
+        ``budget_seconds`` it stops early once the projected sleep would
+        overrun the budget.  Callers loop ``for pause in policy.delays():
+        sleep(pause); try again``.
+        """
+        deadline = (
+            time.monotonic() + self.budget_seconds
+            if self.budget_seconds is not None
+            else None
+        )
+        for attempt in range(1, self.max_attempts):
+            pause = self.delay(attempt)
+            if deadline is not None and time.monotonic() + pause > deadline:
+                return
+            yield pause
+
+    def __repr__(self) -> str:
+        return (
+            f"RetryPolicy(max_attempts={self.max_attempts}, "
+            f"base_delay={self.base_delay}, max_delay={self.max_delay}, "
+            f"jitter={self.jitter}, budget_seconds={self.budget_seconds})"
+        )
+
+
+#: A sensible default for interactive clients: four attempts, ~50 ms to
+#: ~2 s backoff.  Opt-in — clients without a policy keep fail-fast behavior.
+DEFAULT_RETRY_POLICY = RetryPolicy()

@@ -1,0 +1,182 @@
+"""Shard supervision primitives: restart budget and snapshot shard loader.
+
+The policy half of self-healing lives here; the mechanics (reviving the
+worker process, copying counter state back into shared memory, replaying
+the WAL lane) live with the code that owns those resources
+(``core/sharding.py`` and ``service/server.py``).
+
+:class:`RestartBudget` is the circuit breaker: each shard gets one, and a
+supervised restart is attempted only while the budget allows it.  Too many
+restarts inside the sliding window opens the circuit — at that point the
+service parks itself the way an unsupervised one would, because a shard
+that keeps dying is a bug, not a blip, and looping SIGKILL→rebuild forever
+would hide it.
+
+:func:`load_shard_state` digs one shard's dense counter table out of a
+session snapshot file without building the whole estimator (no worker
+pool, no shm segments): snapshot → embedded sharded buffer → that shard's
+blob → dense rehydrate → table array.
+"""
+
+from __future__ import annotations
+
+import collections
+import os
+import random
+import time
+from typing import Deque, Optional
+
+import numpy as np
+
+__all__ = ["RestartBudget", "load_shard_state"]
+
+
+class RestartBudget:
+    """Sliding-window restart allowance with exponential backoff.
+
+    ``max_restarts`` attempts are allowed inside any ``window_seconds``
+    span; one more trips the breaker (:attr:`tripped`).  Consecutive
+    failures also grow the pre-restart delay exponentially (with jitter,
+    so multi-shard crashes don't restart in lockstep); a recorded success
+    resets the delay ladder but *not* the window — a shard that dies every
+    few seconds trips the breaker even if each rebuild "succeeds".
+    """
+
+    __slots__ = (
+        "max_restarts",
+        "window_seconds",
+        "base_delay",
+        "max_delay",
+        "jitter",
+        "_attempts",
+        "_consecutive",
+        "_tripped",
+        "_rng",
+        "_clock",
+    )
+
+    def __init__(
+        self,
+        *,
+        max_restarts: int = 5,
+        window_seconds: float = 60.0,
+        base_delay: float = 0.1,
+        max_delay: float = 5.0,
+        jitter: float = 0.25,
+        rng: Optional[random.Random] = None,
+        clock=time.monotonic,
+    ) -> None:
+        if max_restarts < 1:
+            raise ValueError("max_restarts must be >= 1")
+        if window_seconds <= 0:
+            raise ValueError("window_seconds must be positive")
+        self.max_restarts = int(max_restarts)
+        self.window_seconds = float(window_seconds)
+        self.base_delay = float(base_delay)
+        self.max_delay = float(max_delay)
+        self.jitter = float(jitter)
+        self._attempts: Deque[float] = collections.deque()
+        self._consecutive = 0
+        self._tripped = False
+        self._rng = rng if rng is not None else random.Random()
+        self._clock = clock
+
+    def _prune(self, now: float) -> None:
+        horizon = now - self.window_seconds
+        while self._attempts and self._attempts[0] < horizon:
+            self._attempts.popleft()
+
+    @property
+    def tripped(self) -> bool:
+        """True once the breaker opened; only :meth:`reset` closes it."""
+        return self._tripped
+
+    @property
+    def consecutive_failures(self) -> int:
+        return self._consecutive
+
+    def allow(self) -> bool:
+        """Whether one more restart attempt fits in the window."""
+        if self._tripped:
+            return False
+        self._prune(self._clock())
+        if len(self._attempts) >= self.max_restarts:
+            self._tripped = True
+            return False
+        return True
+
+    def next_delay(self) -> float:
+        """Jittered backoff to sleep before the next restart attempt."""
+        raw = min(self.max_delay, self.base_delay * 2.0 ** self._consecutive)
+        if self.jitter:
+            low = raw * (1.0 - self.jitter)
+            return low + (raw - low) * self._rng.random()
+        return raw
+
+    def record_attempt(self) -> None:
+        """Count a restart attempt against the window (call before it)."""
+        now = self._clock()
+        self._prune(now)
+        self._attempts.append(now)
+        self._consecutive += 1
+
+    def record_success(self) -> None:
+        """A rebuild completed: reset the backoff ladder."""
+        self._consecutive = 0
+
+    def reset(self) -> None:
+        """Close the breaker and forget history (operator intervention)."""
+        self._attempts.clear()
+        self._consecutive = 0
+        self._tripped = False
+
+    def stats(self) -> dict:
+        self._prune(self._clock())
+        return {
+            "tripped": self._tripped,
+            "attempts_in_window": len(self._attempts),
+            "max_restarts": self.max_restarts,
+            "window_seconds": self.window_seconds,
+            "consecutive_failures": self._consecutive,
+        }
+
+
+def load_shard_state(snapshot_path, shard_index: int) -> Optional[np.ndarray]:
+    """One shard's dense counter table from a session snapshot file.
+
+    Returns ``None`` when no snapshot exists yet (a service that crashed
+    before its first snapshot recovers from a blank table + full WAL
+    replay).  Raises if the snapshot exists but does not hold a sharded
+    estimator with that shard — the caller should not silently rebuild a
+    blank shard when the snapshot it trusted is unusable.
+    """
+    from repro.sketches.serialization import SerializationError, loads, unpack
+
+    path = os.fspath(snapshot_path)
+    try:
+        with open(path, "rb") as handle:
+            data = handle.read()
+    except FileNotFoundError:
+        return None
+    _, _, session_arrays = unpack(data, expect_tag="session")
+    if "estimator" not in session_arrays:
+        raise SerializationError("snapshot is missing its estimator blob")
+    _, _, shard_arrays = unpack(
+        session_arrays["estimator"].tobytes(), expect_tag="sharded"
+    )
+    name = f"shard_{shard_index}"
+    if name not in shard_arrays:
+        raise SerializationError(f"snapshot holds no state for {name!r}")
+    # Dense rehydrate: no shm allocation, no worker pool — just the table.
+    shard = loads(shard_arrays[name].tobytes(), storage="dense")
+    field = getattr(shard, "_STORAGE_FIELD", None)
+    if field is None:
+        raise SerializationError(
+            "snapshot shard is not a storage-backed sketch; supervised "
+            "rebuild needs a counter table to restore"
+        )
+    table = np.array(getattr(shard, field), copy=True)
+    close = getattr(shard, "close", None)
+    if close is not None:
+        close()
+    return table

@@ -1,0 +1,559 @@
+"""Write-ahead log: acked ingest batches survive SIGKILL, not just SIGTERM.
+
+The streaming service's durability contract used to be "every *acked* batch
+is in the shutdown snapshot" — which holds only for *graceful* shutdown.
+This module extends it across hard kills: before a batch is acknowledged it
+is appended to an append-only log, so recovery is ``restore(snapshot)`` +
+replay of every record the snapshot does not cover.
+
+Layout and format
+-----------------
+A :class:`ShardWAL` is one *lane*: a directory of numbered append-only
+segment files plus a ``CHECKPOINT`` marker::
+
+    <dir>/00000000.wal        records, appended in seq order
+    <dir>/00000001.wal        opened when the previous segment filled up
+    <dir>/CHECKPOINT          JSON {"seq": S}: records <= S are in a snapshot
+
+Each record is CRC-framed::
+
+    magic "WREC" | seq u64 | payload_len u32 | crc32(payload) u32 | payload
+
+and the payload is a one-line JSON header (count, dtype or inline JSON
+keys, counts flag, optional idempotency id) followed by the raw
+little-endian key/count bytes.  Replay stops at the first record whose
+frame or CRC does not check out — a torn tail from a crash mid-append — and
+truncates it away, so the log is always a *prefix* of what was appended,
+which is exactly the set of batches that could have been acknowledged.
+
+Appends are flushed to the OS before the service acknowledges the batch:
+that survives process death (SIGKILL) by construction, because the page
+cache outlives the process.  ``sync="always"`` additionally ``fsync``\\ s
+every record for machine-crash durability at a per-record syscall cost;
+the default ``sync="os"`` matches the threat model of the chaos suite.
+
+``checkpoint(seq)`` is called after a snapshot that covers every record up
+to ``seq``: it persists the marker (atomically, fsynced) and prunes
+segments wholly below it, bounding log growth to one snapshot interval.
+
+:class:`ServiceWAL` bundles one lane per shard behind the same router the
+sharded estimator uses, so a single shard can be rebuilt from *its* slice
+of the log (spec + last snapshot shard state + lane replay) without
+touching the survivors.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import threading
+import zlib
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.resilience import failpoints
+
+__all__ = ["WALError", "WALRecord", "ShardWAL", "ServiceWAL"]
+
+_MAGIC = b"WREC"
+_FRAME = struct.Struct("<4sQII")  # magic, seq, payload_len, crc32(payload)
+
+#: Default segment rotation threshold.
+DEFAULT_SEGMENT_BYTES = 8 << 20
+
+#: Hard bound on one record's payload — a frame whose declared length is
+#: beyond this is treated as corruption, not as a 4 GiB read request.
+_MAX_PAYLOAD_BYTES = 256 << 20
+
+_CHECKPOINT_NAME = "CHECKPOINT"
+
+#: Key dtypes that travel as raw bytes; anything else is JSON-encoded.
+_BINARY_DTYPES = {"<i8", "<u8", "<f8"}
+
+
+class WALError(RuntimeError):
+    """The write-ahead log could not be appended, read, or checkpointed."""
+
+
+class WALRecord:
+    """One decoded log record: an acked (keys, counts) batch."""
+
+    __slots__ = ("seq", "keys", "counts", "request_id")
+
+    def __init__(self, seq, keys, counts, request_id) -> None:
+        self.seq = seq
+        self.keys = keys
+        self.counts = counts
+        self.request_id = request_id
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    def __repr__(self) -> str:
+        return (
+            f"WALRecord(seq={self.seq}, n={len(self.keys)}, "
+            f"request_id={self.request_id!r})"
+        )
+
+
+def _encode_payload(keys, counts, request_id: Optional[str]) -> bytes:
+    header: Dict[str, Any] = {"n": int(len(keys))}
+    if request_id is not None:
+        header["rid"] = request_id
+    body = b""
+    if (
+        isinstance(keys, np.ndarray)
+        and keys.dtype.kind in "iuf"
+        and keys.dtype.newbyteorder("<").str in _BINARY_DTYPES
+    ):
+        wire = keys.dtype.newbyteorder("<")
+        header["dtype"] = wire.str
+        body += np.ascontiguousarray(keys).astype(wire, copy=False).tobytes()
+    elif isinstance(keys, np.ndarray):
+        header["keys"] = keys.tolist()
+    else:
+        header["keys"] = list(keys)
+    if counts is not None:
+        header["with_counts"] = True
+        body += np.ascontiguousarray(counts, dtype="<i8").tobytes()
+    return json.dumps(header, separators=(",", ":")).encode("utf-8") + b"\n" + body
+
+
+def _decode_payload(payload: bytes) -> Tuple[Any, Optional[np.ndarray], Optional[str]]:
+    newline = payload.index(b"\n")
+    header = json.loads(payload[:newline].decode("utf-8"))
+    body = payload[newline + 1 :]
+    n = int(header["n"])
+    offset = 0
+    if "dtype" in header:
+        dtype = np.dtype(header["dtype"])
+        offset = n * dtype.itemsize
+        keys = np.frombuffer(body[:offset], dtype=dtype).astype(
+            dtype.newbyteorder("="), copy=False
+        )
+    else:
+        keys = header["keys"]
+    counts = None
+    if header.get("with_counts"):
+        counts = np.frombuffer(
+            body[offset : offset + n * 8], dtype="<i8"
+        ).astype(np.int64, copy=False)
+    return keys, counts, header.get("rid")
+
+
+class ShardWAL:
+    """One append-only lane of CRC-framed batch records.
+
+    Thread-safe for the pattern the service uses: appends from the event
+    loop, checkpoint/replay from the estimator thread.
+    """
+
+    def __init__(
+        self,
+        directory,
+        *,
+        segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+        sync: str = "os",
+    ) -> None:
+        if sync not in ("os", "always"):
+            raise ValueError(f"sync must be 'os' or 'always', got {sync!r}")
+        self.directory = os.fspath(directory)
+        self.segment_bytes = int(segment_bytes)
+        self.sync = sync
+        self._lock = threading.Lock()
+        self._handle = None
+        self._segment_paths: List[str] = []
+        self._segment_max: Dict[str, int] = {}  # path -> max seq it holds
+        self._appended_records = 0
+        self._truncated_records = 0
+        os.makedirs(self.directory, exist_ok=True)
+        self.checkpoint_seq = self._read_checkpoint()
+        self._last_seq = self.checkpoint_seq
+        self._recover_segments()
+        self._open_tail()
+
+    # ------------------------------------------------------------------
+    # recovery / bookkeeping
+    # ------------------------------------------------------------------
+    def _checkpoint_path(self) -> str:
+        return os.path.join(self.directory, _CHECKPOINT_NAME)
+
+    def _read_checkpoint(self) -> int:
+        try:
+            with open(self._checkpoint_path(), "r", encoding="utf-8") as handle:
+                return int(json.load(handle)["seq"])
+        except FileNotFoundError:
+            return 0
+        except (ValueError, KeyError, OSError) as error:
+            raise WALError(f"unreadable WAL checkpoint marker: {error}") from error
+
+    def _list_segments(self) -> List[str]:
+        names = sorted(
+            name
+            for name in os.listdir(self.directory)
+            if name.endswith(".wal") and name[:-4].isdigit()
+        )
+        return [os.path.join(self.directory, name) for name in names]
+
+    def _scan_segment(self, path: str) -> Tuple[int, int, int]:
+        """Validate one segment: (records, max_seq, valid_byte_length)."""
+        records = 0
+        max_seq = 0
+        offset = 0
+        size = os.path.getsize(path)
+        with open(path, "rb") as handle:
+            while True:
+                frame = handle.read(_FRAME.size)
+                if len(frame) < _FRAME.size:
+                    break
+                magic, seq, length, crc = _FRAME.unpack(frame)
+                if magic != _MAGIC or length > _MAX_PAYLOAD_BYTES:
+                    break
+                if offset + _FRAME.size + length > size:
+                    break  # torn tail: payload shorter than declared
+                payload = handle.read(length)
+                if len(payload) < length or zlib.crc32(payload) != crc:
+                    break
+                records += 1
+                max_seq = max(max_seq, seq)
+                offset += _FRAME.size + length
+                handle.seek(offset)
+        return records, max_seq, offset
+
+    def _recover_segments(self) -> None:
+        """Scan every segment, truncating the first torn/corrupt record.
+
+        Everything past the first invalid record is discarded — records are
+        appended (and acknowledged) strictly in order, so nothing after a
+        tear can correspond to an acknowledged batch.
+        """
+        segments = self._list_segments()
+        survivors: List[str] = []
+        tear_found = False
+        for index, path in enumerate(segments):
+            if tear_found:
+                os.unlink(path)
+                continue
+            records, max_seq, valid_length = self._scan_segment(path)
+            size = os.path.getsize(path)
+            if valid_length < size:
+                tear_found = True
+                self._truncated_records += 1
+                with open(path, "r+b") as handle:
+                    handle.truncate(valid_length)
+            if records == 0 and valid_length == 0 and index < len(segments) - 1:
+                os.unlink(path)
+                continue
+            survivors.append(path)
+            self._segment_max[path] = max_seq
+            self._last_seq = max(self._last_seq, max_seq)
+        self._segment_paths = survivors
+
+    def _segment_path(self, index: int) -> str:
+        return os.path.join(self.directory, f"{index:08d}.wal")
+
+    def _open_tail(self) -> None:
+        if self._segment_paths:
+            path = self._segment_paths[-1]
+        else:
+            path = self._segment_path(0)
+            self._segment_paths.append(path)
+            self._segment_max[path] = 0
+        self._handle = open(path, "ab")
+
+    def _rotate(self) -> None:
+        self._handle.flush()
+        self._handle.close()
+        tail = self._segment_paths[-1]
+        index = int(os.path.basename(tail)[:-4]) + 1
+        path = self._segment_path(index)
+        self._segment_paths.append(path)
+        self._segment_max[path] = 0
+        self._handle = open(path, "ab")
+
+    # ------------------------------------------------------------------
+    # the write path
+    # ------------------------------------------------------------------
+    @property
+    def last_seq(self) -> int:
+        return self._last_seq
+
+    def append(self, keys, counts=None, request_id: Optional[str] = None) -> int:
+        """Durably record one acked batch; returns its sequence number.
+
+        On any write error the partial record is truncated away before the
+        error propagates, so a failed append never poisons the log for the
+        appends that follow it.
+        """
+        with self._lock:
+            if self._handle is None:
+                raise WALError("write-ahead log is closed")
+            failpoints.fire("wal.append.before")
+            payload = _encode_payload(keys, counts, request_id)
+            seq = self._last_seq + 1
+            frame = _FRAME.pack(_MAGIC, seq, len(payload), zlib.crc32(payload))
+            start = self._handle.tell()
+            try:
+                self._handle.write(frame)
+                if failpoints.armed():
+                    # Make a mid-append kill genuinely torn: push the frame
+                    # header to the OS before the site fires, so the file
+                    # ends with a header whose payload never arrived.
+                    self._handle.flush()
+                    failpoints.fire("wal.append.mid")
+                self._handle.write(payload)
+                self._handle.flush()
+                failpoints.fire("wal.fsync")
+                if self.sync == "always":
+                    os.fsync(self._handle.fileno())
+            except failpoints.FailPointError:
+                self._truncate_back(start)
+                raise
+            except OSError as error:
+                self._truncate_back(start)
+                raise WALError(f"WAL append failed: {error}") from error
+            self._last_seq = seq
+            self._appended_records += 1
+            tail = self._segment_paths[-1]
+            self._segment_max[tail] = seq
+            failpoints.fire("wal.append.after")
+            if self._handle.tell() >= self.segment_bytes:
+                self._rotate()
+            return seq
+
+    def _truncate_back(self, offset: int) -> None:
+        try:
+            self._handle.seek(offset)
+            self._handle.truncate(offset)
+        except OSError:
+            # Could not even truncate: close the lane so later appends fail
+            # loudly instead of appending after a torn record.
+            try:
+                self._handle.close()
+            finally:
+                self._handle = None
+
+    # ------------------------------------------------------------------
+    # checkpoint / replay
+    # ------------------------------------------------------------------
+    def checkpoint(self, seq: Optional[int] = None) -> int:
+        """Mark records ``<= seq`` as covered by a snapshot; prune segments.
+
+        ``seq`` defaults to the current :attr:`last_seq`.  The marker write
+        is atomic and fsynced (a checkpoint that claims coverage it cannot
+        prove would replay-skip acked data after a crash).
+        """
+        with self._lock:
+            if seq is None:
+                seq = self._last_seq
+            seq = int(seq)
+            if seq < self.checkpoint_seq:
+                return self.checkpoint_seq
+            path = self._checkpoint_path()
+            tmp_path = f"{path}.tmp.{os.getpid()}"
+            with open(tmp_path, "w", encoding="utf-8") as handle:
+                json.dump({"seq": seq}, handle)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_path, path)
+            self._fsync_directory()
+            self.checkpoint_seq = seq
+            if self._handle is not None and self._handle.tell() > 0:
+                # Rotate so the tail segment can be pruned by the *next*
+                # checkpoint even if no append triggers size rotation.
+                self._rotate()
+            for segment in list(self._segment_paths[:-1]):
+                if self._segment_max.get(segment, 0) <= seq:
+                    os.unlink(segment)
+                    self._segment_paths.remove(segment)
+                    self._segment_max.pop(segment, None)
+            return seq
+
+    def _fsync_directory(self) -> None:
+        try:
+            dir_fd = os.open(self.directory, os.O_RDONLY)
+        except OSError:
+            return
+        try:
+            os.fsync(dir_fd)
+        except OSError:
+            pass
+        finally:
+            os.close(dir_fd)
+
+    def replay(self, upto: Optional[int] = None) -> Iterator[WALRecord]:
+        """Yield records past the checkpoint, in order, stopping at a tear.
+
+        ``upto`` bounds replay to records with ``seq <= upto`` — the shard
+        supervisor replays only what the pump has already processed, so
+        batches still in the service buffer are not double-applied.
+        """
+        with self._lock:
+            segments = list(self._segment_paths)
+            if self._handle is not None:
+                self._handle.flush()
+        for path in segments:
+            try:
+                size = os.path.getsize(path)
+            except FileNotFoundError:
+                continue  # pruned by a concurrent checkpoint
+            with open(path, "rb") as handle:
+                offset = 0
+                while True:
+                    frame = handle.read(_FRAME.size)
+                    if len(frame) < _FRAME.size:
+                        break
+                    magic, seq, length, crc = _FRAME.unpack(frame)
+                    if (
+                        magic != _MAGIC
+                        or length > _MAX_PAYLOAD_BYTES
+                        or offset + _FRAME.size + length > size
+                    ):
+                        return  # torn tail: everything past it is unacked
+                    payload = handle.read(length)
+                    if len(payload) < length or zlib.crc32(payload) != crc:
+                        return
+                    offset += _FRAME.size + length
+                    if upto is not None and seq > upto:
+                        return
+                    if seq > self.checkpoint_seq:
+                        keys, counts, request_id = _decode_payload(payload)
+                        yield WALRecord(seq, keys, counts, request_id)
+
+    # ------------------------------------------------------------------
+    # lifecycle / introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "last_seq": self._last_seq,
+            "checkpoint_seq": self.checkpoint_seq,
+            "segments": len(self._segment_paths),
+            "appended_records": self._appended_records,
+            "truncated_records": self._truncated_records,
+        }
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                try:
+                    self._handle.flush()
+                    self._handle.close()
+                finally:
+                    self._handle = None
+
+    def __enter__(self) -> "ShardWAL":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class ServiceWAL:
+    """Per-shard WAL lanes behind the sharded estimator's own router.
+
+    ``router`` maps a normalized key batch to shard indices (the sharded
+    estimator's ``shard_of_keys``); with ``num_lanes == 1`` (unsharded or
+    round-robin estimators, where per-shard slices are not key-determined)
+    everything lands in lane 0 and recovery replays the whole log.
+    """
+
+    def __init__(
+        self,
+        directory,
+        *,
+        num_lanes: int = 1,
+        router: Optional[Callable] = None,
+        segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+        sync: str = "os",
+    ) -> None:
+        if num_lanes < 1:
+            raise ValueError("num_lanes must be >= 1")
+        if num_lanes > 1 and router is None:
+            raise ValueError("multi-lane WALs need a key router")
+        self.directory = os.fspath(directory)
+        self.num_lanes = num_lanes
+        self._router = router
+        self.lanes = [
+            ShardWAL(
+                os.path.join(self.directory, f"shard-{index}"),
+                segment_bytes=segment_bytes,
+                sync=sync,
+            )
+            for index in range(num_lanes)
+        ]
+
+    @staticmethod
+    def _take(items, indices: np.ndarray):
+        if isinstance(items, np.ndarray):
+            return items[indices]
+        return [items[index] for index in indices]
+
+    def append_batch(
+        self, keys, counts=None, request_id: Optional[str] = None
+    ) -> Dict[int, int]:
+        """Append one acked batch, split across lanes; returns lane→seq.
+
+        The split uses the same deterministic routing as ingestion, so a
+        lane's records are exactly the arrivals its shard owns.
+        """
+        if self.num_lanes == 1:
+            return {0: self.lanes[0].append(keys, counts, request_id)}
+        from repro.sketches.base import as_key_batch
+
+        items = keys if isinstance(keys, np.ndarray) else list(keys)
+        key_batch, count_array = as_key_batch(items, counts)
+        assignments = self._router(key_batch)
+        marks: Dict[int, int] = {}
+        for lane_index in range(self.num_lanes):
+            selected = np.flatnonzero(assignments == lane_index)
+            if not selected.size:
+                continue
+            marks[lane_index] = self.lanes[lane_index].append(
+                self._take(items, selected),
+                count_array[selected] if counts is not None else None,
+                request_id,
+            )
+        return marks
+
+    def positions(self) -> Dict[int, int]:
+        """Current last appended seq per lane."""
+        return {index: lane.last_seq for index, lane in enumerate(self.lanes)}
+
+    def checkpoint(self, marks: Optional[Dict[int, int]] = None) -> None:
+        """Checkpoint every lane at ``marks`` (default: current positions)."""
+        for index, lane in enumerate(self.lanes):
+            seq = lane.last_seq if marks is None else marks.get(index, None)
+            if seq is not None:
+                lane.checkpoint(seq)
+
+    def replay(self) -> Iterator[Tuple[int, WALRecord]]:
+        """Yield ``(lane, record)`` for every record past each checkpoint."""
+        for index, lane in enumerate(self.lanes):
+            for record in lane.replay():
+                yield index, record
+
+    def replay_lane(self, lane: int, upto: Optional[int] = None):
+        return self.lanes[lane].replay(upto=upto)
+
+    def pending_records(self) -> int:
+        return sum(
+            max(0, lane.last_seq - lane.checkpoint_seq) for lane in self.lanes
+        )
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "num_lanes": self.num_lanes,
+            "lanes": [lane.stats() for lane in self.lanes],
+        }
+
+    def close(self) -> None:
+        for lane in self.lanes:
+            lane.close()
+
+    def __enter__(self) -> "ServiceWAL":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

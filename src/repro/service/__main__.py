@@ -77,6 +77,39 @@ def main(argv=None) -> int:
         help="bind address of the /metrics listener (default: 127.0.0.1)",
     )
     parser.add_argument(
+        "--wal-dir",
+        help="write-ahead log directory: every acked ingest batch is logged "
+        "before the ack, so a crash (even SIGKILL) loses no acknowledged "
+        "data — restart replays the log on top of the last snapshot",
+    )
+    parser.add_argument(
+        "--wal-sync",
+        choices=("os", "always"),
+        default="os",
+        help="WAL durability: 'os' flushes to the page cache (survives "
+        "process death; default), 'always' fsyncs every record (survives "
+        "power loss, slower)",
+    )
+    parser.add_argument(
+        "--no-supervise",
+        action="store_true",
+        help="disable the shard supervisor (a dead shard worker then parks "
+        "the service instead of being restarted in place)",
+    )
+    parser.add_argument(
+        "--max-restarts",
+        type=int,
+        default=5,
+        help="circuit breaker: park the service after this many restarts of "
+        "one shard within --restart-window seconds",
+    )
+    parser.add_argument(
+        "--restart-window",
+        type=float,
+        default=60.0,
+        help="sliding window (seconds) for the --max-restarts budget",
+    )
+    parser.add_argument(
         "--log-json",
         action="store_true",
         help="emit structured JSON-lines logs (lifecycle events, per-stage "
@@ -96,6 +129,11 @@ def main(argv=None) -> int:
         max_buffered_keys=args.max_buffered_keys,
         metrics_host=args.metrics_host,
         metrics_port=args.metrics_port,
+        wal_dir=args.wal_dir,
+        wal_sync=args.wal_sync,
+        supervise=not args.no_supervise,
+        max_restarts=args.max_restarts,
+        restart_window=args.restart_window,
         log=StructuredLogger("repro.service", sys.stderr) if args.log_json else None,
     )
 

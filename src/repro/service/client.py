@@ -14,25 +14,50 @@ and return estimates as float64 arrays.
         client.ingest(keys)                  # numpy int64 -> binary frame
         live = client.estimate([3, 7, 11])   # answered during ingest
         client.flush()                       # barrier: all acks applied
+
+Resilience: pass ``retry_policy=RetryPolicy(...)`` to ``connect`` and the
+client survives transport failures — a dropped connection is rebuilt and the
+request retried with exponential backoff + jitter.  Every ingest then
+carries an idempotency ID (``request_id``), and the service keeps a dedup
+window keyed on it, so a retry of a batch whose ack was lost in flight is
+acknowledged again *without* double-counting.  Only transport failures are
+retried; an application-level ``{"ok": false}`` always raises immediately,
+and ``shutdown`` is never retried.
 """
 
 from __future__ import annotations
 
 import asyncio
 import socket
+import time
+import uuid
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.resilience.retry import RetryPolicy
 from repro.service import protocol
 from repro.service.protocol import ProtocolError, ServiceError
 
-__all__ = ["StreamingClient", "AsyncStreamingClient", "ServiceError"]
+__all__ = [
+    "StreamingClient",
+    "AsyncStreamingClient",
+    "ConnectionLost",
+    "ServiceError",
+]
 
 
-def _ingest_frame(keys, counts) -> bytes:
+class ConnectionLost(ServiceError):
+    """The transport failed (send, receive, or reconnect) — the request may
+    or may not have reached the service.  Retried automatically when the
+    client has a retry policy and the request is idempotent."""
+
+
+def _ingest_frame(keys, counts, request_id: Optional[str] = None) -> bytes:
     """Encode one ingest request (header + optional binary payload)."""
     header: Dict[str, Any] = {"op": "ingest"}
+    if request_id is not None:
+        header["request_id"] = request_id
     if isinstance(keys, np.ndarray) and keys.dtype.kind in "iuf":
         binary, payload = protocol.binary_ingest_parts(
             keys, None if counts is None else np.asarray(counts, dtype=np.int64)
@@ -54,9 +79,19 @@ def _check(response: Dict[str, Any]) -> Dict[str, Any]:
 class StreamingClient:
     """Blocking socket client; one instance per thread."""
 
-    def __init__(self, sock: socket.socket) -> None:
-        self._sock = sock
+    def __init__(
+        self,
+        sock: socket.socket,
+        *,
+        retry_policy: Optional[RetryPolicy] = None,
+        connect_args: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self._sock: Optional[socket.socket] = sock
         self._reader = sock.makefile("rb")
+        self._retry_policy = retry_policy
+        self._connect_args = connect_args
+        self._rid_prefix = uuid.uuid4().hex[:16]
+        self._rid_seq = 0
 
     @classmethod
     def connect(
@@ -66,30 +101,123 @@ class StreamingClient:
         host: Optional[str] = None,
         port: Optional[int] = None,
         timeout: Optional[float] = 60.0,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> "StreamingClient":
         if (unix_path is None) == (host is None):
             raise ValueError("pass exactly one of unix_path or host/port")
+        sock = cls._open_socket(
+            unix_path=unix_path, host=host, port=port, timeout=timeout
+        )
+        return cls(
+            sock,
+            retry_policy=retry_policy,
+            connect_args={
+                "unix_path": unix_path,
+                "host": host,
+                "port": port,
+                "timeout": timeout,
+            },
+        )
+
+    @staticmethod
+    def _open_socket(
+        *,
+        unix_path: Optional[str],
+        host: Optional[str],
+        port: Optional[int],
+        timeout: Optional[float],
+    ) -> socket.socket:
         if unix_path is not None:
             sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-            sock.settimeout(timeout)
-            sock.connect(unix_path)
-        else:
-            sock = socket.create_connection((host, port), timeout=timeout)
-        return cls(sock)
+            try:
+                sock.settimeout(timeout)
+                sock.connect(unix_path)
+            except BaseException:
+                sock.close()
+                raise
+            return sock
+        return socket.create_connection((host, port), timeout=timeout)
 
-    def _request(self, frame: bytes) -> Dict[str, Any]:
-        self._sock.sendall(frame)
-        line = self._reader.readline()
+    # ------------------------------------------------------------------
+    # transport
+    # ------------------------------------------------------------------
+    def _teardown(self) -> None:
+        """Drop the (possibly broken) transport so the next attempt rebuilds it."""
+        reader, self._reader = self._reader, None
+        sock, self._sock = self._sock, None
+        for resource in (reader, sock):
+            if resource is not None:
+                try:
+                    resource.close()
+                except Exception:
+                    pass
+
+    def _reconnect(self) -> None:
+        if self._connect_args is None:
+            raise ConnectionLost(
+                "cannot reconnect: client was built from a raw socket "
+                "(use StreamingClient.connect for auto-reconnect)"
+            )
+        try:
+            sock = self._open_socket(**self._connect_args)
+        except OSError as error:
+            raise ConnectionLost(f"reconnect failed: {error}") from error
+        self._sock = sock
+        self._reader = sock.makefile("rb")
+
+    def _request_once(self, frame: bytes) -> Dict[str, Any]:
+        if self._sock is None or self._reader is None:
+            raise ConnectionLost("client is not connected")
+        try:
+            self._sock.sendall(frame)
+            line = self._reader.readline()
+        except (OSError, ValueError) as error:
+            raise ConnectionLost(f"transport failed: {error}") from error
         if not line:
-            raise ServiceError("service closed the connection")
+            raise ConnectionLost("service closed the connection")
         return _check(protocol.decode_frame(line))
+
+    def _request(self, frame: bytes, *, idempotent: bool = True) -> Dict[str, Any]:
+        policy = self._retry_policy
+        if policy is None or not idempotent:
+            return self._request_once(frame)
+        delays = policy.delays()
+        while True:
+            try:
+                if self._sock is None:
+                    self._reconnect()
+                return self._request_once(frame)
+            except ConnectionLost as error:
+                self._teardown()
+                try:
+                    delay = next(delays)
+                except StopIteration:
+                    raise ConnectionLost(
+                        f"request failed after "
+                        f"{policy.max_attempts} attempts: {error}"
+                    ) from error
+                time.sleep(delay)
+
+    def _next_request_id(self) -> str:
+        self._rid_seq += 1
+        return f"{self._rid_prefix}-{self._rid_seq}"
 
     # ------------------------------------------------------------------
     # operations
     # ------------------------------------------------------------------
-    def ingest(self, keys, counts=None) -> int:
-        """Ship one batch; returns the acknowledged arrival count."""
-        return int(self._request(_ingest_frame(keys, counts))["ingested"])
+    def ingest(self, keys, counts=None, request_id: Optional[str] = None) -> int:
+        """Ship one batch; returns the acknowledged arrival count.
+
+        With a retry policy, each batch gets an idempotency ID (unless the
+        caller supplies ``request_id``), so a retried batch whose first ack
+        was lost is acknowledged from the service's dedup window instead of
+        being counted twice.
+        """
+        if request_id is None and self._retry_policy is not None:
+            request_id = self._next_request_id()
+        return int(
+            self._request(_ingest_frame(keys, counts, request_id))["ingested"]
+        )
 
     def estimate(self, keys) -> np.ndarray:
         """Live point queries; float64 estimates aligned with ``keys``."""
@@ -130,22 +258,15 @@ class StreamingClient:
         return bool(self._request(protocol.encode_frame({"op": "ping"}))["ok"])
 
     def shutdown(self) -> None:
-        """Ask the service for a graceful drain-snapshot-stop."""
-        self._request(protocol.encode_frame({"op": "shutdown"}))
+        """Ask the service for a graceful drain-snapshot-stop (never retried)."""
+        self._request(protocol.encode_frame({"op": "shutdown"}), idempotent=False)
 
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Idempotent."""
-        try:
-            self._reader.close()
-        except Exception:
-            pass
-        try:
-            self._sock.close()
-        except Exception:
-            pass
+        """Idempotent; safe on a client whose transport already failed."""
+        self._teardown()
 
     def __enter__(self) -> "StreamingClient":
         return self
@@ -158,10 +279,19 @@ class AsyncStreamingClient:
     """The same protocol over asyncio streams."""
 
     def __init__(
-        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        *,
+        retry_policy: Optional[RetryPolicy] = None,
+        connect_args: Optional[Dict[str, Any]] = None,
     ) -> None:
-        self._reader = reader
-        self._writer = writer
+        self._reader: Optional[asyncio.StreamReader] = reader
+        self._writer: Optional[asyncio.StreamWriter] = writer
+        self._retry_policy = retry_policy
+        self._connect_args = connect_args
+        self._rid_prefix = uuid.uuid4().hex[:16]
+        self._rid_seq = 0
 
     @classmethod
     async def connect(
@@ -170,25 +300,107 @@ class AsyncStreamingClient:
         unix_path: Optional[str] = None,
         host: Optional[str] = None,
         port: Optional[int] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> "AsyncStreamingClient":
         if (unix_path is None) == (host is None):
             raise ValueError("pass exactly one of unix_path or host/port")
-        if unix_path is not None:
-            reader, writer = await asyncio.open_unix_connection(unix_path)
-        else:
-            reader, writer = await asyncio.open_connection(host, port)
-        return cls(reader, writer)
+        reader, writer = await cls._open_streams(
+            unix_path=unix_path, host=host, port=port
+        )
+        return cls(
+            reader,
+            writer,
+            retry_policy=retry_policy,
+            connect_args={"unix_path": unix_path, "host": host, "port": port},
+        )
 
-    async def _request(self, frame: bytes) -> Dict[str, Any]:
-        self._writer.write(frame)
-        await self._writer.drain()
-        line = await self._reader.readline()
+    @staticmethod
+    async def _open_streams(
+        *,
+        unix_path: Optional[str],
+        host: Optional[str],
+        port: Optional[int],
+    ) -> Tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+        if unix_path is not None:
+            return await asyncio.open_unix_connection(unix_path)
+        return await asyncio.open_connection(host, port)
+
+    # ------------------------------------------------------------------
+    # transport
+    # ------------------------------------------------------------------
+    async def _teardown(self) -> None:
+        writer, self._writer = self._writer, None
+        self._reader = None
+        if writer is not None:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except Exception:
+                pass
+
+    async def _reconnect(self) -> None:
+        if self._connect_args is None:
+            raise ConnectionLost(
+                "cannot reconnect: client was built from raw streams "
+                "(use AsyncStreamingClient.connect for auto-reconnect)"
+            )
+        try:
+            reader, writer = await self._open_streams(**self._connect_args)
+        except OSError as error:
+            raise ConnectionLost(f"reconnect failed: {error}") from error
+        self._reader = reader
+        self._writer = writer
+
+    async def _request_once(self, frame: bytes) -> Dict[str, Any]:
+        if self._reader is None or self._writer is None:
+            raise ConnectionLost("client is not connected")
+        try:
+            self._writer.write(frame)
+            await self._writer.drain()
+            line = await self._reader.readline()
+        except (OSError, ValueError) as error:
+            raise ConnectionLost(f"transport failed: {error}") from error
         if not line:
-            raise ServiceError("service closed the connection")
+            raise ConnectionLost("service closed the connection")
         return _check(protocol.decode_frame(line))
 
-    async def ingest(self, keys, counts=None) -> int:
-        return int((await self._request(_ingest_frame(keys, counts)))["ingested"])
+    async def _request(
+        self, frame: bytes, *, idempotent: bool = True
+    ) -> Dict[str, Any]:
+        policy = self._retry_policy
+        if policy is None or not idempotent:
+            return await self._request_once(frame)
+        delays = policy.delays()
+        while True:
+            try:
+                if self._writer is None:
+                    await self._reconnect()
+                return await self._request_once(frame)
+            except ConnectionLost as error:
+                await self._teardown()
+                try:
+                    delay = next(delays)
+                except StopIteration:
+                    raise ConnectionLost(
+                        f"request failed after "
+                        f"{policy.max_attempts} attempts: {error}"
+                    ) from error
+                await asyncio.sleep(delay)
+
+    def _next_request_id(self) -> str:
+        self._rid_seq += 1
+        return f"{self._rid_prefix}-{self._rid_seq}"
+
+    # ------------------------------------------------------------------
+    # operations
+    # ------------------------------------------------------------------
+    async def ingest(
+        self, keys, counts=None, request_id: Optional[str] = None
+    ) -> int:
+        if request_id is None and self._retry_policy is not None:
+            request_id = self._next_request_id()
+        response = await self._request(_ingest_frame(keys, counts, request_id))
+        return int(response["ingested"])
 
     async def estimate(self, keys) -> np.ndarray:
         response = await self._request(
@@ -223,14 +435,13 @@ class AsyncStreamingClient:
         return bool((await self._request(protocol.encode_frame({"op": "ping"})))["ok"])
 
     async def shutdown(self) -> None:
-        await self._request(protocol.encode_frame({"op": "shutdown"}))
+        await self._request(
+            protocol.encode_frame({"op": "shutdown"}), idempotent=False
+        )
 
     async def close(self) -> None:
-        try:
-            self._writer.close()
-            await self._writer.wait_closed()
-        except Exception:
-            pass
+        """Idempotent; safe on a client whose transport already failed."""
+        await self._teardown()
 
     async def __aenter__(self) -> "AsyncStreamingClient":
         return self

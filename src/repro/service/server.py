@@ -34,6 +34,7 @@ loop or each other.
 from __future__ import annotations
 
 import asyncio
+import collections
 import concurrent.futures
 import contextlib
 import os
@@ -52,6 +53,9 @@ from repro.obs import (
     MetricsRegistry,
     StructuredLogger,
 )
+from repro.resilience import failpoints
+from repro.resilience.supervisor import RestartBudget, load_shard_state
+from repro.resilience.wal import DEFAULT_SEGMENT_BYTES, ServiceWAL
 from repro.service import protocol
 
 __all__ = ["StreamingService", "ServiceThread"]
@@ -76,58 +80,71 @@ DEFAULT_MAX_BUFFERED_KEYS = 4 * WORKER_CHUNK_SIZE
 
 
 class _IngestBuffer:
-    """The bounded micro-batch buffer between connections and the pump."""
+    """The bounded micro-batch buffer between connections and the pump.
+
+    Each part carries the WAL marks (lane → seq) its append produced (or
+    ``None`` without a WAL), so the pump can advance the processed-marks
+    watermark once the part is applied.
+    """
 
     __slots__ = ("parts", "total_keys", "accepted_keys", "accepted_batches")
 
     def __init__(self) -> None:
-        self.parts: List[Tuple[Any, Optional[np.ndarray]]] = []
+        self.parts: List[Tuple[Any, Optional[np.ndarray], Optional[Dict[int, int]]]] = []
         self.total_keys = 0
         self.accepted_keys = 0
         self.accepted_batches = 0
 
-    def add(self, keys, counts) -> int:
+    def add(self, keys, counts, marks=None) -> int:
         n = len(keys)
-        self.parts.append((keys, counts))
+        self.parts.append((keys, counts, marks))
         self.total_keys += n
         self.accepted_keys += n
         self.accepted_batches += 1
         return n
 
-    def take(self) -> List[Tuple[Any, Optional[np.ndarray]]]:
+    def take(self) -> List[Tuple[Any, Optional[np.ndarray], Optional[Dict[int, int]]]]:
         parts, self.parts = self.parts, []
         self.total_keys = 0
         return parts
 
 
-def _coalesce(parts: List[Tuple[Any, Optional[np.ndarray]]]):
-    """Merge buffered (keys, counts) parts into one update_batch call.
+def _coalesce(parts):
+    """Merge buffered (keys, counts, marks) parts into one update_batch call.
 
     All-ndarray int batches concatenate (the binary-ingest hot path);
     anything else falls back to one Python list.  Counts default to ones
     only where a part omitted them, so weighted and unweighted parts mix.
+    WAL marks merge to the per-lane maximum (appends are in seq order, so
+    the coalesced batch's marks are simply the newest of its parts').
     """
+    marks: Dict[int, int] = {}
+    for _, _, part_marks in parts:
+        if part_marks:
+            for lane, seq in part_marks.items():
+                if seq > marks.get(lane, 0):
+                    marks[lane] = seq
     if len(parts) == 1:
-        return parts[0]
-    if all(isinstance(keys, np.ndarray) for keys, _ in parts):
-        keys = np.concatenate([part_keys for part_keys, _ in parts])
+        return parts[0][0], parts[0][1], marks
+    if all(isinstance(keys, np.ndarray) for keys, _, _ in parts):
+        keys = np.concatenate([part_keys for part_keys, _, _ in parts])
     else:
         keys = []
-        for part_keys, _ in parts:
+        for part_keys, _, _ in parts:
             keys.extend(
                 part_keys.tolist() if isinstance(part_keys, np.ndarray) else part_keys
             )
-    if all(part_counts is None for _, part_counts in parts):
-        return keys, None
+    if all(part_counts is None for _, part_counts, _ in parts):
+        return keys, None, marks
     counts = np.concatenate(
         [
             part_counts
             if part_counts is not None
             else np.ones(len(part_keys), dtype=np.int64)
-            for part_keys, part_counts in parts
+            for part_keys, part_counts, _ in parts
         ]
     )
-    return keys, counts
+    return keys, counts, marks
 
 
 class StreamingService:
@@ -171,6 +188,35 @@ class StreamingService:
         Optional :class:`~repro.obs.StructuredLogger` for JSON-lines
         lifecycle events (start/stop/failure, per-stage shutdown timings).
         Defaults to a disabled logger.
+    wal_dir:
+        Directory for the write-ahead log.  When set, every ingest batch
+        is appended (and OS-flushed) *before* it is acknowledged, and
+        startup replays whatever the snapshot does not cover — every
+        acked key then survives SIGKILL, not just graceful shutdown.
+        For key-partitioned shm-sharded estimators the log is split into
+        per-shard lanes, which also enables shard supervision (see
+        ``supervise``).
+    wal_sync:
+        ``"os"`` (default) flushes each record to the page cache —
+        survives process death; ``"always"`` additionally fsyncs per
+        record — survives machine crashes, at a syscall per batch.
+    wal_segment_bytes:
+        WAL segment rotation threshold.
+    dedup_window:
+        How many recent ingest ``request_id``\\ s the service remembers.
+        A retried (already applied) request inside the window is re-acked
+        without being re-counted; the window is rebuilt from the WAL on
+        restart.
+    supervise:
+        With a WAL and a key-partitioned shm-sharded estimator, a dead
+        shard worker no longer parks the service: queries answer
+        ``degraded: true`` from the surviving shards while a supervisor
+        rebuilds the shard from spec + last snapshot + its WAL lane.
+        The circuit breaker below bounds how hard it tries.
+    max_restarts / restart_window:
+        Per-shard circuit breaker: more than ``max_restarts`` restart
+        attempts within ``restart_window`` seconds parks the service
+        (a shard that keeps dying is a bug, not a blip).
     """
 
     def __init__(
@@ -190,6 +236,13 @@ class StreamingService:
         log: Optional[StructuredLogger] = None,
         prefix=None,
         featurizer=None,
+        wal_dir: Optional[str] = None,
+        wal_sync: str = "os",
+        wal_segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+        dedup_window: int = 65536,
+        supervise: bool = True,
+        max_restarts: int = 5,
+        restart_window: float = 60.0,
     ) -> None:
         if unix_path is None and host is None:
             raise ValueError("pass unix_path=... or host=/port= to listen on")
@@ -252,9 +305,32 @@ class StreamingService:
         #: :meth:`_wait_applied` must cover this window, or a snapshot can
         #: race a mid-apply batch (and miss it if the apply then fails).
         self._pump_busy = False
+        #: True once the pump task has exited on an error path — recovery
+        #: must never clear ``_failure`` then, or the service would accept
+        #: ingests nobody applies.
+        self._pump_broken = False
         self._metrics_host = metrics_host
         self._metrics_port = metrics_port
         self._metrics_server: Optional[asyncio.AbstractServer] = None
+        # --- resilience state (active only with wal_dir) -------------------
+        self.wal_dir = wal_dir
+        self._wal_sync = wal_sync
+        self._wal_segment_bytes = int(wal_segment_bytes)
+        self._wal: Optional[ServiceWAL] = None
+        self._supervise = bool(supervise)
+        self._supervising = False  # set in _setup_resilience when eligible
+        self._max_restarts = int(max_restarts)
+        self._restart_window = float(restart_window)
+        self._processed_marks: Dict[int, int] = {}
+        self._dedup: "collections.OrderedDict[str, int]" = collections.OrderedDict()
+        self._dedup_window = int(dedup_window)
+        self._dedup_hits = 0
+        self._degraded: Dict[int, Dict[str, Any]] = {}
+        self._budgets: Dict[int, RestartBudget] = {}
+        self._worker_restarts = 0
+        self._replayed_batches = 0
+        self._degraded_queries = 0
+        failpoints.arm_from_env()
         self.log = log if log is not None else StructuredLogger("repro.service")
         self.metrics = MetricsRegistry(enabled=instrument)
         self._init_metrics()
@@ -341,6 +417,34 @@ class StreamingService:
             "Seconds each live pane has been filling (tick-driven services).",
             labels=("age",),
         )
+        self._m_wal_appended = metrics.counter(
+            "repro_service_wal_appended_batches_total",
+            "Ingest batches appended to the write-ahead log before acking.",
+        )
+        self._m_wal_replayed = metrics.counter(
+            "repro_service_wal_replayed_batches_total",
+            "WAL records re-applied (startup recovery + shard rebuilds).",
+        )
+        self._m_worker_restarts = metrics.counter(
+            "repro_service_worker_restarts_total",
+            "Shard workers revived by the supervisor.",
+        )
+        self._m_degraded_queries = metrics.counter(
+            "repro_service_degraded_queries_total",
+            "Queries answered from surviving shards while one rebuilds.",
+        )
+        self._m_down_shards = metrics.gauge(
+            "repro_service_down_shards",
+            "Shards currently dead or rebuilding.",
+        )
+        self._m_dedup_hits = metrics.counter(
+            "repro_service_dedup_hits_total",
+            "Retried ingests acknowledged from the idempotency window.",
+        )
+        self._m_recovery_seconds = metrics.histogram(
+            "repro_service_recovery_seconds",
+            "Wall-clock from worker death detection to shard recovery.",
+        )
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -375,6 +479,71 @@ class StreamingService:
             metrics=self.metrics,
         )
 
+    def _remember_request(self, rid: str, count: int) -> None:
+        dedup = self._dedup
+        dedup[rid] = count
+        dedup.move_to_end(rid)
+        while len(dedup) > self._dedup_window:
+            dedup.popitem(last=False)
+
+    def _setup_resilience(self) -> None:
+        """Estimator-thread body: open the WAL, replay, enable supervision.
+
+        Runs before the socket accepts and before the pump starts, so the
+        startup replay interleaves with nothing.
+        """
+        estimator = self.session.estimator
+        if getattr(estimator, "storage_backend", "dense") == "mmap":
+            raise ValueError(
+                "wal_dir cannot be combined with a live mmap-backed "
+                "estimator: its snapshots alias the live tables, so "
+                "replaying the log over one would double-count records"
+            )
+        num_lanes, router = 1, None
+        sharded = (
+            getattr(estimator, "transport", None) == "shm"
+            and getattr(estimator, "mode", None) == "key-partition"
+            and hasattr(estimator, "shard_of_keys")
+        )
+        if sharded:
+            num_lanes = estimator.num_shards
+            router = estimator.shard_of_keys
+        self._wal = ServiceWAL(
+            self.wal_dir,
+            num_lanes=num_lanes,
+            router=router,
+            segment_bytes=self._wal_segment_bytes,
+            sync=self._wal_sync,
+        )
+        # The snapshot records what it covers: its wal marks travel inside
+        # the snapshot file, written atomically with the counters.  Advance
+        # each lane's checkpoint to them, so a crash *between* snapshot and
+        # checkpoint never replays records the snapshot already holds.
+        snapshot_marks = (getattr(self.session, "extra_state", None) or {}).get(
+            "wal_marks"
+        )
+        if self.restored and isinstance(snapshot_marks, dict):
+            self._wal.checkpoint(
+                {int(lane): int(seq) for lane, seq in snapshot_marks.items()}
+            )
+        replayed = 0
+        for _, record in self._wal.replay():
+            estimator.update_batch(record.keys, record.counts)
+            replayed += 1
+            if record.request_id is not None:
+                self._remember_request(record.request_id, len(record))
+        if replayed:
+            drain = getattr(estimator, "drain", None)
+            if drain is not None:
+                drain()
+            self._replayed_batches += replayed
+            self._m_wal_replayed.inc(replayed)
+            self.log.info("wal_replayed", records=replayed)
+        self._processed_marks = self._wal.positions()
+        if sharded and self._supervise:
+            estimator.enable_supervision()
+            self._supervising = True
+
     async def start(self) -> "StreamingService":
         """Open (or restore) the session, bind the socket, start the pump."""
         if self._server is not None:
@@ -387,6 +556,18 @@ class StreamingService:
         warm_up = getattr(self.session.estimator, "warm_up", None)
         if warm_up is not None:
             await self._loop.run_in_executor(self._estimator_executor, warm_up)
+        if self.wal_dir is not None:
+            try:
+                await self._loop.run_in_executor(
+                    self._estimator_executor, self._setup_resilience
+                )
+            except BaseException:
+                with contextlib.suppress(Exception):
+                    await self._loop.run_in_executor(
+                        self._estimator_executor, self.session.close
+                    )
+                self.session = None
+                raise
         if self.rotation_interval is not None:
             if getattr(self.session.estimator, "tick", None) is None:
                 kind = self.session.kind
@@ -479,6 +660,12 @@ class StreamingService:
         if self._metrics_server is not None:
             self._metrics_server.close()
             await self._metrics_server.wait_closed()
+        for entry in list(self._degraded.values()):
+            task = entry.get("task")
+            if task is not None and not task.done():
+                task.cancel()
+                with contextlib.suppress(asyncio.CancelledError):
+                    await task
         if self._pump_task is not None:
             if drain:
                 await self._pump_task
@@ -496,19 +683,31 @@ class StreamingService:
                         )
                 except Exception as error:
                     self._fail(f"shutdown drain failed: {error}")
-            if snapshot and self.snapshot_path and self._failure is None:
+            if (
+                snapshot
+                and self.snapshot_path
+                and self._failure is None
+                and not self._degraded
+            ):
                 # A parked (failed) service skips the snapshot: save() would
                 # re-drain the broken pool, and overwriting the previous good
-                # snapshot with a partial one would make restart worse.
+                # snapshot with a partial one would make restart worse.  A
+                # *degraded* one skips it too — a survivors-only snapshot
+                # would checkpoint-truncate WAL records the down shard still
+                # needs; the WAL carries the delta to the next clean start.
                 with self.log.stage("shutdown_snapshot", path=self.snapshot_path):
+                    marks = dict(self._processed_marks) if self._wal else None
                     await loop.run_in_executor(
-                        self._estimator_executor, self.session.save, self.snapshot_path
+                        self._estimator_executor, self._save_snapshot_sync, marks
                     )
             with contextlib.suppress(Exception):
                 await loop.run_in_executor(
                     self._estimator_executor, self.session.close
                 )
         self._estimator_executor.shutdown(wait=True)
+        if self._wal is not None:
+            with contextlib.suppress(Exception):
+                self._wal.close()
         if self._unix_path is not None:
             with contextlib.suppress(FileNotFoundError):
                 os.unlink(self._unix_path)
@@ -614,20 +813,28 @@ class StreamingService:
         assert self._loop is not None
         while True:
             if not await self._maybe_rotate():
+                self._pump_broken = True
                 break  # rotation failed: park, same as a failed apply
+            self._check_health()
             if not self._buffer.parts:
                 if self._stopping:
                     break
                 self._data_event.clear()
                 if not self._buffer.parts and not self._stopping:
-                    if self._next_rotation is None:
+                    if self._next_rotation is None and not self._supervising:
                         await self._data_event.wait()
                     else:
-                        # The idle wait doubles as the rotation timer: wake
+                        # The idle wait doubles as the rotation timer (wake
                         # at the pane deadline instead of adding a second
-                        # polling task.  (Under load the per-iteration
-                        # _maybe_rotate check above covers the deadline.)
-                        delay = max(0.0, self._next_rotation - time.monotonic())
+                        # polling task) and, when supervising, as the
+                        # worker-liveness poll: an idle service still
+                        # notices a dead shard worker within half a second.
+                        delay = 0.5 if self._supervising else float("inf")
+                        if self._next_rotation is not None:
+                            delay = min(
+                                delay,
+                                max(0.0, self._next_rotation - time.monotonic()),
+                            )
                         with contextlib.suppress(asyncio.TimeoutError):
                             await asyncio.wait_for(self._data_event.wait(), delay)
                 continue
@@ -646,7 +853,7 @@ class StreamingService:
             parts = self._buffer.take()
             self._m_buffered_keys.set(0)
             self._space_event.set()
-            keys, counts = _coalesce(parts)
+            keys, counts, marks = _coalesce(parts)
             self._m_batch_keys.observe(len(keys))
             try:
                 await self._loop.run_in_executor(
@@ -654,12 +861,21 @@ class StreamingService:
                 )
             except BaseException as error:  # noqa: BLE001 — park, don't die
                 self._pump_busy = False
+                self._pump_broken = True
                 self._fail(f"ingestion failed: {error}")
                 break
             self._applied_keys += len(keys)
             self._applied_batches += 1
             self._m_applied_keys.inc(len(keys))
             self._m_applied_batches.inc()
+            # Advance the per-lane watermark: everything at or below these
+            # seqs is now either in the shard tables or (for a down shard)
+            # consumed from the buffer — exactly the records a rebuild must
+            # replay on top of the last snapshot.
+            for lane, seq in marks.items():
+                if seq > self._processed_marks.get(lane, 0):
+                    self._processed_marks[lane] = seq
+            self._check_health()
             self._pump_busy = False
             self._applied_event.set()
 
@@ -696,6 +912,174 @@ class StreamingService:
                 await self._applied_event.wait()
         if self._failure is not None:
             raise RuntimeError(self._failure)
+
+    # ------------------------------------------------------------------
+    # shard supervision
+    # ------------------------------------------------------------------
+    def _check_health(self) -> None:
+        """Notice newly-dead shard workers and launch their supervisors.
+
+        Event-loop side and cheap (one liveness probe per shard); runs on
+        every pump iteration and on the idle tick.
+        """
+        if not self._supervising or self._stopping or self.session is None:
+            return
+        estimator = self.session.estimator
+        estimator.check_workers()
+        # Shards can also join the down set through the submit/drain paths
+        # (WorkerDeadError caught inside the estimator), so supervise from
+        # the authoritative down set, not just this probe's findings.
+        for shard_index in estimator.down_shards:
+            if shard_index not in self._degraded:
+                self._start_supervise(shard_index)
+
+    def _start_supervise(self, shard_index: int) -> None:
+        if shard_index in self._degraded:
+            return
+        entry: Dict[str, Any] = {"since": time.monotonic(), "task": None}
+        self._degraded[shard_index] = entry
+        self._m_down_shards.set(len(self._degraded))
+        self.log.error("shard_worker_died", shard=shard_index)
+        entry["task"] = self._loop.create_task(self._supervise_shard(shard_index))
+
+    async def _supervise_shard(self, shard_index: int) -> None:
+        """Rebuild one dead shard: backoff → restore → revive → replay.
+
+        Runs as its own task so ingest and queries keep flowing (degraded)
+        throughout; the rebuild itself serializes on the estimator thread,
+        where it cannot interleave with applies.
+        """
+        budget = self._budgets.setdefault(
+            shard_index,
+            RestartBudget(
+                max_restarts=self._max_restarts,
+                window_seconds=self._restart_window,
+            ),
+        )
+        detected = time.monotonic()
+        while not self._stopping:
+            if not budget.allow():
+                self._degraded.pop(shard_index, None)
+                self._m_down_shards.set(len(self._degraded))
+                self._fail(
+                    f"shard {shard_index} exceeded its restart budget "
+                    f"({budget.max_restarts} in {budget.window_seconds:g}s); "
+                    "parking the service"
+                )
+                return
+            await asyncio.sleep(budget.next_delay())
+            if self._stopping:
+                return
+            budget.record_attempt()
+            try:
+                await self._loop.run_in_executor(
+                    self._estimator_executor, self._rebuild_shard_sync, shard_index
+                )
+            except asyncio.CancelledError:
+                raise
+            except Exception as error:  # noqa: BLE001 — retry under budget
+                self.log.error(
+                    "shard_rebuild_failed", shard=shard_index, error=str(error)
+                )
+                continue
+            budget.record_success()
+            elapsed = time.monotonic() - detected
+            self._worker_restarts += 1
+            self._m_worker_restarts.inc()
+            self._m_recovery_seconds.observe(elapsed)
+            self._degraded.pop(shard_index, None)
+            self._m_down_shards.set(len(self._degraded))
+            self._recover_if_healthy()
+            self.log.info(
+                "shard_recovered",
+                shard=shard_index,
+                recovery_seconds=round(elapsed, 3),
+                restarts=self._worker_restarts,
+            )
+            return
+
+    def _rebuild_shard_sync(self, shard_index: int) -> None:
+        """Estimator-thread body: restore + revive + WAL-replay one shard.
+
+        Replay is bounded to the records the pump has already consumed
+        (``_processed_marks``): anything newer is still in the ingest
+        buffer and will be applied by the pump after the rebuild, exactly
+        once.  The estimator thread is busy with *us*, so the watermark
+        cannot advance mid-rebuild.
+        """
+        estimator = self.session.estimator
+        restored = (
+            load_shard_state(self.snapshot_path, shard_index)
+            if self.snapshot_path
+            else None
+        )
+        upto = self._processed_marks.get(shard_index, 0)
+        records = list(self._wal.replay_lane(shard_index, upto=upto))
+        estimator.rebuild_shard(shard_index, restored=restored, records=records)
+        if records:
+            self._replayed_batches += len(records)
+            self._m_wal_replayed.inc(len(records))
+
+    def _recover_if_healthy(self) -> None:
+        """Un-park the service once every shard is back (satellite fix:
+        a recovered service must not scrape as failed forever)."""
+        if self._degraded or self._failure is None:
+            return
+        if self._pump_broken:
+            return  # the pump is gone; clearing the flag would be a lie
+        self._failure = None
+        self._m_failure.set(0)
+        self.log.info("service_recovered")
+
+    def _degraded_fields(self, *, count: bool = True) -> Dict[str, Any]:
+        """Extra response fields while shards are rebuilding (else empty)."""
+        if not self._degraded:
+            return {}
+        if count:
+            self._degraded_queries += 1
+            self._m_degraded_queries.inc()
+        oldest = min(entry["since"] for entry in self._degraded.values())
+        return {
+            "degraded": True,
+            "down_shards": sorted(self._degraded),
+            "staleness_seconds": round(time.monotonic() - oldest, 3),
+        }
+
+    def _save_snapshot_sync(self, marks: Optional[Dict[int, int]]) -> int:
+        """Estimator-thread body: snapshot, then checkpoint the WAL.
+
+        One executor job for drain + health check + serialize + write +
+        checkpoint, so a shard rebuild can never interleave between the
+        save and the truncation that claims coverage for it.  The marks
+        land *inside* the snapshot (``extra_state``): the snapshot itself
+        is the authoritative record of what it covers — see
+        ``_setup_resilience``.
+
+        Ordering matters: the health check runs *after* the drain.  A
+        worker that died mid-drain leaves its table missing acked records;
+        writing that table and then truncating the WAL would lose them.
+        After a clean drain nothing mutates the tables (the pump is queued
+        behind this job, the workers are idle), so serializing them is
+        race-free even if a worker dies during it.
+        """
+        if self._wal is None:
+            return self.session.save(self.snapshot_path)
+        estimator = self.session.estimator
+        self.session.drain()
+        check = getattr(estimator, "check_workers", None)
+        if check is not None:
+            check()
+        down = getattr(estimator, "down_shards", None)
+        if down:
+            raise RuntimeError(
+                f"snapshot refused: shard(s) {sorted(down)} went down during "
+                "the pre-snapshot drain"
+            )
+        blob = self.session.snapshot(extra_state={"wal_marks": marks})
+        api_session.atomic_write(self.snapshot_path, blob)
+        if marks is not None:
+            self._wal.checkpoint(marks)
+        return len(blob)
 
     # ------------------------------------------------------------------
     # live re-optimization
@@ -749,6 +1133,14 @@ class StreamingService:
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        try:
+            failpoints.fire("service.accept")
+        except failpoints.FailPointError:
+            # Chaos: refuse this connection the way an overloaded or
+            # restarting listener would — close without a byte.
+            with contextlib.suppress(Exception):
+                writer.close()
+            return
         self._connections += 1
         self._m_connections.inc()
         try:
@@ -797,11 +1189,23 @@ class StreamingService:
                 )
                 if not response.get("ok"):
                     self._m_request_errors.labels(op=op).inc()
+                try:
+                    # Chaos: the request was fully processed but the
+                    # response never reaches the client — the retry/
+                    # idempotency path this exercises must not double-count.
+                    failpoints.fire("service.drop_response")
+                except failpoints.FailPointError:
+                    break
                 writer.write(protocol.encode_frame(response))
                 try:
                     await writer.drain()
                 except (ConnectionResetError, BrokenPipeError):
                     break
+                if op == "ingest" and response.get("ok"):
+                    # Chaos site for the crash matrix: fires strictly after
+                    # the ack left the process, so a kill here tests
+                    # "acked but not yet applied" recovery.
+                    failpoints.fire("service.ingest.acked")
                 if response.get("bye"):
                     break
         finally:
@@ -870,10 +1274,25 @@ class StreamingService:
         # The payload must leave the socket even if the batch is refused,
         # or the stream desynchronizes — read before any rejection.
         keys, counts, payload_nbytes = await self._read_ingest_arrays(reader, message)
+        rid = message.get("request_id")
+        if rid is not None and not isinstance(rid, str):
+            raise protocol.ProtocolError("request_id must be a string")
         if self._failure is not None:
             raise RuntimeError(self._failure)
         if self._stopping:
             raise RuntimeError("service is shutting down")
+        if rid is not None and rid in self._dedup:
+            # A retransmit of a batch that was already accepted (the client
+            # lost our ack, not the batch): re-ack without re-counting.
+            self._dedup_hits += 1
+            self._m_dedup_hits.inc()
+            return {
+                "ok": True,
+                "op": "ingest",
+                "ingested": self._dedup[rid],
+                "duplicate": True,
+                "seq": self._buffer.accepted_batches,
+            }
         if self._buffer.total_keys >= self.max_buffered_keys:
             # Bounded backpressure: hold the ack (and stop reading this
             # socket) until the pump frees buffer space.
@@ -891,7 +1310,31 @@ class StreamingService:
                     self._m_stall_seconds.inc(time.perf_counter() - stall_start)
                     raise RuntimeError("service is shutting down")
             self._m_stall_seconds.inc(time.perf_counter() - stall_start)
-        n = self._buffer.add(keys, counts)
+        if rid is not None and rid in self._dedup:
+            # Re-check after the backpressure await: the original and a
+            # retransmit can race through the first check on two
+            # connections, and only one may count.
+            self._dedup_hits += 1
+            self._m_dedup_hits.inc()
+            return {
+                "ok": True,
+                "op": "ingest",
+                "ingested": self._dedup[rid],
+                "duplicate": True,
+                "seq": self._buffer.accepted_batches,
+            }
+        marks = None
+        if self._wal is not None:
+            # Durability point — ON the ack path, deliberately: the append
+            # (an OS-buffered write, no fsync by default) completes before
+            # the ack is sent, and nothing awaits between it and the
+            # buffer.add below, so WAL contents and buffered batches never
+            # disagree about what was acknowledged.
+            marks = self._wal.append_batch(keys, counts, rid)
+            self._m_wal_appended.inc()
+        n = self._buffer.add(keys, counts, marks)
+        if rid is not None:
+            self._remember_request(rid, n)
         self._m_ingest_keys.inc(n)
         self._m_ingest_batches.inc()
         self._m_ingest_bytes.inc(frame_nbytes + payload_nbytes)
@@ -928,6 +1371,7 @@ class StreamingService:
             "ok": True,
             "op": "estimate",
             "estimates": np.asarray(estimates, dtype=np.float64).tolist(),
+            **self._degraded_fields(),
         }
 
     def _top_k_sync(self, k: int, candidates) -> List[List[Any]]:
@@ -962,7 +1406,7 @@ class StreamingService:
         top = await self._loop.run_in_executor(
             self._estimator_executor, self._top_k_sync, k, candidates
         )
-        return {"ok": True, "op": "top_k", "top": top}
+        return {"ok": True, "op": "top_k", "top": top, **self._degraded_fields()}
 
     async def _op_flush(self) -> Dict[str, Any]:
         await self._wait_applied()
@@ -983,6 +1427,7 @@ class StreamingService:
             "op": "flush",
             "applied_keys": self._applied_keys,
             "applied_batches": self._applied_batches,
+            **self._degraded_fields(count=False),
         }
 
     def _op_stats(self) -> Dict[str, Any]:
@@ -1001,6 +1446,15 @@ class StreamingService:
             "hot_swaps": self._hot_swaps,
             "failure": self._failure,
         }
+        if self._wal is not None:
+            stats["wal"] = self._wal.stats()
+            stats["replayed_batches"] = self._replayed_batches
+            stats["dedup_hits"] = self._dedup_hits
+        if self._supervising:
+            stats["supervised"] = True
+            stats["worker_restarts"] = self._worker_restarts
+            stats["degraded_queries"] = self._degraded_queries
+            stats.update(self._degraded_fields(count=False))
         window = self._window_state()
         if window is not None:
             now = time.monotonic()
@@ -1023,6 +1477,7 @@ class StreamingService:
         self._m_buffered_keys.set(self._buffer.total_keys)
         self._m_connections.set(self._connections)
         self._m_failure.set(0 if self._failure is None else 1)
+        self._m_down_shards.set(len(self._degraded))
         window = self._window_state()
         if window is not None:
             self._m_window_head_fill.set(int(window["head_fill"]))
@@ -1095,9 +1550,18 @@ class StreamingService:
             raise protocol.ProtocolError(
                 "the service was started without a snapshot_path"
             )
+        if self._degraded:
+            # A survivors-only snapshot would be a silent undercount *and*
+            # its checkpoint would truncate the WAL records the down shard
+            # still needs — refuse until the rebuild lands.
+            raise RuntimeError(
+                "snapshot refused while degraded (shard rebuild in "
+                f"progress: {sorted(self._degraded)})"
+            )
         await self._wait_applied()
+        marks = dict(self._processed_marks) if self._wal is not None else None
         nbytes = await self._loop.run_in_executor(
-            self._estimator_executor, self.session.save, self.snapshot_path
+            self._estimator_executor, self._save_snapshot_sync, marks
         )
         # The save serializes behind any in-flight apply on the estimator
         # thread; if that apply failed while we queued, the file on disk is

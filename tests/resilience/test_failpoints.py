@@ -1,0 +1,81 @@
+"""The fail-point registry: arming, spec parsing, one-shot trigger semantics."""
+
+import pytest
+
+from repro.resilience import failpoints
+from repro.resilience.failpoints import FailPointError
+
+
+@pytest.fixture(autouse=True)
+def _clean_registry():
+    failpoints.disarm_all()
+    yield
+    failpoints.disarm_all()
+
+
+def test_fire_is_a_noop_when_unarmed():
+    failpoints.fire("wal.append.before")  # must not raise, sleep, or exit
+
+
+def test_raise_action_triggers_then_disarms():
+    failpoints.arm("site", "raise")
+    with pytest.raises(FailPointError):
+        failpoints.fire("site")
+    # One armed fail point induces exactly one fault.
+    failpoints.fire("site")
+    assert failpoints.armed() == {}
+
+
+def test_nth_hit_passes_earlier_hits_through():
+    failpoints.arm("site", "raise", hit=3)
+    failpoints.fire("site")
+    failpoints.fire("site")
+    with pytest.raises(FailPointError):
+        failpoints.fire("site")
+
+
+def test_sleep_action_delays(monkeypatch):
+    naps = []
+    monkeypatch.setattr(failpoints.time, "sleep", naps.append)
+    failpoints.arm("site", "sleep", seconds=1.5)
+    failpoints.fire("site")
+    assert naps == [1.5]
+
+
+def test_arm_rejects_bad_inputs():
+    with pytest.raises(ValueError):
+        failpoints.arm("site", "explode")
+    with pytest.raises(ValueError):
+        failpoints.arm("site", "raise", hit=0)
+
+
+def test_parse_spec_grammar():
+    parsed = failpoints.parse_spec(
+        "wal.append.mid=3*kill, service.accept=raise; slow=sleep:0.25"
+    )
+    assert parsed == {
+        "wal.append.mid": ("kill", 3, 0.0),
+        "service.accept": ("raise", 1, 0.0),
+        "slow": ("sleep", 1, 0.25),
+    }
+
+
+@pytest.mark.parametrize(
+    "bad",
+    ["nameonly", "site=frobnicate", "site=0*kill", "site=x*kill"],
+)
+def test_parse_spec_rejects_malformed_entries(bad):
+    with pytest.raises(ValueError):
+        failpoints.parse_spec(bad)
+
+
+def test_arm_from_env(monkeypatch):
+    assert failpoints.arm_from_env({}) == 0
+    count = failpoints.arm_from_env(
+        {failpoints.ENV_VAR: "worker.ingest=2*raise,wal.fsync=raise"}
+    )
+    assert count == 2
+    assert set(failpoints.armed()) == {"worker.ingest", "wal.fsync"}
+    failpoints.fire("worker.ingest")  # hit 1 of 2: passes through
+    with pytest.raises(FailPointError):
+        failpoints.fire("worker.ingest")

@@ -1,0 +1,65 @@
+"""RetryPolicy: backoff shape, jitter bounds, attempt and time budgets."""
+
+import random
+
+import pytest
+
+from repro.resilience import DEFAULT_RETRY_POLICY, RetryPolicy
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        RetryPolicy(max_attempts=0)
+    with pytest.raises(ValueError):
+        RetryPolicy(base_delay=-1)
+    with pytest.raises(ValueError):
+        RetryPolicy(jitter=1.5)
+    with pytest.raises(ValueError):
+        RetryPolicy(multiplier=0.5)
+
+
+def test_deterministic_exponential_backoff_without_jitter():
+    policy = RetryPolicy(
+        max_attempts=5, base_delay=0.1, max_delay=0.5, multiplier=2.0, jitter=0.0
+    )
+    assert list(policy.delays()) == [0.1, 0.2, 0.4, 0.5]  # capped at max_delay
+
+
+def test_jitter_stays_within_band():
+    policy = RetryPolicy(
+        max_attempts=2,
+        base_delay=1.0,
+        max_delay=1.0,
+        jitter=0.5,
+        rng=random.Random(7),
+    )
+    for _ in range(100):
+        (pause,) = policy.delays()
+        assert 0.5 <= pause <= 1.0
+
+
+def test_single_attempt_means_no_retries():
+    assert list(RetryPolicy(max_attempts=1).delays()) == []
+
+
+def test_time_budget_stops_the_sequence_early():
+    # Budget covers the first sleep but not the second (0.2 + 0.4 > 0.5).
+    import time
+
+    policy = RetryPolicy(
+        max_attempts=10,
+        base_delay=0.2,
+        max_delay=10.0,
+        jitter=0.0,
+        budget_seconds=0.5,
+    )
+    pauses = []
+    for pause in policy.delays():
+        time.sleep(pause)  # the caller's contract: sleep, then retry
+        pauses.append(pause)
+    assert pauses == [0.2]
+
+
+def test_default_policy_is_sane():
+    assert DEFAULT_RETRY_POLICY.max_attempts >= 2
+    assert all(pause >= 0 for pause in DEFAULT_RETRY_POLICY.delays())

@@ -1,0 +1,147 @@
+"""RestartBudget circuit breaking and the snapshot shard-state loader."""
+
+import random
+
+import numpy as np
+import pytest
+
+import repro
+from repro.resilience import RestartBudget, load_shard_state
+from repro.sketches.serialization import SerializationError
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+# ----------------------------------------------------------------------
+# RestartBudget
+# ----------------------------------------------------------------------
+def test_budget_allows_until_window_fills_then_trips():
+    clock = FakeClock()
+    budget = RestartBudget(max_restarts=3, window_seconds=60.0, clock=clock)
+    for _ in range(3):
+        assert budget.allow()
+        budget.record_attempt()
+        clock.advance(1.0)
+    assert not budget.allow()
+    assert budget.tripped
+    # Tripped is sticky: even after the window passes, only reset() closes it.
+    clock.advance(120.0)
+    assert not budget.allow()
+    budget.reset()
+    assert budget.allow()
+
+
+def test_old_attempts_age_out_of_the_window():
+    clock = FakeClock()
+    budget = RestartBudget(max_restarts=2, window_seconds=10.0, clock=clock)
+    budget.record_attempt()
+    clock.advance(11.0)
+    budget.record_attempt()
+    clock.advance(1.0)
+    # Only one attempt is inside the window; a second fits.
+    assert budget.allow()
+    assert budget.stats()["attempts_in_window"] == 1
+
+
+def test_backoff_ladder_grows_and_resets_on_success():
+    budget = RestartBudget(
+        max_restarts=100,
+        base_delay=0.1,
+        max_delay=1.0,
+        jitter=0.0,
+        clock=FakeClock(),
+    )
+    assert budget.next_delay() == pytest.approx(0.1)
+    budget.record_attempt()
+    assert budget.next_delay() == pytest.approx(0.2)
+    budget.record_attempt()
+    assert budget.next_delay() == pytest.approx(0.4)
+    budget.record_success()
+    assert budget.next_delay() == pytest.approx(0.1)
+
+
+def test_success_does_not_reset_the_window():
+    clock = FakeClock()
+    budget = RestartBudget(max_restarts=2, window_seconds=60.0, clock=clock)
+    for _ in range(2):
+        assert budget.allow()
+        budget.record_attempt()
+        budget.record_success()  # each rebuild "succeeded"...
+        clock.advance(1.0)
+    # ...but a shard dying every second still trips the breaker.
+    assert not budget.allow()
+    assert budget.tripped
+
+
+def test_jitter_band():
+    budget = RestartBudget(
+        base_delay=1.0, max_delay=1.0, jitter=0.5, rng=random.Random(3)
+    )
+    for _ in range(50):
+        assert 0.5 <= budget.next_delay() <= 1.0
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        RestartBudget(max_restarts=0)
+    with pytest.raises(ValueError):
+        RestartBudget(window_seconds=0)
+
+
+# ----------------------------------------------------------------------
+# load_shard_state
+# ----------------------------------------------------------------------
+SHARDED_SPEC = {
+    "kind": "sharded",
+    "inner": {"kind": "count_min", "total_buckets": 1 << 10, "depth": 2, "seed": 4},
+    "num_shards": 2,
+    "mode": "key-partition",
+}
+
+
+def test_load_shard_state_missing_snapshot_returns_none(tmp_path):
+    assert load_shard_state(tmp_path / "absent.snap", 0) is None
+
+
+def test_load_shard_state_roundtrips_each_shard(tmp_path):
+    path = tmp_path / "service.snap"
+    with repro.api.open(SHARDED_SPEC) as session:
+        keys = np.arange(512, dtype=np.int64)
+        session.ingest(keys, np.full(512, 3, dtype=np.int64))
+        session.save(path)
+        estimator = session.estimator
+        for index in range(2):
+            table = load_shard_state(path, index)
+            shard = estimator.shards[index]
+            expected = getattr(shard, shard._STORAGE_FIELD)
+            assert table is not None
+            assert (np.asarray(table) == np.asarray(expected)).all()
+
+
+def test_load_shard_state_rejects_missing_shard(tmp_path):
+    path = tmp_path / "service.snap"
+    with repro.api.open(SHARDED_SPEC) as session:
+        session.ingest(np.arange(16, dtype=np.int64))
+        session.save(path)
+    with pytest.raises(SerializationError):
+        load_shard_state(path, 5)
+
+
+def test_load_shard_state_rejects_unsharded_snapshot(tmp_path):
+    path = tmp_path / "plain.snap"
+    with repro.api.open(
+        {"kind": "count_min", "total_buckets": 1 << 10, "depth": 2, "seed": 4}
+    ) as session:
+        session.ingest(np.arange(16, dtype=np.int64))
+        session.save(path)
+    with pytest.raises(SerializationError):
+        load_shard_state(path, 0)

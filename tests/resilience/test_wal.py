@@ -1,0 +1,247 @@
+"""The write-ahead log: framing, rotation, checkpoints, torn-tail recovery."""
+
+import json
+import os
+import struct
+
+import numpy as np
+import pytest
+
+from repro.resilience import failpoints
+from repro.resilience.wal import (
+    DEFAULT_SEGMENT_BYTES,
+    ServiceWAL,
+    ShardWAL,
+    WALError,
+    _FRAME,
+    _MAGIC,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_failpoints():
+    failpoints.disarm_all()
+    yield
+    failpoints.disarm_all()
+
+
+def _records(wal, **kwargs):
+    return list(wal.replay(**kwargs))
+
+
+# ----------------------------------------------------------------------
+# framing / round trips
+# ----------------------------------------------------------------------
+def test_roundtrip_binary_int64_keys(tmp_path):
+    keys = np.array([5, -3, 2**40], dtype=np.int64)
+    counts = np.array([1, 7, 2], dtype=np.int64)
+    with ShardWAL(tmp_path / "wal") as wal:
+        seq = wal.append(keys, counts, request_id="rid-1")
+        assert seq == 1
+        (record,) = _records(wal)
+    assert record.seq == 1
+    assert record.request_id == "rid-1"
+    assert isinstance(record.keys, np.ndarray)
+    assert record.keys.dtype == np.int64
+    assert (record.keys == keys).all()
+    assert (record.counts == counts).all()
+
+
+def test_roundtrip_float_and_unsigned_keys(tmp_path):
+    with ShardWAL(tmp_path / "wal") as wal:
+        wal.append(np.array([1.5, -2.25], dtype=np.float64))
+        wal.append(np.array([3, 4], dtype=np.uint64))
+        first, second = _records(wal)
+    assert first.keys.dtype == np.float64 and (first.keys == [1.5, -2.25]).all()
+    assert second.keys.dtype == np.uint64 and (second.keys == [3, 4]).all()
+    assert first.counts is None and first.request_id is None
+
+
+def test_roundtrip_string_keys_travel_as_json(tmp_path):
+    with ShardWAL(tmp_path / "wal") as wal:
+        wal.append(["alpha", "beta"], np.array([2, 3], dtype=np.int64))
+        (record,) = _records(wal)
+    assert record.keys == ["alpha", "beta"]
+    assert (record.counts == [2, 3]).all()
+
+
+def test_sequences_are_monotone_and_survive_reopen(tmp_path):
+    path = tmp_path / "wal"
+    with ShardWAL(path) as wal:
+        for value in range(3):
+            wal.append(np.array([value], dtype=np.int64))
+        assert wal.last_seq == 3
+    with ShardWAL(path) as wal:
+        assert wal.last_seq == 3
+        assert wal.append(np.array([99], dtype=np.int64)) == 4
+        assert [record.seq for record in _records(wal)] == [1, 2, 3, 4]
+
+
+# ----------------------------------------------------------------------
+# rotation / checkpoint
+# ----------------------------------------------------------------------
+def test_rotation_and_checkpoint_prune(tmp_path):
+    path = tmp_path / "wal"
+    with ShardWAL(path, segment_bytes=256) as wal:
+        for value in range(8):
+            wal.append(np.arange(16, dtype=np.int64) + value)
+        assert wal.stats()["segments"] > 1
+        wal.checkpoint()
+        # Covered segments are pruned; nothing is left to replay.
+        assert _records(wal) == []
+    # reopen: the checkpoint persists
+    with ShardWAL(path, segment_bytes=256) as wal:
+        assert wal.checkpoint_seq == 8
+        assert _records(wal) == []
+        assert wal.append(np.array([1], dtype=np.int64)) == 9
+
+
+def test_partial_checkpoint_keeps_later_records(tmp_path):
+    with ShardWAL(tmp_path / "wal") as wal:
+        for value in range(5):
+            wal.append(np.array([value], dtype=np.int64))
+        wal.checkpoint(3)
+        assert [record.seq for record in _records(wal)] == [4, 5]
+        # A lower checkpoint never regresses the marker.
+        assert wal.checkpoint(1) == 3
+
+
+def test_replay_upto_bounds_recovery(tmp_path):
+    with ShardWAL(tmp_path / "wal") as wal:
+        for value in range(5):
+            wal.append(np.array([value], dtype=np.int64))
+        assert [record.seq for record in wal.replay(upto=3)] == [1, 2, 3]
+
+
+# ----------------------------------------------------------------------
+# corruption / torn tails
+# ----------------------------------------------------------------------
+def _largest_segment(directory):
+    segments = [
+        os.path.join(directory, name)
+        for name in os.listdir(directory)
+        if name.endswith(".wal")
+    ]
+    return max(segments, key=os.path.getsize)
+
+
+def test_torn_tail_is_truncated_and_log_stays_appendable(tmp_path):
+    path = tmp_path / "wal"
+    with ShardWAL(path) as wal:
+        for value in range(3):
+            wal.append(np.array([value], dtype=np.int64))
+    segment = _largest_segment(path)
+    with open(segment, "r+b") as handle:
+        handle.truncate(os.path.getsize(segment) - 5)  # tear the last record
+    with ShardWAL(path) as wal:
+        assert [record.seq for record in _records(wal)] == [1, 2]
+        assert wal.last_seq == 2
+        assert wal.stats()["truncated_records"] == 1
+        assert wal.append(np.array([9], dtype=np.int64)) == 3
+
+
+def test_corrupt_crc_stops_replay_at_the_tear(tmp_path):
+    path = tmp_path / "wal"
+    with ShardWAL(path) as wal:
+        wal.append(np.array([1], dtype=np.int64))
+        wal.append(np.array([2], dtype=np.int64))
+    segment = _largest_segment(path)
+    size = os.path.getsize(segment)
+    with open(segment, "r+b") as handle:
+        handle.seek(size - 1)
+        byte = handle.read(1)
+        handle.seek(size - 1)
+        handle.write(bytes([byte[0] ^ 0xFF]))  # flip one payload byte
+    with ShardWAL(path) as wal:
+        assert [record.seq for record in _records(wal)] == [1]
+
+
+def test_garbage_after_valid_records_is_discarded(tmp_path):
+    path = tmp_path / "wal"
+    with ShardWAL(path) as wal:
+        wal.append(np.array([1], dtype=np.int64))
+    segment = _largest_segment(path)
+    with open(segment, "ab") as handle:
+        handle.write(b"not a frame at all")
+    with ShardWAL(path) as wal:
+        assert [record.seq for record in _records(wal)] == [1]
+        assert wal.append(np.array([2], dtype=np.int64)) == 2
+        assert [record.seq for record in _records(wal)] == [1, 2]
+
+
+def test_insane_declared_length_is_corruption_not_allocation(tmp_path):
+    path = tmp_path / "wal"
+    with ShardWAL(path) as wal:
+        wal.append(np.array([1], dtype=np.int64))
+    segment = _largest_segment(path)
+    with open(segment, "ab") as handle:
+        handle.write(_FRAME.pack(_MAGIC, 2, (300 << 20), 0))
+    with ShardWAL(path) as wal:
+        assert [record.seq for record in _records(wal)] == [1]
+
+
+def test_failed_append_truncates_and_later_appends_survive(tmp_path):
+    with ShardWAL(tmp_path / "wal") as wal:
+        wal.append(np.array([1], dtype=np.int64))
+        failpoints.arm("wal.append.mid", "raise")
+        with pytest.raises(failpoints.FailPointError):
+            wal.append(np.array([2], dtype=np.int64))
+        # The poisoned record is gone; the next append reuses its slot.
+        assert wal.append(np.array([3], dtype=np.int64)) == 2
+        assert [int(record.keys[0]) for record in _records(wal)] == [1, 3]
+
+
+def test_closed_wal_refuses_appends(tmp_path):
+    wal = ShardWAL(tmp_path / "wal")
+    wal.close()
+    with pytest.raises(WALError):
+        wal.append(np.array([1], dtype=np.int64))
+
+
+def test_sync_always_mode_appends(tmp_path):
+    with ShardWAL(tmp_path / "wal", sync="always") as wal:
+        assert wal.append(np.array([1], dtype=np.int64)) == 1
+    with pytest.raises(ValueError):
+        ShardWAL(tmp_path / "other", sync="sometimes")
+
+
+# ----------------------------------------------------------------------
+# ServiceWAL lanes
+# ----------------------------------------------------------------------
+def test_single_lane_service_wal(tmp_path):
+    with ServiceWAL(tmp_path / "wal") as wal:
+        marks = wal.append_batch(np.array([1, 2, 3], dtype=np.int64))
+        assert marks == {0: 1}
+        assert wal.positions() == {0: 1}
+        assert wal.pending_records() == 1
+        wal.checkpoint(marks)
+        assert wal.pending_records() == 0
+
+
+def test_multi_lane_routing_matches_the_router(tmp_path):
+    router = lambda keys: (np.asarray(keys) % 2).astype(np.int64)
+    with ServiceWAL(tmp_path / "wal", num_lanes=2, router=router) as wal:
+        keys = np.array([0, 1, 2, 3], dtype=np.int64)
+        counts = np.array([10, 11, 12, 13], dtype=np.int64)
+        marks = wal.append_batch(keys, counts, request_id="rid-7")
+        assert marks == {0: 1, 1: 1}
+        lane0 = list(wal.replay_lane(0))
+        lane1 = list(wal.replay_lane(1))
+        assert (lane0[0].keys == [0, 2]).all() and (lane0[0].counts == [10, 12]).all()
+        assert (lane1[0].keys == [1, 3]).all() and (lane1[0].counts == [11, 13]).all()
+        assert lane0[0].request_id == lane1[0].request_id == "rid-7"
+        # Full replay yields (lane, record) pairs covering both slices.
+        assert sorted(lane for lane, _ in wal.replay()) == [0, 1]
+
+
+def test_multi_lane_skips_empty_lanes(tmp_path):
+    router = lambda keys: np.zeros(len(keys), dtype=np.int64)
+    with ServiceWAL(tmp_path / "wal", num_lanes=2, router=router) as wal:
+        marks = wal.append_batch(np.array([4, 8], dtype=np.int64))
+        assert marks == {0: 1}
+        assert list(wal.replay_lane(1)) == []
+
+
+def test_multi_lane_requires_router(tmp_path):
+    with pytest.raises(ValueError):
+        ServiceWAL(tmp_path / "wal", num_lanes=2)
