@@ -230,24 +230,30 @@ def test_estimate_batch_reuses_cached_index_buffers():
     preallocated scratch buffer instead of `np.stack`-allocating per call.
     A regression here silently taxes every query batch.
     """
-    sketch = CountMinSketch.from_total_buckets(8192, depth=3, seed=1)
+    from repro.kernels import get_backend
+
+    # The buffers now live on the sketch's KernelPlan (relocated with the
+    # NumPy reference kernels in PR 10); the guarantees are unchanged.
+    sketch = CountMinSketch.from_total_buckets(8192, depth=3, seed=1, backend="numpy")
     keys = _zipf_stream(50_000)
     sketch.update_batch(keys)
+    plan = sketch._plan
 
     # The cached gather index is a view of the cached levels array.
-    levels_col_before = sketch._levels_col
-    assert levels_col_before.base is sketch._levels
+    levels_col_before = plan.levels_col
+    assert levels_col_before.base is plan.levels
 
     # Repeated same-size queries reuse one per-thread scratch buffer (no
     # per-call np.stack allocation)...
-    first = sketch._positions(keys[:4096])
-    buffer_after_first = sketch._position_scratch.buffer
-    second = sketch._positions(keys[:4096])
-    assert sketch._position_scratch.buffer is buffer_after_first
+    numpy_backend = get_backend("numpy")
+    first = numpy_backend._positions(plan, keys[:4096])
+    buffer_after_first = plan._scratch.buffer
+    second = numpy_backend._positions(plan, keys[:4096])
+    assert plan._scratch.buffer is buffer_after_first
     assert first.base is second.base is buffer_after_first
     # ... and querying does not rebuild the cached index either.
     sketch.estimate_batch(keys[:4096])
-    assert sketch._levels_col is levels_col_before
+    assert plan.levels_col is levels_col_before
 
     # Correctness is untouched: batch estimates equal the scalar path.
     probe = keys[:256]

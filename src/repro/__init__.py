@@ -32,11 +32,13 @@ Quickstart (the declarative API)::
     prefix, stream = generator.generate_prefix_and_stream()
     spec = repro.OptHashSpec(num_buckets=10, lam=0.5, solver="bcd",
                              classifier="cart", seed=0)
-    with repro.open(spec, prefix=prefix) as session:
+    with repro.open(spec, options=repro.Options(prefix=prefix)) as session:
         session.ingest(stream)
         print(session.estimate_key(stream[0].key))
 """
 
+from repro import errors
+from repro.errors import KernelError, ReproError
 from repro.core import (
     AdaptiveOptHashEstimator,
     OptHashConfig,
@@ -46,8 +48,10 @@ from repro.core import (
     train_opt_hash,
 )
 from repro import api
+from repro import kernels
 from repro.api import (
     EstimatorSpec,
+    Options,
     OptHashSpec,
     Session,
     ShardedSpec,
@@ -58,6 +62,7 @@ from repro.api import (
     load,
     open,
     restore,
+    train,
 )
 from repro.temporal import (
     DecayedSketch,
@@ -86,6 +91,11 @@ __version__ = "1.0.0"
 __all__ = [
     "__version__",
     "api",
+    "errors",
+    "kernels",
+    "ReproError",
+    "KernelError",
+    "Options",
     "SpecError",
     "EstimatorSpec",
     "SketchSpec",
@@ -101,6 +111,7 @@ __all__ = [
     "load",
     "open",
     "restore",
+    "train",
     "AdaptiveOptHashEstimator",
     "OptHashConfig",
     "OptHashEstimator",

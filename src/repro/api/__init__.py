@@ -25,6 +25,7 @@ A complete round trip::
     resumed = api.restore(blob)           # bit-identical for linear sketches
 """
 
+from repro.api.options import Options, resolve_options
 from repro.api.specs import (
     EstimatorSpec,
     OptHashSpec,
@@ -41,8 +42,10 @@ from repro.api.registry import (
     estimator_class_for,
     kind_exists,
     kind_requires_training,
+    kind_supports_backend,
     register_estimator,
     registered_kinds,
+    spec_with_backend,
     train,
     validate_spec_params,
 )
@@ -54,6 +57,8 @@ __all__ = [
     "OptHashSpec",
     "ShardedSpec",
     "WindowedSpec",
+    "Options",
+    "resolve_options",
     "spec_from_dict",
     "iter_spec_grid",
     "register_estimator",
@@ -61,6 +66,8 @@ __all__ = [
     "estimator_class_for",
     "kind_exists",
     "kind_requires_training",
+    "kind_supports_backend",
+    "spec_with_backend",
     "validate_spec_params",
     "config_from_spec",
     "build",

@@ -42,6 +42,8 @@ __all__ = [
     "kind_exists",
     "kind_requires_training",
     "kind_supports_storage",
+    "kind_supports_backend",
+    "spec_with_backend",
     "validate_spec_params",
     "check_deterministic_for_sharding",
     "build",
@@ -206,6 +208,51 @@ def kind_supports_storage(kind: str) -> bool:
     return "storage" in _entry(kind).schema
 
 
+def kind_supports_backend(kind: str) -> bool:
+    """Whether ``kind`` accepts the pluggable kernel-backend field.
+
+    A kind supports kernel dispatch exactly when its spec schema declares
+    the ``backend`` parameter (the kernel-capable sketches merge
+    :data:`repro.kernels.BACKEND_SCHEMA` into their schemas); the opt-hash
+    kinds declare it on :class:`~repro.api.specs.OptHashSpec` directly.
+    """
+    if kind in ("opt_hash", "adaptive_opt_hash"):
+        return True
+    return "backend" in _entry(kind).schema
+
+
+#: Wrapper spec kinds whose kernel work happens in their inner estimator.
+_WRAPPER_KINDS = ("sharded", "sliding_window", "decayed")
+
+
+def spec_with_backend(spec, backend: str):
+    """A copy of ``spec`` with its kernel-backend choice set to ``backend``.
+
+    Wrapper specs (sharded / windowed / decayed) delegate the override to
+    their innermost estimator spec, which is where the kernels actually run
+    — shard workers and window panes rebuild from that inner spec, so the
+    choice travels to every process automatically.  Raises
+    :class:`~repro.api.specs.SpecError` when the (innermost) kind has no
+    kernel-dispatched hot path.
+    """
+    from repro.api.specs import spec_from_dict
+
+    data = spec.to_dict()
+    node = data
+    while node.get("kind") in _WRAPPER_KINDS:
+        node = node["inner"]
+    kind = node.get("kind")
+    if not kind_exists(kind) and kind not in ("opt_hash", "adaptive_opt_hash"):
+        raise SpecError(f"unknown estimator kind {kind!r}")
+    if not kind_supports_backend(kind):
+        raise SpecError(
+            f"kind {kind!r} has no kernel-dispatched hot path; "
+            "backend= does not apply"
+        )
+    node["backend"] = backend
+    return spec_from_dict(data)
+
+
 # ----------------------------------------------------------------------
 # parameter validation
 # ----------------------------------------------------------------------
@@ -364,24 +411,39 @@ def config_from_spec(spec: OptHashSpec):
         bloom_bits=spec.bloom_bits,
         expected_distinct=spec.expected_distinct,
         seed=spec.seed,
+        backend=spec.backend,
     )
 
 
-def train(spec, prefix, featurizer: Optional[Callable] = None):
+def train(spec, prefix=None, featurizer: Optional[Callable] = None, *, options=None):
     """Run the opt-hash learning phase for a spec; full TrainingResult.
 
     Accepts an :class:`OptHashSpec` or its dict form.  This is the
     spec-level face of :func:`repro.core.pipeline.train_opt_hash` — the
     evaluation drivers use it when they need the solver result and stored
-    arrays, not just the estimator.
+    arrays, not just the estimator.  The prefix (and optional featurizer /
+    kernel ``backend`` override) may travel in ``options``
+    (a :class:`~repro.api.options.Options`); the bare ``featurizer=``
+    keyword is a deprecated alias.
     """
+    from repro.api.options import resolve_options
+
+    opts = resolve_options("train", options, featurizer=featurizer)
+    if prefix is not None and opts.prefix is not None:
+        raise SpecError(
+            "train() got a positional prefix and Options.prefix; pass one"
+        )
+    if prefix is None:
+        prefix = opts.prefix
     spec = spec_from_dict(spec)
     if not isinstance(spec, OptHashSpec):
         raise SpecError(
             f"train() takes an opt-hash spec, got kind {spec.kind!r}"
         )
+    if opts.backend is not None:
+        spec = spec_with_backend(spec, opts.backend)
     if prefix is None or len(prefix) == 0:
         raise SpecError("train() needs a non-empty observed stream prefix")
     from repro.core.pipeline import train_opt_hash
 
-    return train_opt_hash(prefix, config_from_spec(spec), featurizer=featurizer)
+    return train_opt_hash(prefix, config_from_spec(spec), featurizer=opts.featurizer)

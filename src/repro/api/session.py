@@ -31,6 +31,7 @@ from typing import Callable, Optional, Union
 
 import numpy as np
 
+from repro.api.options import Options, resolve_options
 from repro.api.registry import build, train  # noqa: F401  (train re-exported)
 from repro.api.specs import EstimatorSpec, SpecError, spec_from_dict
 from repro.obs import MetricsRegistry
@@ -395,6 +396,7 @@ class Session:
 def open(
     spec,
     *,
+    options: Optional[Options] = None,
     prefix=None,
     featurizer: Optional[Callable] = None,
     metrics: Optional[MetricsRegistry] = None,
@@ -402,26 +404,57 @@ def open(
     """Build the estimator ``spec`` describes and wrap it in a Session.
 
     ``spec`` may be any :class:`~repro.api.specs.EstimatorSpec` or its
-    JSON-safe dict form.  Training kinds (``opt_hash`` and friends) take
-    their observed prefix (and optional featurizer) here.  Pass ``metrics``
-    (a :class:`~repro.obs.MetricsRegistry`) to instrument the session —
-    see :meth:`Session.instrument`.
+    JSON-safe dict form.  Construction options travel in ``options``
+    (a :class:`~repro.api.options.Options`): the observed ``prefix`` (and
+    optional ``featurizer``) for training kinds, ``metrics`` to instrument
+    the session (see :meth:`Session.instrument`), and ``backend`` to
+    override the spec's kernel backend.  The bare ``prefix=`` /
+    ``featurizer=`` / ``metrics=`` keywords are deprecated aliases.
     """
+    opts = resolve_options(
+        "open", options, prefix=prefix, featurizer=featurizer, metrics=metrics
+    )
     spec = spec_from_dict(spec)
+    if opts.backend is not None:
+        from repro.api.registry import spec_with_backend
+
+        spec = spec_with_backend(spec, opts.backend)
     return Session(
-        spec, build(spec, prefix=prefix, featurizer=featurizer), metrics=metrics
+        spec,
+        build(spec, prefix=opts.prefix, featurizer=opts.featurizer),
+        metrics=opts.metrics,
     )
 
 
-def restore(data: bytes, *, metrics: Optional[MetricsRegistry] = None) -> Session:
-    """Rebuild a session from a :meth:`Session.snapshot` buffer."""
+def restore(
+    data: bytes,
+    *,
+    options: Optional[Options] = None,
+    metrics: Optional[MetricsRegistry] = None,
+) -> Session:
+    """Rebuild a session from a :meth:`Session.snapshot` buffer.
+
+    Only ``Options.metrics`` applies here — the snapshot records its own
+    spec (including any pinned kernel backend).  ``metrics=`` is the
+    deprecated alias.
+    """
+    opts = resolve_options("restore", options, metrics=metrics)
     session = Session.from_bytes(data)
-    if metrics is not None:
-        session.instrument(metrics)
+    if opts.metrics is not None:
+        session.instrument(opts.metrics)
     return session
 
 
-def load(path, *, metrics: Optional[MetricsRegistry] = None) -> Session:
-    """Rebuild a session from a :meth:`Session.save` file."""
+def load(
+    path,
+    *,
+    options: Optional[Options] = None,
+    metrics: Optional[MetricsRegistry] = None,
+) -> Session:
+    """Rebuild a session from a :meth:`Session.save` file.
+
+    Accepts the same options as :func:`restore`.
+    """
+    opts = resolve_options("load", options, metrics=metrics)
     with builtins.open(os.fspath(path), "rb") as handle:
-        return restore(handle.read(), metrics=metrics)
+        return restore(handle.read(), options=opts)

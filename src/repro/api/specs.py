@@ -43,8 +43,9 @@ __all__ = [
 ]
 
 
-class SpecError(ValueError):
-    """An estimator spec is malformed (unknown kind, bad parameters, ...)."""
+# Canonical definition lives in repro.errors (common ReproError base);
+# this module remains its permanent public import path.
+from repro.errors import SpecError  # noqa: E402
 
 
 def _ensure_json_safe(value: Any, path: str) -> Any:
@@ -195,6 +196,7 @@ _OPT_HASH_FIELDS: Tuple[Tuple[str, Any], ...] = (
     ("bloom_bits", None),
     ("expected_distinct", 10_000),
     ("seed", None),
+    ("backend", "auto"),
 )
 
 _SOLVERS = ("bcd", "dp", "milp")
@@ -266,6 +268,13 @@ class OptHashSpec(EstimatorSpec):
         ):
             raise SpecError(
                 f"bloom_bits must be a positive int or None, got {self.bloom_bits!r}"
+            )
+        from repro.kernels import BACKEND_SCHEMA
+
+        choices = BACKEND_SCHEMA["backend"]["choices"]
+        if self.backend not in choices:
+            raise SpecError(
+                f"unknown kernel backend {self.backend!r}; expected one of {choices}"
             )
         return self
 

@@ -276,6 +276,9 @@ class AdaptiveOptHashEstimator(FrequencyEstimator):
         (used only to size the default Bloom filter).
     seed:
         Seed for the Bloom filter's hash functions.
+    backend:
+        Kernel backend for the Bloom filter's batch hot paths
+        (see :mod:`repro.kernels`).
     """
 
     def __init__(
@@ -286,17 +289,27 @@ class AdaptiveOptHashEstimator(FrequencyEstimator):
         expected_distinct: int = 10_000,
         seed: Optional[int] = None,
         count_stored_ids: bool = False,
+        backend: str = "auto",
     ) -> None:
         self.scheme = scheme
         self.seed = seed
+        self.backend = backend
         self._count_stored_ids = count_stored_ids
         self._bucket_totals = np.zeros(scheme.num_buckets)
         self._bucket_counts = np.zeros(scheme.num_buckets)
         if bloom_bits is not None:
-            self._bloom = BloomFilter(num_bits=bloom_bits, expected_items=expected_distinct, seed=seed)
+            self._bloom = BloomFilter(
+                num_bits=bloom_bits,
+                expected_items=expected_distinct,
+                seed=seed,
+                backend=backend,
+            )
         else:
             self._bloom = BloomFilter.from_false_positive_rate(
-                expected_items=expected_distinct, false_positive_rate=0.01, seed=seed
+                expected_items=expected_distinct,
+                false_positive_rate=0.01,
+                seed=seed,
+                backend=backend,
             )
         if initial_frequencies:
             for key, frequency in initial_frequencies.items():
@@ -434,7 +447,7 @@ class AdaptiveOptHashEstimator(FrequencyEstimator):
         )
 
     def _describe_params(self) -> dict:
-        return {
+        params = {
             "num_buckets": self.scheme.num_buckets,
             "num_stored_ids": self.scheme.num_stored_ids,
             "classifier": (
@@ -445,6 +458,14 @@ class AdaptiveOptHashEstimator(FrequencyEstimator):
             "bloom_bits": self._bloom.num_bits,
             "seed": self.seed,
         }
+        if self.backend != "auto":
+            params["backend"] = self.backend
+        return params
+
+    @property
+    def kernel_backend(self) -> str:
+        """The kernel backend executing the Bloom filter's hot paths."""
+        return self._bloom.kernel_backend
 
     @property
     def bloom_filter(self) -> BloomFilter:

@@ -230,6 +230,10 @@ class OptHashConfig:
         Bloom filter sizing for the adaptive estimator.
     seed:
         Seed for all stochastic steps.
+    backend:
+        Kernel backend for the adaptive estimator's Bloom filter hot paths
+        (see :mod:`repro.kernels`); the static estimator has no array hot
+        path and ignores it.
     """
 
     num_buckets: int = 10
@@ -247,6 +251,7 @@ class OptHashConfig:
     bloom_bits: Optional[int] = None
     expected_distinct: int = 10_000
     seed: Optional[int] = None
+    backend: str = "auto"
 
 
 @dataclass
@@ -394,6 +399,7 @@ def train_opt_hash(
             bloom_bits=config.bloom_bits,
             expected_distinct=config.expected_distinct,
             seed=config.seed,
+            backend=config.backend,
         )
     else:
         estimator = OptHashEstimator(

@@ -911,6 +911,19 @@ class ShardedEstimator(FrequencyEstimator):
         )
 
     @property
+    def kernel_backend(self):
+        """The kernel backend the shards run on (None for non-kernel kinds).
+
+        Shards are built from one spec, so shard 0 speaks for all of them.
+        """
+        return getattr(self.shards[0], "kernel_backend", None)
+
+    @property
+    def storage_backend(self):
+        """The storage backend holding shard counters (None when inapplicable)."""
+        return getattr(self.shards[0], "storage_backend", None)
+
+    @property
     def size_bytes(self) -> int:
         self._drain_pending()
         return sum(shard.size_bytes for shard in self.shards)

@@ -66,8 +66,9 @@ STORAGE_SCHEMA = {
 }
 
 
-class StorageError(ValueError):
-    """A counter-storage backend could not be allocated or attached."""
+# Canonical definition lives in repro.errors (common ReproError base);
+# this module remains its permanent public import path.
+from repro.errors import StorageError  # noqa: E402
 
 
 def check_storage_params(params: dict) -> None:

@@ -51,7 +51,10 @@ _LIVENESS_CHECK_SECONDS = 0.1
 _ERROR_MESSAGE_GRACE_SECONDS = 1.0
 
 
-class WorkerDeadError(RuntimeError):
+from repro.errors import WorkerDeadError as _WorkerDeadErrorBase
+
+
+class WorkerDeadError(_WorkerDeadErrorBase):
     """One specific shard worker is dead or failed.
 
     Carries the shard index so a supervised caller can mark *that* shard

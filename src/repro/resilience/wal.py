@@ -73,8 +73,9 @@ _CHECKPOINT_NAME = "CHECKPOINT"
 _BINARY_DTYPES = {"<i8", "<u8", "<f8"}
 
 
-class WALError(RuntimeError):
-    """The write-ahead log could not be appended, read, or checkpointed."""
+# Canonical definition lives in repro.errors (common ReproError base);
+# this module remains its permanent public import path.
+from repro.errors import WALError  # noqa: E402
 
 
 class WALRecord:

@@ -44,6 +44,12 @@ def main(argv=None) -> int:
         "--spec",
         help="estimator spec as inline JSON, or @FILE to read it from disk",
     )
+    parser.add_argument(
+        "--backend",
+        choices=("auto", "numba", "native", "numpy"),
+        help="kernel backend for the sketch hot paths; overrides the spec's "
+        "own 'backend' field (drilling through sharded/windowed wrappers)",
+    )
     parser.add_argument("--unix", help="Unix socket path to listen on")
     parser.add_argument("--host", help="TCP host to listen on")
     parser.add_argument("--port", type=int, default=0, help="TCP port (0=ephemeral)")
@@ -118,9 +124,22 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     if args.unix is None and args.host is None:
         parser.error("pass --unix PATH or --host HOST [--port PORT]")
+    spec = _parse_spec(args.spec)
+    if args.backend is not None:
+        if spec is None:
+            parser.error("--backend requires --spec (it rewrites the spec)")
+        from repro.api.registry import spec_with_backend
+        from repro.api.specs import SpecError, spec_from_dict
+
+        try:
+            spec = spec_with_backend(
+                spec_from_dict(spec), args.backend
+            ).to_dict()
+        except SpecError as error:
+            parser.error(str(error))
 
     service = StreamingService(
-        _parse_spec(args.spec),
+        spec,
         snapshot_path=args.snapshot,
         unix_path=args.unix,
         host=args.host,
@@ -141,9 +160,11 @@ def main(argv=None) -> int:
         await service.start()
         service.install_signal_handlers()
         origin = "restored snapshot" if service.restored else "fresh spec"
+        kernel = getattr(service.session.estimator, "kernel_backend", None)
+        kernel_note = f", kernels={kernel}" if kernel is not None else ""
         print(
             f"repro.service listening on {service.endpoint} "
-            f"(kind={service.session.kind}, {origin})",
+            f"(kind={service.session.kind}, {origin}{kernel_note})",
             flush=True,
         )
         if args.metrics_port is not None:

@@ -79,12 +79,11 @@ MAX_FRAME_BYTES = 64 << 20
 _BINARY_DTYPES = {"<i8", "<u8", "<f8"}
 
 
-class ProtocolError(ValueError):
-    """A malformed frame (bad JSON, missing fields, oversized payload)."""
-
-
-class ServiceError(RuntimeError):
-    """An ``{"ok": false}`` response, raised client-side."""
+# Canonical definitions live in repro.errors (common ReproError base);
+# this module remains their permanent public import path.  ProtocolError
+# covers malformed frames (bad JSON, missing fields, oversized payloads);
+# ServiceError is an ``{"ok": false}`` response, raised client-side.
+from repro.errors import ProtocolError, ServiceError  # noqa: E402
 
 
 def encode_frame(message: Dict[str, Any]) -> bytes:

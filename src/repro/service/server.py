@@ -469,14 +469,19 @@ class StreamingService:
 
     def _open_session(self) -> api_session.Session:
         if self.snapshot_path and os.path.exists(self.snapshot_path):
-            session = api_session.load(self.snapshot_path, metrics=self.metrics)
+            session = api_session.load(
+                self.snapshot_path,
+                options=api_session.Options(metrics=self.metrics),
+            )
             self.restored = True
             return session
         return api_session.open(
             self._spec,
-            prefix=self._prefix,
-            featurizer=self._featurizer,
-            metrics=self.metrics,
+            options=api_session.Options(
+                prefix=self._prefix,
+                featurizer=self._featurizer,
+                metrics=self.metrics,
+            ),
         )
 
     def _remember_request(self, rid: str, count: int) -> None:
@@ -1446,6 +1451,15 @@ class StreamingService:
             "hot_swaps": self._hot_swaps,
             "failure": self._failure,
         }
+        # Runtime placement: which kernel backend executes the hot paths and
+        # where the counters live.  Sharded estimators forward both from
+        # their workers, so stats reports what is actually running.
+        kernel_backend = getattr(self.session.estimator, "kernel_backend", None)
+        if kernel_backend is not None:
+            stats["kernel_backend"] = kernel_backend
+        storage_backend = getattr(self.session.estimator, "storage_backend", None)
+        if storage_backend is not None:
+            stats["storage_backend"] = storage_backend
         if self._wal is not None:
             stats["wal"] = self._wal.stats()
             stats["replayed_batches"] = self._replayed_batches

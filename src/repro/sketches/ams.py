@@ -17,6 +17,7 @@ import numpy as np
 from repro.api.registry import register_estimator
 from repro.api.specs import SpecError
 from repro.core.storage import STORAGE_SCHEMA, StorageBacked, check_storage_params
+from repro.kernels import BACKEND_SCHEMA, KernelDispatch
 from repro.sketches.base import (
     BYTES_PER_BUCKET,
     IncompatibleSketchError,
@@ -55,11 +56,12 @@ def _check_means_groups(params: dict) -> None:
         "seed": {"type": "int", "nullable": True},
         "hash_scheme": {"type": "str", "choices": ("universal", "tabulation")},
         **STORAGE_SCHEMA,
+        **BACKEND_SCHEMA,
     },
     check=_check_means_groups,
 )
 @register_sketch("ams")
-class AmsSketch(StorageBacked):
+class AmsSketch(KernelDispatch, StorageBacked):
     """Estimates the second frequency moment of a stream.
 
     Parameters
@@ -82,6 +84,7 @@ class AmsSketch(StorageBacked):
         hash_scheme: str = "universal",
         storage: str = "dense",
         storage_path: Optional[str] = None,
+        backend: str = "auto",
     ) -> None:
         if num_estimators <= 0:
             raise ValueError("num_estimators must be positive")
@@ -95,6 +98,7 @@ class AmsSketch(StorageBacked):
         self._hashes = UniversalHashFamily(
             2, seed=seed, scheme=hash_scheme
         ).draw(num_estimators)
+        self._init_kernels(backend)
 
     def update(self, element: Element) -> None:
         """Process one arrival of ``element``."""
@@ -111,8 +115,7 @@ class AmsSketch(StorageBacked):
         key_batch, count_array = as_key_batch(keys, counts)
         if len(key_batch) == 0:
             return
-        for index, h in enumerate(self._hashes):
-            self._counters[index] += int(np.dot(h.sign_batch(key_batch), count_array))
+        self._kernel.ams_ingest(self._counters, self._plan, key_batch, count_array)
 
     def estimate_second_moment(self) -> float:
         """Median-of-means estimate of ``F2 = Σ_u f_u²``."""
@@ -133,6 +136,7 @@ class AmsSketch(StorageBacked):
         }
         if self.storage_backend != "dense":
             params["storage"] = self.storage_backend
+        params.update(self._backend_describe_params())
         return params
 
     def describe(self) -> dict:
@@ -181,6 +185,7 @@ class AmsSketch(StorageBacked):
             "hash_scheme": self.hash_scheme,
             "hashes": hash_states,
         }
+        state.update(self._backend_serial_state())
         state.update(self._storage_serial_state(live))
         if not live:
             arrays["counters"] = self._counters
@@ -192,6 +197,7 @@ class AmsSketch(StorageBacked):
         data: bytes,
         storage: Optional[str] = None,
         storage_path: Optional[str] = None,
+        backend: Optional[str] = None,
     ) -> "AmsSketch":
         _, state, arrays = unpack(data, expect_tag="ams")
         sketch = cls.__new__(cls)
@@ -208,4 +214,6 @@ class AmsSketch(StorageBacked):
             storage_path=storage_path,
         )
         sketch._hashes = hash_functions_from_state(state["hashes"], arrays)
+        requested = backend if backend is not None else state.get("backend", "auto")
+        sketch._init_kernels(requested, on_unavailable="fallback")
         return sketch

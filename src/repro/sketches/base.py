@@ -48,8 +48,9 @@ __all__ = [
 ]
 
 
-class IncompatibleSketchError(ValueError):
-    """Two sketches cannot be merged (different shape, seeds, or hashes)."""
+# Canonical definition lives in repro.errors (common ReproError base);
+# this module remains its permanent public import path.
+from repro.errors import IncompatibleSketchError  # noqa: E402
 
 
 def as_key_batch(
@@ -111,7 +112,19 @@ def describe_estimator(obj, params: dict) -> dict:
         or getattr(obj, "SERIAL_TAG", None)
         or type(obj).__name__
     )
-    return {"kind": kind, "params": params, "size_bytes": int(obj.size_bytes)}
+    info = {"kind": kind, "params": params, "size_bytes": int(obj.size_bytes)}
+    # Runtime placement facts, reported outside params (params must stay
+    # spec-round-trippable): which kernel backend executes the hot paths and
+    # which storage backend holds the counters.  "auto" may resolve
+    # differently per machine, so stats/debug output needs the *resolved*
+    # name, not the requested one.
+    kernel_backend = getattr(obj, "kernel_backend", None)
+    if kernel_backend is not None:
+        info["kernel_backend"] = kernel_backend
+    storage_backend = getattr(obj, "storage_backend", None)
+    if storage_backend is not None:
+        info["storage_backend"] = storage_backend
+    return info
 
 
 def _summarize_value(value) -> str:

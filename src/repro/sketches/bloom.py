@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.api.registry import register_estimator
 from repro.core.storage import STORAGE_SCHEMA, StorageBacked, check_storage_params
+from repro.kernels import BACKEND_SCHEMA, KernelDispatch
 from repro.sketches.base import (
     IncompatibleSketchError,
     describe_estimator,
@@ -46,11 +47,12 @@ __all__ = ["BloomFilter"]
         "seed": {"type": "int", "nullable": True},
         "hash_scheme": {"type": "str", "choices": ("universal", "tabulation")},
         **STORAGE_SCHEMA,
+        **BACKEND_SCHEMA,
     },
     check=check_storage_params,
 )
 @register_sketch("bloom")
-class BloomFilter(StorageBacked):
+class BloomFilter(KernelDispatch, StorageBacked):
     """A standard Bloom filter over arbitrary hashable keys.
 
     Parameters
@@ -78,6 +80,7 @@ class BloomFilter(StorageBacked):
         hash_scheme: str = "universal",
         storage: str = "dense",
         storage_path: Optional[str] = None,
+        backend: str = "auto",
     ) -> None:
         if num_bits <= 0:
             raise ValueError("num_bits must be positive")
@@ -96,11 +99,16 @@ class BloomFilter(StorageBacked):
         self._hashes = UniversalHashFamily(
             num_bits, seed=seed, scheme=hash_scheme
         ).draw(num_hashes)
+        self._init_kernels(backend)
         self._num_inserted = 0
 
     @classmethod
     def from_false_positive_rate(
-        cls, expected_items: int, false_positive_rate: float, seed: Optional[int] = None
+        cls,
+        expected_items: int,
+        false_positive_rate: float,
+        seed: Optional[int] = None,
+        backend: str = "auto",
     ) -> "BloomFilter":
         """Size the filter for a target false-positive rate after ``n`` inserts."""
         if expected_items <= 0:
@@ -111,7 +119,7 @@ class BloomFilter(StorageBacked):
             -expected_items * math.log(false_positive_rate) / (math.log(2) ** 2)
         )
         num_hashes = max(1, round(math.log(2) * num_bits / expected_items))
-        return cls(num_bits=num_bits, num_hashes=num_hashes, seed=seed)
+        return cls(num_bits=num_bits, num_hashes=num_hashes, seed=seed, backend=backend)
 
     def add(self, key: Hashable) -> None:
         """Mark ``key`` as seen."""
@@ -127,26 +135,27 @@ class BloomFilter(StorageBacked):
         return key in self
 
     # ------------------------------------------------------------------
-    # vectorized batch path
+    # vectorized batch path (runs on the configured kernel backend)
     # ------------------------------------------------------------------
-    def _positions(self, keys) -> np.ndarray:
-        """Bit positions of a key batch, as a (num_hashes, n) array."""
-        return np.stack([h.hash_batch(keys) for h in self._hashes])
+    @staticmethod
+    def _as_batch(keys):
+        """Materialize a key batch (arrays pass through, iterables listify)."""
+        return keys if isinstance(keys, np.ndarray) else list(keys)
 
     def add_batch(self, keys) -> None:
         """Mark every key of the batch as seen (one gather/scatter per hash)."""
-        positions = self._positions(keys)
-        if positions.shape[1] == 0:
+        batch = self._as_batch(keys)
+        if len(batch) == 0:
             return
-        self._bits[positions.ravel()] = True
-        self._num_inserted += positions.shape[1]
+        self._kernel.bloom_add(self._bits, self._plan, batch)
+        self._num_inserted += len(batch)
 
     def contains_batch(self, keys) -> np.ndarray:
         """Vectorized membership test: a bool array aligned with ``keys``."""
-        positions = self._positions(keys)
-        if positions.shape[1] == 0:
+        batch = self._as_batch(keys)
+        if len(batch) == 0:
             return np.zeros(0, dtype=bool)
-        return self._bits[positions].all(axis=0)
+        return self._kernel.bloom_contains(self._bits, self._plan, batch)
 
     def observe_batch(self, keys) -> np.ndarray:
         """Process arrivals in order; return True where the key was *new*.
@@ -156,16 +165,11 @@ class BloomFilter(StorageBacked):
         occurrence set, exactly as a scalar replay would.  Used by the
         adaptive opt-hash estimator's first-occurrence counting.
         """
-        positions = self._positions(keys)
-        n = positions.shape[1]
-        new_flags = np.zeros(n, dtype=bool)
-        bits = self._bits
-        for index in range(n):
-            column = positions[:, index]
-            if not bits[column].all():
-                bits[column] = True
-                new_flags[index] = True
-                self._num_inserted += 1
+        batch = self._as_batch(keys)
+        if len(batch) == 0:
+            return np.zeros(0, dtype=bool)
+        new_flags = self._kernel.bloom_observe(self._bits, self._plan, batch)
+        self._num_inserted += int(new_flags.sum())
         return new_flags
 
     @property
@@ -192,6 +196,7 @@ class BloomFilter(StorageBacked):
         }
         if self.storage_backend != "dense":
             params["storage"] = self.storage_backend
+        params.update(self._backend_describe_params())
         return params
 
     def describe(self) -> dict:
@@ -251,6 +256,7 @@ class BloomFilter(StorageBacked):
             "hash_scheme": self.hash_scheme,
         }
         state["hashes"] = hash_states
+        state.update(self._backend_serial_state())
         state.update(self._storage_serial_state(live))
         if not live:
             # 8x smaller on the wire than the bool array the filter works on.
@@ -263,6 +269,7 @@ class BloomFilter(StorageBacked):
         data: bytes,
         storage: Optional[str] = None,
         storage_path: Optional[str] = None,
+        backend: Optional[str] = None,
     ) -> "BloomFilter":
         _, state, arrays = unpack(data, expect_tag="bloom")
         sketch = cls.__new__(cls)
@@ -283,4 +290,6 @@ class BloomFilter(StorageBacked):
             storage_path=storage_path,
         )
         sketch._hashes = hash_functions_from_state(state["hashes"], arrays)
+        requested = backend if backend is not None else state.get("backend", "auto")
+        sketch._init_kernels(requested, on_unavailable="fallback")
         return sketch

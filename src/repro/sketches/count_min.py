@@ -18,7 +18,6 @@ only tighten the overestimate while keeping the one-sided error guarantee.
 from __future__ import annotations
 
 import math
-import threading
 from typing import Optional
 
 import numpy as np
@@ -26,6 +25,7 @@ import numpy as np
 from repro.api.registry import register_estimator
 from repro.api.specs import SpecError
 from repro.core.storage import STORAGE_SCHEMA, StorageBacked, check_storage_params
+from repro.kernels import BACKEND_SCHEMA, KernelDispatch
 from repro.sketches.base import (
     BYTES_PER_BUCKET,
     FrequencyEstimator,
@@ -74,6 +74,7 @@ WIDTH_SKETCH_SCHEMA = {
     "conservative": {"type": "bool"},
     "hash_scheme": {"type": "str", "choices": ("universal", "tabulation")},
     **STORAGE_SCHEMA,
+    **BACKEND_SCHEMA,
 }
 
 
@@ -84,7 +85,7 @@ WIDTH_SKETCH_SCHEMA = {
     check=require_one_table_size,
 )
 @register_sketch("count_min")
-class CountMinSketch(StorageBacked, FrequencyEstimator):
+class CountMinSketch(KernelDispatch, StorageBacked, FrequencyEstimator):
     """Count-Min Sketch with ``d`` levels of ``w`` buckets.
 
     Parameters
@@ -107,6 +108,10 @@ class CountMinSketch(StorageBacked, FrequencyEstimator):
         recoverable).  Estimates are bit-identical across backends.
     storage_path:
         Backing file for ``storage="mmap"`` (a temp file when omitted).
+    backend:
+        Kernel backend executing the hot paths: ``"auto"`` (default; fastest
+        available), ``"numpy"``, ``"native"``, or ``"numba"``.  All backends
+        are bit-identical; see :mod:`repro.kernels`.
     """
 
     _STORAGE_FIELD = "_table"
@@ -120,6 +125,7 @@ class CountMinSketch(StorageBacked, FrequencyEstimator):
         hash_scheme: str = "universal",
         storage: str = "dense",
         storage_path: Optional[str] = None,
+        backend: str = "auto",
     ) -> None:
         if width <= 0:
             raise ValueError("width must be positive")
@@ -131,23 +137,9 @@ class CountMinSketch(StorageBacked, FrequencyEstimator):
         self.seed = seed
         self.hash_scheme = hash_scheme
         self._init_storage((depth, width), np.int64, storage, storage_path)
-        self._init_query_buffers()
         family = UniversalHashFamily(width, seed=seed, scheme=hash_scheme)
         self._hashes = family.draw(depth)
-
-    def _init_query_buffers(self) -> None:
-        """Cache the broadcast index arrays the hot query path reuses.
-
-        ``_levels_col`` is the ``self._levels[:, None]`` gather index that
-        was previously re-materialized on every ``estimate_batch`` call;
-        ``_position_scratch`` holds a growable per-*thread* (depth, n)
-        buffer the ``_positions`` stack writes into instead of allocating
-        per call — per-thread so concurrent read-only queries against one
-        sketch stay safe, as they were with per-call allocation.
-        """
-        self._levels = np.arange(self.depth)
-        self._levels_col = self._levels[:, None]
-        self._position_scratch = threading.local()
+        self._init_kernels(backend)
 
     # ------------------------------------------------------------------
     # constructors
@@ -191,64 +183,27 @@ class CountMinSketch(StorageBacked, FrequencyEstimator):
         return float(self.estimate_batch([element.key])[0])
 
     # ------------------------------------------------------------------
-    # vectorized batch path
+    # vectorized batch path (runs on the configured kernel backend)
     # ------------------------------------------------------------------
-    def _positions(self, keys) -> np.ndarray:
-        """Per-level bucket positions of a key batch, as a (depth, n) view.
-
-        Writes into a preallocated per-thread scratch buffer (grown
-        geometrically on demand) instead of ``np.stack``-allocating a fresh
-        array per call; each thread's view is consumed before its next
-        ``_positions`` call, so reuse is safe.
-        """
-        n = len(keys)
-        scratch = self._position_scratch
-        buffer = getattr(scratch, "buffer", None)
-        if buffer is None or buffer.shape[1] < n:
-            grown = n if buffer is None else max(n, 2 * buffer.shape[1])
-            buffer = np.empty((self.depth, grown), dtype=np.int64)
-            scratch.buffer = buffer
-        out = buffer[:, :n]
-        for level, h in enumerate(self._hashes):
-            out[level] = h.hash_batch(keys)
-        return out
-
     def _ingest(self, key_batch, count_array) -> None:
         """Ingest ``counts[i]`` arrivals of ``keys[i]``, all at once.
 
-        The plain variant is order-independent, so one ``np.add.at`` per
-        level reproduces the scalar loop exactly.  Conservative update reads
-        the counters it is about to raise, so the batch path precomputes all
-        hash positions vectorized (the dominant cost) and replays the
+        The plain variant is order-independent; conservative update reads
+        the counters it is about to raise, so every backend replays its
         min/max counter logic in arrival order to stay bit-identical.
         """
         if len(key_batch) == 0:
             return
-        positions = self._positions(key_batch)
-        if not self.conservative:
-            for level in range(self.depth):
-                np.add.at(self._table[level], positions[level], count_array)
-            return
-        table = self._table
-        levels = self._levels
-        for index in range(positions.shape[1]):
-            count = count_array[index]
-            if count == 0:
-                continue
-            column = positions[:, index]
-            current = table[levels, column]
-            # Raising every counter to min+count equals `count` consecutive
-            # conservative +1 updates of the same key.
-            table[levels, column] = np.maximum(current, current.min() + count)
+        self._kernel.cms_ingest(
+            self._table, self._plan, key_batch, count_array, self.conservative
+        )
 
     def estimate_batch(self, keys) -> np.ndarray:
         """Vectorized point queries: min over levels of the gathered counters."""
         key_batch, _ = as_key_batch(keys)
         if len(key_batch) == 0:
             return np.zeros(0, dtype=np.float64)
-        positions = self._positions(key_batch)
-        gathered = self._table[self._levels_col, positions]
-        return gathered.min(axis=0).astype(np.float64)
+        return self._kernel.cms_query(self._table, self._plan, key_batch)
 
     @property
     def size_bytes(self) -> int:
@@ -274,6 +229,7 @@ class CountMinSketch(StorageBacked, FrequencyEstimator):
         # params must not clobber (or share) this sketch's backing file.
         if self.storage_backend != "dense":
             params["storage"] = self.storage_backend
+        params.update(self._backend_describe_params())
         return params
 
     # ------------------------------------------------------------------
@@ -329,6 +285,7 @@ class CountMinSketch(StorageBacked, FrequencyEstimator):
             "hash_scheme": self.hash_scheme,
             "hashes": hash_states,
         }
+        state.update(self._backend_serial_state())
         state.update(self._storage_serial_state(live))
         if not live:
             arrays["table"] = self._table
@@ -340,9 +297,13 @@ class CountMinSketch(StorageBacked, FrequencyEstimator):
         data: bytes,
         storage: Optional[str] = None,
         storage_path: Optional[str] = None,
+        backend: Optional[str] = None,
     ) -> "CountMinSketch":
-        """Rehydrate; ``storage=`` loads the buffer onto a different backend
-        than the one it was serialized from (bit-identical either way)."""
+        """Rehydrate; ``storage=`` loads the buffer onto a different storage
+        backend than the one it was serialized from, and ``backend=``
+        overrides the serialized kernel-backend choice (bit-identical either
+        way).  A serialized compiled-backend choice that is unavailable here
+        degrades to NumPy with a ``RuntimeWarning`` instead of failing."""
         _, state, arrays = unpack(data, expect_tag="count_min")
         sketch = cls.__new__(cls)
         sketch.width = int(state["width"])
@@ -358,6 +319,7 @@ class CountMinSketch(StorageBacked, FrequencyEstimator):
             storage=storage,
             storage_path=storage_path,
         )
-        sketch._init_query_buffers()
         sketch._hashes = hash_functions_from_state(state["hashes"], arrays)
+        requested = backend if backend is not None else state.get("backend", "auto")
+        sketch._init_kernels(requested, on_unavailable="fallback")
         return sketch

@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.api.registry import register_estimator
 from repro.core.storage import StorageBacked
+from repro.kernels import KernelDispatch
 from repro.sketches.base import (
     BYTES_PER_BUCKET,
     FrequencyEstimator,
@@ -52,11 +53,12 @@ _COUNT_SKETCH_SCHEMA = {
     check=require_one_table_size,
 )
 @register_sketch("count_sketch")
-class CountSketch(StorageBacked, FrequencyEstimator):
+class CountSketch(KernelDispatch, StorageBacked, FrequencyEstimator):
     """Count Sketch with ``d`` levels of ``w`` signed counters.
 
     ``storage`` / ``storage_path`` select the counter-table backend (dense /
-    shm / mmap) exactly as on :class:`~repro.sketches.count_min.CountMinSketch`.
+    shm / mmap), and ``backend`` the kernel backend, exactly as on
+    :class:`~repro.sketches.count_min.CountMinSketch`.
     """
 
     _STORAGE_FIELD = "_table"
@@ -69,6 +71,7 @@ class CountSketch(StorageBacked, FrequencyEstimator):
         hash_scheme: str = "universal",
         storage: str = "dense",
         storage_path: Optional[str] = None,
+        backend: str = "auto",
     ) -> None:
         if width <= 0:
             raise ValueError("width must be positive")
@@ -81,6 +84,7 @@ class CountSketch(StorageBacked, FrequencyEstimator):
         self._init_storage((depth, width), np.int64, storage, storage_path)
         family = UniversalHashFamily(width, seed=seed, scheme=hash_scheme)
         self._hashes = family.draw(depth)
+        self._init_kernels(backend)
 
     @classmethod
     def from_total_buckets(
@@ -99,31 +103,20 @@ class CountSketch(StorageBacked, FrequencyEstimator):
         return float(self.estimate_batch([element.key])[0])
 
     # ------------------------------------------------------------------
-    # vectorized batch path
+    # vectorized batch path (runs on the configured kernel backend)
     # ------------------------------------------------------------------
     def _ingest(self, key_batch, count_array) -> None:
         """Ingest a key batch: signed, order-independent counter increments."""
         if len(key_batch) == 0:
             return
-        for level, h in enumerate(self._hashes):
-            np.add.at(
-                self._table[level],
-                h.hash_batch(key_batch),
-                h.sign_batch(key_batch) * count_array,
-            )
+        self._kernel.cs_ingest(self._table, self._plan, key_batch, count_array)
 
     def estimate_batch(self, keys) -> np.ndarray:
         """Vectorized point queries: median over levels of signed counters."""
         key_batch, _ = as_key_batch(keys)
         if len(key_batch) == 0:
             return np.zeros(0, dtype=np.float64)
-        signed = np.stack(
-            [
-                h.sign_batch(key_batch) * self._table[level, h.hash_batch(key_batch)]
-                for level, h in enumerate(self._hashes)
-            ]
-        )
-        return np.median(signed, axis=0)
+        return self._kernel.cs_query(self._table, self._plan, key_batch)
 
     @property
     def size_bytes(self) -> int:
@@ -146,6 +139,7 @@ class CountSketch(StorageBacked, FrequencyEstimator):
         }
         if self.storage_backend != "dense":
             params["storage"] = self.storage_backend
+        params.update(self._backend_describe_params())
         return params
 
     # ------------------------------------------------------------------
@@ -183,6 +177,7 @@ class CountSketch(StorageBacked, FrequencyEstimator):
             "hash_scheme": self.hash_scheme,
             "hashes": hash_states,
         }
+        state.update(self._backend_serial_state())
         state.update(self._storage_serial_state(live))
         if not live:
             arrays["table"] = self._table
@@ -194,6 +189,7 @@ class CountSketch(StorageBacked, FrequencyEstimator):
         data: bytes,
         storage: Optional[str] = None,
         storage_path: Optional[str] = None,
+        backend: Optional[str] = None,
     ) -> "CountSketch":
         _, state, arrays = unpack(data, expect_tag="count_sketch")
         sketch = cls.__new__(cls)
@@ -210,4 +206,6 @@ class CountSketch(StorageBacked, FrequencyEstimator):
             storage_path=storage_path,
         )
         sketch._hashes = hash_functions_from_state(state["hashes"], arrays)
+        requested = backend if backend is not None else state.get("backend", "auto")
+        sketch._init_kernels(requested, on_unavailable="fallback")
         return sketch

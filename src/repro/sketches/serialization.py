@@ -46,8 +46,9 @@ VERSION = 1
 _HEADER = struct.Struct("<4sHHI")  # magic, version, flags, meta_len
 
 
-class SerializationError(ValueError):
-    """A buffer could not be parsed as a serialized sketch."""
+# Canonical definition lives in repro.errors (common ReproError base);
+# this module remains its permanent public import path.
+from repro.errors import SerializationError  # noqa: E402
 
 
 _REGISTRY: Dict[str, type] = {}

@@ -215,6 +215,16 @@ class SlidingWindowSketch(FrequencyEstimator):
         """Whether ingestion must see full Elements (adaptive opt-hash)."""
         return self._feature_routed
 
+    @property
+    def kernel_backend(self):
+        """The kernel backend the panes run on (None for non-kernel inners).
+
+        Panes come from one factory, so the head pane speaks for the ring.
+        """
+        if not self._panes:
+            return None
+        return getattr(self._head_pane(), "kernel_backend", None)
+
     # ------------------------------------------------------------------
     # ring mechanics
     # ------------------------------------------------------------------
